@@ -1,0 +1,185 @@
+// Ablations of the DQN design choices (beyond the paper's figures, but
+// answering the design questions Sec. III.C raises): the observation history
+// length I (the 3×I input layer), the hidden width of the two fully
+// connected layers, and the deployed ε of the ε-greedy communication policy.
+// Each point trains on the default max-power scenario and reports ST and the
+// mean reward.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/field.hpp"
+#include "core/qlearning_scheme.hpp"
+#include "core/trainer.hpp"
+#include "core/experiment.hpp"
+
+using namespace ctj;
+using namespace ctj::bench;
+using namespace ctj::core;
+
+namespace {
+
+MetricsReport run_variant(std::size_t history, std::vector<std::size_t> hidden,
+                          double deploy_epsilon, std::uint64_t seed) {
+  RlExperimentConfig config;
+  config.env = EnvironmentConfig::defaults();
+  config.env.mode = JammerPowerMode::kMaxPower;
+  config.env.seed = seed;
+  config.eval_seed = seed + 1000;
+  config.scheme.history = history;
+  config.scheme.hidden = std::move(hidden);
+  config.scheme.learning_rate = 1.5e-3;
+  config.scheme.epsilon_decay_steps = train_slots() / 4;
+  config.scheme.deploy_epsilon = deploy_epsilon;
+  config.scheme.seed = seed + 500;
+  config.train_slots = train_slots();
+  config.eval_slots = eval_slots();
+  return run_rl_experiment(config).metrics;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "DQN design ablations (max-power jammer, paper defaults "
+               "otherwise)\n"
+            << "train slots/point: " << train_slots()
+            << ", eval slots/point: " << eval_slots() << "\n";
+
+  {
+    print_header("history length I (input layer = 3*I neurons)",
+                 "the paper uses the previous I slots; too little history "
+                 "hides the jammer's sweep phase");
+    TextTable table({"I", "ST (%)", "mean reward"});
+    for (std::size_t I : {1u, 2u, 4u, 8u}) {
+      const auto m = run_variant(I, {32, 32}, 0.05, 11);
+      table.add_row({static_cast<double>(I), 100.0 * m.st, m.mean_reward});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    print_header("hidden width (two fully connected layers, Fig. 4)",
+                 "the paper: two hidden layers suffice; width trades "
+                 "capacity against on-device footprint");
+    TextTable table({"width", "ST (%)", "mean reward"});
+    for (std::size_t w : {16u, 32u, 45u, 64u}) {
+      const auto m = run_variant(4, {w, w}, 0.05, 22);
+      table.add_row({static_cast<double>(w), 100.0 * m.st, m.mean_reward});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    print_header("deployed epsilon of the eps-greedy communication policy",
+                 "evaluated in the FIELD simulator, where the behavioural "
+                 "sweeping jammer can track a deterministic channel "
+                 "pattern: eps = 0 collapses, a little exploration "
+                 "restores the escape behaviour, too much wastes slots");
+    // Train once, redeploy with different epsilons.
+    DqnScheme::Config scheme_config;
+    scheme_config.history = 4;
+    scheme_config.hidden = {32, 32};
+    scheme_config.epsilon_decay_steps = train_slots() / 4;
+    scheme_config.seed = 533;
+    DqnScheme scheme(scheme_config);
+    {
+      auto env_config = EnvironmentConfig::defaults();
+      env_config.mode = JammerPowerMode::kMaxPower;
+      env_config.seed = 33;
+      CompetitionEnvironment env(env_config);
+      TrainerConfig trainer;
+      trainer.max_slots = train_slots();
+      train(scheme, env, trainer);
+      scheme.set_training(false);
+    }
+    TextTable table({"deploy eps", "field ST (%)", "goodput (pkts/slot)"});
+    for (double eps : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+      scheme.set_deploy_epsilon(eps);
+      scheme.reset();
+      FieldConfig field = FieldConfig::defaults();
+      field.network.num_peripherals = 4;
+      field.network.slot_duration_s = 3.0;
+      field.network.seed = 62;
+      field.seed = 63;
+      FieldExperiment experiment(field, scheme);
+      const auto r = experiment.run(300);
+      table.add_row({eps, 100.0 * r.metrics.st, r.goodput_packets_per_slot});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    print_header("agent family: tabular Q-learning vs DQN vs Double DQN",
+                 "Sec. III.C's motivation: the Q table over the 3*I "
+                 "observation space converges far slower than the DQN for "
+                 "the same slot budget");
+    TextTable table({"agent", "ST (%)", "notes"});
+    // Tabular Q-learning on the same budget.
+    {
+      auto env_config = EnvironmentConfig::defaults();
+      env_config.mode = JammerPowerMode::kMaxPower;
+      env_config.seed = 55;
+      QLearningScheme::Config ql_config;
+      ql_config.history = 4;
+      ql_config.epsilon_decay_steps = train_slots() / 4;
+      QLearningScheme ql(ql_config);
+      CompetitionEnvironment env(env_config);
+      for (std::size_t slot = 0; slot < train_slots(); ++slot) {
+        const auto d = ql.decide();
+        const auto step = env.step(d.channel, d.power_index);
+        SlotFeedback fb;
+        fb.success = step.success;
+        fb.jammed = step.outcome != SlotOutcome::kClear;
+        fb.channel = step.channel;
+        fb.power_index = d.power_index;
+        fb.reward = step.reward;
+        ql.feedback(fb);
+      }
+      ql.set_training(false);
+      env_config.seed = 56;
+      CompetitionEnvironment eval_env(env_config);
+      const auto m = evaluate(ql, eval_env, eval_slots());
+      table.add_row({"tabular Q-learning", TextTable::fmt(100 * m.st, 2),
+                     "table size " + std::to_string(ql.agent().table_size())});
+    }
+    {
+      const auto m = run_variant(4, {32, 32}, 0.05, 55);
+      table.add_row({"DQN (paper)", TextTable::fmt(100 * m.st, 2), "-"});
+    }
+    {
+      RlExperimentConfig config;
+      config.env = EnvironmentConfig::defaults();
+      config.env.mode = JammerPowerMode::kMaxPower;
+      config.env.seed = 55;
+      config.eval_seed = 56;
+      config.scheme.history = 4;
+      config.scheme.hidden = {32, 32};
+      config.scheme.epsilon_decay_steps = train_slots() / 4;
+      config.scheme.double_dqn = true;
+      config.scheme.seed = 555;
+      config.train_slots = train_slots();
+      config.eval_slots = eval_slots();
+      const auto m = run_rl_experiment(config).metrics;
+      table.add_row({"Double DQN", TextTable::fmt(100 * m.st, 2), "-"});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    print_header("single vs two hidden layers",
+                 "checks the paper's claim that 2 FC layers are sufficient");
+    TextTable table({"architecture", "ST (%)", "mean reward"});
+    const std::pair<std::string, std::vector<std::size_t>> variants[] = {
+        {"1 x 32", {32}},
+        {"2 x 32", {32, 32}},
+        {"3 x 32", {32, 32, 32}},
+    };
+    for (const auto& [name, hidden] : variants) {
+      const auto m = run_variant(4, hidden, 0.05, 44);
+      table.add_row({name, TextTable::fmt(100.0 * m.st, 2),
+                     TextTable::fmt(m.mean_reward, 2)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

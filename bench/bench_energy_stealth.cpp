@@ -1,0 +1,115 @@
+// Extension benches grounded in the paper's discussion sections:
+//  * energy vs the transmit-power range (Sec. IV.C.2's closing paragraph:
+//    shifting L^T_p up lowers FH adoption and can save energy per delivered
+//    slot) — the DQN is retrained per point and its policy is metered by
+//    the energy model;
+//  * stealthiness comparison of the three jamming-signal types
+//    (Sec. II.B): how often the victim can *attribute* its losses to a
+//    jammer, per signal type.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/energy.hpp"
+#include "core/trainer.hpp"
+#include "jammer/stealth.hpp"
+
+using namespace ctj;
+using namespace ctj::bench;
+using namespace ctj::core;
+
+namespace {
+
+struct EnergyPoint {
+  MetricsReport metrics;
+  EnergyReport energy;
+};
+
+EnergyPoint run_energy_point(double lp_lower) {
+  auto env_config = env_with_lp_lower(lp_lower, JammerPowerMode::kRandomPower);
+  env_config.seed = 7;
+
+  DqnScheme::Config scheme_config;
+  scheme_config.num_channels = env_config.num_channels;
+  scheme_config.num_power_levels = env_config.num_power_levels();
+  scheme_config.history = 4;
+  scheme_config.hidden = {32, 32};
+  scheme_config.epsilon_decay_steps = train_slots() / 4;
+  scheme_config.seed = 507;
+  DqnScheme scheme(scheme_config);
+
+  CompetitionEnvironment train_env(env_config);
+  TrainerConfig trainer;
+  trainer.max_slots = train_slots();
+  train(scheme, train_env, trainer);
+  scheme.set_training(false);
+  scheme.reset();
+
+  env_config.seed = 1007;
+  CompetitionEnvironment env(env_config);
+  MetricsAccumulator metrics;
+  EnergyAccumulator energy;
+  const double slot_s = 3.0;
+  for (std::size_t slot = 0; slot < eval_slots(); ++slot) {
+    const SchemeDecision d = scheme.decide();
+    const EnvStep step = env.step(d.channel, d.power_index);
+    SlotFeedback fb;
+    fb.success = step.success;
+    fb.jammed = step.outcome != SlotOutcome::kClear;
+    fb.channel = step.channel;
+    fb.power_index = d.power_index;
+    fb.reward = step.reward;
+    scheme.feedback(fb);
+    metrics.record(step, d.power_index);
+    energy.record_slot(env_config.tx_levels[d.power_index], slot_s,
+                       step.hopped);
+  }
+  return {metrics.report(), energy.report()};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Energy & stealth extension benches\n";
+
+  {
+    print_header(
+        "energy vs lower bound of L^T_p (DQN, random-power jammer)",
+        "Sec. IV.C.2: raising the power range trades FH (hop energy) for PC; "
+        "energy per *successful* slot is the figure of merit");
+    TextTable table({"L_p lower", "ST (%)", "AH (%)", "AP (%)", "mean mW",
+                     "mJ/success", "battery (h)"});
+    for (double lower : {6.0, 8.0, 10.0, 12.0, 14.0}) {
+      const auto point = run_energy_point(lower);
+      const double successes =
+          point.metrics.st * static_cast<double>(point.metrics.slots);
+      const double mj_per_success =
+          successes > 0 ? point.energy.total_mj / successes : 0.0;
+      table.add_row({lower, 100 * point.metrics.st, 100 * point.metrics.ah,
+                     100 * point.metrics.ap, point.energy.mean_mw,
+                     mj_per_success, point.energy.battery_life_hours});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    print_header("stealthiness by jamming-signal type (Sec. II.B)",
+                 "EmuBee: effective yet unattributable; ZigBee: effective "
+                 "but loggable frames; WiFi: invisible to ZigBee monitors "
+                 "but also weak");
+    Rng rng(42);
+    TextTable table({"signal", "P(energy det.)", "P(frame det.)",
+                     "P(error-rate det.)", "P(attributable)"});
+    for (auto type : {channel::JammingSignalType::kEmuBee,
+                      channel::JammingSignalType::kZigbee,
+                      channel::JammingSignalType::kWifi}) {
+      const auto r = jammer::simulate_detectability(type, 50000, rng);
+      table.add_row({channel::to_string(type), TextTable::fmt(r.p_energy, 3),
+                     TextTable::fmt(r.p_frame, 3),
+                     TextTable::fmt(r.p_error_rate, 3),
+                     TextTable::fmt(r.p_attributable, 3)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

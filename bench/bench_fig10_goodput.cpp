@@ -1,0 +1,47 @@
+// Fig. 10 — goodput (packets per slot) and slot utilization rate as a
+// function of the Tx slot duration (1..5 s), in normal operation with the
+// DQN scheme running at the hub (9 ms decision + per-slot polling overhead).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/field.hpp"
+#include "core/rl_fh.hpp"
+
+using namespace ctj;
+using namespace ctj::core;
+
+int main() {
+  std::cout << "Fig. 10 reproduction: goodput & slot utilization vs Tx slot "
+               "duration\n"
+            << "paper: goodput 148 -> 806 pkts/slot and utilization "
+               "91.75% -> 98.58% as the slot grows 1 s -> 5 s\n\n";
+
+  TextTable table({"slot (s)", "goodput (pkts/slot)", "utilization (%)",
+                   "overhead (s)"});
+  for (double duration : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    DqnScheme::Config scheme_config;
+    scheme_config.history = 4;
+    scheme_config.hidden = {32, 32};
+    DqnScheme scheme(scheme_config);
+    scheme.set_training(false);  // deployed network; decisions cost 9 ms
+
+    FieldConfig config = FieldConfig::defaults();
+    config.jammer_enabled = false;  // normal scenario
+    config.network.num_peripherals = 4;
+    config.network.slot_duration_s = duration;
+    // Normal operation: nodes rarely miss the announcement (the Fig. 9(b)
+    // loss model is driven by jamming, absent here).
+    config.network.timing.node_loss_probability = 0.005;
+    config.network.seed = 7 + static_cast<std::uint64_t>(duration * 10);
+
+    FieldExperiment experiment(config, scheme);
+    const auto result = experiment.run(120);
+    table.add_row({duration, result.goodput_packets_per_slot,
+                   100.0 * result.utilization,
+                   duration * (1.0 - result.utilization)});
+  }
+  table.print(std::cout);
+  std::cout << "(per-slot overhead stays ~constant -> utilization rises "
+               "with duration, exactly the Fig. 10(b) mechanism)\n";
+  return 0;
+}

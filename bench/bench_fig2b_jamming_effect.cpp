@@ -1,0 +1,87 @@
+// Fig. 2(b) — jamming effect of the three signal types (EmuBee, Wi-Fi,
+// ZigBee) on a star ZigBee network, as a function of jamming distance
+// 1..15 m: packet error rate and throughput.
+//
+// Mirrors the paper's verification experiment: four-node star network with
+// LBT, the jammer continuously emitting on the victim's channel from
+// different distances. EmuBee and Wi-Fi jammers transmit at Wi-Fi power
+// (100 mW); the conventional ZigBee jammer at ZigBee-class power (+5 dBm).
+#include <iostream>
+
+#include "channel/link.hpp"
+#include "common/table.hpp"
+#include "net/star_network.hpp"
+
+using namespace ctj;
+using namespace ctj::net;
+using channel::JammingSignalType;
+
+namespace {
+
+struct Point {
+  double per_pct;
+  double throughput_kbps;
+};
+
+Point measure(JammingSignalType type, double jam_power_dbm, double distance) {
+  StarNetworkConfig config;
+  config.num_peripherals = 3;
+  config.peripheral_distance_m = 2.0;
+  config.slot_duration_s = 1.0;
+  config.payload_bytes = 30;
+  config.timing.jitter_fraction = 0.02;
+  config.timing.node_loss_probability = 0.0;  // isolate the PHY effect
+  config.seed = 97 + static_cast<std::uint64_t>(distance * 10);
+  StarNetwork net(config);
+
+  ActiveJamming jam;
+  jam.channel = 5;
+  jam.type = type;
+  jam.tx_power_dbm = jam_power_dbm;
+  jam.distance_m = distance;
+
+  SlotDecision decision;
+  decision.channel = 5;           // no anti-jamming: fixed channel
+  decision.tx_power_dbm = 0.0;    // 1 mW ZigBee transmitters
+  decision.decision_time_s = 0.0;
+
+  std::size_t attempted = 0, delivered = 0;
+  for (int slot = 0; slot < 30; ++slot) {
+    const auto stats = net.run_slot(decision, jam);
+    attempted += stats.packets_attempted;
+    delivered += stats.packets_delivered;
+  }
+  Point p;
+  p.per_pct = attempted == 0
+                  ? 100.0
+                  : 100.0 * (1.0 - static_cast<double>(delivered) /
+                                       static_cast<double>(attempted));
+  // Throughput: delivered payload bits per second of slot time.
+  p.throughput_kbps = static_cast<double>(delivered) * 30.0 * 8.0 /
+                      (30.0 * config.slot_duration_s) / 1000.0;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 2(b) reproduction: PER and throughput vs jamming "
+               "distance\n"
+            << "paper: PER decreases / throughput increases with distance; "
+               "ranking EmuBee > ZigBee > WiFi (EmuBee strongest jammer)\n\n";
+
+  TextTable table({"dist (m)", "PER EmuBee", "PER ZigBee", "PER WiFi",
+                   "Tput EmuBee", "Tput ZigBee", "Tput WiFi"});
+  for (int d = 1; d <= 15; ++d) {
+    const auto emubee = measure(JammingSignalType::kEmuBee, 20.0, d);
+    const auto zigbee = measure(JammingSignalType::kZigbee, 5.0, d);
+    const auto wifi = measure(JammingSignalType::kWifi, 20.0, d);
+    table.add_row({static_cast<double>(d), emubee.per_pct, zigbee.per_pct,
+                   wifi.per_pct, emubee.throughput_kbps,
+                   zigbee.throughput_kbps, wifi.throughput_kbps});
+  }
+  table.print(std::cout);
+  std::cout << "(PER in %, throughput in kbps; jammers: EmuBee/WiFi at "
+               "100 mW, conventional ZigBee at +5 dBm)\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) of the hot paths: FFT, Viterbi,
+// ZigBee despreading, 64-QAM quantization, the Eq. (2) α search, DQN
+// inference and training step, environment step and value iteration.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/environment.hpp"
+#include "mdp/analysis.hpp"
+#include "phy/convolutional.hpp"
+#include "phy/emulation.hpp"
+#include "phy/fft.hpp"
+#include "phy/qam.hpp"
+#include "phy/zigbee_phy.hpp"
+#include "rl/dqn.hpp"
+
+namespace {
+
+using namespace ctj;
+
+void BM_Fft64(benchmark::State& state) {
+  Rng rng(1);
+  phy::IqBuffer x(64);
+  for (auto& v : x) v = phy::Cplx(rng.normal(), rng.normal());
+  for (auto _ : state) {
+    phy::IqBuffer y = x;
+    phy::fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Fft64);
+
+void BM_ViterbiDecodeSymbol(benchmark::State& state) {
+  Rng rng(2);
+  const phy::Bits info = phy::random_bits(144, rng);
+  const phy::Bits coded = phy::ConvolutionalCode::encode(info);
+  for (auto _ : state) {
+    auto decoded = phy::ConvolutionalCode::decode(coded);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+}
+BENCHMARK(BM_ViterbiDecodeSymbol);
+
+void BM_ZigbeeDespreadSymbol(benchmark::State& state) {
+  phy::ZigbeePhy phy(4);
+  const std::vector<std::size_t> syms = {7};
+  const auto wave = phy.modulate_symbols(syms);
+  for (auto _ : state) {
+    auto decoded = phy.demodulate_symbols(wave, 1);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+}
+BENCHMARK(BM_ZigbeeDespreadSymbol);
+
+void BM_QamQuantize48(benchmark::State& state) {
+  Rng rng(3);
+  phy::IqBuffer targets(48);
+  for (auto& t : targets) t = phy::Cplx(rng.normal(), rng.normal());
+  for (auto _ : state) {
+    double err = phy::quantization_error(targets, 1.3);
+    benchmark::DoNotOptimize(err);
+  }
+}
+BENCHMARK(BM_QamQuantize48);
+
+void BM_OptimalAlpha(benchmark::State& state) {
+  Rng rng(4);
+  phy::IqBuffer targets(static_cast<std::size_t>(state.range(0)));
+  for (auto& t : targets) t = phy::Cplx(rng.normal(), rng.normal());
+  for (auto _ : state) {
+    double alpha = phy::optimal_alpha(targets);
+    benchmark::DoNotOptimize(alpha);
+  }
+}
+BENCHMARK(BM_OptimalAlpha)->Arg(48)->Arg(480);
+
+void BM_DqnInference(benchmark::State& state) {
+  rl::DqnConfig config;  // the Fig. 4 network: 24-45-45-160
+  rl::DqnAgent agent(config);
+  std::vector<double> obs(config.state_dim, 0.3);
+  for (auto _ : state) {
+    auto action = agent.act_greedy(obs);
+    benchmark::DoNotOptimize(action);
+  }
+}
+BENCHMARK(BM_DqnInference);
+
+void BM_DqnTrainStep(benchmark::State& state) {
+  rl::DqnConfig config;
+  config.min_replay_before_training = 32;
+  rl::DqnAgent agent(config);
+  Rng rng(5);
+  std::vector<double> obs(config.state_dim);
+  for (int i = 0; i < 256; ++i) {
+    for (auto& v : obs) v = rng.uniform();
+    agent.observe({obs, rng.index(config.num_actions), -10.0, obs, false});
+  }
+  for (auto _ : state) {
+    auto loss = agent.train_step();
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_DqnTrainStep);
+
+void BM_EnvironmentStep(benchmark::State& state) {
+  core::CompetitionEnvironment env(core::EnvironmentConfig::defaults());
+  int channel = 0;
+  for (auto _ : state) {
+    channel = (channel + 1) % 16;
+    auto step = env.step(channel, 3);
+    benchmark::DoNotOptimize(step.reward);
+  }
+}
+BENCHMARK(BM_EnvironmentStep);
+
+void BM_ValueIterationSolve(benchmark::State& state) {
+  auto params = mdp::AntijamParams::defaults();
+  params.sweep_cycle = static_cast<int>(state.range(0));
+  params.mode = JammerPowerMode::kRandomPower;
+  for (auto _ : state) {
+    const mdp::AntijamMdp model(params);
+    auto sol = mdp::solve(model);
+    benchmark::DoNotOptimize(sol.value.data());
+  }
+}
+BENCHMARK(BM_ValueIterationSolve)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+
+namespace ctj::bench {
+namespace {
+
+double bench_scale() {
+  if (const char* s = std::getenv("CTJ_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+std::size_t eval_slots() {
+  return std::max<std::size_t>(500, static_cast<std::size_t>(20000 * bench_scale()));
+}
+
+std::size_t train_slots() {
+  return std::max<std::size_t>(1000, static_cast<std::size_t>(16000 * bench_scale()));
+}
+
+core::MetricsReport run_rl_point(core::EnvironmentConfig env,
+                                 std::uint64_t seed) {
+  core::RlExperimentConfig config;
+  config.env = env;
+  config.env.seed = seed;
+  config.eval_seed = seed + 1000;
+  config.scheme.history = 4;
+  config.scheme.hidden = {32, 32};
+  config.scheme.learning_rate = 1.5e-3;
+  config.scheme.epsilon_decay_steps = train_slots() / 4;
+  config.scheme.epsilon_end = 0.05;
+  config.scheme.seed = seed + 500;
+  config.train_slots = train_slots();
+  config.eval_slots = eval_slots();
+  return core::run_rl_experiment(config).metrics;
+}
+
+std::vector<double> lj_sweep() { return linspace(10.0, 100.0, 10); }
+
+std::vector<int> sweep_cycle_sweep() { return {2, 4, 6, 8, 10, 12, 14, 16}; }
+
+std::vector<double> lh_sweep() { return linspace(0.0, 100.0, 11); }
+
+std::vector<double> lp_lower_sweep() { return {6, 7, 8, 9, 10, 11, 12, 13, 14}; }
+
+core::EnvironmentConfig env_with_lj(double lj, JammerPowerMode mode) {
+  auto env = core::EnvironmentConfig::defaults();
+  env.loss_jam = lj;
+  env.mode = mode;
+  return env;
+}
+
+core::EnvironmentConfig env_with_cycle(int cycle, JammerPowerMode mode) {
+  auto env = core::EnvironmentConfig::defaults();
+  // The hazard structure only depends on N = ⌈K/m⌉, so sweep the cycle with
+  // m = 1 and K = cycle; this keeps the DQN action space (C × PL) small for
+  // large cycles.
+  env.channels_per_sweep = 1;
+  env.num_channels = cycle;
+  env.mode = mode;
+  return env;
+}
+
+core::EnvironmentConfig env_with_lh(double lh, JammerPowerMode mode) {
+  auto env = core::EnvironmentConfig::defaults();
+  env.loss_hop = lh;
+  env.mode = mode;
+  return env;
+}
+
+core::EnvironmentConfig env_with_lp_lower(double lower, JammerPowerMode mode) {
+  auto env = core::EnvironmentConfig::defaults();
+  env.tx_levels.clear();
+  for (int i = 0; i < 10; ++i) env.tx_levels.push_back(lower + i);
+  env.mode = mode;
+  return env;
+}
+
+void print_header(const std::string& title, const std::string& paper_note) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!paper_note.empty()) std::cout << "paper: " << paper_note << "\n";
+}
+
+}  // namespace ctj::bench

@@ -1,0 +1,45 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Figs. 6–8 all sweep the same four parameters (L_J, sweep cycle, L_H, and
+// the lower bound of the transmit-power range) under the two jammer modes;
+// each bench binary prints a different subset of the Table-I metrics from
+// the same kind of run: train a fresh DQN on the configuration, freeze it,
+// evaluate 20 000 slots.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace ctj::bench {
+
+/// Evaluation slots per sweep point (the paper uses 20 000); scaled down by
+/// the CTJ_BENCH_SCALE environment variable (e.g. 0.1 for a smoke run).
+std::size_t eval_slots();
+
+/// Training slots per sweep point.
+std::size_t train_slots();
+
+/// Run one sweep point: train + evaluate a DQN on the environment config.
+core::MetricsReport run_rl_point(core::EnvironmentConfig env,
+                                 std::uint64_t seed = 7);
+
+/// The four parameter sweeps of Figs. 6–8 (paper x-axes).
+std::vector<double> lj_sweep();          // L_J: 10..100
+std::vector<int> sweep_cycle_sweep();    // 2..16 time slots
+std::vector<double> lh_sweep();          // L_H: 0..100
+std::vector<double> lp_lower_sweep();    // lower bound of L^T_p: 6..14
+
+/// Build the default environment with one parameter overridden.
+core::EnvironmentConfig env_with_lj(double lj, JammerPowerMode mode);
+core::EnvironmentConfig env_with_cycle(int cycle, JammerPowerMode mode);
+core::EnvironmentConfig env_with_lh(double lh, JammerPowerMode mode);
+core::EnvironmentConfig env_with_lp_lower(double lower, JammerPowerMode mode);
+
+/// Print a section header in the bench output.
+void print_header(const std::string& title, const std::string& paper_note);
+
+}  // namespace ctj::bench

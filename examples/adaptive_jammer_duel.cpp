@@ -1,0 +1,116 @@
+// Robustness study: the trained anti-jamming schemes against an *adaptive*
+// pattern-tracking jammer (extension beyond the paper's sweep model).
+//
+// The slot semantics mirror the competition environment: each slot the
+// victim picks (channel, power); the jammer either camps on the learned hot
+// group or sweeps; a hit becomes a failed slot unless the victim's power
+// beats the jamming power. Shows why the deployed ε-greedy policy matters:
+// a deterministic channel pattern is learnable by the attacker.
+//
+//   ./build/examples/adaptive_jammer_duel [slots]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/environment.hpp"
+#include "core/mdp_scheme.hpp"
+#include "core/metrics.hpp"
+#include "core/passive_fh.hpp"
+#include "core/rl_fh.hpp"
+#include "core/trainer.hpp"
+#include "jammer/adaptive_jammer.hpp"
+#include "net/star_network.hpp"
+
+using namespace ctj;
+using namespace ctj::core;
+
+namespace {
+
+/// Run a scheme against the adaptive jammer at the slot level.
+MetricsReport duel(AntiJammingScheme& scheme, double exploit_probability,
+                   std::size_t slots, std::uint64_t seed) {
+  auto config = jammer::AdaptiveJammerConfig::defaults();
+  config.exploit_probability = exploit_probability;
+  jammer::AdaptiveJammer jx(config, seed);
+  Rng rng(seed + 1);
+  const auto env = EnvironmentConfig::defaults();
+
+  MetricsAccumulator metrics;
+  int prev_channel = 0;
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const SchemeDecision d = scheme.decide();
+    const auto report = jx.step(d.channel);
+    bool success = true;
+    if (report.hit) {
+      // Power duel, as in the competition environment.
+      success = env.tx_levels[d.power_index] >= report.power;
+    }
+    const bool hopped = d.channel != prev_channel;
+    const double reward = -env.tx_levels[d.power_index] -
+                          (hopped ? env.loss_hop : 0.0) -
+                          (success ? 0.0 : env.loss_jam);
+    SlotFeedback fb;
+    fb.success = success;
+    fb.jammed = report.hit;
+    fb.channel = d.channel;
+    fb.power_index = d.power_index;
+    fb.reward = reward;
+    scheme.feedback(fb);
+    metrics.record(success, hopped, d.power_index > 0, reward);
+    prev_channel = d.channel;
+  }
+  return metrics.report();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t slots =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 20000;
+  std::cout << "adaptive-jammer duel (" << slots
+            << " slots): sweep jammer vs pattern-tracking jammer\n\n";
+
+  // Train the DQN against the standard sweeping competition (as deployed).
+  DqnScheme::Config rl_config;
+  rl_config.history = 4;
+  rl_config.hidden = {32, 32};
+  DqnScheme rl(rl_config);
+  {
+    auto env_config = EnvironmentConfig::defaults();
+    env_config.mode = JammerPowerMode::kMaxPower;
+    CompetitionEnvironment env(env_config);
+    TrainerConfig trainer;
+    trainer.max_slots = 15000;
+    train(rl, env, trainer);
+    rl.set_training(false);
+  }
+
+  TextTable table({"scheme", "deploy eps", "ST vs sweep (%)",
+                   "ST vs adaptive (%)"});
+  auto run_pair = [&](const std::string& name, AntiJammingScheme& scheme,
+                      const std::string& eps_label) {
+    scheme.reset();
+    const auto vs_sweep = duel(scheme, /*exploit=*/0.0, slots, 91);
+    scheme.reset();
+    const auto vs_adaptive = duel(scheme, /*exploit=*/0.7, slots, 92);
+    table.add_row({name, eps_label, TextTable::fmt(100 * vs_sweep.st, 1),
+                   TextTable::fmt(100 * vs_adaptive.st, 1)});
+  };
+
+  rl.set_deploy_epsilon(0.0);
+  run_pair("RL FH", rl, "0.00");
+  rl.set_deploy_epsilon(0.05);
+  run_pair("RL FH", rl, "0.05");
+
+  MdpOracleScheme oracle{MdpOracleScheme::Config{}};
+  run_pair("MDP oracle (random hops)", oracle, "n/a");
+
+  PassiveFhScheme passive{PassiveFhScheme::Config{}};
+  run_pair("Passive FH", passive, "n/a");
+
+  table.print(std::cout);
+  std::cout << "\nreading: randomized hop targets (deploy eps > 0, or the "
+               "oracle's uniform hops) blunt the adaptive jammer; "
+               "deterministic patterns get tracked.\n";
+  return 0;
+}

@@ -1,0 +1,220 @@
+// ctj_cli — flag-driven experiment runner for the anti-jamming library.
+//
+// Runs any scheme against either the slot-level competition environment or
+// the full field simulator, with the paper's parameters exposed as flags:
+//
+//   ./build/examples/ctj_cli --scheme=rl --mode=max --slots=20000
+//   ./build/examples/ctj_cli --scheme=oracle --mode=random --lj=60 --lh=20
+//   ./build/examples/ctj_cli --scheme=passive --field --slot-duration=3
+//   ./build/examples/ctj_cli --scheme=rl --field --signal=wifi --train=30000
+//
+// Flags: --scheme=rl|ql|oracle|passive|random  --mode=max|random
+//        --slots=N --train=N --lj=X --lh=X --cycle=N --seed=N
+//        --field --slot-duration=S --jx-slot=S --nodes=N
+//        --signal=emubee|wifi|zigbee --no-jammer
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/environment.hpp"
+#include "core/experiment.hpp"
+#include "core/field.hpp"
+#include "core/mdp_scheme.hpp"
+#include "core/passive_fh.hpp"
+#include "core/qlearning_scheme.hpp"
+#include "core/random_fh.hpp"
+#include "core/rl_fh.hpp"
+#include "core/trainer.hpp"
+
+using namespace ctj;
+using namespace ctj::core;
+
+namespace {
+
+/// Minimal --key=value parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::cerr << "unknown argument: " << arg << "\n";
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "1";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get_num(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::unique_ptr<AntiJammingScheme> make_scheme(const std::string& name,
+                                               JammerPowerMode mode,
+                                               std::uint64_t seed) {
+  if (name == "passive") {
+    PassiveFhScheme::Config config;
+    config.seed = seed;
+    return std::make_unique<PassiveFhScheme>(config);
+  }
+  if (name == "random") {
+    RandomFhScheme::Config config;
+    config.seed = seed;
+    return std::make_unique<RandomFhScheme>(config);
+  }
+  if (name == "oracle") {
+    MdpOracleScheme::Config config;
+    config.params.mode = mode;
+    config.seed = seed;
+    return std::make_unique<MdpOracleScheme>(config);
+  }
+  if (name == "ql") {
+    QLearningScheme::Config config;
+    config.seed = seed;
+    return std::make_unique<QLearningScheme>(config);
+  }
+  if (name == "rl") {
+    DqnScheme::Config config;
+    config.history = 4;
+    config.hidden = {32, 32};
+    config.seed = seed;
+    return std::make_unique<DqnScheme>(config);
+  }
+  std::cerr << "unknown scheme '" << name
+            << "' (use rl|ql|oracle|passive|random)\n";
+  std::exit(2);
+}
+
+/// Train learners on the slot-level environment before deployment.
+void maybe_train(AntiJammingScheme& scheme, const EnvironmentConfig& env_config,
+                 std::size_t train_slots) {
+  auto* rl = dynamic_cast<DqnScheme*>(&scheme);
+  auto* ql = dynamic_cast<QLearningScheme*>(&scheme);
+  if (rl == nullptr && ql == nullptr) return;
+  std::cout << "training on " << train_slots << " slots...\n";
+  CompetitionEnvironment env(env_config);
+  if (rl != nullptr) {
+    TrainerConfig trainer;
+    trainer.max_slots = train_slots;
+    train(*rl, env, trainer);
+    rl->set_training(false);
+    rl->reset();
+  } else {
+    for (std::size_t slot = 0; slot < train_slots; ++slot) {
+      const auto d = ql->decide();
+      const auto step = env.step(d.channel, d.power_index);
+      SlotFeedback fb;
+      fb.success = step.success;
+      fb.jammed = step.outcome != SlotOutcome::kClear;
+      fb.channel = step.channel;
+      fb.power_index = d.power_index;
+      fb.reward = step.reward;
+      ql->feedback(fb);
+    }
+    ql->set_training(false);
+    ql->reset();
+  }
+}
+
+channel::JammingSignalType parse_signal(const std::string& name) {
+  if (name == "emubee") return channel::JammingSignalType::kEmuBee;
+  if (name == "wifi") return channel::JammingSignalType::kWifi;
+  if (name == "zigbee") return channel::JammingSignalType::kZigbee;
+  std::cerr << "unknown signal '" << name << "'\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::cout << "see the header comment of examples/ctj_cli.cpp\n";
+    return 0;
+  }
+
+  const auto mode = flags.get("mode", "max") == "random"
+                        ? JammerPowerMode::kRandomPower
+                        : JammerPowerMode::kMaxPower;
+  const auto seed = static_cast<std::uint64_t>(flags.get_num("seed", 1));
+  const auto slots = static_cast<std::size_t>(flags.get_num("slots", 20000));
+  const auto train_slots =
+      static_cast<std::size_t>(flags.get_num("train", 16000));
+
+  auto env_config = EnvironmentConfig::defaults();
+  env_config.mode = mode;
+  env_config.loss_jam = flags.get_num("lj", env_config.loss_jam);
+  env_config.loss_hop = flags.get_num("lh", env_config.loss_hop);
+  if (flags.has("cycle")) {
+    env_config.channels_per_sweep = 1;
+    env_config.num_channels = static_cast<int>(flags.get_num("cycle", 4));
+  }
+  env_config.seed = seed;
+
+  auto scheme = make_scheme(flags.get("scheme", "rl"), mode, seed + 7);
+  maybe_train(*scheme, env_config, train_slots);
+
+  if (!flags.has("field")) {
+    env_config.seed = seed + 1000;
+    CompetitionEnvironment env(env_config);
+    const auto m = evaluate(*scheme, env, slots);
+    TextTable table({"metric", "value"});
+    table.add_row({"scheme", scheme->name()});
+    table.add_row({"jammer mode", std::string(to_string(mode))});
+    table.add_row({"ST (%)", TextTable::fmt(100 * m.st, 2)});
+    table.add_row({"AH (%)", TextTable::fmt(100 * m.ah, 2)});
+    table.add_row({"SH (%)", TextTable::fmt(100 * m.sh, 2)});
+    table.add_row({"AP (%)", TextTable::fmt(100 * m.ap, 2)});
+    table.add_row({"SP (%)", TextTable::fmt(100 * m.sp, 2)});
+    table.add_row({"mean reward", TextTable::fmt(m.mean_reward, 2)});
+    table.print(std::cout);
+    return 0;
+  }
+
+  FieldConfig field = FieldConfig::defaults();
+  field.jammer.mode = mode;
+  field.jammer_enabled = !flags.has("no-jammer");
+  field.network.slot_duration_s = flags.get_num("slot-duration", 3.0);
+  field.jammer_slot_s = flags.get_num("jx-slot", field.network.slot_duration_s);
+  field.network.num_peripherals = static_cast<int>(flags.get_num("nodes", 4));
+  field.signal_type = parse_signal(flags.get("signal", "emubee"));
+  field.network.seed = seed + 11;
+  field.seed = seed + 12;
+
+  const std::size_t field_slots =
+      static_cast<std::size_t>(flags.get_num("slots", 300));
+  FieldExperiment experiment(field, *scheme);
+  const auto result = experiment.run(field_slots);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"scheme", scheme->name()});
+  table.add_row({"signal", std::string(channel::to_string(field.signal_type))});
+  table.add_row({"slots", TextTable::fmt(static_cast<double>(result.slots), 0)});
+  table.add_row({"goodput (pkts/slot)",
+                 TextTable::fmt(result.goodput_packets_per_slot, 1)});
+  table.add_row({"ST (%)", TextTable::fmt(100 * result.metrics.st, 2)});
+  table.add_row({"utilization (%)", TextTable::fmt(100 * result.utilization, 2)});
+  table.add_row({"negotiation (ms/slot)",
+                 TextTable::fmt(1000 * result.mean_negotiation_s, 1)});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Attacker-side study (Sec. II): build an EmuBee jamming waveform with the
+// full Wi-Fi PHY inverse chain, quantify the emulation fidelity, check its
+// stealth against the ZigBee frame validator, and map the jamming range of
+// the three signal types with the link model.
+//
+//   ./build/examples/emubee_attack_study
+#include <iostream>
+
+#include "channel/link.hpp"
+#include "channel/spectrum.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "phy/emulation.hpp"
+#include "phy/zigbee_packet.hpp"
+
+using namespace ctj;
+using namespace ctj::phy;
+
+int main() {
+  std::cout << "EmuBee attack study (Sec. II of the paper)\n";
+
+  // --- 1. Spectral positioning -------------------------------------------
+  std::cout << "\n[1] spectrum: Wi-Fi channel 6 covers ZigBee channels ";
+  for (int z : channel::zigbee_channels_covered(6)) {
+    std::cout << channel::zigbee_channel_number(z) << " ";
+  }
+  std::cout << "- one Wi-Fi frame can jam m = 4 consecutive ZigBee channels\n";
+
+  // --- 2. Waveform emulation ---------------------------------------------
+  Rng rng(2024);
+  std::vector<std::size_t> symbols(64);
+  for (auto& s : symbols) s = static_cast<std::size_t>(rng.uniform_int(0, 15));
+  const IqBuffer designed = design_zigbee_waveform(symbols);
+
+  EmuBeeEmulator emulator;
+  const auto result = emulator.emulate(designed);
+  const auto fidelity = assess_fidelity(result, symbols);
+  std::cout << "\n[2] emulation (Fig. 1 pipeline): alpha* = "
+            << TextTable::fmt(result.alpha, 3) << ", E(alpha*) = "
+            << TextTable::fmt(result.quantization_error, 0)
+            << "\n    chip error rate after ZigBee despreading: "
+            << TextTable::fmt(100 * fidelity.chip_error_rate, 2)
+            << "%  (symbol error rate: "
+            << TextTable::fmt(100 * fidelity.symbol_error_rate, 2) << "%)\n"
+            << "    payload handed to the Wi-Fi card: "
+            << result.payload_bits.size() << " bits\n";
+
+  // --- 3. Stealthiness -----------------------------------------------------
+  // An EmuBee burst carries a valid preamble but no frame structure: the
+  // victim's receiver locks on and stalls ("meaningless decoding").
+  std::vector<std::uint8_t> burst(32, 0x00);
+  burst[4] = 0x3C;  // garbage where the SFD should be
+  const auto inspection = ZigbeeFrame::inspect(burst, 256);
+  std::cout << "\n[3] stealth: victim inspects the burst -> "
+            << to_string(inspection.status) << ", receiver stalled for "
+            << inspection.occupied_symbol_periods
+            << " symbol periods without flagging a jammer\n";
+
+  // --- 4. Jamming range by signal type -------------------------------------
+  std::cout << "\n[4] jamming range (PER of a 1 mW ZigBee link at 3 m vs "
+               "jammer distance):\n";
+  channel::ZigbeeLink link;
+  TextTable table({"jam dist (m)", "EmuBee 100mW", "WiFi 100mW",
+                   "ZigBee 5dBm"});
+  for (double d : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0}) {
+    auto per = [&](double power, channel::JammingSignalType type) {
+      return 100.0 * link.per_with_jammer(0.0, 3.0, power, d, type);
+    };
+    table.add_row({d, per(20.0, channel::JammingSignalType::kEmuBee),
+                   per(20.0, channel::JammingSignalType::kWifi),
+                   per(5.0, channel::JammingSignalType::kZigbee)});
+  }
+  table.print(std::cout);
+  std::cout << "EmuBee keeps near-100% PER to roughly 3x the distance of a "
+               "conventional ZigBee jammer (the paper's '4x higher jamming "
+               "performance' claim); plain Wi-Fi dies quickly against "
+               "DSSS.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: train the DQN-based hybrid anti-jamming scheme against the
+// cross-technology sweeping jammer and compare it with the passive baseline.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/environment.hpp"
+#include "core/experiment.hpp"
+#include "core/passive_fh.hpp"
+#include "core/rl_fh.hpp"
+#include "core/trainer.hpp"
+
+using namespace ctj;
+using namespace ctj::core;
+
+int main() {
+  std::cout << "ctj quickstart: DQN anti-jamming vs a Wi-Fi sweeping jammer\n\n";
+
+  // 1. The competition: 16 ZigBee channels, the jammer sweeps 4 per slot
+  //    (one Wi-Fi channel worth) at max power. Paper-default losses.
+  auto env_config = EnvironmentConfig::defaults();
+  env_config.mode = JammerPowerMode::kMaxPower;
+  CompetitionEnvironment train_env(env_config);
+
+  // 2. The scheme: a small DQN over the last 4 slots of (outcome, channel,
+  //    power) observations, choosing a (channel, power) action each slot.
+  DqnScheme::Config scheme_config;
+  scheme_config.history = 4;
+  scheme_config.hidden = {32, 32};
+  DqnScheme rl(scheme_config);
+
+  // 3. Train.
+  TrainerConfig trainer_config;
+  trainer_config.max_slots = 15000;
+  const auto stats = train(rl, train_env, trainer_config);
+  std::cout << "trained for " << stats.slots_trained << " slots in "
+            << TextTable::fmt(stats.wall_seconds, 1)
+            << " s, final mean reward "
+            << TextTable::fmt(stats.final_mean_reward, 1) << "\n\n";
+
+  // 4. Deploy and evaluate (frozen policy, fresh environment seed).
+  rl.set_training(false);
+  rl.reset();
+  env_config.seed = 99;
+  CompetitionEnvironment eval_env(env_config);
+  const auto rl_metrics = evaluate(rl, eval_env, 20000);
+
+  PassiveFhScheme passive{PassiveFhScheme::Config{}};
+  env_config.seed = 99;
+  CompetitionEnvironment eval_env2(env_config);
+  const auto passive_metrics = evaluate(passive, eval_env2, 20000);
+
+  TextTable table({"scheme", "ST (%)", "AH (%)", "AP (%)", "mean reward"});
+  auto add = [&](const std::string& name, const MetricsReport& m) {
+    table.add_row({name, TextTable::fmt(100 * m.st, 1),
+                   TextTable::fmt(100 * m.ah, 1), TextTable::fmt(100 * m.ap, 1),
+                   TextTable::fmt(m.mean_reward, 1)});
+  };
+  add("RL FH (ours)", rl_metrics);
+  add("Passive FH", passive_metrics);
+  table.print(std::cout);
+
+  std::cout << "\nST = fraction of slots whose data got through; the paper "
+               "reports ~78% for the DQN scheme under jamming.\n";
+  return rl_metrics.st > passive_metrics.st ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Smart-home scenario: a four-node ZigBee star network (hub + three sensors)
+// in a living room, attacked by an EmuBee cross-technology jammer hidden in a
+// Wi-Fi access point eight meters away. Runs the full field simulator and
+// compares every anti-jamming scheme end to end.
+//
+//   ./build/examples/smart_home [slots]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "core/environment.hpp"
+#include "core/field.hpp"
+#include "core/mdp_scheme.hpp"
+#include "core/passive_fh.hpp"
+#include "core/random_fh.hpp"
+#include "core/rl_fh.hpp"
+#include "core/trainer.hpp"
+
+using namespace ctj;
+using namespace ctj::core;
+
+namespace {
+
+FieldConfig home_config(std::uint64_t seed, bool jammer_enabled) {
+  FieldConfig config = FieldConfig::defaults();
+  config.network.num_peripherals = 3;       // door, thermostat, camera
+  config.network.peripheral_distance_m = 4.0;
+  config.network.slot_duration_s = 3.0;
+  config.network.seed = seed;
+  config.jammer_enabled = jammer_enabled;
+  config.signal_type = channel::JammingSignalType::kEmuBee;
+  config.jammer_distance_m = 8.0;
+  config.seed = seed + 1;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t slots =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 300;
+  std::cout << "smart-home field experiment (" << slots
+            << " slots of 3 s, EmuBee jammer at 8 m)\n\n";
+
+  // Train the RL scheme offline (as the paper does before flashing the hub).
+  DqnScheme::Config rl_config;
+  rl_config.history = 4;
+  rl_config.hidden = {32, 32};
+  auto rl = std::make_unique<DqnScheme>(rl_config);
+  {
+    auto env_config = EnvironmentConfig::defaults();
+    env_config.mode = JammerPowerMode::kMaxPower;
+    CompetitionEnvironment env(env_config);
+    TrainerConfig trainer;
+    trainer.max_slots = 15000;
+    trainer.target_mean_reward = -70.0;  // early stop when good enough
+    const auto stats = train(*rl, env, trainer);
+    std::cout << "offline DQN training: " << stats.slots_trained << " slots"
+              << (stats.early_stopped ? " (early stop)" : "") << "\n\n";
+    rl->set_training(false);
+    rl->reset();
+  }
+
+  TextTable table({"scheme", "goodput (pkts/slot)", "ST (%)",
+                   "FH adoption (%)", "mean negotiation (ms)"});
+  auto run_scheme = [&](const std::string& name, AntiJammingScheme& scheme,
+                        bool jammer_enabled) {
+    FieldExperiment experiment(home_config(404, jammer_enabled), scheme);
+    const auto result = experiment.run(slots);
+    table.add_row({name, TextTable::fmt(result.goodput_packets_per_slot, 0),
+                   TextTable::fmt(100 * result.metrics.st, 1),
+                   TextTable::fmt(100 * result.metrics.ah, 1),
+                   TextTable::fmt(1000 * result.mean_negotiation_s, 1)});
+    return result.goodput_packets_per_slot;
+  };
+
+  PassiveFhScheme passive{PassiveFhScheme::Config{}};
+  RandomFhScheme random_scheme{RandomFhScheme::Config{}};
+  MdpOracleScheme oracle{MdpOracleScheme::Config{}};
+
+  run_scheme("Passive FH", passive, true);
+  run_scheme("Random FH", random_scheme, true);
+  const double rl_goodput = run_scheme("RL FH (DQN)", *rl, true);
+  run_scheme("MDP oracle", oracle, true);
+  RandomFhScheme probe{RandomFhScheme::Config{}};
+  const double normal = run_scheme("no jammer", probe, false);
+
+  table.print(std::cout);
+  std::cout << "\nRL FH retains "
+            << TextTable::fmt(100.0 * rl_goodput / normal, 1)
+            << "% of the jam-free goodput (paper: ~78%).\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Smart-warehouse scenario (the paper's motivating dense deployment): a
+// larger star network (8 forklift/inventory nodes), a *hidden-mode* jammer
+// that randomizes its power to stay covert, and longer time slots. Shows how
+// the hybrid scheme leans on power control when the jammer is not always at
+// full power, and how polling overhead scales with network size.
+//
+//   ./build/examples/warehouse [slots]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/environment.hpp"
+#include "core/field.hpp"
+#include "core/mdp_scheme.hpp"
+#include "core/passive_fh.hpp"
+#include "core/rl_fh.hpp"
+#include "core/trainer.hpp"
+
+using namespace ctj;
+using namespace ctj::core;
+
+int main(int argc, char** argv) {
+  const std::size_t slots =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 250;
+  std::cout << "warehouse field experiment: 8-node network, hidden-mode "
+               "(random-power) EmuBee jammer, 4 s slots\n\n";
+
+  // Train against the random-power jammer: power control now pays off.
+  DqnScheme::Config rl_config;
+  rl_config.history = 4;
+  rl_config.hidden = {32, 32};
+  DqnScheme rl(rl_config);
+  {
+    auto env_config = EnvironmentConfig::defaults();
+    env_config.mode = JammerPowerMode::kRandomPower;
+    CompetitionEnvironment env(env_config);
+    TrainerConfig trainer;
+    trainer.max_slots = 15000;
+    train(rl, env, trainer);
+    rl.set_training(false);
+    rl.reset();
+  }
+
+  auto make_config = [&](std::uint64_t seed) {
+    FieldConfig config = FieldConfig::defaults();
+    config.network.num_peripherals = 8;
+    config.network.peripheral_distance_m = 6.0;
+    config.network.slot_duration_s = 4.0;
+    config.network.seed = seed;
+    config.jammer.mode = JammerPowerMode::kRandomPower;
+    config.signal_type = channel::JammingSignalType::kEmuBee;
+    config.jammer_distance_m = 10.0;
+    config.seed = seed + 1;
+    return config;
+  };
+
+  TextTable table({"scheme", "goodput (pkts/slot)", "ST (%)", "AH (%)",
+                   "AP (%)", "negotiation (ms/slot)"});
+  auto run_scheme = [&](const std::string& name, AntiJammingScheme& scheme) {
+    FieldExperiment experiment(make_config(808), scheme);
+    const auto result = experiment.run(slots);
+    table.add_row({name, TextTable::fmt(result.goodput_packets_per_slot, 0),
+                   TextTable::fmt(100 * result.metrics.st, 1),
+                   TextTable::fmt(100 * result.metrics.ah, 1),
+                   TextTable::fmt(100 * result.metrics.ap, 1),
+                   TextTable::fmt(1000 * result.mean_negotiation_s, 1)});
+  };
+
+  PassiveFhScheme passive{PassiveFhScheme::Config{}};
+  MdpOracleScheme::Config oracle_config;
+  oracle_config.params.mode = JammerPowerMode::kRandomPower;
+  MdpOracleScheme oracle(oracle_config);
+
+  run_scheme("Passive FH", passive);
+  run_scheme("RL FH (DQN)", rl);
+  run_scheme("MDP oracle", oracle);
+  table.print(std::cout);
+
+  std::cout << "\nagainst a hidden-mode jammer, power control (AP) carries "
+               "part of the defense — the hybrid advantage of Sec. III; "
+               "note the 8-node polling cost per slot (Fig. 9(b) effect).\n";
+  return 0;
+}

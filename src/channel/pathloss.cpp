@@ -1,0 +1,46 @@
+#include "channel/pathloss.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ctj::channel {
+
+double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+LogDistancePathLoss::LogDistancePathLoss(Config config)
+    : config_(config),
+      reference_loss_db_(free_space_db(config.reference_m, config.carrier_hz)) {
+  CTJ_CHECK(config.carrier_hz > 0.0);
+  CTJ_CHECK(config.exponent > 0.0);
+  CTJ_CHECK(config.reference_m > 0.0);
+  CTJ_CHECK(config.shadowing_sigma_db >= 0.0);
+}
+
+double LogDistancePathLoss::free_space_db(double distance_m, double freq_hz) {
+  CTJ_CHECK(distance_m > 0.0 && freq_hz > 0.0);
+  const double wavelength = kSpeedOfLight / freq_hz;
+  return 20.0 * std::log10(4.0 * std::numbers::pi * distance_m / wavelength);
+}
+
+double LogDistancePathLoss::mean_loss_db(double distance_m) const {
+  const double d = std::max(distance_m, config_.reference_m);
+  return reference_loss_db_ +
+         10.0 * config_.exponent * std::log10(d / config_.reference_m);
+}
+
+double LogDistancePathLoss::sample_loss_db(double distance_m, Rng& rng) const {
+  double loss = mean_loss_db(distance_m);
+  if (config_.shadowing_sigma_db > 0.0) {
+    loss += rng.normal(0.0, config_.shadowing_sigma_db);
+  }
+  return loss;
+}
+
+}  // namespace ctj::channel

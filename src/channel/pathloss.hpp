@@ -1,0 +1,49 @@
+// Propagation models for the field-experiment simulator.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace ctj::channel {
+
+/// A planar position in meters; the field experiments place nodes in a room.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance in meters.
+double distance(const Position& a, const Position& b);
+
+/// Log-distance path loss with optional log-normal shadowing:
+/// PL(d) = PL(d0) + 10·n·log10(d/d0) + X_sigma, with PL(d0) the free-space
+/// loss at the reference distance for the given carrier frequency.
+class LogDistancePathLoss {
+ public:
+  struct Config {
+    double carrier_hz = 2.44e9;
+    double exponent = 2.7;        // indoor office-like environment
+    double reference_m = 1.0;
+    double shadowing_sigma_db = 0.0;  // 0 disables shadowing
+  };
+
+  LogDistancePathLoss() : LogDistancePathLoss(Config{}) {}
+  explicit LogDistancePathLoss(Config config);
+
+  /// Deterministic mean path loss in dB at distance d (meters, d > 0 after
+  /// clamping to the reference distance).
+  double mean_loss_db(double distance_m) const;
+
+  /// Path loss with a shadowing draw (equals mean when sigma is 0).
+  double sample_loss_db(double distance_m, Rng& rng) const;
+
+  /// Free-space path loss in dB at distance d for frequency f.
+  static double free_space_db(double distance_m, double freq_hz);
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  double reference_loss_db_;
+};
+
+}  // namespace ctj::channel

@@ -1,0 +1,54 @@
+#include "channel/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ctj::channel {
+
+double zigbee_center_hz(int index) {
+  CTJ_CHECK_MSG(index >= 0 && index < kZigbeeChannelCount,
+                "zigbee channel index " << index << " out of [0,16)");
+  return (2405.0 + 5.0 * index) * 1e6;
+}
+
+int zigbee_channel_number(int index) {
+  CTJ_CHECK(index >= 0 && index < kZigbeeChannelCount);
+  return 11 + index;
+}
+
+double wifi_center_hz(int wifi_channel) {
+  CTJ_CHECK_MSG(wifi_channel >= 1 && wifi_channel <= 11,
+                "wifi channel " << wifi_channel << " out of [1,11]");
+  return (2412.0 + 5.0 * (wifi_channel - 1)) * 1e6;
+}
+
+double overlap_fraction(int zigbee_index, int wifi_channel) {
+  const double zc = zigbee_center_hz(zigbee_index);
+  const double wc = wifi_center_hz(wifi_channel);
+  const double z_lo = zc - kZigbeeBandwidthHz / 2;
+  const double z_hi = zc + kZigbeeBandwidthHz / 2;
+  const double w_lo = wc - kWifiBandwidthHz / 2;
+  const double w_hi = wc + kWifiBandwidthHz / 2;
+  const double overlap = std::max(0.0, std::min(z_hi, w_hi) - std::max(z_lo, w_lo));
+  return overlap / kZigbeeBandwidthHz;
+}
+
+std::vector<int> zigbee_channels_covered(int wifi_channel) {
+  std::vector<int> covered;
+  for (int z = 0; z < kZigbeeChannelCount; ++z) {
+    if (overlap_fraction(z, wifi_channel) >= 1.0) covered.push_back(z);
+  }
+  return covered;
+}
+
+int wifi_channel_covering(int zigbee_index) {
+  CTJ_CHECK(zigbee_index >= 0 && zigbee_index < kZigbeeChannelCount);
+  for (int w = 1; w <= 11; ++w) {
+    if (overlap_fraction(zigbee_index, w) >= 1.0) return w;
+  }
+  return -1;
+}
+
+}  // namespace ctj::channel

@@ -1,0 +1,39 @@
+// The 2.4 GHz ISM band layout shared by Wi-Fi and ZigBee.
+//
+// ZigBee (802.15.4) channels 11–26: centers 2405 + 5·(ch−11) MHz, 2 MHz wide.
+// Wi-Fi channels 1–11: centers 2412 + 5·(ch−1) MHz, 20 MHz wide.
+// A Wi-Fi channel therefore covers exactly 4 consecutive ZigBee channels —
+// the bandwidth advantage the cross-technology jammer exploits (m = 4 in the
+// paper's sweep model).
+#pragma once
+
+#include <vector>
+
+namespace ctj::channel {
+
+/// Number of 2.4 GHz ZigBee channels (802.15.4 channels 11..26).
+inline constexpr int kZigbeeChannelCount = 16;
+inline constexpr double kZigbeeBandwidthHz = 2e6;
+inline constexpr double kWifiBandwidthHz = 20e6;
+
+/// Center frequency in Hz of ZigBee channel index 0..15 (802.15.4 ch 11..26).
+double zigbee_center_hz(int index);
+
+/// Center frequency in Hz of Wi-Fi channel 1..11.
+double wifi_center_hz(int wifi_channel);
+
+/// 802.15.4 channel number (11..26) for an index 0..15.
+int zigbee_channel_number(int index);
+
+/// Indices (0..15) of the ZigBee channels whose 2 MHz band lies entirely
+/// inside the given Wi-Fi channel's 20 MHz band.
+std::vector<int> zigbee_channels_covered(int wifi_channel);
+
+/// Fraction of the ZigBee channel's band overlapped by the Wi-Fi channel,
+/// in [0, 1].
+double overlap_fraction(int zigbee_index, int wifi_channel);
+
+/// A Wi-Fi channel whose band covers the given ZigBee channel index, or -1.
+int wifi_channel_covering(int zigbee_index);
+
+}  // namespace ctj::channel

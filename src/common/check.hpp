@@ -1,0 +1,48 @@
+// Always-on invariant and precondition checking.
+//
+// Unlike assert(), these checks stay enabled in release builds: the library is
+// a research artifact and silent invariant violations would invalidate
+// experiment output. The cost is negligible relative to the simulation work.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ctj {
+
+/// Thrown when a CTJ_CHECK precondition or invariant fails.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CTJ_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace detail
+}  // namespace ctj
+
+/// Verify a condition that must hold; throws ctj::CheckFailure otherwise.
+#define CTJ_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::ctj::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// CTJ_CHECK with an explanatory message (streamed, e.g. "got " << x).
+#define CTJ_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream ctj_check_os_;                              \
+      ctj_check_os_ << msg;                                          \
+      ::ctj::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                  ctj_check_os_.str());              \
+    }                                                                \
+  } while (false)

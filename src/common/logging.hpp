@@ -1,0 +1,36 @@
+// Minimal leveled logging to stderr.
+//
+// The simulators are library code, so logging defaults to warnings only;
+// examples and benches raise the level when narrating progress is useful.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ctj {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace ctj
+
+#define CTJ_LOG(level, msg)                                      \
+  do {                                                           \
+    if (static_cast<int>(level) >= static_cast<int>(::ctj::log_level())) { \
+      std::ostringstream ctj_log_os_;                            \
+      ctj_log_os_ << msg;                                        \
+      ::ctj::detail::log_emit(level, ctj_log_os_.str());         \
+    }                                                            \
+  } while (false)
+
+#define CTJ_DEBUG(msg) CTJ_LOG(::ctj::LogLevel::kDebug, msg)
+#define CTJ_INFO(msg) CTJ_LOG(::ctj::LogLevel::kInfo, msg)
+#define CTJ_WARN(msg) CTJ_LOG(::ctj::LogLevel::kWarn, msg)
+#define CTJ_ERROR(msg) CTJ_LOG(::ctj::LogLevel::kError, msg)

@@ -1,0 +1,84 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ctj {
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  CTJ_CHECK(n >= 1);
+  if (n == 1) return {lo};
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+std::size_t argmax(std::span<const double> values) {
+  CTJ_CHECK(!values.empty());
+  return static_cast<std::size_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+std::size_t argmin(std::span<const double> values) {
+  CTJ_CHECK(!values.empty());
+  return static_cast<std::size_t>(
+      std::min_element(values.begin(), values.end()) - values.begin());
+}
+
+double clamp(double v, double lo, double hi) {
+  CTJ_CHECK(lo <= hi);
+  return std::min(hi, std::max(lo, v));
+}
+
+double minimize_unimodal(const std::function<double(double)>& f, double lo,
+                         double hi, double tol, std::size_t max_iter) {
+  CTJ_CHECK(lo <= hi);
+  CTJ_CHECK(tol > 0.0);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/golden ratio
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  for (std::size_t it = 0; it < max_iter && (b - a) > tol; ++it) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+bool almost_equal(double a, double b, double abs_tol, double rel_tol) {
+  return std::abs(a - b) <=
+         abs_tol + rel_tol * std::max(std::abs(a), std::abs(b));
+}
+
+double mean(std::span<const double> values) {
+  CTJ_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double sample_stddev(std::span<const double> values) {
+  CTJ_CHECK(values.size() >= 2);
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace ctj

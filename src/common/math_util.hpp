@@ -1,0 +1,40 @@
+// Small numeric utilities shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace ctj {
+
+/// n evenly spaced points from lo to hi inclusive (n >= 2), or {lo} for n == 1.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Index of the maximum element (first on ties). Span must be non-empty.
+std::size_t argmax(std::span<const double> values);
+
+/// Index of the minimum element (first on ties). Span must be non-empty.
+std::size_t argmin(std::span<const double> values);
+
+/// Clamp v into [lo, hi].
+double clamp(double v, double lo, double hi);
+
+/// Minimize a unimodal (e.g. convex) function over [lo, hi] by golden-section
+/// search. Returns the minimizing x; |interval| shrinks below tol.
+/// This is the search the paper invokes for the quantization scale α (Eq. 2).
+double minimize_unimodal(const std::function<double(double)>& f, double lo,
+                         double hi, double tol = 1e-9,
+                         std::size_t max_iter = 200);
+
+/// True if |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool almost_equal(double a, double b, double abs_tol = 1e-9,
+                  double rel_tol = 1e-9);
+
+/// Arithmetic mean of a non-empty span.
+double mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator) of a span with >= 2 elements.
+double sample_stddev(std::span<const double> values);
+
+}  // namespace ctj

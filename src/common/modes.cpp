@@ -1,0 +1,13 @@
+#include "common/modes.hpp"
+
+namespace ctj {
+
+const char* to_string(JammerPowerMode mode) {
+  switch (mode) {
+    case JammerPowerMode::kMaxPower: return "max-power";
+    case JammerPowerMode::kRandomPower: return "random-power";
+  }
+  return "?";
+}
+
+}  // namespace ctj

@@ -1,0 +1,14 @@
+// Domain enums shared by the MDP model, the behavioural jammer and the
+// experiment harnesses.
+#pragma once
+
+namespace ctj {
+
+/// Jammer power-selection behaviour (Sec. II.C.1 of the paper):
+/// high-performance mode always transmits at the top power level; hidden
+/// (random) mode draws uniformly from its power levels each slot.
+enum class JammerPowerMode { kMaxPower, kRandomPower };
+
+const char* to_string(JammerPowerMode mode);
+
+}  // namespace ctj

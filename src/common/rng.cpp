@@ -1,0 +1,24 @@
+#include "common/rng.hpp"
+
+#include <numeric>
+
+namespace ctj {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  CTJ_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CTJ_CHECK_MSG(w >= 0.0, "negative weight " << w);
+    total += w;
+  }
+  CTJ_CHECK_MSG(total > 0.0, "all weights are zero");
+  double r = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // guard against rounding at the top end
+}
+
+}  // namespace ctj

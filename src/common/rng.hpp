@@ -1,0 +1,98 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library takes an explicit Rng (or a seed)
+// so that experiments are reproducible run-to-run. Rng wraps std::mt19937_64
+// with the handful of draws the simulators need.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ctj {
+
+/// Seeded pseudo-random generator with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    CTJ_CHECK(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    CTJ_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform size_t index in [0, n).
+  std::size_t index(std::size_t n) {
+    CTJ_CHECK(n > 0);
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    CTJ_CHECK(p >= 0.0 && p <= 1.0);
+    return uniform() < p;
+  }
+
+  /// Standard normal draw.
+  double normal() { return normal_(engine_); }
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    CTJ_CHECK(stddev >= 0.0);
+    return mean + stddev * normal();
+  }
+
+  /// Exponential draw with the given rate (lambda > 0).
+  double exponential(double rate) {
+    CTJ_CHECK(rate > 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& choice(std::span<const T> items) {
+    CTJ_CHECK(!items.empty());
+    return items[index(items.size())];
+  }
+
+  template <typename T>
+  const T& choice(const std::vector<T>& items) {
+    return choice(std::span<const T>(items));
+  }
+
+  /// Sample an index according to non-negative weights (at least one > 0).
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace ctj

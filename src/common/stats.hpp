@@ -1,0 +1,77 @@
+// Streaming statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace ctj {
+
+/// Welford-style running mean / variance / min / max accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1); requires count() >= 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one.
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Ratio counter: occurrences / trials, e.g. the Table-I adoption rates.
+class RateCounter {
+ public:
+  void record(bool hit) {
+    ++trials_;
+    if (hit) ++hits_;
+  }
+  std::size_t trials() const { return trials_; }
+  std::size_t hits() const { return hits_; }
+  /// Rate in [0,1]; 0 when no trials were recorded.
+  double rate() const {
+    return trials_ == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(trials_);
+  }
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t hits_ = 0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to end bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  /// Center x-value of bin i.
+  double bin_center(std::size_t i) const;
+  /// Fraction of mass in bin i (0 when empty).
+  double bin_fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ctj

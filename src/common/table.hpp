@@ -1,0 +1,39 @@
+// ASCII table printer for benchmark output.
+//
+// Every figure-reproduction bench prints its series through TextTable so the
+// output can be diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ctj {
+
+/// Simple right-aligned ASCII table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  void add_row(const std::vector<double>& row, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Render with column separators and a rule under the header.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  /// Format a double with fixed precision (shared helper).
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ctj

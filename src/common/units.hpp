@@ -1,0 +1,54 @@
+// Physical-unit helpers for the 2.4 GHz ISM band simulations.
+//
+// Power is handled in dBm and milliwatts; conversions are centralized here so
+// the channel model and the jammer agree on the arithmetic.
+#pragma once
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ctj {
+
+/// Convert a power in milliwatts to dBm.
+inline double mw_to_dbm(double mw) {
+  CTJ_CHECK(mw > 0.0);
+  return 10.0 * std::log10(mw);
+}
+
+/// Convert a power in dBm to milliwatts.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Convert a linear power ratio to dB.
+inline double ratio_to_db(double ratio) {
+  CTJ_CHECK(ratio > 0.0);
+  return 10.0 * std::log10(ratio);
+}
+
+/// Convert dB to a linear power ratio.
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Speed of light (m/s), used by free-space path loss.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Thermal noise power density at 290 K in dBm/Hz (kTB with B = 1 Hz).
+inline constexpr double kThermalNoiseDbmPerHz = -174.0;
+
+/// Thermal noise floor in dBm for a bandwidth in Hz.
+inline double noise_floor_dbm(double bandwidth_hz) {
+  CTJ_CHECK(bandwidth_hz > 0.0);
+  return kThermalNoiseDbmPerHz + 10.0 * std::log10(bandwidth_hz);
+}
+
+namespace units {
+
+/// Frequency helpers (all return Hz).
+inline constexpr double mhz(double v) { return v * 1e6; }
+inline constexpr double ghz(double v) { return v * 1e9; }
+
+/// Time helpers (all return seconds).
+inline constexpr double ms(double v) { return v * 1e-3; }
+inline constexpr double us(double v) { return v * 1e-6; }
+
+}  // namespace units
+}  // namespace ctj

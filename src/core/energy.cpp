@@ -1,0 +1,55 @@
+#include "core/energy.hpp"
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ctj::core {
+
+EnergyAccumulator::EnergyAccumulator(EnergyModelConfig config)
+    : config_(config) {
+  CTJ_CHECK(config.rx_power_mw >= 0.0);
+  CTJ_CHECK(config.tx_duty >= 0.0 && config.tx_duty <= 1.0);
+  CTJ_CHECK(config.hop_energy_mj >= 0.0);
+  CTJ_CHECK(config.battery_mwh > 0.0);
+}
+
+void EnergyAccumulator::record_slot(double tx_level, double slot_duration_s,
+                                    bool hopped) {
+  CTJ_CHECK(slot_duration_s > 0.0);
+  const double tx_mw = dbm_to_mw(tx_level + config_.level_offset_dbm);
+  const double tx_time = slot_duration_s * config_.tx_duty;
+  const double rx_time = slot_duration_s - tx_time;
+  const double tx_mj = tx_mw * tx_time;                // mW·s == mJ
+  const double rx_mj = config_.rx_power_mw * rx_time;
+  const double hop_mj = hopped ? config_.hop_energy_mj : 0.0;
+  tx_mj_ += tx_mj;
+  hop_mj_ += hop_mj;
+  total_mj_ += tx_mj + rx_mj + hop_mj;
+  total_time_s_ += slot_duration_s;
+  ++slots_;
+}
+
+EnergyReport EnergyAccumulator::report() const {
+  EnergyReport r;
+  r.total_mj = total_mj_;
+  r.tx_mj = tx_mj_;
+  r.hop_mj = hop_mj_;
+  r.slots = slots_;
+  if (total_time_s_ > 0.0) {
+    r.mean_mw = total_mj_ / total_time_s_;
+    if (r.mean_mw > 0.0) {
+      r.battery_life_hours = config_.battery_mwh / r.mean_mw;
+    }
+  }
+  return r;
+}
+
+void EnergyAccumulator::reset() {
+  total_mj_ = 0.0;
+  tx_mj_ = 0.0;
+  hop_mj_ = 0.0;
+  total_time_s_ = 0.0;
+  slots_ = 0;
+}
+
+}  // namespace ctj::core

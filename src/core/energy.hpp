@@ -1,0 +1,63 @@
+// Energy accounting for the anti-jamming schemes.
+//
+// Sec. IV.C.2 closes with an energy argument: the relatively low PC adoption
+// in the max-power mode "can avoid unnecessary and meaningless energy
+// waste", and energy-constrained users can shift the transmit power range to
+// trade power-control adoption for battery life. This module quantifies that
+// trade-off: per-slot radio energy from the chosen transmit level and
+// airtime, plus hop-negotiation and listening overheads.
+#pragma once
+
+#include <cstddef>
+
+#include "common/stats.hpp"
+
+namespace ctj::core {
+
+struct EnergyModelConfig {
+  /// Map an abstract power level L^T to transmit power in milliwatts.
+  /// Default matches net::tx_level_to_dbm: level − 10 dBm.
+  double level_offset_dbm = -10.0;
+  /// Radio current draw while receiving/idle-listening, expressed as mW.
+  double rx_power_mw = 20.0;
+  /// Fraction of a slot spent transmitting (vs listening) at full load.
+  double tx_duty = 0.45;
+  /// Extra energy per frequency hop (control-channel negotiation), mJ.
+  double hop_energy_mj = 2.5;
+  /// Battery capacity used for the lifetime estimate (CR2477-class), mWh.
+  double battery_mwh = 675.0;
+};
+
+struct EnergyReport {
+  double total_mj = 0.0;
+  double mean_mw = 0.0;          // average power draw
+  double tx_mj = 0.0;            // transmit share
+  double hop_mj = 0.0;           // negotiation share
+  double battery_life_hours = 0.0;
+  std::size_t slots = 0;
+};
+
+class EnergyAccumulator {
+ public:
+  EnergyAccumulator() : EnergyAccumulator(EnergyModelConfig{}) {}
+  explicit EnergyAccumulator(EnergyModelConfig config);
+
+  /// Record one slot: the abstract transmit level used, the slot duration,
+  /// and whether the scheme hopped.
+  void record_slot(double tx_level, double slot_duration_s, bool hopped);
+
+  EnergyReport report() const;
+  void reset();
+
+  const EnergyModelConfig& config() const { return config_; }
+
+ private:
+  EnergyModelConfig config_;
+  double total_mj_ = 0.0;
+  double tx_mj_ = 0.0;
+  double hop_mj_ = 0.0;
+  double total_time_s_ = 0.0;
+  std::size_t slots_ = 0;
+};
+
+}  // namespace ctj::core

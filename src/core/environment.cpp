@@ -1,0 +1,134 @@
+#include "core/environment.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ctj::core {
+
+EnvironmentConfig EnvironmentConfig::defaults() {
+  EnvironmentConfig c;
+  for (int v = 6; v <= 15; ++v) c.tx_levels.push_back(v);
+  for (int v = 11; v <= 20; ++v) c.jam_levels.push_back(v);
+  return c;
+}
+
+int EnvironmentConfig::sweep_cycle() const {
+  CTJ_CHECK(num_channels > 0 && channels_per_sweep > 0);
+  return (num_channels + channels_per_sweep - 1) / channels_per_sweep;
+}
+
+double EnvironmentConfig::success_prob(std::size_t power_index) const {
+  CTJ_CHECK(power_index < tx_levels.size());
+  CTJ_CHECK(!jam_levels.empty());
+  const double tx = tx_levels[power_index];
+  if (mode == JammerPowerMode::kMaxPower) {
+    const double max_jam =
+        *std::max_element(jam_levels.begin(), jam_levels.end());
+    return tx >= max_jam ? 1.0 : 0.0;
+  }
+  std::size_t survivable = 0;
+  for (double j : jam_levels) {
+    if (tx >= j) ++survivable;
+  }
+  return static_cast<double>(survivable) /
+         static_cast<double>(jam_levels.size());
+}
+
+const char* to_string(SlotOutcome outcome) {
+  switch (outcome) {
+    case SlotOutcome::kClear: return "clear";
+    case SlotOutcome::kJammedSurvived: return "jammed-survived";
+    case SlotOutcome::kJammedFailed: return "jammed-failed";
+  }
+  return "?";
+}
+
+CompetitionEnvironment::CompetitionEnvironment(EnvironmentConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  CTJ_CHECK_MSG(config_.sweep_cycle() >= 2,
+                "sweep cycle must be >= 2 (got " << config_.sweep_cycle() << ")");
+  CTJ_CHECK(!config_.tx_levels.empty());
+  CTJ_CHECK(!config_.jam_levels.empty());
+  reset();
+}
+
+void CompetitionEnvironment::reset() {
+  channel_ = 0;
+  kind_ = HiddenKind::kCounting;
+  n_ = 1;
+}
+
+EnvStep CompetitionEnvironment::step(int channel, std::size_t power_index) {
+  CTJ_CHECK_MSG(channel >= 0 && channel < config_.num_channels,
+                "channel " << channel << " out of range");
+  CTJ_CHECK(power_index < config_.num_power_levels());
+
+  const bool hop = channel != channel_;
+  // A hop only escapes the jammer when it leaves the m-channel group the
+  // jammer's (Wi-Fi-wide) emission covers; hopping inside the group pays
+  // L_H without changing the jamming odds.
+  const bool effective_hop =
+      channel / config_.channels_per_sweep !=
+      channel_ / config_.channels_per_sweep;
+  const double q = config_.success_prob(power_index);
+  const int N = config_.sweep_cycle();
+
+  // Sample the next hidden state from the MDP kernel of Eqs. (6)–(14).
+  HiddenKind next_kind = HiddenKind::kCounting;
+  int next_n = 1;
+  if (kind_ == HiddenKind::kCounting) {
+    if (!effective_hop) {
+      // Cases 1–2: the sweeping jammer finds the victim with hazard
+      // 1/(N − n); survival of the attempt depends on the power duel.
+      const double p_found = 1.0 / static_cast<double>(N - n_);
+      if (rng_.bernoulli(p_found)) {
+        next_kind = rng_.bernoulli(q) ? HiddenKind::kTj : HiddenKind::kJ;
+      } else {
+        next_kind = HiddenKind::kCounting;
+        next_n = n_ + 1;
+        CTJ_CHECK(next_n <= N - 1);
+      }
+    } else {
+      // Cases 3–4: hopping lands in the jammer's next swept group with
+      // probability (N−n−1) / ((N−1)(N−n)).
+      const double r = static_cast<double>(N - n_ - 1) /
+                       (static_cast<double>(N - 1) * static_cast<double>(N - n_));
+      if (rng_.bernoulli(r)) {
+        next_kind = rng_.bernoulli(q) ? HiddenKind::kTj : HiddenKind::kJ;
+      } else {
+        next_kind = HiddenKind::kCounting;
+        next_n = 1;
+      }
+    }
+  } else {
+    if (!effective_hop) {
+      // Case 5: the jammer dwells; only the power duel decides.
+      next_kind = rng_.bernoulli(q) ? HiddenKind::kTj : HiddenKind::kJ;
+    } else {
+      // Case 6: escaping a dwelling jammer always works for one slot.
+      next_kind = HiddenKind::kCounting;
+      next_n = 1;
+    }
+  }
+
+  kind_ = next_kind;
+  n_ = next_kind == HiddenKind::kCounting ? next_n : 0;
+  channel_ = channel;
+
+  EnvStep result;
+  result.hopped = hop;
+  result.channel = channel;
+  switch (next_kind) {
+    case HiddenKind::kCounting: result.outcome = SlotOutcome::kClear; break;
+    case HiddenKind::kTj: result.outcome = SlotOutcome::kJammedSurvived; break;
+    case HiddenKind::kJ: result.outcome = SlotOutcome::kJammedFailed; break;
+  }
+  result.success = result.outcome != SlotOutcome::kJammedFailed;
+  result.reward = -config_.tx_levels[power_index] -
+                  (hop ? config_.loss_hop : 0.0) -
+                  (result.success ? 0.0 : config_.loss_jam);
+  return result;
+}
+
+}  // namespace ctj::core

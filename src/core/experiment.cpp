@@ -1,0 +1,55 @@
+#include "core/experiment.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::core {
+
+MetricsReport evaluate(AntiJammingScheme& scheme, CompetitionEnvironment& env,
+                       std::size_t slots) {
+  CTJ_CHECK(slots > 0);
+  MetricsAccumulator metrics;
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const SchemeDecision decision = scheme.decide();
+    const EnvStep step = env.step(decision.channel, decision.power_index);
+
+    SlotFeedback feedback;
+    feedback.success = step.success;
+    feedback.jammed = step.outcome != SlotOutcome::kClear;
+    feedback.channel = step.channel;
+    feedback.power_index = decision.power_index;
+    feedback.reward = step.reward;
+    scheme.feedback(feedback);
+
+    metrics.record(step, decision.power_index);
+  }
+  return metrics.report();
+}
+
+void RlExperimentConfig::sync_dimensions() {
+  scheme.num_channels = env.num_channels;
+  scheme.num_power_levels = env.num_power_levels();
+}
+
+RlExperimentResult run_rl_experiment(RlExperimentConfig config) {
+  config.sync_dimensions();
+
+  CompetitionEnvironment train_env(config.env);
+  DqnScheme scheme(config.scheme);
+
+  TrainerConfig trainer;
+  trainer.max_slots = config.train_slots;
+  RlExperimentResult result;
+  result.training = train(scheme, train_env, trainer);
+
+  // Freeze the policy and evaluate on an independently seeded environment,
+  // as the paper does when loading the trained network onto the hub.
+  scheme.set_training(false);
+  scheme.reset();
+  EnvironmentConfig eval_config = config.env;
+  eval_config.seed = config.eval_seed;
+  CompetitionEnvironment eval_env(eval_config);
+  result.metrics = evaluate(scheme, eval_env, config.eval_slots);
+  return result;
+}
+
+}  // namespace ctj::core

@@ -1,0 +1,40 @@
+// Slot-level experiment harness shared by the simulation benches (Figs. 6–8)
+// and the examples: evaluate any scheme against the competition environment
+// and aggregate the Table-I metrics.
+#pragma once
+
+#include <cstddef>
+
+#include "core/environment.hpp"
+#include "core/metrics.hpp"
+#include "core/rl_fh.hpp"
+#include "core/scheme.hpp"
+#include "core/trainer.hpp"
+
+namespace ctj::core {
+
+/// Run `slots` evaluation slots of an already-configured scheme.
+MetricsReport evaluate(AntiJammingScheme& scheme, CompetitionEnvironment& env,
+                       std::size_t slots);
+
+/// End-to-end RL experiment: train a fresh DQN on the environment, then
+/// freeze it and evaluate — one point of a Fig. 6/7/8 sweep.
+struct RlExperimentConfig {
+  EnvironmentConfig env;
+  DqnScheme::Config scheme;
+  std::size_t train_slots = 30000;
+  std::size_t eval_slots = 20000;
+  std::uint64_t eval_seed = 97;
+
+  /// Derive consistent scheme dimensions from the environment config.
+  void sync_dimensions();
+};
+
+struct RlExperimentResult {
+  MetricsReport metrics;
+  TrainingStats training;
+};
+
+RlExperimentResult run_rl_experiment(RlExperimentConfig config);
+
+}  // namespace ctj::core

@@ -1,0 +1,121 @@
+#include "core/field.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ctj::core {
+
+FieldConfig FieldConfig::defaults() {
+  FieldConfig c;
+  c.jammer = jammer::SweepJammerConfig::defaults();
+  for (int v = 6; v <= 15; ++v) c.tx_levels.push_back(v);
+  return c;
+}
+
+FieldExperiment::FieldExperiment(FieldConfig config, AntiJammingScheme& scheme)
+    : config_(std::move(config)),
+      network_(config_.network),
+      jammer_(config_.jammer, config_.seed),
+      scheme_(scheme) {
+  CTJ_CHECK(!config_.tx_levels.empty());
+  CTJ_CHECK(config_.jammer_slot_s > 0.0);
+  CTJ_CHECK(config_.network.num_channels == config_.jammer.num_channels);
+}
+
+std::pair<double, double> FieldExperiment::advance_jammer(int victim_channel) {
+  const double slot = config_.network.slot_duration_s;
+  const double t_end = now_s_ + slot;
+  double hit_time = 0.0;
+  double power = 0.0;
+  double t = now_s_;
+  const int m = config_.jammer.channels_per_sweep;
+  while (t < t_end) {
+    if (!report_valid_ || jammer_slot_end_s_ <= t) {
+      current_report_ = jammer_.step(victim_channel);
+      report_valid_ = true;
+      // Align the jammer slot grid: start a fresh jammer slot at t.
+      jammer_slot_end_s_ =
+          (jammer_slot_end_s_ <= t) ? t + config_.jammer_slot_s
+                                    : jammer_slot_end_s_;
+    }
+    const double seg_end = std::min(t_end, jammer_slot_end_s_);
+    // The jammer transmits only when it has locked onto a victim; the
+    // emission covers its m-channel group, so it still hits the victim if
+    // the victim's current channel falls inside that group.
+    const int group_lo = current_report_.jammed_group_start;
+    const bool covers = victim_channel >= group_lo && victim_channel < group_lo + m;
+    if (current_report_.hit && covers) {
+      hit_time += seg_end - t;
+      power = std::max(power, current_report_.power);
+    }
+    t = seg_end;
+    if (t >= jammer_slot_end_s_) {
+      report_valid_ = false;
+      jammer_slot_end_s_ += config_.jammer_slot_s;
+      jammer_slot_end_s_ = std::max(jammer_slot_end_s_, t);
+    }
+  }
+  now_s_ = t_end;
+  return {hit_time / slot, power};
+}
+
+net::SlotStats FieldExperiment::run_slot() {
+  const SchemeDecision decision = scheme_.decide();
+  CTJ_CHECK(decision.power_index < config_.tx_levels.size());
+
+  std::optional<net::ActiveJamming> jamming;
+  if (config_.jammer_enabled) {
+    const auto [duty, power] = advance_jammer(decision.channel);
+    if (duty > 0.0) {
+      net::ActiveJamming jam;
+      jam.channel = decision.channel;
+      jam.type = config_.signal_type;
+      jam.tx_power_dbm = net::jam_level_to_dbm(power);
+      jam.distance_m = config_.jammer_distance_m;
+      jam.duty_cycle = duty;
+      jamming = jam;
+    }
+  } else {
+    now_s_ += config_.network.slot_duration_s;
+  }
+
+  net::SlotDecision net_decision;
+  net_decision.hop = decision.channel != previous_channel_;
+  net_decision.channel = decision.channel;
+  net_decision.tx_power_dbm =
+      net::tx_level_to_dbm(config_.tx_levels[decision.power_index]);
+  net_decision.decision_time_s = scheme_.decision_time_s();
+
+  const net::SlotStats stats = network_.run_slot(net_decision, jamming);
+  negotiation_.add(stats.negotiation_s);
+
+  SlotFeedback feedback;
+  feedback.success = stats.success;
+  feedback.jammed = stats.jammed;
+  feedback.channel = decision.channel;
+  feedback.power_index = decision.power_index;
+  feedback.reward = -config_.tx_levels[decision.power_index] -
+                    (net_decision.hop ? config_.loss_hop : 0.0) -
+                    (stats.success ? 0.0 : config_.loss_jam);
+  scheme_.feedback(feedback);
+
+  metrics_.record(stats.success, net_decision.hop, decision.power_index > 0,
+                  feedback.reward);
+  previous_channel_ = decision.channel;
+  return stats;
+}
+
+FieldResult FieldExperiment::run(std::size_t slots) {
+  CTJ_CHECK(slots > 0);
+  for (std::size_t i = 0; i < slots; ++i) run_slot();
+  FieldResult result;
+  result.goodput_packets_per_slot = network_.goodput_packets_per_slot();
+  result.utilization = network_.mean_utilization();
+  result.metrics = metrics_.report();
+  result.mean_negotiation_s = negotiation_.empty() ? 0.0 : negotiation_.mean();
+  result.slots = network_.slots_run();
+  return result;
+}
+
+}  // namespace ctj::core

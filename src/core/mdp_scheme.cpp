@@ -1,0 +1,89 @@
+#include "core/mdp_scheme.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ctj::core {
+namespace {
+
+mdp::AntijamParams normalize(mdp::AntijamParams params) {
+  if (params.tx_levels.empty() || params.jam_levels.empty()) {
+    auto defaults = mdp::AntijamParams::defaults();
+    if (params.tx_levels.empty()) params.tx_levels = defaults.tx_levels;
+    if (params.jam_levels.empty()) params.jam_levels = defaults.jam_levels;
+  }
+  return params;
+}
+
+}  // namespace
+
+MdpOracleScheme::MdpOracleScheme(Config config)
+    : config_{normalize(std::move(config.params)), config.num_channels,
+              config.channels_per_group, config.seed},
+      rng_(config_.seed),
+      model_(config_.params),
+      solution_(mdp::solve(model_)),
+      threshold_(mdp::threshold_n_star(model_, solution_)) {
+  CTJ_CHECK(config_.num_channels >= 2);
+  reset();
+}
+
+void MdpOracleScheme::reset() {
+  channel_ = 0;
+  n_ = 1;
+  in_tj_ = false;
+  in_j_ = false;
+  last_was_hop_ = false;
+}
+
+std::size_t MdpOracleScheme::current_state() const {
+  if (in_j_) return model_.state_j();
+  if (in_tj_) return model_.state_tj();
+  const int capped =
+      std::min(n_, config_.params.sweep_cycle - 1);
+  return model_.state_n(std::max(1, capped));
+}
+
+SchemeDecision MdpOracleScheme::decide() {
+  const std::size_t action = solution_.policy[current_state()];
+  SchemeDecision decision;
+  decision.power_index = model_.power_index_of(action);
+  last_was_hop_ = model_.is_hop(action);
+  if (last_was_hop_) {
+    // Escape the whole m-channel group the jammer covers (fall back to any
+    // other channel when the band is a single group).
+    const int m = std::max(1, config_.channels_per_group);
+    const bool multi_group = config_.num_channels > m;
+    int next = channel_;
+    do {
+      next = rng_.uniform_int(0, config_.num_channels - 1);
+    } while (multi_group ? (next / m == channel_ / m) : (next == channel_));
+    channel_ = next;
+  }
+  decision.channel = channel_;
+  return decision;
+}
+
+void MdpOracleScheme::feedback(const SlotFeedback& feedback) {
+  if (!feedback.success) {
+    in_j_ = true;
+    in_tj_ = false;
+    return;
+  }
+  if (feedback.jammed) {
+    in_tj_ = true;
+    in_j_ = false;
+    return;
+  }
+  // Clean success: counting state advances (or restarts after a hop).
+  if (in_tj_ || in_j_ || last_was_hop_) {
+    n_ = 1;
+  } else {
+    n_ = std::min(n_ + 1, config_.params.sweep_cycle - 1);
+  }
+  in_tj_ = false;
+  in_j_ = false;
+}
+
+}  // namespace ctj::core

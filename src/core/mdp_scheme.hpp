@@ -1,0 +1,53 @@
+// MDP-optimal oracle scheme.
+//
+// Solves the anti-jamming MDP of Sec. III.A exactly (value iteration) and
+// plays the resulting threshold policy while tracking the hidden state from
+// slot feedback. As the paper notes (Sec. III.C) this is *idealized* — a real
+// hub cannot know the jammer's sweep position — so it serves as an upper
+// reference against which the model-free DQN is judged.
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/scheme.hpp"
+#include "mdp/analysis.hpp"
+
+namespace ctj::core {
+
+class MdpOracleScheme : public AntiJammingScheme {
+ public:
+  struct Config {
+    mdp::AntijamParams params;  // defaults applied when tx levels empty
+    int num_channels = 16;
+    /// m: the jammer's emission covers whole m-channel groups, so the
+    /// oracle always hops to a channel in a *different* group.
+    int channels_per_group = 4;
+    std::uint64_t seed = 24;
+  };
+
+  explicit MdpOracleScheme(Config config);
+
+  SchemeDecision decide() override;
+  void feedback(const SlotFeedback& feedback) override;
+  std::string name() const override { return "MDP oracle"; }
+  void reset() override;
+
+  const mdp::Solution& solution() const { return solution_; }
+  int threshold() const { return threshold_; }
+
+ private:
+  std::size_t current_state() const;
+
+  Config config_;
+  Rng rng_;
+  mdp::AntijamMdp model_;
+  mdp::Solution solution_;
+  int threshold_;
+  int channel_ = 0;
+  // Tracked hidden state: n >= 1 counting, or the T_J / J flags.
+  int n_ = 1;
+  bool in_tj_ = false;
+  bool in_j_ = false;
+  bool last_was_hop_ = false;
+};
+
+}  // namespace ctj::core

@@ -1,0 +1,33 @@
+#include "core/metrics.hpp"
+
+namespace ctj::core {
+
+void MetricsAccumulator::record(bool success, bool adopted_fh, bool adopted_pc,
+                                double reward) {
+  total_.record(success);
+  fh_adopted_.record(adopted_fh);
+  pc_adopted_.record(adopted_pc);
+  if (adopted_fh) fh_.record(success);
+  if (adopted_pc) pc_.record(success);
+  reward_.add(reward);
+}
+
+void MetricsAccumulator::record(const EnvStep& step, std::size_t power_index) {
+  record(step.success, step.hopped, power_index > 0, step.reward);
+}
+
+MetricsReport MetricsAccumulator::report() const {
+  MetricsReport r;
+  r.st = total_.rate();
+  r.ah = fh_adopted_.rate();
+  r.ap = pc_adopted_.rate();
+  r.sh = fh_.rate();
+  r.sp = pc_.rate();
+  r.mean_reward = reward_.empty() ? 0.0 : reward_.sum() / static_cast<double>(reward_.count());
+  r.slots = total_.trials();
+  return r;
+}
+
+void MetricsAccumulator::reset() { *this = MetricsAccumulator(); }
+
+}  // namespace ctj::core

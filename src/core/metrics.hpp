@@ -1,0 +1,51 @@
+// The evaluation metrics of Table I.
+//
+//  ST — success rate of transmission: successful slots / total slots.
+//  AH — adoption rate of FH: slots that hopped / total slots.
+//  SH — success rate of FH: successful slots among the hopping slots.
+//  AP — adoption rate of PC: slots that raised power above the minimum
+//       level / total slots (the action space always carries a power, so
+//       "adopting power control" means spending more than the base power).
+//  SP — success rate of PC: successful slots among the PC slots.
+#pragma once
+
+#include <cstddef>
+
+#include "common/stats.hpp"
+#include "core/environment.hpp"
+
+namespace ctj::core {
+
+struct MetricsReport {
+  double st = 0.0;
+  double ah = 0.0;
+  double sh = 0.0;
+  double ap = 0.0;
+  double sp = 0.0;
+  double mean_reward = 0.0;
+  std::size_t slots = 0;
+};
+
+class MetricsAccumulator {
+ public:
+  /// Record one slot: its outcome and whether FH / PC were adopted.
+  void record(bool success, bool adopted_fh, bool adopted_pc, double reward);
+
+  /// Convenience overload for environment steps; PC adoption is derived
+  /// from the power index (> 0 means above the minimum level).
+  void record(const EnvStep& step, std::size_t power_index);
+
+  MetricsReport report() const;
+  std::size_t slots() const { return total_.trials(); }
+  void reset();
+
+ private:
+  RateCounter total_;      // hit == success → ST
+  RateCounter fh_;         // trials: FH slots; hit: successful FH slot
+  RateCounter pc_;         // trials: PC slots; hit: successful PC slot
+  RateCounter fh_adopted_; // over all slots
+  RateCounter pc_adopted_;
+  RunningStats reward_;
+};
+
+}  // namespace ctj::core

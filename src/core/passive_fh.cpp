@@ -1,0 +1,51 @@
+#include "core/passive_fh.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::core {
+
+PassiveFhScheme::PassiveFhScheme(const Config& config)
+    : config_(config),
+      rng_(config.seed),
+      detector_(config.detector_window, config.detector_threshold) {
+  CTJ_CHECK(config.num_channels >= 2);
+  CTJ_CHECK(config.num_power_levels > 0);
+  CTJ_CHECK(config.base_power_index < config.num_power_levels);
+  reset();
+}
+
+void PassiveFhScheme::reset() {
+  detector_.reset();
+  channel_ = 0;
+  power_index_ = config_.base_power_index;
+  consecutive_failed_hops_ = 0;
+  last_was_hop_ = false;
+}
+
+SchemeDecision PassiveFhScheme::decide() {
+  last_was_hop_ = false;
+  if (detector_.jammed()) {
+    // Passive reaction: leave the jammed channel for a random fresh one.
+    int next = rng_.uniform_int(0, config_.num_channels - 2);
+    if (next >= channel_) ++next;
+    channel_ = next;
+    last_was_hop_ = true;
+    detector_.reset();
+    if (consecutive_failed_hops_ >= config_.escalate_after_failed_hops &&
+        power_index_ + 1 < config_.num_power_levels) {
+      ++power_index_;  // hops alone are not working; spend power too
+      consecutive_failed_hops_ = 0;
+    }
+  }
+  return {channel_, power_index_};
+}
+
+void PassiveFhScheme::feedback(const SlotFeedback& feedback) {
+  detector_.record(!feedback.success);
+  if (last_was_hop_) {
+    consecutive_failed_hops_ =
+        feedback.success ? 0 : consecutive_failed_hops_ + 1;
+  }
+}
+
+}  // namespace ctj::core

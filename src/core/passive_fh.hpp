@@ -1,0 +1,48 @@
+// Passive FH baseline (Sec. IV.D.3): reacts only *after* being jammed.
+//
+// The hub keeps transmitting on its channel at a fixed power until the
+// error-rate detector declares the channel jammed; then it hops to a random
+// fresh channel (and escalates power if hops keep failing).
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/scheme.hpp"
+#include "jammer/detector.hpp"
+
+namespace ctj::core {
+
+class PassiveFhScheme : public AntiJammingScheme {
+ public:
+  struct Config {
+    int num_channels = 16;
+    std::size_t num_power_levels = 10;
+    std::size_t base_power_index = 0;
+    /// Detector: declare jammed when >= threshold of the last `window`
+    /// slots failed. The defaults make the scheme *passive* in the paper's
+    /// sense: it tolerates several bad slots before reacting, which is why
+    /// it loses more goodput than the proactive schemes (Fig. 11(a)).
+    std::size_t detector_window = 4;
+    double detector_threshold = 0.75;
+    /// Escalate power by one level after this many consecutive failed hops.
+    std::size_t escalate_after_failed_hops = 3;
+    std::uint64_t seed = 21;
+  };
+
+  explicit PassiveFhScheme(const Config& config);
+
+  SchemeDecision decide() override;
+  void feedback(const SlotFeedback& feedback) override;
+  std::string name() const override { return "PSV FH"; }
+  void reset() override;
+
+ private:
+  Config config_;
+  Rng rng_;
+  jammer::ErrorRateDetector detector_;
+  int channel_ = 0;
+  std::size_t power_index_ = 0;
+  std::size_t consecutive_failed_hops_ = 0;
+  bool last_was_hop_ = false;
+};
+
+}  // namespace ctj::core

@@ -1,0 +1,92 @@
+#include "core/qlearning_scheme.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::core {
+namespace {
+
+rl::QLearningConfig make_agent_config(const QLearningScheme::Config& config) {
+  rl::QLearningConfig agent;
+  agent.state_dim = 3 * config.history;
+  agent.num_actions = static_cast<std::size_t>(config.num_channels) *
+                      config.num_power_levels;
+  agent.bins_per_dim = config.bins_per_dim;
+  agent.learning_rate = config.learning_rate;
+  agent.gamma = config.gamma;
+  agent.epsilon_start = config.epsilon_start;
+  agent.epsilon_end = config.epsilon_end;
+  agent.epsilon_decay_steps = config.epsilon_decay_steps;
+  agent.seed = config.seed;
+  return agent;
+}
+
+}  // namespace
+
+QLearningScheme::QLearningScheme(const Config& config)
+    : config_(config),
+      agent_(make_agent_config(config)),
+      deploy_rng_(config.seed ^ 0x91ULL) {
+  CTJ_CHECK(config.num_channels >= 2);
+  CTJ_CHECK(config.num_power_levels > 0);
+  CTJ_CHECK(config.history > 0);
+  reset();
+}
+
+void QLearningScheme::reset() {
+  history_.assign(config_.history, SlotRecord{});
+  has_pending_ = false;
+}
+
+std::vector<double> QLearningScheme::observation() const {
+  std::vector<double> obs;
+  obs.reserve(3 * config_.history);
+  for (const auto& rec : history_) {
+    obs.push_back(rec.success);
+    obs.push_back(rec.channel);
+    obs.push_back(rec.power);
+  }
+  return obs;
+}
+
+SchemeDecision QLearningScheme::decide() {
+  const std::vector<double> obs = observation();
+  std::size_t action;
+  if (training_) {
+    action = agent_.act(obs);
+  } else if (config_.deploy_epsilon > 0.0 &&
+             deploy_rng_.bernoulli(config_.deploy_epsilon)) {
+    action = deploy_rng_.index(agent_.config().num_actions);
+  } else {
+    action = agent_.act_greedy(obs);
+  }
+  pending_state_ = obs;
+  pending_action_ = action;
+  has_pending_ = true;
+  SchemeDecision decision;
+  decision.channel = static_cast<int>(action / config_.num_power_levels);
+  decision.power_index = action % config_.num_power_levels;
+  return decision;
+}
+
+void QLearningScheme::feedback(const SlotFeedback& feedback) {
+  history_.pop_front();
+  SlotRecord rec;
+  rec.success = feedback.success ? 1.0 : 0.0;
+  rec.channel = config_.num_channels <= 1
+                    ? 0.0
+                    : static_cast<double>(feedback.channel) /
+                          static_cast<double>(config_.num_channels - 1);
+  rec.power = config_.num_power_levels <= 1
+                  ? 0.0
+                  : static_cast<double>(feedback.power_index) /
+                        static_cast<double>(config_.num_power_levels - 1);
+  history_.push_back(rec);
+
+  if (has_pending_ && training_) {
+    agent_.update(pending_state_, pending_action_, feedback.reward,
+                  observation());
+  }
+  has_pending_ = false;
+}
+
+}  // namespace ctj::core

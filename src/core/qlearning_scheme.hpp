@@ -1,0 +1,61 @@
+// Tabular Q-learning anti-jamming scheme — the classic-RL baseline the paper
+// contrasts the DQN against (Sec. III.C). Same observation window and action
+// decoding as DqnScheme, but the policy lives in a discretized Q table whose
+// size explodes with the history length — the "curse of
+// high-dimensionality" the paper cites.
+#pragma once
+
+#include <deque>
+
+#include "common/rng.hpp"
+#include "core/scheme.hpp"
+#include "rl/qlearning.hpp"
+
+namespace ctj::core {
+
+class QLearningScheme : public AntiJammingScheme {
+ public:
+  struct Config {
+    int num_channels = 16;
+    std::size_t num_power_levels = 10;
+    std::size_t history = 4;  // I
+    std::size_t bins_per_dim = 3;
+    double learning_rate = 0.1;
+    double gamma = 0.9;
+    double epsilon_start = 1.0;
+    double epsilon_end = 0.05;
+    std::size_t epsilon_decay_steps = 4000;
+    double deploy_epsilon = 0.05;
+    std::uint64_t seed = 27;
+  };
+
+  explicit QLearningScheme(const Config& config);
+
+  SchemeDecision decide() override;
+  void feedback(const SlotFeedback& feedback) override;
+  std::string name() const override { return "QL FH"; }
+  void reset() override;
+
+  void set_training(bool training) { training_ = training; }
+  rl::QLearningAgent& agent() { return agent_; }
+
+ private:
+  struct SlotRecord {
+    double success = 0.0;
+    double channel = 0.0;
+    double power = 0.0;
+  };
+
+  std::vector<double> observation() const;
+
+  Config config_;
+  rl::QLearningAgent agent_;
+  Rng deploy_rng_;
+  bool training_ = true;
+  std::deque<SlotRecord> history_;
+  std::vector<double> pending_state_;
+  std::size_t pending_action_ = 0;
+  bool has_pending_ = false;
+};
+
+}  // namespace ctj::core

@@ -1,0 +1,36 @@
+#include "core/random_fh.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::core {
+
+RandomFhScheme::RandomFhScheme(const Config& config)
+    : config_(config), rng_(config.seed) {
+  CTJ_CHECK(config.num_channels >= 2);
+  CTJ_CHECK(config.num_power_levels > 0);
+  CTJ_CHECK(config.hop_probability >= 0.0 && config.hop_probability <= 1.0);
+}
+
+void RandomFhScheme::reset() {
+  channel_ = 0;
+  power_index_ = 0;
+}
+
+SchemeDecision RandomFhScheme::decide() {
+  if (rng_.bernoulli(config_.hop_probability)) {
+    // FH: jump to a uniformly random other channel.
+    int next = rng_.uniform_int(0, config_.num_channels - 2);
+    if (next >= channel_) ++next;
+    channel_ = next;
+  } else {
+    // PC: pick a random power level for this slot.
+    power_index_ = rng_.index(config_.num_power_levels);
+  }
+  return {channel_, power_index_};
+}
+
+void RandomFhScheme::feedback(const SlotFeedback& /*feedback*/) {
+  // Memoryless by design.
+}
+
+}  // namespace ctj::core

@@ -1,0 +1,35 @@
+// Random FH baseline (Sec. IV.D.3): at the beginning of every slot the hub
+// randomly picks either frequency hopping or power control, regardless of
+// what the jammer is doing.
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/scheme.hpp"
+
+namespace ctj::core {
+
+class RandomFhScheme : public AntiJammingScheme {
+ public:
+  struct Config {
+    int num_channels = 16;
+    std::size_t num_power_levels = 10;
+    /// Probability of choosing FH in a slot (else PC).
+    double hop_probability = 0.5;
+    std::uint64_t seed = 22;
+  };
+
+  explicit RandomFhScheme(const Config& config);
+
+  SchemeDecision decide() override;
+  void feedback(const SlotFeedback& feedback) override;
+  std::string name() const override { return "Rand FH"; }
+  void reset() override;
+
+ private:
+  Config config_;
+  Rng rng_;
+  int channel_ = 0;
+  std::size_t power_index_ = 0;
+};
+
+}  // namespace ctj::core

@@ -1,0 +1,105 @@
+#include "core/rl_fh.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::core {
+
+rl::DqnConfig DqnScheme::make_dqn_config(const Config& config) {
+  rl::DqnConfig dqn;
+  dqn.state_dim = 3 * config.history;
+  dqn.num_actions = static_cast<std::size_t>(config.num_channels) *
+                    config.num_power_levels;
+  dqn.hidden = config.hidden;
+  dqn.learning_rate = config.learning_rate;
+  dqn.gamma = config.gamma;
+  dqn.epsilon_start = config.epsilon_start;
+  dqn.epsilon_end = config.epsilon_end;
+  dqn.epsilon_decay_steps = config.epsilon_decay_steps;
+  dqn.double_dqn = config.double_dqn;
+  dqn.seed = config.seed;
+  return dqn;
+}
+
+DqnScheme::DqnScheme(const Config& config)
+    : config_(config),
+      agent_(make_dqn_config(config)),
+      deploy_rng_(config.seed ^ 0xD09ULL),
+      training_(config.training) {
+  CTJ_CHECK(config.deploy_epsilon >= 0.0 && config.deploy_epsilon < 1.0);
+  CTJ_CHECK(config.num_channels >= 2);
+  CTJ_CHECK(config.num_power_levels > 0);
+  CTJ_CHECK(config.history > 0);
+  reset();
+}
+
+void DqnScheme::set_deploy_epsilon(double epsilon) {
+  CTJ_CHECK(epsilon >= 0.0 && epsilon < 1.0);
+  config_.deploy_epsilon = epsilon;
+}
+
+void DqnScheme::reset() {
+  history_.assign(config_.history, SlotRecord{});
+  has_pending_ = false;
+}
+
+std::vector<double> DqnScheme::observation() const {
+  std::vector<double> obs;
+  obs.reserve(3 * config_.history);
+  for (const auto& rec : history_) {
+    obs.push_back(rec.success);
+    obs.push_back(rec.channel);
+    obs.push_back(rec.power);
+  }
+  return obs;
+}
+
+SchemeDecision DqnScheme::decide() {
+  const std::vector<double> obs = observation();
+  std::size_t action;
+  if (training_) {
+    action = agent_.act(obs);
+  } else if (config_.deploy_epsilon > 0.0 &&
+             deploy_rng_.bernoulli(config_.deploy_epsilon)) {
+    // Deployed ε-greedy (Sec. III.C): occasional random action keeps the
+    // channel pattern unpredictable to the sweeping jammer.
+    action = deploy_rng_.index(agent_.config().num_actions);
+  } else {
+    action = agent_.act_greedy(obs);
+  }
+  pending_state_ = obs;
+  pending_action_ = action;
+  has_pending_ = true;
+  SchemeDecision decision;
+  decision.channel = static_cast<int>(action / config_.num_power_levels);
+  decision.power_index = action % config_.num_power_levels;
+  return decision;
+}
+
+void DqnScheme::feedback(const SlotFeedback& feedback) {
+  // Slide the observation window.
+  history_.pop_front();
+  SlotRecord rec;
+  rec.success = feedback.success ? 1.0 : 0.0;
+  rec.channel = config_.num_channels <= 1
+                    ? 0.0
+                    : static_cast<double>(feedback.channel) /
+                          static_cast<double>(config_.num_channels - 1);
+  rec.power = config_.num_power_levels <= 1
+                  ? 0.0
+                  : static_cast<double>(feedback.power_index) /
+                        static_cast<double>(config_.num_power_levels - 1);
+  history_.push_back(rec);
+
+  if (has_pending_ && training_) {
+    rl::Transition transition;
+    transition.state = std::move(pending_state_);
+    transition.action = pending_action_;
+    transition.reward = feedback.reward;
+    transition.next_state = observation();
+    transition.done = false;  // continuing competition
+    agent_.observe(std::move(transition));
+  }
+  has_pending_ = false;
+}
+
+}  // namespace ctj::core

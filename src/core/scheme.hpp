@@ -1,0 +1,51 @@
+// The anti-jamming scheme interface.
+//
+// A scheme lives at the hub: at the start of every slot it picks the channel
+// and transmit power level for the coming slot, and after the slot it
+// receives feedback about how the transmission went. The same interface
+// drives both the slot-level competition environment (Figs. 6–8) and the
+// field-experiment simulator (Figs. 9–11).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace ctj::core {
+
+/// Decision for the next slot.
+struct SchemeDecision {
+  int channel = 0;
+  std::size_t power_index = 0;
+};
+
+/// What the hub learned about the slot after running it.
+struct SlotFeedback {
+  bool success = false;  // data got through (outcome != J)
+  bool jammed = false;   // a jamming emission hit the slot (T_J or J)
+  int channel = 0;
+  std::size_t power_index = 0;
+  double reward = 0.0;   // Eq. (5) reward, when the caller computes one
+};
+
+class AntiJammingScheme {
+ public:
+  virtual ~AntiJammingScheme() = default;
+
+  /// Pick the channel and power level for the next slot.
+  virtual SchemeDecision decide() = 0;
+
+  /// Deliver the outcome of the slot that used the last decision.
+  virtual void feedback(const SlotFeedback& feedback) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Hub-side wall-clock cost of decide(), used by the field timing model
+  /// (the DQN takes ~9 ms on the paper's hardware; the baselines are cheap).
+  virtual double decision_time_s() const { return 0.5e-3; }
+
+  /// Forget all per-run state (channel, detectors, observation history).
+  virtual void reset() = 0;
+};
+
+}  // namespace ctj::core

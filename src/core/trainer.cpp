@@ -1,0 +1,56 @@
+#include "core/trainer.hpp"
+
+#include <chrono>
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace ctj::core {
+
+TrainingStats train(DqnScheme& scheme, CompetitionEnvironment& env,
+                    const TrainerConfig& config) {
+  CTJ_CHECK(config.max_slots > 0);
+  CTJ_CHECK(config.reward_window > 0);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  scheme.set_training(true);
+  TrainingStats stats;
+  std::deque<double> window;
+  double window_sum = 0.0;
+
+  for (std::size_t slot = 0; slot < config.max_slots; ++slot) {
+    const SchemeDecision decision = scheme.decide();
+    const EnvStep step = env.step(decision.channel, decision.power_index);
+
+    SlotFeedback feedback;
+    feedback.success = step.success;
+    feedback.jammed = step.outcome != SlotOutcome::kClear;
+    feedback.channel = step.channel;
+    feedback.power_index = decision.power_index;
+    feedback.reward = step.reward;
+    scheme.feedback(feedback);
+
+    window.push_back(step.reward);
+    window_sum += step.reward;
+    if (window.size() > config.reward_window) {
+      window_sum -= window.front();
+      window.pop_front();
+    }
+    stats.slots_trained = slot + 1;
+    if (config.target_mean_reward && window.size() == config.reward_window &&
+        window_sum / static_cast<double>(window.size()) >=
+            *config.target_mean_reward) {
+      stats.early_stopped = true;
+      break;
+    }
+  }
+
+  stats.final_mean_reward =
+      window.empty() ? 0.0 : window_sum / static_cast<double>(window.size());
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return stats;
+}
+
+}  // namespace ctj::core

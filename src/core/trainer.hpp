@@ -1,0 +1,36 @@
+// DQN training loop on the slot-level competition environment (Sec. IV.B).
+//
+// The paper trains on >120 000 data blocks (each: channel, power, outcome)
+// and stops early once the average reward reaches a threshold. We mirror
+// that: train for up to `max_slots` environment slots, tracking the mean
+// reward over a sliding window, with optional early stopping.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/environment.hpp"
+#include "core/rl_fh.hpp"
+
+namespace ctj::core {
+
+struct TrainerConfig {
+  std::size_t max_slots = 120000;
+  /// Early-stop once the windowed mean reward reaches this value (the
+  /// "training goal achieved in advance" of Sec. IV.B). Disabled if unset.
+  std::optional<double> target_mean_reward;
+  std::size_t reward_window = 2000;
+};
+
+struct TrainingStats {
+  std::size_t slots_trained = 0;
+  double final_mean_reward = 0.0;
+  bool early_stopped = false;
+  double wall_seconds = 0.0;
+};
+
+/// Run the scheme (in training mode) against the environment.
+TrainingStats train(DqnScheme& scheme, CompetitionEnvironment& env,
+                    const TrainerConfig& config);
+
+}  // namespace ctj::core

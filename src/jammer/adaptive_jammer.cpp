@@ -1,0 +1,89 @@
+#include "jammer/adaptive_jammer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ctj::jammer {
+
+AdaptiveJammerConfig AdaptiveJammerConfig::defaults() {
+  AdaptiveJammerConfig c;
+  for (int v = 11; v <= 20; ++v) c.power_levels.push_back(v);
+  return c;
+}
+
+namespace {
+
+SweepJammerConfig sweep_config_of(const AdaptiveJammerConfig& config) {
+  SweepJammerConfig sweep;
+  sweep.num_channels = config.num_channels;
+  sweep.channels_per_sweep = config.channels_per_sweep;
+  sweep.power_levels = config.power_levels;
+  sweep.mode = config.mode;
+  return sweep;
+}
+
+}  // namespace
+
+AdaptiveJammer::AdaptiveJammer(AdaptiveJammerConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      rng_(seed),
+      sweeper_(sweep_config_of(config_), seed ^ 0xADA9ULL),
+      visits_(static_cast<std::size_t>(
+                  sweep_config_of(config_).sweep_cycle()),
+              1.0) {
+  CTJ_CHECK(!config_.power_levels.empty());
+  CTJ_CHECK(config_.exploit_probability >= 0.0 &&
+            config_.exploit_probability <= 1.0);
+  CTJ_CHECK(config_.decay > 0.0 && config_.decay <= 1.0);
+}
+
+void AdaptiveJammer::reset() {
+  sweeper_.reset();
+  std::fill(visits_.begin(), visits_.end(), 1.0);
+}
+
+double AdaptiveJammer::pick_power() {
+  if (config_.mode == JammerPowerMode::kMaxPower) {
+    return *std::max_element(config_.power_levels.begin(),
+                             config_.power_levels.end());
+  }
+  return rng_.choice(config_.power_levels);
+}
+
+int AdaptiveJammer::most_visited_group() const {
+  return static_cast<int>(argmax(visits_));
+}
+
+double AdaptiveJammer::top_group_weight() const {
+  double total = 0.0;
+  for (double v : visits_) total += v;
+  return visits_[static_cast<std::size_t>(most_visited_group())] / total;
+}
+
+JammerSlotReport AdaptiveJammer::step(int victim_channel) {
+  CTJ_CHECK(victim_channel >= 0 && victim_channel < config_.num_channels);
+
+  JammerSlotReport report;
+  if (rng_.bernoulli(config_.exploit_probability)) {
+    // Exploit: camp on the historically hottest group.
+    const int group = most_visited_group();
+    report.jammed_group_start = group * config_.channels_per_sweep;
+    if (group == group_of(victim_channel)) {
+      report.hit = true;
+      report.power = pick_power();
+    }
+  } else {
+    // Explore with the plain sweeper.
+    report = sweeper_.step(victim_channel);
+  }
+
+  // Learn: the jammer eavesdrops the victim's traffic each slot (the paper's
+  // attacker monitors the channel / ACKs), so the histogram always updates.
+  for (double& v : visits_) v *= config_.decay;
+  visits_[static_cast<std::size_t>(group_of(victim_channel))] += 1.0;
+  return report;
+}
+
+}  // namespace ctj::jammer

@@ -1,0 +1,58 @@
+// Adaptive pattern-tracking jammer (extension beyond the paper's sweep
+// model, in the spirit of the DeepJam-style attackers its related-work
+// section cites): instead of sweeping blindly, it keeps a per-group visit
+// histogram of where it has observed the victim and, with probability
+// `exploit_probability`, parks on the historically most-visited group —
+// punishing anti-jamming schemes with predictable channel preferences.
+//
+// Used by the robustness example/tests: a scheme that merely cycles a few
+// favourite channels collapses against this attacker, while the ε-greedy
+// DQN policy keeps its channel distribution flat enough to survive.
+#pragma once
+
+#include <vector>
+
+#include "common/modes.hpp"
+#include "common/rng.hpp"
+#include "jammer/sweep_jammer.hpp"
+
+namespace ctj::jammer {
+
+struct AdaptiveJammerConfig {
+  int num_channels = 16;
+  int channels_per_sweep = 4;
+  std::vector<double> power_levels;
+  JammerPowerMode mode = JammerPowerMode::kMaxPower;
+  /// Probability of exploiting the visit histogram instead of sweeping.
+  double exploit_probability = 0.6;
+  /// Exponential forgetting applied to the histogram each slot.
+  double decay = 0.995;
+
+  static AdaptiveJammerConfig defaults();
+};
+
+class AdaptiveJammer {
+ public:
+  explicit AdaptiveJammer(AdaptiveJammerConfig config, std::uint64_t seed = 17);
+
+  /// One slot: senses/attacks and learns from the victim's position.
+  JammerSlotReport step(int victim_channel);
+
+  /// Histogram mass of the group currently believed most popular.
+  double top_group_weight() const;
+  int most_visited_group() const;
+
+  const AdaptiveJammerConfig& config() const { return config_; }
+  void reset();
+
+ private:
+  int group_of(int channel) const { return channel / config_.channels_per_sweep; }
+  double pick_power();
+
+  AdaptiveJammerConfig config_;
+  Rng rng_;
+  SweepJammer sweeper_;          // fallback explorer
+  std::vector<double> visits_;   // per-group histogram
+};
+
+}  // namespace ctj::jammer

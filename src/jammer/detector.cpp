@@ -1,0 +1,36 @@
+#include "jammer/detector.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::jammer {
+
+ErrorRateDetector::ErrorRateDetector(std::size_t window, double threshold)
+    : window_(window), threshold_(threshold) {
+  CTJ_CHECK(window > 0);
+  CTJ_CHECK(threshold > 0.0 && threshold <= 1.0);
+}
+
+void ErrorRateDetector::record(bool failed) {
+  history_.push_back(failed);
+  if (failed) ++failures_;
+  if (history_.size() > window_) {
+    if (history_.front()) --failures_;
+    history_.pop_front();
+  }
+}
+
+double ErrorRateDetector::error_rate() const {
+  if (history_.empty()) return 0.0;
+  return static_cast<double>(failures_) / static_cast<double>(history_.size());
+}
+
+bool ErrorRateDetector::jammed() const {
+  return !history_.empty() && error_rate() >= threshold_;
+}
+
+void ErrorRateDetector::reset() {
+  history_.clear();
+  failures_ = 0;
+}
+
+}  // namespace ctj::jammer

@@ -1,0 +1,39 @@
+// Victim-side jamming detector (Sec. II.C.2): the hub watches its error rate
+// and declares the channel jammed when the failure ratio over a sliding
+// window exceeds a threshold. Used by the Passive-FH baseline, which only
+// reacts after this detector fires.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace ctj::jammer {
+
+class ErrorRateDetector {
+ public:
+  /// `window`: number of recent slots considered; `threshold`: failure ratio
+  /// in (0, 1] at which the channel is declared jammed.
+  ErrorRateDetector(std::size_t window, double threshold);
+
+  /// Record one slot outcome.
+  void record(bool failed);
+
+  /// Current failure ratio over the window (0 when empty).
+  double error_rate() const;
+
+  /// True once the windowed error rate is >= the threshold.
+  bool jammed() const;
+
+  /// Forget history (after hopping to a fresh channel).
+  void reset();
+
+  std::size_t window() const { return window_; }
+
+ private:
+  std::size_t window_;
+  double threshold_;
+  std::deque<bool> history_;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace ctj::jammer

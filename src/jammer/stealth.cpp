@@ -1,0 +1,64 @@
+#include "jammer/stealth.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::jammer {
+namespace {
+
+double frame_anomaly_probability(channel::JammingSignalType type,
+                                 const StealthConfig& config) {
+  switch (type) {
+    case channel::JammingSignalType::kZigbee:
+      // Valid ZigBee frames parse and are logged as foreign traffic.
+      return config.frame_log_probability;
+    case channel::JammingSignalType::kEmuBee:
+      // Valid preamble, broken format: the receiver stalls in "meaningless
+      // decoding" and produces no attributable log entry.
+      return 0.0;
+    case channel::JammingSignalType::kWifi:
+      // Never passes the ZigBee preamble correlation at all.
+      return 0.0;
+  }
+  CTJ_CHECK_MSG(false, "unreachable");
+  return 0.0;
+}
+
+}  // namespace
+
+DetectionReport analyze_detectability(channel::JammingSignalType type,
+                                      bool jam_effective,
+                                      const StealthConfig& config) {
+  DetectionReport report;
+  report.p_energy = config.idle_overlap_probability;
+  report.p_frame = jam_effective ? frame_anomaly_probability(type, config) : 0.0;
+  report.p_error_rate = jam_effective ? 1.0 : 0.0;
+  report.p_attributable =
+      1.0 - (1.0 - report.p_energy) * (1.0 - report.p_frame);
+  return report;
+}
+
+DetectionReport simulate_detectability(channel::JammingSignalType type,
+                                       std::size_t slots, Rng& rng,
+                                       const StealthConfig& config) {
+  CTJ_CHECK(slots > 0);
+  const DetectionReport analytic = analyze_detectability(type, true, config);
+  std::size_t energy_hits = 0, frame_hits = 0, error_hits = 0, attributed = 0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    const bool energy = rng.bernoulli(analytic.p_energy);
+    const bool frame = rng.bernoulli(analytic.p_frame);
+    const bool error = rng.bernoulli(analytic.p_error_rate);
+    energy_hits += energy;
+    frame_hits += frame;
+    error_hits += error;
+    attributed += (energy || frame) ? 1 : 0;
+  }
+  const auto n = static_cast<double>(slots);
+  DetectionReport report;
+  report.p_energy = energy_hits / n;
+  report.p_frame = frame_hits / n;
+  report.p_error_rate = error_hits / n;
+  report.p_attributable = attributed / n;
+  return report;
+}
+
+}  // namespace ctj::jammer

@@ -1,0 +1,57 @@
+// Stealthiness analysis (Sec. II.B, third bullet).
+//
+// Quantifies how detectable each jamming-signal type is to a victim that
+// runs three standard monitors:
+//  * energy detection — unexplained RSSI while the victim is not
+//    transmitting. The smart cross-technology jammer emits only while the
+//    victim is on the air, so this rarely fires for any type.
+//  * frame anomaly detection — a conventional ZigBee jammer must send
+//    well-formed ZigBee frames (or its chips do not land on the victim's
+//    decoder); those frames parse as foreign traffic and are countable.
+//    An EmuBee burst deliberately violates the frame format *after* the
+//    preamble, so the receiver just stalls ("meaningless decoding") and
+//    logs nothing actionable. Plain Wi-Fi never passes the preamble.
+//  * error-rate detection — the generic fallback: the victim sees its PER
+//    rise. Fires for any effective jammer, but attributes the loss to
+//    "interference", not to a specific attacker.
+#pragma once
+
+#include "channel/link.hpp"
+#include "common/rng.hpp"
+
+namespace ctj::jammer {
+
+struct StealthConfig {
+  /// Probability an emission overlaps the victim's idle (CCA) window —
+  /// small because the smart jammer reacts to the victim's own traffic.
+  double idle_overlap_probability = 0.03;
+  /// Probability a well-formed foreign frame is logged by the victim.
+  double frame_log_probability = 0.9;
+  /// Slots of observation used by the per-slot detection estimate.
+  std::size_t window = 1;
+};
+
+struct DetectionReport {
+  double p_energy = 0.0;       // per-slot energy-detector hit probability
+  double p_frame = 0.0;        // per-slot frame-anomaly hit probability
+  double p_error_rate = 0.0;   // per-slot error-rate-detector hit probability
+  /// Combined per-slot probability that the victim can *attribute* the loss
+  /// to a jammer (energy or frame evidence; error rate alone is ambiguous).
+  double p_attributable = 0.0;
+};
+
+/// Analytic per-slot detectability of one jamming emission of the given
+/// type, assuming the emission is strong enough to corrupt the slot
+/// (`jam_effective` false means the emission lost the power duel and at most
+/// the energy detector can fire).
+DetectionReport analyze_detectability(channel::JammingSignalType type,
+                                      bool jam_effective,
+                                      const StealthConfig& config = {});
+
+/// Monte-Carlo version over `slots` jammed slots; sanity-checks the analytic
+/// probabilities and is what the stealth bench prints.
+DetectionReport simulate_detectability(channel::JammingSignalType type,
+                                       std::size_t slots, Rng& rng,
+                                       const StealthConfig& config = {});
+
+}  // namespace ctj::jammer

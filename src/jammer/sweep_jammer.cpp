@@ -1,0 +1,88 @@
+#include "jammer/sweep_jammer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ctj::jammer {
+
+SweepJammerConfig SweepJammerConfig::defaults() {
+  SweepJammerConfig c;
+  c.num_channels = 16;
+  c.channels_per_sweep = 4;
+  for (int v = 11; v <= 20; ++v) c.power_levels.push_back(v);
+  c.mode = JammerPowerMode::kMaxPower;
+  return c;
+}
+
+int SweepJammerConfig::sweep_cycle() const {
+  CTJ_CHECK(num_channels > 0 && channels_per_sweep > 0);
+  return (num_channels + channels_per_sweep - 1) / channels_per_sweep;
+}
+
+SweepJammer::SweepJammer(SweepJammerConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  CTJ_CHECK(config_.num_channels > 0);
+  CTJ_CHECK(config_.channels_per_sweep > 0 &&
+            config_.channels_per_sweep <= config_.num_channels);
+  CTJ_CHECK_MSG(!config_.power_levels.empty(), "jammer needs power levels");
+  refill_sweep_order();
+}
+
+void SweepJammer::reset() {
+  locked_channel_ = -1;
+  pending_groups_.clear();
+  refill_sweep_order();
+}
+
+void SweepJammer::refill_sweep_order() {
+  const int groups = config_.sweep_cycle();
+  pending_groups_.resize(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) pending_groups_[static_cast<std::size_t>(g)] = g;
+  rng_.shuffle(pending_groups_);
+}
+
+double SweepJammer::pick_power() {
+  if (config_.mode == JammerPowerMode::kMaxPower) {
+    return *std::max_element(config_.power_levels.begin(),
+                             config_.power_levels.end());
+  }
+  return rng_.choice(config_.power_levels);
+}
+
+JammerSlotReport SweepJammer::step(int victim_channel) {
+  CTJ_CHECK_MSG(victim_channel >= 0 && victim_channel < config_.num_channels,
+                "victim channel " << victim_channel << " out of range");
+  JammerSlotReport report;
+
+  // Locked: verify the victim is still on the channel (eavesdropping at the
+  // slot start), jam if so, otherwise resume sweeping this very slot.
+  if (locked()) {
+    if (group_of(locked_channel_) == group_of(victim_channel)) {
+      locked_channel_ = victim_channel;
+      report.hit = true;
+      report.power = pick_power();
+      report.jammed_group_start =
+          group_of(victim_channel) * config_.channels_per_sweep;
+      return report;
+    }
+    locked_channel_ = -1;
+    refill_sweep_order();
+  }
+
+  // Sweeping: visit the next unvisited group of this cycle.
+  if (pending_groups_.empty()) refill_sweep_order();
+  const int group = pending_groups_.back();
+  pending_groups_.pop_back();
+  report.jammed_group_start = group * config_.channels_per_sweep;
+
+  if (group == group_of(victim_channel)) {
+    // Found the victim: jam immediately and lock on.
+    locked_channel_ = victim_channel;
+    report.hit = true;
+    report.power = pick_power();
+  }
+  return report;
+}
+
+}  // namespace ctj::jammer

@@ -1,0 +1,71 @@
+// The behavioural cross-technology jammer of Sec. II.C.
+//
+// Time-slotted frequency sweeping: each slot the jammer senses one group of
+// m consecutive ZigBee channels (m = 4 for a Wi-Fi jammer, whose 20 MHz band
+// covers 4 ZigBee channels). Within a sweep cycle it visits every group once
+// in random order, so a stationary victim that has survived n slots is found
+// in the next slot with probability 1/(⌈K/m⌉ − n) — exactly the hazard rate
+// the MDP of Sec. III.A assumes. Once the victim is found the jammer locks on
+// and jams every slot, verifying at each slot start (by eavesdropping on the
+// victim's traffic/ACKs) that the victim is still there; when the victim
+// hops away the sweep resumes.
+#pragma once
+
+#include <vector>
+
+#include "common/modes.hpp"
+#include "common/rng.hpp"
+
+namespace ctj::jammer {
+
+struct SweepJammerConfig {
+  int num_channels = 16;       // K: ZigBee channels on the 2.4 GHz band
+  int channels_per_sweep = 4;  // m: channels covered per slot
+  /// Jamming power levels L^J (abstract units matching the MDP's losses).
+  std::vector<double> power_levels;
+  JammerPowerMode mode = JammerPowerMode::kMaxPower;
+
+  /// Paper defaults: K = 16, m = 4, L^J in [11, 20], max-power mode.
+  static SweepJammerConfig defaults();
+
+  int sweep_cycle() const;  // ⌈K/m⌉
+};
+
+/// What the jammer did in one slot.
+struct JammerSlotReport {
+  /// True if the jammer transmitted on the victim's channel this slot.
+  bool hit = false;
+  /// Power level used when hit (one of power_levels).
+  double power = 0.0;
+  /// First channel of the group the jammer occupied this slot.
+  int jammed_group_start = 0;
+};
+
+class SweepJammer {
+ public:
+  explicit SweepJammer(SweepJammerConfig config, std::uint64_t seed = 7);
+
+  /// Advance one slot. `victim_channel` is the channel the victim transmits
+  /// on this slot (0-based index); the jammer only learns it by sweeping
+  /// over it or by already being locked onto it.
+  JammerSlotReport step(int victim_channel);
+
+  bool locked() const { return locked_channel_ >= 0; }
+  int locked_channel() const { return locked_channel_; }
+  const SweepJammerConfig& config() const { return config_; }
+
+  /// Restart the sweep from scratch (e.g. when the jammer reboots).
+  void reset();
+
+ private:
+  int group_of(int channel) const { return channel / config_.channels_per_sweep; }
+  double pick_power();
+  void refill_sweep_order();
+
+  SweepJammerConfig config_;
+  Rng rng_;
+  int locked_channel_ = -1;
+  std::vector<int> pending_groups_;  // groups not yet visited this cycle
+};
+
+}  // namespace ctj::jammer

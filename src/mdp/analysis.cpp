@@ -1,0 +1,83 @@
+#include "mdp/analysis.hpp"
+
+#include "common/check.hpp"
+#include <limits>
+
+#include "common/math_util.hpp"
+
+namespace ctj::mdp {
+
+Solution solve(const AntijamMdp& model) {
+  ValueIterationOptions options;
+  options.gamma = model.params().gamma;
+  return value_iteration(model.mdp(), options);
+}
+
+QCurves q_curves(const AntijamMdp& model, const Solution& solution,
+                 std::size_t power_index) {
+  const int N = model.params().sweep_cycle;
+  QCurves curves;
+  curves.stay.reserve(static_cast<std::size_t>(N - 1));
+  curves.hop.reserve(static_cast<std::size_t>(N - 1));
+  for (int n = 1; n <= N - 1; ++n) {
+    const std::size_t s = model.state_n(n);
+    curves.stay.push_back(solution.q[s][model.action_stay(power_index)]);
+    curves.hop.push_back(solution.q[s][model.action_hop(power_index)]);
+  }
+  return curves;
+}
+
+bool stay_curve_decreasing(const QCurves& curves, double tol) {
+  for (std::size_t i = 1; i < curves.stay.size(); ++i) {
+    if (curves.stay[i] > curves.stay[i - 1] + tol) return false;
+  }
+  return true;
+}
+
+bool hop_curve_increasing(const QCurves& curves, double tol) {
+  for (std::size_t i = 1; i < curves.hop.size(); ++i) {
+    if (curves.hop[i] < curves.hop[i - 1] - tol) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Best stay / hop Q values at state n, maximized over power levels.
+std::pair<double, double> best_stay_hop(const AntijamMdp& model,
+                                        const Solution& solution, int n) {
+  const std::size_t s = model.state_n(n);
+  double stay = -std::numeric_limits<double>::infinity();
+  double hop = stay;
+  for (std::size_t i = 0; i < model.params().num_power_levels(); ++i) {
+    stay = std::max(stay, solution.q[s][model.action_stay(i)]);
+    hop = std::max(hop, solution.q[s][model.action_hop(i)]);
+  }
+  return {stay, hop};
+}
+
+}  // namespace
+
+int threshold_n_star(const AntijamMdp& model, const Solution& solution) {
+  const int N = model.params().sweep_cycle;
+  for (int n = 1; n <= N - 1; ++n) {
+    const auto [stay, hop] = best_stay_hop(model, solution, n);
+    if (hop >= stay) return n;
+  }
+  return N;  // staying optimal everywhere (first extreme case of Thm. III.4)
+}
+
+bool policy_has_threshold_form(const AntijamMdp& model,
+                               const Solution& solution) {
+  const int n_star = threshold_n_star(model, solution);
+  const int N = model.params().sweep_cycle;
+  for (int n = 1; n <= N - 1; ++n) {
+    const auto [stay, hop] = best_stay_hop(model, solution, n);
+    const bool should_hop = n >= n_star;
+    const bool hops = hop >= stay;
+    if (hops != should_hop) return false;
+  }
+  return true;
+}
+
+}  // namespace ctj::mdp

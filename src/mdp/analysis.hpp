@@ -1,0 +1,41 @@
+// Structural analysis of the anti-jamming MDP: the Q-monotonicity results of
+// Lemmas III.2–III.3 and the threshold policy of Theorems III.4–III.5.
+#pragma once
+
+#include "mdp/antijam_mdp.hpp"
+#include "mdp/value_iteration.hpp"
+
+namespace ctj::mdp {
+
+/// Q*(n, (s, p_i)) and Q*(n, (h, p_i)) for n = 1..sweep_cycle−1 at one
+/// transmit power level; index 0 corresponds to n = 1.
+struct QCurves {
+  std::vector<double> stay;
+  std::vector<double> hop;
+};
+
+/// Solve the given anti-jamming MDP to optimality.
+Solution solve(const AntijamMdp& model);
+
+/// Extract the Q curves over n for one power level from a solution.
+QCurves q_curves(const AntijamMdp& model, const Solution& solution,
+                 std::size_t power_index);
+
+/// Lemma III.2: Q(n, stay) strictly decreasing in n (within tolerance).
+bool stay_curve_decreasing(const QCurves& curves, double tol = 1e-9);
+
+/// Lemma III.3: Q(n, hop) increasing in n (non-strict within tolerance;
+/// for some parameterizations the hop curve is flat).
+bool hop_curve_increasing(const QCurves& curves, double tol = 1e-9);
+
+/// Theorem III.4: the optimal stay/hop decision (maximized over power) has a
+/// threshold form. Returns the threshold n*: the smallest n at which hopping
+/// is optimal; sweep_cycle when staying is always optimal.
+int threshold_n_star(const AntijamMdp& model, const Solution& solution);
+
+/// Checks that the optimal policy is consistent with the returned threshold:
+/// stay for n < n*, hop for n >= n*.
+bool policy_has_threshold_form(const AntijamMdp& model,
+                               const Solution& solution);
+
+}  // namespace ctj::mdp

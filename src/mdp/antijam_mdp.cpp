@@ -1,0 +1,143 @@
+#include "mdp/antijam_mdp.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::mdp {
+
+AntijamParams AntijamParams::defaults() {
+  AntijamParams p;
+  p.sweep_cycle = 4;
+  for (int v = 6; v <= 15; ++v) p.tx_levels.push_back(v);
+  for (int v = 11; v <= 20; ++v) p.jam_levels.push_back(v);
+  return p;
+}
+
+double AntijamParams::success_prob(std::size_t power_index) const {
+  CTJ_CHECK(power_index < tx_levels.size());
+  CTJ_CHECK(!jam_levels.empty());
+  const double tx = tx_levels[power_index];
+  if (mode == JammerPowerMode::kMaxPower) {
+    double max_jam = jam_levels.front();
+    for (double j : jam_levels) max_jam = std::max(max_jam, j);
+    return tx >= max_jam ? 1.0 : 0.0;
+  }
+  // Random power: τ drawn uniformly from the jammer's levels each slot.
+  std::size_t survivable = 0;
+  for (double j : jam_levels) {
+    if (tx >= j) ++survivable;
+  }
+  return static_cast<double>(survivable) /
+         static_cast<double>(jam_levels.size());
+}
+
+namespace {
+
+std::size_t state_count(const AntijamParams& p) {
+  // n in [1, sweep_cycle − 1], plus T_J and J.
+  return static_cast<std::size_t>(p.sweep_cycle - 1) + 2;
+}
+
+}  // namespace
+
+AntijamMdp::AntijamMdp(AntijamParams params)
+    : params_(std::move(params)),
+      mdp_(state_count(params_), 2 * params_.num_power_levels()) {
+  CTJ_CHECK_MSG(params_.sweep_cycle >= 2,
+                "sweep cycle " << params_.sweep_cycle << " must be >= 2");
+  CTJ_CHECK(!params_.tx_levels.empty());
+  CTJ_CHECK(!params_.jam_levels.empty());
+  CTJ_CHECK(params_.gamma >= 0.0 && params_.gamma < 1.0);
+  build();
+  mdp_.validate();
+}
+
+std::size_t AntijamMdp::state_n(int n) const {
+  CTJ_CHECK_MSG(n >= 1 && n <= params_.sweep_cycle - 1,
+                "n = " << n << " outside [1, " << params_.sweep_cycle - 1 << "]");
+  return static_cast<std::size_t>(n - 1);
+}
+
+std::size_t AntijamMdp::state_tj() const {
+  return static_cast<std::size_t>(params_.sweep_cycle - 1);
+}
+
+std::size_t AntijamMdp::state_j() const {
+  return static_cast<std::size_t>(params_.sweep_cycle);
+}
+
+bool AntijamMdp::is_success_state(std::size_t state) const {
+  CTJ_CHECK(state < num_states());
+  return state != state_j();
+}
+
+std::size_t AntijamMdp::action_stay(std::size_t power_index) const {
+  CTJ_CHECK(power_index < params_.num_power_levels());
+  return power_index;
+}
+
+std::size_t AntijamMdp::action_hop(std::size_t power_index) const {
+  CTJ_CHECK(power_index < params_.num_power_levels());
+  return params_.num_power_levels() + power_index;
+}
+
+bool AntijamMdp::is_hop(std::size_t action) const {
+  CTJ_CHECK(action < num_actions());
+  return action >= params_.num_power_levels();
+}
+
+std::size_t AntijamMdp::power_index_of(std::size_t action) const {
+  CTJ_CHECK(action < num_actions());
+  return action % params_.num_power_levels();
+}
+
+void AntijamMdp::build() {
+  const int N = params_.sweep_cycle;
+  const std::size_t M = params_.num_power_levels();
+  const std::size_t tj = state_tj();
+  const std::size_t j = state_j();
+
+  for (std::size_t i = 0; i < M; ++i) {
+    const double q = params_.success_prob(i);  // P(p_i >= τ)
+    const double power_loss = params_.tx_levels[i];
+    const std::size_t a_stay = action_stay(i);
+    const std::size_t a_hop = action_hop(i);
+
+    // From n-states (Cases 1–4).
+    for (int n = 1; n <= N - 1; ++n) {
+      const std::size_t s = state_n(n);
+      // Probability the sweeping jammer lands on the victim this slot: the
+      // jammer has already ruled out n channel groups, so 1/(N − n).
+      const double p_found = 1.0 / static_cast<double>(N - n);
+      // Stay (Cases 1–2).
+      if (n <= N - 2) {
+        mdp_.add_transition(s, a_stay, state_n(n + 1), 1.0 - p_found);
+      }
+      mdp_.add_transition(s, a_stay, tj, p_found * q);
+      mdp_.add_transition(s, a_stay, j, p_found * (1.0 - q));
+      mdp_.set_reward(s, a_stay,
+                      -power_loss - params_.loss_jam * p_found * (1.0 - q));
+
+      // Hop (Cases 3–4): probability the hop lands in a swept group.
+      const double r = static_cast<double>(N - n - 1) /
+                       (static_cast<double>(N - 1) * static_cast<double>(N - n));
+      mdp_.add_transition(s, a_hop, state_n(1), 1.0 - r);
+      mdp_.add_transition(s, a_hop, tj, r * q);
+      mdp_.add_transition(s, a_hop, j, r * (1.0 - q));
+      mdp_.set_reward(s, a_hop, -power_loss - params_.loss_hop -
+                                    params_.loss_jam * r * (1.0 - q));
+    }
+
+    // From T_J and J (Cases 5–6): the jammer dwells on the found channel.
+    for (std::size_t s : {tj, j}) {
+      mdp_.add_transition(s, a_stay, tj, q);
+      mdp_.add_transition(s, a_stay, j, 1.0 - q);
+      mdp_.set_reward(s, a_stay,
+                      -power_loss - params_.loss_jam * (1.0 - q));
+
+      mdp_.add_transition(s, a_hop, state_n(1), 1.0);
+      mdp_.set_reward(s, a_hop, -power_loss - params_.loss_hop);
+    }
+  }
+}
+
+}  // namespace ctj::mdp

@@ -1,0 +1,77 @@
+// The paper's anti-jamming MDP (Sec. III.A, Eqs. 3–14).
+//
+// State space X = {1, …, ⌈K/m⌉−1, T_J, J}: n counts consecutive successful
+// slots on the current channel (the sweeping jammer gets closer every slot),
+// T_J means jammed-but-surviving (Tx power beat the jamming power), J means
+// completely jammed. Actions pair a stay/hop decision with one of M transmit
+// power levels. Rewards follow Eq. (5) with power loss L_{p_i}, hop loss L_H
+// and jamming loss L_J.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/modes.hpp"
+#include "mdp/mdp.hpp"
+
+namespace ctj::mdp {
+
+using ctj::JammerPowerMode;
+
+struct AntijamParams {
+  /// ⌈K/m⌉: slots the jammer needs to sweep all channels (4 for Wi-Fi vs
+  /// the 16 ZigBee channels). Must be >= 2.
+  int sweep_cycle = 4;
+  /// Victim transmit power levels L^T_{p_i} (paper default: 6..15).
+  std::vector<double> tx_levels;
+  /// Jammer power levels L^J (paper default: 11..20).
+  std::vector<double> jam_levels;
+  JammerPowerMode mode = JammerPowerMode::kMaxPower;
+  double loss_jam = 100.0;  // L_J
+  double loss_hop = 50.0;   // L_H
+  double gamma = 0.9;
+
+  /// Paper defaults: sweep cycle 4, L^T in [6,15], L^J in [11,20],
+  /// L_H = 50, L_J = 100.
+  static AntijamParams defaults();
+
+  /// q_i = P(p^T_i >= τ): probability the transmission survives a jamming
+  /// attempt at tx power level i, given the jammer's mode.
+  double success_prob(std::size_t power_index) const;
+
+  std::size_t num_power_levels() const { return tx_levels.size(); }
+};
+
+class AntijamMdp {
+ public:
+  explicit AntijamMdp(AntijamParams params);
+
+  const Mdp& mdp() const { return mdp_; }
+  const AntijamParams& params() const { return params_; }
+
+  // --- state indexing -------------------------------------------------
+  /// Total states: (sweep_cycle − 1) n-states + T_J + J.
+  std::size_t num_states() const { return mdp_.num_states(); }
+  /// State index for n consecutive successes, n in [1, sweep_cycle − 1].
+  std::size_t state_n(int n) const;
+  std::size_t state_tj() const;
+  std::size_t state_j() const;
+  /// True if the state represents a slot whose data got through
+  /// (any n-state or T_J).
+  bool is_success_state(std::size_t state) const;
+
+  // --- action indexing ------------------------------------------------
+  std::size_t num_actions() const { return mdp_.num_actions(); }
+  std::size_t action_stay(std::size_t power_index) const;
+  std::size_t action_hop(std::size_t power_index) const;
+  bool is_hop(std::size_t action) const;
+  std::size_t power_index_of(std::size_t action) const;
+
+ private:
+  void build();
+
+  AntijamParams params_;
+  Mdp mdp_;
+};
+
+}  // namespace ctj::mdp

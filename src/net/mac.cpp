@@ -1,0 +1,117 @@
+#include "net/mac.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ctj::net {
+
+const char* to_string(MacFrameType type) {
+  switch (type) {
+    case MacFrameType::kBeacon: return "beacon";
+    case MacFrameType::kData: return "data";
+    case MacFrameType::kAck: return "ack";
+    case MacFrameType::kCommand: return "command";
+  }
+  return "?";
+}
+
+namespace {
+
+void push_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t read_u16(std::span<const std::uint8_t> bytes, std::size_t at) {
+  return static_cast<std::uint16_t>(bytes[at] | (bytes[at + 1] << 8));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> MacFrame::serialize() const {
+  std::vector<std::uint8_t> out;
+  // Frame control field (simplified layout): bits 0-2 type, bit 4 frame
+  // pending, bit 5 ack request, bits 10-11/14-15 addressing modes (short
+  // addressing for everything except ACKs).
+  std::uint16_t fcf = static_cast<std::uint16_t>(type);
+  if (frame_pending) fcf |= 1u << 4;
+  if (ack_request) fcf |= 1u << 5;
+  const bool addressed = type != MacFrameType::kAck;
+  if (addressed) {
+    fcf |= 2u << 10;  // dest short address present
+    fcf |= 2u << 14;  // src short address present
+  }
+  push_u16(out, fcf);
+  out.push_back(sequence);
+  if (addressed) {
+    push_u16(out, pan_id);
+    push_u16(out, dest_addr);
+    push_u16(out, src_addr);
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<MacFrame> MacFrame::parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 3) return std::nullopt;
+  const std::uint16_t fcf = read_u16(bytes, 0);
+  MacFrame frame;
+  const std::uint8_t type_bits = fcf & 0x7;
+  if (type_bits > 3) return std::nullopt;
+  frame.type = static_cast<MacFrameType>(type_bits);
+  frame.frame_pending = (fcf >> 4) & 1;
+  frame.ack_request = (fcf >> 5) & 1;
+  frame.sequence = bytes[2];
+  const bool addressed = ((fcf >> 10) & 0x3) != 0;
+  std::size_t offset = 3;
+  if (addressed) {
+    if (bytes.size() < 9) return std::nullopt;
+    frame.pan_id = read_u16(bytes, 3);
+    frame.dest_addr = read_u16(bytes, 5);
+    frame.src_addr = read_u16(bytes, 7);
+    offset = 9;
+  }
+  frame.payload.assign(bytes.begin() + static_cast<long>(offset), bytes.end());
+  return frame;
+}
+
+MacFrame MacFrame::make_ack() const {
+  MacFrame ack;
+  ack.type = MacFrameType::kAck;
+  ack.sequence = sequence;
+  ack.ack_request = false;
+  return ack;
+}
+
+bool MacFrame::acked_by(const MacFrame& ack) const {
+  return ack.type == MacFrameType::kAck && ack.sequence == sequence;
+}
+
+CsmaCa::CsmaCa(Config config) : config_(config) {
+  CTJ_CHECK(config.min_be >= 0 && config.min_be <= config.max_be);
+  CTJ_CHECK(config.max_be <= 10);
+  CTJ_CHECK(config.max_backoffs >= 1);
+  CTJ_CHECK(config.unit_backoff_s > 0.0 && config.cca_s > 0.0);
+}
+
+CsmaCa::Attempt CsmaCa::attempt(double busy_probability, Rng& rng) const {
+  CTJ_CHECK(busy_probability >= 0.0 && busy_probability <= 1.0);
+  Attempt result;
+  int be = config_.min_be;
+  for (int nb = 0; nb < config_.max_backoffs; ++nb) {
+    const int max_units = (1 << be) - 1;
+    const int units = max_units == 0 ? 0 : rng.uniform_int(0, max_units);
+    result.delay_s += units * config_.unit_backoff_s + config_.cca_s;
+    ++result.backoffs;
+    if (!rng.bernoulli(busy_probability)) {
+      result.success = true;
+      return result;
+    }
+    be = std::min(be + 1, config_.max_be);
+  }
+  result.success = false;  // channel access failure after macMaxCSMABackoffs
+  return result;
+}
+
+}  // namespace ctj::net

@@ -1,0 +1,84 @@
+// IEEE 802.15.4 MAC sublayer: frame formats and the unslotted CSMA/CA
+// channel-access algorithm the paper's star network relies on ("the
+// Listen-Before-Talk (LBT) mechanism is adopted to avoid collisions",
+// Sec. II.A.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ctj::net {
+
+enum class MacFrameType : std::uint8_t {
+  kBeacon = 0,
+  kData = 1,
+  kAck = 2,
+  kCommand = 3,
+};
+
+const char* to_string(MacFrameType type);
+
+/// MAC header + payload (the MPDU carried inside the PHY's PSDU).
+struct MacFrame {
+  MacFrameType type = MacFrameType::kData;
+  bool ack_request = false;
+  bool frame_pending = false;
+  std::uint8_t sequence = 0;
+  std::uint16_t pan_id = 0xCAFE;
+  std::uint16_t dest_addr = 0;
+  std::uint16_t src_addr = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Serialize to MPDU bytes (frame control, sequence, addressing, payload).
+  /// ACK frames carry no addressing per the standard.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parse an MPDU; returns nullopt on malformed input.
+  static std::optional<MacFrame> parse(std::span<const std::uint8_t> bytes);
+
+  /// The ACK a receiver returns for this frame (echoes the sequence).
+  MacFrame make_ack() const;
+
+  /// True if `ack` acknowledges this frame.
+  bool acked_by(const MacFrame& ack) const;
+};
+
+/// Unslotted CSMA/CA (802.15.4 §6.2.5.1): up to macMaxCSMABackoffs attempts,
+/// each preceded by a random backoff of [0, 2^BE − 1] unit backoff periods
+/// and one CCA; BE grows from macMinBE to macMaxBE on busy channels.
+class CsmaCa {
+ public:
+  struct Config {
+    int min_be = 3;           // macMinBE
+    int max_be = 5;           // macMaxBE
+    int max_backoffs = 4;     // macMaxCSMABackoffs
+    /// One unit backoff period: 20 symbols at 62.5 ksym/s = 320 µs.
+    double unit_backoff_s = 320e-6;
+    /// CCA duration: 8 symbols = 128 µs.
+    double cca_s = 128e-6;
+  };
+
+  struct Attempt {
+    bool success = false;     // channel access granted
+    double delay_s = 0.0;     // total backoff + CCA time spent
+    int backoffs = 0;         // CCA attempts made
+  };
+
+  CsmaCa() : CsmaCa(Config{}) {}
+  explicit CsmaCa(Config config);
+
+  /// Run one channel-access attempt. `channel_busy(…)` is sampled at each
+  /// CCA; `busy_probability` gives the stationary busy odds.
+  Attempt attempt(double busy_probability, Rng& rng) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace ctj::net

@@ -1,0 +1,72 @@
+#include "net/medium.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::net {
+
+Medium::Medium(channel::ZigbeeLink link, std::uint64_t seed)
+    : link_(std::move(link)), rng_(seed) {}
+
+void Medium::set_jamming(std::optional<ActiveJamming> jamming) {
+  jamming_ = std::move(jamming);
+}
+
+double Medium::sinr_db(int channel, double tx_power_dbm,
+                       double tx_distance_m) const {
+  const double signal = link_.received_power_dbm(tx_power_dbm, tx_distance_m);
+  if (!jamming_ || jamming_->channel != channel) {
+    return link_.sinr_db(signal);
+  }
+  const double jam_rx =
+      link_.received_power_dbm(jamming_->tx_power_dbm, jamming_->distance_m);
+  return link_.sinr_db(signal, jam_rx, jamming_->type);
+}
+
+double Medium::packet_error_rate(int channel, double tx_power_dbm,
+                                 double tx_distance_m) const {
+  const double jammed_per = link_.per(sinr_db(channel, tx_power_dbm, tx_distance_m));
+  if (!jamming_ || jamming_->channel != channel || jamming_->duty_cycle >= 1.0) {
+    return jammed_per;
+  }
+  // Packets are spread uniformly over the slot: a duty-cycled emission only
+  // degrades the covered fraction.
+  const double clean_per =
+      link_.per(link_.sinr_db(link_.received_power_dbm(tx_power_dbm, tx_distance_m)));
+  const double d = jamming_->duty_cycle;
+  return d * jammed_per + (1.0 - d) * clean_per;
+}
+
+bool Medium::packet_delivered(int channel, double tx_power_dbm,
+                              double tx_distance_m) {
+  const double per = packet_error_rate(channel, tx_power_dbm, tx_distance_m);
+  return !rng_.bernoulli(per);
+}
+
+bool Medium::channel_busy(int channel, double cca_threshold_dbm) const {
+  if (!jamming_ || jamming_->channel != channel) return false;
+  // CCA mode 2 (carrier sense): only ZigBee-modulated energy is recognized.
+  // A plain Wi-Fi emission fails the chip correlation and is not reported
+  // as busy, whatever its power — EmuBee *is* reported, but the jammer only
+  // transmits while the victim transmits, so in practice the victim's CCA
+  // window rarely sees it (the stealthiness argument of Sec. II.B).
+  if (jamming_->type == channel::JammingSignalType::kWifi) return false;
+  const double rx = link_.received_power_dbm(jamming_->tx_power_dbm,
+                                             jamming_->distance_m);
+  return rx >= cca_threshold_dbm;
+}
+
+std::vector<std::uint8_t> Medium::corrupt(std::vector<std::uint8_t> frame,
+                                          double bit_error_rate) {
+  CTJ_CHECK(bit_error_rate >= 0.0 && bit_error_rate <= 1.0);
+  if (bit_error_rate <= 0.0) return frame;
+  for (auto& byte : frame) {
+    for (int b = 0; b < 8; ++b) {
+      if (rng_.bernoulli(bit_error_rate)) {
+        byte = static_cast<std::uint8_t>(byte ^ (1U << b));
+      }
+    }
+  }
+  return frame;
+}
+
+}  // namespace ctj::net

@@ -1,0 +1,66 @@
+// The shared wireless medium of the star network: per-slot channel state,
+// SINR-driven packet corruption, and listen-before-talk carrier sensing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "channel/link.hpp"
+#include "common/rng.hpp"
+
+namespace ctj::net {
+
+/// A jammer emission active on (part of) the band during a slot.
+struct ActiveJamming {
+  int channel = 0;  // ZigBee channel index being jammed
+  channel::JammingSignalType type = channel::JammingSignalType::kEmuBee;
+  double tx_power_dbm = 20.0;
+  double distance_m = 5.0;  // jammer → victim receiver distance
+  /// Fraction of the slot during which the emission is actually on — < 1
+  /// when the jammer's own slot clock is not aligned with the victim's
+  /// (Sec. IV.D.4, Fig. 11(b)).
+  double duty_cycle = 1.0;
+};
+
+/// Per-slot view of the medium for one receiver.
+class Medium {
+ public:
+  explicit Medium(channel::ZigbeeLink link, std::uint64_t seed = 11);
+
+  /// Set (or clear) the jamming emission for the current slot.
+  void set_jamming(std::optional<ActiveJamming> jamming);
+  const std::optional<ActiveJamming>& jamming() const { return jamming_; }
+
+  /// SINR in dB for a transmitter at `tx_distance_m` sending on `channel`
+  /// with `tx_power_dbm`.
+  double sinr_db(int channel, double tx_power_dbm, double tx_distance_m) const;
+
+  /// PER for one packet under the current slot state.
+  double packet_error_rate(int channel, double tx_power_dbm,
+                           double tx_distance_m) const;
+
+  /// Bernoulli draw: did this packet survive?
+  bool packet_delivered(int channel, double tx_power_dbm, double tx_distance_m);
+
+  /// Listen-before-talk: carrier sensing detects *in-protocol* energy
+  /// (ZigBee-looking waveforms) above threshold. An EmuBee or ZigBee jamming
+  /// signal is sensed; a plain Wi-Fi signal is seen as noise below the CCA
+  /// correlation threshold — part of the cross-technology stealth story.
+  bool channel_busy(int channel, double cca_threshold_dbm = -75.0) const;
+
+  /// Corrupt frame bytes according to the PER-equivalent BER (for the
+  /// packet-level examples/tests that run real ZigbeeFrame bytes).
+  std::vector<std::uint8_t> corrupt(std::vector<std::uint8_t> frame,
+                                    double bit_error_rate);
+
+  const channel::ZigbeeLink& link() const { return link_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  channel::ZigbeeLink link_;
+  Rng rng_;
+  std::optional<ActiveJamming> jamming_;
+};
+
+}  // namespace ctj::net

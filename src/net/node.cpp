@@ -1,0 +1,83 @@
+#include "net/node.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::net {
+
+Peripheral::Peripheral(NodeId id, double distance_to_hub_m)
+    : id_(id), distance_m_(distance_to_hub_m) {
+  CTJ_CHECK(distance_to_hub_m > 0.0);
+}
+
+void Peripheral::apply_announcement(int channel, double tx_power_dbm) {
+  CTJ_CHECK(channel >= 0);
+  channel_ = channel;
+  tx_power_dbm_ = tx_power_dbm;
+}
+
+std::vector<std::uint8_t> Peripheral::next_frame(std::size_t payload_bytes,
+                                                 Rng& rng) {
+  CTJ_CHECK_MSG(payload_bytes >= 3, "payload must fit id + sequence");
+  ++seq_;
+  std::vector<std::uint8_t> app_payload;
+  app_payload.reserve(payload_bytes);
+  app_payload.push_back(id_);
+  app_payload.push_back(static_cast<std::uint8_t>(seq_ & 0xFF));
+  app_payload.push_back(static_cast<std::uint8_t>(seq_ >> 8));
+  for (std::size_t i = 3; i < payload_bytes; ++i) {
+    app_payload.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+  }
+
+  last_frame_ = MacFrame{};
+  last_frame_.type = MacFrameType::kData;
+  last_frame_.ack_request = true;
+  last_frame_.sequence = static_cast<std::uint8_t>(seq_ & 0xFF);
+  last_frame_.dest_addr = 0x0000;  // the hub
+  last_frame_.src_addr = id_;
+  last_frame_.payload = std::move(app_payload);
+  return phy::ZigbeeFrame::build(last_frame_.serialize());
+}
+
+bool Hub::receive(std::span<const std::uint8_t> frame_bytes) {
+  last_ack_.clear();
+  const auto inspection = phy::ZigbeeFrame::inspect(frame_bytes);
+  if (inspection.status != phy::FrameStatus::kOk) {
+    ++total_corrupted_;
+    return false;
+  }
+  const auto mac = MacFrame::parse(inspection.payload);
+  if (!mac.has_value() || mac->type != MacFrameType::kData ||
+      mac->payload.size() < 3) {
+    ++total_corrupted_;
+    return false;
+  }
+  const NodeId id = mac->payload[0];
+  const auto seq = static_cast<std::uint16_t>(mac->payload[1] |
+                                              (mac->payload[2] << 8));
+  auto& rec = records_[id];
+  if (rec.delivered > 0 && seq == rec.last_seq) {
+    ++rec.duplicates;
+  }
+  rec.last_seq = seq;
+  ++rec.delivered;
+  ++total_delivered_;
+  if (mac->ack_request) {
+    last_ack_ = phy::ZigbeeFrame::build(mac->make_ack().serialize());
+  }
+  return true;
+}
+
+const Hub::DeliveryRecord& Hub::record(NodeId id) const {
+  static const DeliveryRecord kEmpty;
+  const auto it = records_.find(id);
+  return it == records_.end() ? kEmpty : it->second;
+}
+
+void Hub::reset() {
+  records_.clear();
+  last_ack_.clear();
+  total_delivered_ = 0;
+  total_corrupted_ = 0;
+}
+
+}  // namespace ctj::net

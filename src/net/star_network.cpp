@@ -1,0 +1,123 @@
+#include "net/star_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ctj::net {
+
+double tx_level_to_dbm(double level) { return level - 10.0; }
+double jam_level_to_dbm(double level) { return level; }
+
+StarNetwork::StarNetwork(StarNetworkConfig config)
+    : config_(config),
+      rng_(config.seed),
+      medium_(channel::ZigbeeLink(config.link), rng_.fork().engine()()) {
+  CTJ_CHECK(config_.num_peripherals > 0);
+  CTJ_CHECK(config_.num_channels > 0);
+  CTJ_CHECK(config_.slot_duration_s > 0.0);
+  CTJ_CHECK(config_.slot_success_delivery_ratio > 0.0 &&
+            config_.slot_success_delivery_ratio <= 1.0);
+  peripherals_.reserve(static_cast<std::size_t>(config_.num_peripherals));
+  for (int i = 0; i < config_.num_peripherals; ++i) {
+    peripherals_.emplace_back(static_cast<NodeId>(i + 1),
+                              config_.peripheral_distance_m);
+  }
+}
+
+SlotStats StarNetwork::run_slot(const SlotDecision& decision,
+                                const std::optional<ActiveJamming>& jamming) {
+  CTJ_CHECK(decision.channel >= 0 && decision.channel < config_.num_channels);
+  SlotStats stats;
+  stats.channel = decision.channel;
+
+  medium_.set_jamming(jamming);
+  stats.jammed = jamming.has_value() && jamming->channel == decision.channel;
+
+  // --- slot overhead: hub decision + polling announcement -----------------
+  stats.negotiation_s = config_.timing.negotiation_time_s(
+      config_.num_peripherals, rng_, &stats.lost_nodes);
+  stats.overhead_s =
+      config_.timing.sample(decision.decision_time_s, rng_) + stats.negotiation_s;
+  stats.window_s =
+      std::max(0.0, config_.slot_duration_s - stats.overhead_s);
+
+  for (auto& p : peripherals_) {
+    p.apply_announcement(decision.channel, decision.tx_power_dbm);
+  }
+
+  // --- data window ---------------------------------------------------------
+  const double service = config_.timing.packet_service_s();
+  const auto budget =
+      static_cast<std::size_t>(std::floor(stats.window_s / service));
+  stats.packets_attempted = budget;
+
+  if (config_.packet_level) {
+    const CsmaCa csma;
+    for (std::size_t k = 0; k < budget; ++k) {
+      auto& p = peripherals_[k % peripherals_.size()];
+      // Listen-before-talk: contention from the sibling peripherals plus
+      // carrier-sensed (ZigBee-like) jamming energy on the channel.
+      double busy = 0.02 * static_cast<double>(peripherals_.size() - 1);
+      if (medium_.channel_busy(decision.channel)) busy += 0.6;
+      const auto access = csma.attempt(std::min(busy, 1.0), rng_);
+      if (!access.success) continue;  // channel access failure: frame dropped
+      auto frame = p.next_frame(config_.payload_bytes, rng_);
+      const double sinr = medium_.sinr_db(decision.channel, p.tx_power_dbm(),
+                                          p.distance_to_hub_m());
+      const double ber = channel::zigbee_ber(std::pow(10.0, sinr / 10.0));
+      frame = medium_.corrupt(std::move(frame), ber);
+      if (hub_.receive(frame)) {
+        // The ACK must also survive the (symmetric) channel back down.
+        auto ack = medium_.corrupt(hub_.last_ack_bytes(), ber);
+        const auto ack_inspection = phy::ZigbeeFrame::inspect(ack);
+        if (ack_inspection.status == phy::FrameStatus::kOk) {
+          const auto mac_ack = MacFrame::parse(ack_inspection.payload);
+          if (mac_ack.has_value() &&
+              p.last_mac_frame().acked_by(*mac_ack)) {
+            ++stats.packets_delivered;
+          }
+        }
+      }
+    }
+  } else {
+    for (std::size_t k = 0; k < budget; ++k) {
+      auto& p = peripherals_[k % peripherals_.size()];
+      if (medium_.packet_delivered(decision.channel, p.tx_power_dbm(),
+                                   p.distance_to_hub_m())) {
+        ++stats.packets_delivered;
+      }
+    }
+  }
+
+  stats.delivery_ratio =
+      budget == 0 ? 0.0
+                  : static_cast<double>(stats.packets_delivered) /
+                        static_cast<double>(budget);
+  stats.success = stats.delivery_ratio >= config_.slot_success_delivery_ratio;
+
+  ++slots_;
+  delivered_total_ += stats.packets_delivered;
+  utilization_sum_ += stats.window_s / config_.slot_duration_s;
+  return stats;
+}
+
+double StarNetwork::goodput_packets_per_slot() const {
+  if (slots_ == 0) return 0.0;
+  return static_cast<double>(delivered_total_) / static_cast<double>(slots_);
+}
+
+double StarNetwork::mean_utilization() const {
+  if (slots_ == 0) return 0.0;
+  return utilization_sum_ / static_cast<double>(slots_);
+}
+
+void StarNetwork::reset_accounting() {
+  slots_ = 0;
+  delivered_total_ = 0;
+  utilization_sum_ = 0.0;
+  hub_.reset();
+}
+
+}  // namespace ctj::net

@@ -1,0 +1,36 @@
+#include "net/timing.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ctj::net {
+
+double TimingModel::sample(double nominal_s, Rng& rng) const {
+  CTJ_CHECK(nominal_s >= 0.0);
+  if (jitter_fraction <= 0.0) return nominal_s;
+  const double factor = std::max(0.0, rng.normal(1.0, jitter_fraction));
+  return nominal_s * factor;
+}
+
+double TimingModel::negotiation_time_s(int num_nodes, Rng& rng,
+                                       int* lost_nodes) const {
+  CTJ_CHECK(num_nodes >= 0);
+  double total = 0.0;
+  int lost = 0;
+  for (int n = 0; n < num_nodes; ++n) {
+    total += sample(polling_per_node_s, rng);
+    if (rng.bernoulli(node_loss_probability)) {
+      // The hub must wait for the node to fall back to the control channel
+      // before it can deliver the announcement — the seconds-long tail the
+      // paper observes for larger networks.
+      ++lost;
+      total += rng.exponential(1.0 / lost_node_recovery_mean_s);
+      total += sample(polling_per_node_s, rng);  // re-announce
+    }
+  }
+  if (lost_nodes != nullptr) *lost_nodes = lost;
+  return total;
+}
+
+}  // namespace ctj::net

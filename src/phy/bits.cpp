@@ -1,0 +1,56 @@
+#include "phy/bits.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::phy {
+
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  Bits bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t b : bytes) {
+    for (int i = 0; i < 8; ++i) bits.push_back((b >> i) & 1U);
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits) {
+  CTJ_CHECK_MSG(bits.size() % 8 == 0,
+                "bit count " << bits.size() << " is not a multiple of 8");
+  std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    CTJ_CHECK(bits[i] <= 1);
+    bytes[i / 8] |= static_cast<std::uint8_t>(bits[i] << (i % 8));
+  }
+  return bytes;
+}
+
+Bits random_bits(std::size_t n, Rng& rng) {
+  Bits bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  CTJ_CHECK(a.size() == b.size());
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += (a[i] != b[i]) ? 1 : 0;
+  return d;
+}
+
+std::uint16_t crc16_itu(std::span<const std::uint8_t> bytes) {
+  std::uint16_t crc = 0x0000;
+  for (std::uint8_t byte : bytes) {
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int i = 0; i < 8; ++i) {
+      if (crc & 0x8000) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+}  // namespace ctj::phy

@@ -1,0 +1,31 @@
+// Bit-vector utilities and the ITU-T CRC-16 used by IEEE 802.15.4 frames.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ctj::phy {
+
+using Bits = std::vector<std::uint8_t>;  // each element is 0 or 1
+
+/// Unpack bytes into bits, LSB first within each byte (802.15.4 convention).
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes);
+
+/// Pack bits (LSB first) into bytes; size must be a multiple of 8.
+std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits);
+
+/// Generate n uniformly random bits.
+Bits random_bits(std::size_t n, Rng& rng);
+
+/// Count positions where the two equally-sized bit vectors differ.
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b);
+
+/// ITU-T CRC-16 (polynomial x^16 + x^12 + x^5 + 1), as used for the
+/// 802.15.4 frame check sequence. Operates over bytes, initial value 0.
+std::uint16_t crc16_itu(std::span<const std::uint8_t> bytes);
+
+}  // namespace ctj::phy

@@ -1,0 +1,211 @@
+#include "phy/convolutional.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace ctj::phy {
+namespace {
+
+inline int parity(unsigned v) { return __builtin_popcount(v) & 1; }
+
+// Puncturing patterns over pairs (A, B) of mother-code outputs per info bit.
+// Rate 2/3: per 2 info bits keep A1 B1 A2 (drop B2).
+// Rate 3/4: per 3 info bits keep A1 B1 A2 B3 (drop B2, A3).
+struct PunctureInfo {
+  std::size_t period_info;    // info bits per puncture period
+  std::size_t kept_per_period;  // coded bits kept per period
+};
+
+PunctureInfo puncture_info(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kRate1of2: return {1, 2};
+    case CodeRate::kRate2of3: return {2, 3};
+    case CodeRate::kRate3of4: return {3, 4};
+  }
+  CTJ_CHECK_MSG(false, "unreachable");
+  return {};
+}
+
+// Keep-mask over the 2*period mother bits of one period.
+std::vector<bool> keep_mask(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kRate1of2: return {true, true};
+    case CodeRate::kRate2of3: return {true, true, true, false};
+    case CodeRate::kRate3of4: return {true, true, true, false, false, true};
+  }
+  CTJ_CHECK_MSG(false, "unreachable");
+  return {};
+}
+
+}  // namespace
+
+std::size_t coded_length(std::size_t info_bits, CodeRate rate) {
+  const auto info = puncture_info(rate);
+  CTJ_CHECK_MSG(info_bits % info.period_info == 0,
+                "info length " << info_bits << " not a multiple of "
+                               << info.period_info);
+  return info_bits / info.period_info * info.kept_per_period;
+}
+
+Bits ConvolutionalCode::encode(std::span<const std::uint8_t> info,
+                               CodeRate rate) {
+  Bits mother;
+  mother.reserve(info.size() * 2);
+  unsigned state = 0;  // 6-bit shift register
+  for (std::uint8_t bit : info) {
+    CTJ_CHECK(bit <= 1);
+    const unsigned reg = (static_cast<unsigned>(bit) << 6) | state;
+    mother.push_back(static_cast<std::uint8_t>(parity(reg & kG0)));
+    mother.push_back(static_cast<std::uint8_t>(parity(reg & kG1)));
+    state = reg >> 1;
+  }
+  if (rate == CodeRate::kRate1of2) return mother;
+  return puncture(mother, rate);
+}
+
+Bits ConvolutionalCode::puncture(const Bits& coded, CodeRate rate) {
+  const auto mask = keep_mask(rate);
+  Bits out;
+  out.reserve(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    if (mask[i % mask.size()]) out.push_back(coded[i]);
+  }
+  return out;
+}
+
+Bits ConvolutionalCode::depuncture(std::span<const std::uint8_t> coded,
+                                   CodeRate rate) {
+  const auto mask = keep_mask(rate);
+  const std::size_t kept_per_period =
+      static_cast<std::size_t>(std::count(mask.begin(), mask.end(), true));
+  CTJ_CHECK(coded.size() % kept_per_period == 0);
+  const std::size_t periods = coded.size() / kept_per_period;
+  Bits mother(periods * mask.size(), 2);  // 2 marks an erasure
+  std::size_t src = 0;
+  for (std::size_t i = 0; i < mother.size(); ++i) {
+    if (mask[i % mask.size()]) mother[i] = coded[src++];
+  }
+  return mother;
+}
+
+Bits ConvolutionalCode::decode_soft(std::span<const double> llrs) {
+  CTJ_CHECK(llrs.size() % 2 == 0);
+  const std::size_t steps = llrs.size() / 2;
+
+  constexpr double kInf = 1e300;
+  std::vector<double> metric(kStates, kInf);
+  metric[0] = 0.0;
+  std::vector<std::vector<std::uint16_t>> survivor(
+      steps, std::vector<std::uint16_t>(kStates, 0));
+
+  std::array<std::array<std::uint8_t, 2>, kStates * 2> expected{};
+  for (unsigned s = 0; s < kStates; ++s) {
+    for (unsigned in = 0; in < 2; ++in) {
+      const unsigned reg = (in << 6) | s;
+      expected[s * 2 + in] = {static_cast<std::uint8_t>(parity(reg & kG0)),
+                              static_cast<std::uint8_t>(parity(reg & kG1))};
+    }
+  }
+
+  std::vector<double> next_metric(kStates);
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::fill(next_metric.begin(), next_metric.end(), kInf);
+    const double l0 = llrs[2 * t];
+    const double l1 = llrs[2 * t + 1];
+    for (unsigned s = 0; s < kStates; ++s) {
+      if (metric[s] >= kInf) continue;
+      for (unsigned in = 0; in < 2; ++in) {
+        const auto& exp = expected[s * 2 + in];
+        // Branch cost: correlation distance. An expected 1 disagrees with a
+        // negative LLR; an expected 0 with a positive one.
+        double cost = 0.0;
+        cost += exp[0] ? std::max(0.0, -l0) : std::max(0.0, l0);
+        cost += exp[1] ? std::max(0.0, -l1) : std::max(0.0, l1);
+        const unsigned ns = (((in << 6) | s) >> 1);
+        const double m = metric[s] + cost;
+        if (m < next_metric[ns]) {
+          next_metric[ns] = m;
+          survivor[t][ns] = static_cast<std::uint16_t>((s << 1) | in);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  unsigned state = static_cast<unsigned>(
+      std::min_element(metric.begin(), metric.end()) - metric.begin());
+  Bits info(steps);
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::uint16_t sv = survivor[t][state];
+    info[t] = static_cast<std::uint8_t>(sv & 1U);
+    state = sv >> 1;
+  }
+  return info;
+}
+
+Bits ConvolutionalCode::decode(std::span<const std::uint8_t> coded,
+                               CodeRate rate) {
+  Bits mother;
+  if (rate == CodeRate::kRate1of2) {
+    mother.assign(coded.begin(), coded.end());
+  } else {
+    mother = depuncture(coded, rate);
+  }
+  CTJ_CHECK(mother.size() % 2 == 0);
+  const std::size_t steps = mother.size() / 2;
+
+  constexpr auto kInf = std::numeric_limits<int>::max() / 4;
+  std::vector<int> metric(kStates, kInf);
+  metric[0] = 0;  // encoder starts in the zero state
+  // survivor[t][s] = (previous state << 1) | input bit
+  std::vector<std::vector<std::uint16_t>> survivor(
+      steps, std::vector<std::uint16_t>(kStates, 0));
+
+  // Precompute expected output pair per (state, input).
+  std::array<std::array<std::uint8_t, 2>, kStates * 2> expected{};
+  for (unsigned s = 0; s < kStates; ++s) {
+    for (unsigned in = 0; in < 2; ++in) {
+      const unsigned reg = (in << 6) | s;
+      expected[s * 2 + in] = {static_cast<std::uint8_t>(parity(reg & kG0)),
+                              static_cast<std::uint8_t>(parity(reg & kG1))};
+    }
+  }
+
+  std::vector<int> next_metric(kStates);
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::fill(next_metric.begin(), next_metric.end(), kInf);
+    const std::uint8_t r0 = mother[2 * t];
+    const std::uint8_t r1 = mother[2 * t + 1];
+    for (unsigned s = 0; s < kStates; ++s) {
+      if (metric[s] >= kInf) continue;
+      for (unsigned in = 0; in < 2; ++in) {
+        const auto& exp = expected[s * 2 + in];
+        int cost = 0;
+        if (r0 <= 1) cost += (exp[0] != r0);
+        if (r1 <= 1) cost += (exp[1] != r1);
+        const unsigned ns = (((in << 6) | s) >> 1);
+        const int m = metric[s] + cost;
+        if (m < next_metric[ns]) {
+          next_metric[ns] = m;
+          survivor[t][ns] = static_cast<std::uint16_t>((s << 1) | in);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // Trace back from the best final state.
+  unsigned state = static_cast<unsigned>(
+      std::min_element(metric.begin(), metric.end()) - metric.begin());
+  Bits info(steps);
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::uint16_t sv = survivor[t][state];
+    info[t] = static_cast<std::uint8_t>(sv & 1U);
+    state = sv >> 1;
+  }
+  return info;
+}
+
+}  // namespace ctj::phy

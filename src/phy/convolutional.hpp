@@ -1,0 +1,51 @@
+// IEEE 802.11 convolutional code: K = 7, rate 1/2, generators 133/171 (octal),
+// with the standard puncturing patterns for rates 2/3 and 3/4, and a
+// hard-decision Viterbi decoder.
+//
+// The emulation chain needs *both* directions: Viterbi decoding maps a desired
+// (quantized) waveform back to an information bit sequence, and re-encoding
+// that sequence yields the waveform a real Wi-Fi card would actually emit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "phy/bits.hpp"
+
+namespace ctj::phy {
+
+enum class CodeRate { kRate1of2, kRate2of3, kRate3of4 };
+
+/// Number of coded bits produced for n info bits at the given rate
+/// (n must satisfy the puncturing granularity: multiple of 1, 2, 3 resp.).
+std::size_t coded_length(std::size_t info_bits, CodeRate rate);
+
+class ConvolutionalCode {
+ public:
+  static constexpr int kConstraint = 7;
+  static constexpr unsigned kG0 = 0133;  // octal
+  static constexpr unsigned kG1 = 0171;  // octal
+  static constexpr std::size_t kStates = 64;
+
+  /// Encode info bits (encoder starts and ends in the zero state iff the
+  /// caller appends 6 tail zeros; this function does not add tails itself).
+  static Bits encode(std::span<const std::uint8_t> info, CodeRate rate = CodeRate::kRate1of2);
+
+  /// Hard-decision Viterbi decode of coded bits back to info bits.
+  /// `coded` length must equal coded_length(n, rate) for some n.
+  /// Punctured positions are treated as erasures with zero branch cost.
+  static Bits decode(std::span<const std::uint8_t> coded, CodeRate rate = CodeRate::kRate1of2);
+
+  /// Soft-decision Viterbi over log-likelihood ratios (positive = bit 1
+  /// more likely; magnitude = confidence). Only the mother rate 1/2 is
+  /// supported (the emulation chain runs unpunctured). Gains ~2 dB over
+  /// hard decisions in AWGN — relevant when decoding noisy EmuBee captures.
+  static Bits decode_soft(std::span<const double> llrs);
+
+ private:
+  static Bits puncture(const Bits& coded, CodeRate rate);
+  /// Expand punctured bits to the mother-code grid; erased positions get 2.
+  static Bits depuncture(std::span<const std::uint8_t> coded, CodeRate rate);
+};
+
+}  // namespace ctj::phy

@@ -1,0 +1,63 @@
+#include "phy/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ctj::phy {
+namespace {
+
+// Iterative Cooley–Tukey with bit-reversal permutation; sign = -1 for the
+// forward transform, +1 for the inverse.
+void transform(IqBuffer& a, int sign) {
+  const std::size_t n = a.size();
+  CTJ_CHECK_MSG(is_power_of_two(n), "FFT size " << n << " is not a power of 2");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        static_cast<double>(sign) * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx u = a[i + k];
+        const Cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(IqBuffer& data) { transform(data, -1); }
+
+void ifft_inplace(IqBuffer& data) {
+  transform(data, +1);
+  const double inv = 1.0 / static_cast<double>(data.size());
+  for (Cplx& x : data) x *= inv;
+}
+
+IqBuffer fft(IqBuffer data) {
+  fft_inplace(data);
+  return data;
+}
+
+IqBuffer ifft(IqBuffer data) {
+  ifft_inplace(data);
+  return data;
+}
+
+}  // namespace ctj::phy

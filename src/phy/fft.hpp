@@ -1,0 +1,25 @@
+// Radix-2 FFT/IFFT used by the OFDM chain and the emulation quantizer.
+//
+// Sizes must be powers of two (the Wi-Fi PHY uses 64). The transforms follow
+// the usual engineering convention: fft() is unnormalized, ifft() divides by N
+// so that ifft(fft(x)) == x.
+#pragma once
+
+#include "phy/iq.hpp"
+
+namespace ctj::phy {
+
+/// True if n is a power of two (and > 0).
+bool is_power_of_two(std::size_t n);
+
+/// In-place decimation-in-time FFT. Size must be a power of two.
+void fft_inplace(IqBuffer& data);
+
+/// In-place inverse FFT with 1/N normalization.
+void ifft_inplace(IqBuffer& data);
+
+/// Out-of-place conveniences.
+IqBuffer fft(IqBuffer data);
+IqBuffer ifft(IqBuffer data);
+
+}  // namespace ctj::phy

@@ -1,0 +1,43 @@
+#include "phy/interleaver.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ctj::phy {
+
+Interleaver::Interleaver(std::size_t n_cbps, std::size_t n_bpsc)
+    : n_cbps_(n_cbps), forward_(n_cbps) {
+  CTJ_CHECK(n_cbps > 0 && n_bpsc > 0);
+  CTJ_CHECK_MSG(n_cbps % 16 == 0, "n_cbps must be a multiple of 16");
+  const std::size_t s = std::max<std::size_t>(n_bpsc / 2, 1);
+  for (std::size_t k = 0; k < n_cbps; ++k) {
+    // First permutation (writes by rows of 16).
+    const std::size_t i = (n_cbps / 16) * (k % 16) + (k / 16);
+    // Second permutation (bit rotation within constellation words).
+    const std::size_t j =
+        s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+    forward_[k] = j;
+  }
+  // The combined map must be a permutation.
+  std::vector<std::size_t> sorted = forward_;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t k = 0; k < n_cbps; ++k) CTJ_CHECK(sorted[k] == k);
+}
+
+Bits Interleaver::interleave(std::span<const std::uint8_t> bits) const {
+  CTJ_CHECK_MSG(bits.size() == n_cbps_,
+                "expected " << n_cbps_ << " bits, got " << bits.size());
+  Bits out(n_cbps_);
+  for (std::size_t k = 0; k < n_cbps_; ++k) out[forward_[k]] = bits[k];
+  return out;
+}
+
+Bits Interleaver::deinterleave(std::span<const std::uint8_t> bits) const {
+  CTJ_CHECK(bits.size() == n_cbps_);
+  Bits out(n_cbps_);
+  for (std::size_t k = 0; k < n_cbps_; ++k) out[k] = bits[forward_[k]];
+  return out;
+}
+
+}  // namespace ctj::phy

@@ -1,0 +1,33 @@
+// IEEE 802.11a/g block interleaver over one OFDM symbol.
+//
+// Two permutations: the first spreads adjacent coded bits across
+// non-adjacent subcarriers; the second rotates bits within a subcarrier's
+// constellation word so that adjacent bits alternate significance.
+#pragma once
+
+#include <cstddef>
+
+#include "phy/bits.hpp"
+
+namespace ctj::phy {
+
+class Interleaver {
+ public:
+  /// n_cbps: coded bits per OFDM symbol; n_bpsc: bits per subcarrier.
+  /// For 64-QAM over 48 data subcarriers: n_cbps = 288, n_bpsc = 6.
+  Interleaver(std::size_t n_cbps, std::size_t n_bpsc);
+
+  /// Interleave exactly one symbol's worth of bits.
+  Bits interleave(std::span<const std::uint8_t> bits) const;
+
+  /// Inverse permutation.
+  Bits deinterleave(std::span<const std::uint8_t> bits) const;
+
+  std::size_t n_cbps() const { return n_cbps_; }
+
+ private:
+  std::size_t n_cbps_;
+  std::vector<std::size_t> forward_;  // forward_[k] = position after interleaving
+};
+
+}  // namespace ctj::phy

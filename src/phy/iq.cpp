@@ -1,0 +1,51 @@
+#include "phy/iq.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace ctj::phy {
+
+double average_power(std::span<const Cplx> samples) {
+  CTJ_CHECK(!samples.empty());
+  return energy(samples) / static_cast<double>(samples.size());
+}
+
+double energy(std::span<const Cplx> samples) {
+  double e = 0.0;
+  for (const Cplx& s : samples) e += std::norm(s);
+  return e;
+}
+
+void normalize_power(IqBuffer& samples, double target_power) {
+  CTJ_CHECK(target_power > 0.0);
+  const double p = average_power(samples);
+  CTJ_CHECK_MSG(p > 0.0, "cannot normalize an all-zero buffer");
+  const double scale = std::sqrt(target_power / p);
+  for (Cplx& s : samples) s *= scale;
+}
+
+double evm(std::span<const Cplx> reference, std::span<const Cplx> measured) {
+  CTJ_CHECK(reference.size() == measured.size());
+  CTJ_CHECK(!reference.empty());
+  double err = 0.0;
+  double ref = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    err += std::norm(measured[i] - reference[i]);
+    ref += std::norm(reference[i]);
+  }
+  CTJ_CHECK(ref > 0.0);
+  return std::sqrt(err / ref);
+}
+
+void frequency_shift(IqBuffer& samples, double freq_hz, double sample_rate_hz) {
+  CTJ_CHECK(sample_rate_hz > 0.0);
+  const double w = 2.0 * std::numbers::pi * freq_hz / sample_rate_hz;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double phase = w * static_cast<double>(i);
+    samples[i] *= Cplx(std::cos(phase), std::sin(phase));
+  }
+}
+
+}  // namespace ctj::phy

@@ -1,0 +1,31 @@
+// Complex baseband sample buffers and helpers.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ctj::phy {
+
+using Cplx = std::complex<double>;
+using IqBuffer = std::vector<Cplx>;
+
+/// Average power (mean |x|^2) of a non-empty buffer.
+double average_power(std::span<const Cplx> samples);
+
+/// Total energy (sum |x|^2).
+double energy(std::span<const Cplx> samples);
+
+/// Scale samples so that the average power becomes `target_power`.
+void normalize_power(IqBuffer& samples, double target_power = 1.0);
+
+/// Error vector magnitude between a reference and a measured buffer, as the
+/// RMS error normalized by the reference RMS, in linear scale (not percent).
+double evm(std::span<const Cplx> reference, std::span<const Cplx> measured);
+
+/// Mix the buffer by a complex exponential of `freq_hz` at `sample_rate_hz`
+/// (frequency shift), starting at phase 0.
+void frequency_shift(IqBuffer& samples, double freq_hz, double sample_rate_hz);
+
+}  // namespace ctj::phy

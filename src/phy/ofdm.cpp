@@ -1,0 +1,77 @@
+#include "phy/ofdm.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "phy/fft.hpp"
+
+namespace ctj::phy {
+namespace {
+
+std::array<int, Ofdm::kDataSubcarriers> make_data_subcarriers() {
+  std::array<int, Ofdm::kDataSubcarriers> out{};
+  std::size_t n = 0;
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0 || k == -21 || k == -7 || k == 7 || k == 21) continue;
+    out[n++] = k;
+  }
+  CTJ_CHECK(n == Ofdm::kDataSubcarriers);
+  return out;
+}
+
+}  // namespace
+
+const std::array<int, Ofdm::kDataSubcarriers>& Ofdm::data_subcarriers() {
+  static const auto table = make_data_subcarriers();
+  return table;
+}
+
+const std::array<int, 4>& Ofdm::pilot_subcarriers() {
+  static const std::array<int, 4> table = {-21, -7, 7, 21};
+  return table;
+}
+
+std::size_t Ofdm::bin_of(int subcarrier) {
+  CTJ_CHECK(subcarrier >= -static_cast<int>(kFftSize) / 2 &&
+            subcarrier < static_cast<int>(kFftSize) / 2);
+  return subcarrier >= 0
+             ? static_cast<std::size_t>(subcarrier)
+             : kFftSize - static_cast<std::size_t>(-subcarrier);
+}
+
+IqBuffer Ofdm::modulate_symbol(std::span<const Cplx> data48, Cplx pilot_value) {
+  CTJ_CHECK(data48.size() == kDataSubcarriers);
+  IqBuffer freq(kFftSize, Cplx(0.0, 0.0));
+  const auto& dsc = data_subcarriers();
+  for (std::size_t i = 0; i < kDataSubcarriers; ++i) {
+    freq[bin_of(dsc[i])] = data48[i];
+  }
+  for (int p : pilot_subcarriers()) freq[bin_of(p)] = pilot_value;
+  IqBuffer time = ifft(std::move(freq));
+  IqBuffer symbol;
+  symbol.reserve(kSymbolLength);
+  symbol.insert(symbol.end(), time.end() - kCpLength, time.end());
+  symbol.insert(symbol.end(), time.begin(), time.end());
+  return symbol;
+}
+
+IqBuffer Ofdm::demodulate_symbol(std::span<const Cplx> symbol) {
+  IqBuffer freq = symbol_spectrum(symbol);
+  IqBuffer data48(kDataSubcarriers);
+  const auto& dsc = data_subcarriers();
+  for (std::size_t i = 0; i < kDataSubcarriers; ++i) {
+    data48[i] = freq[bin_of(dsc[i])];
+  }
+  return data48;
+}
+
+IqBuffer Ofdm::symbol_spectrum(std::span<const Cplx> symbol) {
+  CTJ_CHECK_MSG(symbol.size() == kSymbolLength || symbol.size() == kFftSize,
+                "expected " << kSymbolLength << " (with CP) or " << kFftSize
+                            << " samples, got " << symbol.size());
+  const std::size_t skip = symbol.size() == kSymbolLength ? kCpLength : 0;
+  IqBuffer time(symbol.begin() + static_cast<long>(skip), symbol.end());
+  return fft(std::move(time));
+}
+
+}  // namespace ctj::phy

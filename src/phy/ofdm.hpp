@@ -1,0 +1,42 @@
+// IEEE 802.11a/g OFDM symbol assembly: 64 subcarriers at 20 Msps, 48 data
+// subcarriers, 4 pilots (±7, ±21), 16-sample cyclic prefix.
+#pragma once
+
+#include <array>
+
+#include "phy/iq.hpp"
+
+namespace ctj::phy {
+
+class Ofdm {
+ public:
+  static constexpr std::size_t kFftSize = 64;
+  static constexpr std::size_t kCpLength = 16;
+  static constexpr std::size_t kSymbolLength = kFftSize + kCpLength;
+  static constexpr std::size_t kDataSubcarriers = 48;
+  static constexpr double kSampleRateHz = 20e6;
+
+  /// Logical subcarrier indices (-26..-1, 1..26 minus pilots) of the 48 data
+  /// subcarriers in transmission order.
+  static const std::array<int, kDataSubcarriers>& data_subcarriers();
+
+  /// Pilot subcarrier indices.
+  static const std::array<int, 4>& pilot_subcarriers();
+
+  /// Map a logical subcarrier index (-32..31) to an FFT bin (0..63).
+  static std::size_t bin_of(int subcarrier);
+
+  /// Assemble one time-domain symbol (with CP) from 48 data-subcarrier values.
+  /// Pilots carry `pilot_value` (BPSK +1 by default, polarity left to caller).
+  static IqBuffer modulate_symbol(std::span<const Cplx> data48,
+                                  Cplx pilot_value = Cplx(1.0, 0.0));
+
+  /// Recover the 48 data-subcarrier values from one symbol (with CP).
+  static IqBuffer demodulate_symbol(std::span<const Cplx> symbol);
+
+  /// Extract all 64 frequency bins of a symbol (used by the emulation
+  /// quantizer, which also needs pilot/guard bins).
+  static IqBuffer symbol_spectrum(std::span<const Cplx> symbol);
+};
+
+}  // namespace ctj::phy

@@ -1,0 +1,106 @@
+#include "phy/qam.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ctj::phy {
+namespace {
+
+// 802.11 64-QAM Gray table: (b0 b1 b2) -> level.
+// 000 -> -7, 001 -> -5, 011 -> -3, 010 -> -1, 110 -> 1, 111 -> 3,
+// 101 -> 5, 100 -> 7.
+constexpr double kLevelOf[8] = {-7, -5, -1, -3, 7, 5, 1, 3};
+// Inverse: index (level+7)/2 -> 3-bit code b0b1b2.
+constexpr std::uint8_t kCodeOf[8] = {0b000, 0b001, 0b011, 0b010,
+                                     0b110, 0b111, 0b101, 0b100};
+
+int level_slot(double level) {
+  // Snap to the nearest odd level in [-7, 7].
+  double snapped = std::round((level + 7.0) / 2.0);
+  if (snapped < 0) snapped = 0;
+  if (snapped > 7) snapped = 7;
+  return static_cast<int>(snapped);
+}
+
+}  // namespace
+
+double Qam64::normalization() { return 1.0 / std::sqrt(42.0); }
+
+double Qam64::axis_level(std::uint8_t b0, std::uint8_t b1, std::uint8_t b2) {
+  const unsigned idx = (static_cast<unsigned>(b0) << 2) |
+                       (static_cast<unsigned>(b1) << 1) | b2;
+  return kLevelOf[idx];
+}
+
+std::array<std::uint8_t, 3> Qam64::axis_bits(double level) {
+  const std::uint8_t code = kCodeOf[level_slot(level)];
+  return {static_cast<std::uint8_t>((code >> 2) & 1),
+          static_cast<std::uint8_t>((code >> 1) & 1),
+          static_cast<std::uint8_t>(code & 1)};
+}
+
+Cplx Qam64::map(std::span<const std::uint8_t> bits6) {
+  CTJ_CHECK(bits6.size() == kBitsPerSymbol);
+  const double i = axis_level(bits6[0], bits6[1], bits6[2]);
+  const double q = axis_level(bits6[3], bits6[4], bits6[5]);
+  return Cplx(i, q) * normalization();
+}
+
+IqBuffer Qam64::map_all(std::span<const std::uint8_t> bits) {
+  CTJ_CHECK(bits.size() % kBitsPerSymbol == 0);
+  IqBuffer out;
+  out.reserve(bits.size() / kBitsPerSymbol);
+  for (std::size_t i = 0; i < bits.size(); i += kBitsPerSymbol) {
+    out.push_back(map(bits.subspan(i, kBitsPerSymbol)));
+  }
+  return out;
+}
+
+Bits Qam64::demap(Cplx point) {
+  const double scale = 1.0 / normalization();
+  const auto ib = axis_bits(point.real() * scale);
+  const auto qb = axis_bits(point.imag() * scale);
+  return {ib[0], ib[1], ib[2], qb[0], qb[1], qb[2]};
+}
+
+Bits Qam64::demap_all(std::span<const Cplx> points) {
+  Bits out;
+  out.reserve(points.size() * kBitsPerSymbol);
+  for (const Cplx& p : points) {
+    const Bits b = demap(p);
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+Cplx Qam64::point(std::size_t i) {
+  CTJ_CHECK(i < kPoints);
+  const std::uint8_t hi = static_cast<std::uint8_t>(i >> 3);
+  const std::uint8_t lo = static_cast<std::uint8_t>(i & 7);
+  return Cplx(kLevelOf[hi], kLevelOf[lo]) * normalization();
+}
+
+std::size_t Qam64::nearest_index(Cplx target, double alpha) {
+  CTJ_CHECK(alpha > 0.0);
+  const double scale = 1.0 / (alpha * normalization());
+  const int i_slot = level_slot(target.real() * scale);
+  const int q_slot = level_slot(target.imag() * scale);
+  // Reconstruct the index whose point() has those axis levels.
+  auto slot_to_hi3 = [](int slot) -> std::size_t {
+    // point() uses kLevelOf[idx]; find idx with kLevelOf[idx] == level(slot).
+    const double level = -7.0 + 2.0 * slot;
+    for (std::size_t idx = 0; idx < 8; ++idx) {
+      if (kLevelOf[idx] == level) return idx;
+    }
+    CTJ_CHECK_MSG(false, "unreachable");
+    return 0;
+  };
+  return (slot_to_hi3(i_slot) << 3) | slot_to_hi3(q_slot);
+}
+
+Cplx Qam64::quantize(Cplx target, double alpha) {
+  return point(nearest_index(target, alpha)) * alpha;
+}
+
+}  // namespace ctj::phy

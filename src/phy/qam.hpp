@@ -1,0 +1,46 @@
+// 64-QAM constellation (IEEE 802.11 Gray mapping) with nearest-point
+// quantization — the operation the paper's Eq. (1) minimizes over.
+#pragma once
+
+#include <array>
+
+#include "phy/bits.hpp"
+#include "phy/iq.hpp"
+
+namespace ctj::phy {
+
+class Qam64 {
+ public:
+  static constexpr std::size_t kBitsPerSymbol = 6;
+  static constexpr std::size_t kPoints = 64;
+  /// 1/sqrt(42): normalizes the constellation to unit average power.
+  static double normalization();
+
+  /// Map 6 bits (b0..b5, b0 first) to a normalized constellation point.
+  static Cplx map(std::span<const std::uint8_t> bits6);
+
+  /// Map a whole bit sequence (length divisible by 6).
+  static IqBuffer map_all(std::span<const std::uint8_t> bits);
+
+  /// Hard-decision demap of one point to 6 bits (nearest constellation point).
+  static Bits demap(Cplx point);
+
+  /// Demap a sequence of points.
+  static Bits demap_all(std::span<const Cplx> points);
+
+  /// The i-th constellation point (i in [0, 64), i interpreted as the 6-bit
+  /// label b0..b5 with b0 the MSB of the I half).
+  static Cplx point(std::size_t i);
+
+  /// Index of the nearest constellation point to `target / alpha`, and the
+  /// quantized value alpha * point (the operation inside Eq. (1)).
+  static std::size_t nearest_index(Cplx target, double alpha = 1.0);
+  static Cplx quantize(Cplx target, double alpha = 1.0);
+
+ private:
+  /// Gray mapping of 3 bits to one of {-7,-5,-3,-1,1,3,5,7} per 802.11.
+  static double axis_level(std::uint8_t b0, std::uint8_t b1, std::uint8_t b2);
+  static std::array<std::uint8_t, 3> axis_bits(double level);
+};
+
+}  // namespace ctj::phy

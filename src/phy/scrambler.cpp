@@ -1,0 +1,32 @@
+#include "phy/scrambler.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::phy {
+
+Scrambler::Scrambler(std::uint8_t seed) : state_(0) { reset(seed); }
+
+void Scrambler::reset(std::uint8_t seed) {
+  CTJ_CHECK_MSG((seed & 0x7F) != 0, "scrambler seed must be non-zero");
+  state_ = seed & 0x7F;
+}
+
+std::uint8_t Scrambler::next_keystream_bit() {
+  // Feedback = x^7 xor x^4 (bits 6 and 3 of the 7-bit register).
+  const std::uint8_t out =
+      static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1U);
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | out) & 0x7F);
+  return out;
+}
+
+Bits Scrambler::process(std::span<const std::uint8_t> bits) {
+  Bits out;
+  out.reserve(bits.size());
+  for (std::uint8_t b : bits) {
+    CTJ_CHECK(b <= 1);
+    out.push_back(static_cast<std::uint8_t>(b ^ next_keystream_bit()));
+  }
+  return out;
+}
+
+}  // namespace ctj::phy

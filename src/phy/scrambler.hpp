@@ -1,0 +1,32 @@
+// IEEE 802.11 data scrambler (polynomial x^7 + x^4 + 1).
+//
+// The same LFSR both scrambles and descrambles, which is what lets the
+// EmuBee emulation chain (Fig. 1 of the paper) run the Wi-Fi PHY "backwards":
+// descrambling the decoded bits recovers the frame payload the attacker must
+// hand to a commodity Wi-Fi card.
+#pragma once
+
+#include <cstdint>
+
+#include "phy/bits.hpp"
+
+namespace ctj::phy {
+
+class Scrambler {
+ public:
+  /// Initial LFSR state; must be a non-zero 7-bit value.
+  explicit Scrambler(std::uint8_t seed = 0x7F);
+
+  /// Scramble (== descramble) a bit sequence, advancing the LFSR state.
+  Bits process(std::span<const std::uint8_t> bits);
+
+  /// Next keystream bit (exposed for tests of the known 127-bit sequence).
+  std::uint8_t next_keystream_bit();
+
+  void reset(std::uint8_t seed);
+
+ private:
+  std::uint8_t state_;
+};
+
+}  // namespace ctj::phy

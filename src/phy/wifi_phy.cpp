@@ -1,0 +1,82 @@
+#include "phy/wifi_phy.hpp"
+
+#include "common/check.hpp"
+#include "phy/ofdm.hpp"
+#include "phy/qam.hpp"
+#include "phy/scrambler.hpp"
+
+namespace ctj::phy {
+namespace {
+
+std::size_t info_bits_for(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kRate1of2: return 144;
+    case CodeRate::kRate2of3: return 192;
+    case CodeRate::kRate3of4: return 216;
+  }
+  CTJ_CHECK_MSG(false, "unreachable");
+  return 0;
+}
+
+}  // namespace
+
+WifiPhy::WifiPhy(CodeRate rate, std::uint8_t scrambler_seed)
+    : rate_(rate),
+      scrambler_seed_(scrambler_seed),
+      info_bits_per_symbol_(info_bits_for(rate)),
+      interleaver_(kCodedBitsPerSymbol, Qam64::kBitsPerSymbol) {}
+
+IqBuffer WifiPhy::encode_symbol_points(std::span<const std::uint8_t> info_bits,
+                                       Scrambler& scrambler) const {
+  CTJ_CHECK(info_bits.size() == info_bits_per_symbol_);
+  const Bits scrambled = scrambler.process(info_bits);
+  const Bits coded = ConvolutionalCode::encode(scrambled, rate_);
+  CTJ_CHECK(coded.size() == kCodedBitsPerSymbol);
+  const Bits interleaved = interleaver_.interleave(coded);
+  return Qam64::map_all(interleaved);
+}
+
+Bits WifiPhy::decode_symbol_points(std::span<const Cplx> points,
+                                   Scrambler& descrambler) const {
+  CTJ_CHECK(points.size() == Ofdm::kDataSubcarriers);
+  const Bits hard = Qam64::demap_all(points);
+  const Bits deinterleaved = interleaver_.deinterleave(hard);
+  const Bits decoded = ConvolutionalCode::decode(deinterleaved, rate_);
+  CTJ_CHECK(decoded.size() == info_bits_per_symbol_);
+  return descrambler.process(decoded);
+}
+
+IqBuffer WifiPhy::transmit(std::span<const std::uint8_t> info_bits) const {
+  CTJ_CHECK_MSG(info_bits.size() % info_bits_per_symbol_ == 0,
+                "info length " << info_bits.size()
+                               << " is not a whole number of symbols");
+  Scrambler scrambler(scrambler_seed_);
+  IqBuffer waveform;
+  const std::size_t symbols = info_bits.size() / info_bits_per_symbol_;
+  waveform.reserve(symbols * Ofdm::kSymbolLength);
+  for (std::size_t s = 0; s < symbols; ++s) {
+    const IqBuffer points = encode_symbol_points(
+        info_bits.subspan(s * info_bits_per_symbol_, info_bits_per_symbol_),
+        scrambler);
+    const IqBuffer symbol = Ofdm::modulate_symbol(points);
+    waveform.insert(waveform.end(), symbol.begin(), symbol.end());
+  }
+  return waveform;
+}
+
+Bits WifiPhy::receive(std::span<const Cplx> waveform) const {
+  CTJ_CHECK(waveform.size() % Ofdm::kSymbolLength == 0);
+  Scrambler descrambler(scrambler_seed_);
+  Bits info;
+  const std::size_t symbols = waveform.size() / Ofdm::kSymbolLength;
+  info.reserve(symbols * info_bits_per_symbol_);
+  for (std::size_t s = 0; s < symbols; ++s) {
+    const IqBuffer points = Ofdm::demodulate_symbol(
+        waveform.subspan(s * Ofdm::kSymbolLength, Ofdm::kSymbolLength));
+    const Bits bits = decode_symbol_points(points, descrambler);
+    info.insert(info.end(), bits.begin(), bits.end());
+  }
+  return info;
+}
+
+}  // namespace ctj::phy

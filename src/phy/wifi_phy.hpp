@@ -1,0 +1,60 @@
+// Wi-Fi (802.11a/g style) PHY data path at 64-QAM.
+//
+// This is the substrate the EmuBee attack drives: the forward chain
+// (scramble → convolutional encode → interleave → 64-QAM map → OFDM) is what a
+// commodity Wi-Fi card applies to a payload, and the inverse chain
+// (FFT → quantize → demap → deinterleave → Viterbi → descramble, Fig. 1 of the
+// paper) is how the attacker finds the payload whose transmission best
+// approximates a designed (ZigBee) waveform.
+//
+// Preamble/SIGNAL fields are out of scope: jamming effectiveness depends on
+// the DATA-symbol waveform only, and the emulation chain operates per OFDM
+// data symbol.
+#pragma once
+
+#include <cstdint>
+
+#include "phy/bits.hpp"
+#include "phy/convolutional.hpp"
+#include "phy/interleaver.hpp"
+#include "phy/iq.hpp"
+#include "phy/scrambler.hpp"
+
+namespace ctj::phy {
+
+class WifiPhy {
+ public:
+  /// Coded bits per OFDM symbol at 64-QAM over 48 data subcarriers.
+  static constexpr std::size_t kCodedBitsPerSymbol = 288;
+
+  /// rate: mother code 1/2 gives 144 info bits/symbol; 3/4 gives 216.
+  explicit WifiPhy(CodeRate rate = CodeRate::kRate1of2,
+                   std::uint8_t scrambler_seed = 0x5D);
+
+  std::size_t info_bits_per_symbol() const { return info_bits_per_symbol_; }
+  CodeRate rate() const { return rate_; }
+  std::uint8_t scrambler_seed() const { return scrambler_seed_; }
+
+  /// Full TX chain: info bits (length a multiple of info_bits_per_symbol())
+  /// to a time-domain waveform at 20 Msps, symbols with cyclic prefix.
+  IqBuffer transmit(std::span<const std::uint8_t> info_bits) const;
+
+  /// Full RX chain on a clean (or noisy) waveform produced by transmit().
+  Bits receive(std::span<const Cplx> waveform) const;
+
+  /// Encode one symbol's info bits to the 48 data-subcarrier QAM points.
+  IqBuffer encode_symbol_points(std::span<const std::uint8_t> info_bits,
+                                Scrambler& scrambler) const;
+
+  /// Inverse of encode_symbol_points for one symbol's 48 points.
+  Bits decode_symbol_points(std::span<const Cplx> points,
+                            Scrambler& descrambler) const;
+
+ private:
+  CodeRate rate_;
+  std::uint8_t scrambler_seed_;
+  std::size_t info_bits_per_symbol_;
+  Interleaver interleaver_;
+};
+
+}  // namespace ctj::phy

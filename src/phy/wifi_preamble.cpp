@@ -1,0 +1,154 @@
+#include "phy/wifi_preamble.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "phy/convolutional.hpp"
+#include "phy/fft.hpp"
+#include "phy/interleaver.hpp"
+#include "phy/ofdm.hpp"
+
+namespace ctj::phy {
+namespace {
+
+// Subcarriers and values of the short training sequence (802.11-2016,
+// Eq. 19-8), scaled by sqrt(13/6).
+struct StfTone {
+  int subcarrier;
+  double sign;  // value = sign * (1 + j)
+};
+constexpr StfTone kStfTones[] = {
+    {-24, 1},  {-20, -1}, {-16, 1}, {-12, -1}, {-8, -1}, {-4, 1},
+    {4, -1},   {8, -1},   {12, 1},  {16, 1},   {20, 1},  {24, 1},
+};
+
+// Long training sequence L_{-26..26} (802.11-2016, Eq. 19-11).
+constexpr int kLtfSeq[53] = {
+    1, 1, -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  1,  1, -1, -1, 1,
+    1, -1, 1, -1, 1,  1,  1,  1,  0,  1,  -1, -1, 1,  1,  -1, 1,  -1, 1,
+    -1, -1, -1, -1, -1, 1,  1,  -1, -1, 1,  -1, 1,  -1, 1,  1,  1,  1};
+
+IqBuffer stf_base_symbol() {
+  IqBuffer freq(Ofdm::kFftSize, Cplx(0, 0));
+  const double scale = std::sqrt(13.0 / 6.0);
+  for (const StfTone& tone : kStfTones) {
+    freq[Ofdm::bin_of(tone.subcarrier)] =
+        Cplx(tone.sign * scale, tone.sign * scale);
+  }
+  return ifft(std::move(freq));
+}
+
+IqBuffer ltf_base_symbol() {
+  IqBuffer freq(Ofdm::kFftSize, Cplx(0, 0));
+  for (int k = -26; k <= 26; ++k) {
+    freq[Ofdm::bin_of(k)] = Cplx(static_cast<double>(kLtfSeq[k + 26]), 0.0);
+  }
+  return ifft(std::move(freq));
+}
+
+}  // namespace
+
+IqBuffer WifiPreamble::short_training_field() {
+  const IqBuffer base = stf_base_symbol();
+  IqBuffer stf;
+  stf.reserve(kStfLength);
+  for (std::size_t i = 0; i < kStfLength; ++i) {
+    stf.push_back(base[i % Ofdm::kFftSize]);
+  }
+  return stf;
+}
+
+IqBuffer WifiPreamble::long_training_field() {
+  const IqBuffer base = ltf_base_symbol();
+  IqBuffer ltf;
+  ltf.reserve(kLtfLength);
+  // 32-sample guard (the tail of the long symbol), then two full symbols.
+  ltf.insert(ltf.end(), base.end() - 32, base.end());
+  ltf.insert(ltf.end(), base.begin(), base.end());
+  ltf.insert(ltf.end(), base.begin(), base.end());
+  return ltf;
+}
+
+double WifiPreamble::autocorrelation(std::span<const Cplx> samples,
+                                     std::size_t lag) {
+  CTJ_CHECK(lag > 0);
+  CTJ_CHECK_MSG(samples.size() >= 2 * lag, "window too short for the lag");
+  Cplx corr(0, 0);
+  double power = 0.0;
+  const std::size_t n = samples.size() - lag;
+  for (std::size_t i = 0; i < n; ++i) {
+    corr += samples[i] * std::conj(samples[i + lag]);
+    power += std::norm(samples[i + lag]);
+  }
+  if (power <= 0.0) return 0.0;
+  return std::abs(corr) / power;
+}
+
+bool WifiPreamble::detect_stf(std::span<const Cplx> samples, double threshold) {
+  if (samples.size() < 80) return false;
+  return autocorrelation(samples.first(80), 16) >= threshold;
+}
+
+Bits WifiSignalField::encode_bits() const {
+  CTJ_CHECK_MSG(length_bytes < (1u << 12), "length exceeds 12 bits");
+  Bits bits(24, 0);
+  for (int i = 0; i < 4; ++i) bits[static_cast<std::size_t>(i)] = (rate_code >> i) & 1;
+  // bit 4: reserved = 0.
+  for (int i = 0; i < 12; ++i) {
+    bits[static_cast<std::size_t>(5 + i)] = (length_bytes >> i) & 1;
+  }
+  std::uint8_t parity = 0;
+  for (int i = 0; i < 17; ++i) parity ^= bits[static_cast<std::size_t>(i)];
+  bits[17] = parity;  // even parity over bits 0..16
+  // bits 18..23: zero tail (flushes the convolutional encoder).
+  return bits;
+}
+
+std::optional<WifiSignalField> WifiSignalField::decode_bits(
+    std::span<const std::uint8_t> bits) {
+  if (bits.size() != 24) return std::nullopt;
+  std::uint8_t parity = 0;
+  for (int i = 0; i <= 17; ++i) parity ^= bits[static_cast<std::size_t>(i)];
+  if (parity != 0) return std::nullopt;  // parity violated
+  for (int i = 18; i < 24; ++i) {
+    if (bits[static_cast<std::size_t>(i)] != 0) return std::nullopt;
+  }
+  WifiSignalField field;
+  field.rate_code = 0;
+  for (int i = 0; i < 4; ++i) {
+    field.rate_code |= static_cast<std::uint8_t>(bits[static_cast<std::size_t>(i)] << i);
+  }
+  field.length_bytes = 0;
+  for (int i = 0; i < 12; ++i) {
+    field.length_bytes |=
+        static_cast<std::uint16_t>(bits[static_cast<std::size_t>(5 + i)] << i);
+  }
+  return field;
+}
+
+IqBuffer WifiSignalField::modulate() const {
+  const Bits info = encode_bits();
+  const Bits coded = ConvolutionalCode::encode(info);  // 48 bits
+  const Interleaver interleaver(48, 1);
+  const Bits interleaved = interleaver.interleave(coded);
+  IqBuffer points(Ofdm::kDataSubcarriers);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i] = Cplx(interleaved[i] ? 1.0 : -1.0, 0.0);
+  }
+  return Ofdm::modulate_symbol(points);
+}
+
+std::optional<WifiSignalField> WifiSignalField::demodulate(
+    std::span<const Cplx> symbol) {
+  const IqBuffer points = Ofdm::demodulate_symbol(symbol);
+  Bits hard(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    hard[i] = points[i].real() >= 0.0 ? 1 : 0;
+  }
+  const Interleaver interleaver(48, 1);
+  const Bits deinterleaved = interleaver.deinterleave(hard);
+  const Bits decoded = ConvolutionalCode::decode(deinterleaved);
+  return decode_bits(decoded);
+}
+
+}  // namespace ctj::phy

@@ -1,0 +1,67 @@
+// IEEE 802.11a/g legacy preamble and SIGNAL field.
+//
+// A real EmuBee attack rides inside a standards-compliant Wi-Fi frame: the
+// legacy short training field (L-STF), long training field (L-LTF) and the
+// BPSK rate-1/2 SIGNAL field precede the emulating DATA symbols. The
+// preamble is pure overhead from the attacker's perspective — it does not
+// emulate ZigBee chips — which is one of the practical limits on emulation
+// fidelity. This module builds and parses those fields so frame-level
+// experiments can account for them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "phy/bits.hpp"
+#include "phy/iq.hpp"
+
+namespace ctj::phy {
+
+class WifiPreamble {
+ public:
+  /// 10 repetitions of a 16-sample short symbol: 160 samples at 20 Msps.
+  static constexpr std::size_t kStfLength = 160;
+  /// 2 long symbols + double-length guard: 160 samples.
+  static constexpr std::size_t kLtfLength = 160;
+
+  /// The short training field (periodicity 16 samples — what packet
+  /// detectors correlate on).
+  static IqBuffer short_training_field();
+
+  /// The long training field (channel estimation reference).
+  static IqBuffer long_training_field();
+
+  /// Normalized autocorrelation of `samples` at the given lag — the
+  /// classic Schmidl–Cox style detection statistic. Near 1.0 inside an STF.
+  static double autocorrelation(std::span<const Cplx> samples,
+                                std::size_t lag);
+
+  /// True if an STF is present at the start of `samples` (autocorrelation
+  /// at lag 16 above the threshold).
+  static bool detect_stf(std::span<const Cplx> samples,
+                         double threshold = 0.8);
+};
+
+/// SIGNAL field contents: rate code + 12-bit length with even parity.
+struct WifiSignalField {
+  /// 802.11a rate code (e.g. 0b1101 = 6 Mbps, 0b0011 = 54 Mbps).
+  std::uint8_t rate_code = 0b0011;
+  std::uint16_t length_bytes = 0;  // PSDU length, 12 bits
+
+  /// Encode to the 24 SIGNAL bits (rate, reserved, length, parity, tail).
+  Bits encode_bits() const;
+
+  /// Decode; returns nullopt when the parity check fails or tail non-zero.
+  static std::optional<WifiSignalField> decode_bits(
+      std::span<const std::uint8_t> bits);
+
+  /// Full SIGNAL OFDM symbol: rate-1/2 convolutional code, 48-bit
+  /// interleaver, BPSK on the 48 data subcarriers (one symbol, with CP).
+  IqBuffer modulate() const;
+
+  /// Inverse of modulate(); nullopt when parity/decoding fails.
+  static std::optional<WifiSignalField> demodulate(
+      std::span<const Cplx> symbol);
+};
+
+}  // namespace ctj::phy

@@ -1,0 +1,96 @@
+#include "phy/zigbee_packet.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ctj::phy {
+
+const char* to_string(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kTooShort: return "too-short";
+    case FrameStatus::kBadPreamble: return "bad-preamble";
+    case FrameStatus::kBadSfd: return "bad-sfd";
+    case FrameStatus::kBadLength: return "bad-length";
+    case FrameStatus::kBadFcs: return "bad-fcs";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> ZigbeeFrame::build(
+    std::span<const std::uint8_t> payload) {
+  CTJ_CHECK_MSG(
+      payload.size() + ZigbeeFrameFormat::kFcsBytes <=
+          ZigbeeFrameFormat::kMaxPsduBytes,
+      "payload of " << payload.size() << " bytes exceeds the 127-byte PSDU");
+  std::vector<std::uint8_t> frame;
+  frame.reserve(ZigbeeFrameFormat::kPreambleBytes + 2 + payload.size() +
+                ZigbeeFrameFormat::kFcsBytes);
+  frame.insert(frame.end(), ZigbeeFrameFormat::kPreambleBytes, 0x00);
+  frame.push_back(ZigbeeFrameFormat::kSfd);
+  const auto psdu_len = static_cast<std::uint8_t>(
+      payload.size() + ZigbeeFrameFormat::kFcsBytes);
+  frame.push_back(psdu_len);  // PHR: 7-bit frame length
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const std::uint16_t fcs = crc16_itu(payload);
+  frame.push_back(static_cast<std::uint8_t>(fcs & 0xFF));
+  frame.push_back(static_cast<std::uint8_t>(fcs >> 8));
+  return frame;
+}
+
+FrameInspection ZigbeeFrame::inspect(std::span<const std::uint8_t> bytes,
+                                     std::size_t decode_timeout_symbols) {
+  FrameInspection result;
+  constexpr std::size_t kHeaderBytes =
+      ZigbeeFrameFormat::kPreambleBytes + 2;  // preamble + SFD + PHR
+
+  // Receivers lock onto the preamble first; without it nothing happens.
+  const std::size_t preamble_avail =
+      std::min(bytes.size(), ZigbeeFrameFormat::kPreambleBytes);
+  for (std::size_t i = 0; i < preamble_avail; ++i) {
+    if (bytes[i] != 0x00) {
+      result.status = FrameStatus::kBadPreamble;
+      result.occupied_symbol_periods = 2 * (i + 1);
+      return result;
+    }
+  }
+  if (bytes.size() < kHeaderBytes) {
+    // Preamble (or a prefix of it) seen, then the signal stopped: the
+    // receiver stalls in its sync state until timeout — the stealthy
+    // "meaningless decoding" the paper describes.
+    result.status = FrameStatus::kTooShort;
+    result.occupied_symbol_periods = decode_timeout_symbols;
+    return result;
+  }
+  if (bytes[ZigbeeFrameFormat::kPreambleBytes] != ZigbeeFrameFormat::kSfd) {
+    // Valid preamble but no delimiter: receiver keeps hunting for the SFD
+    // for the full timeout window.
+    result.status = FrameStatus::kBadSfd;
+    result.occupied_symbol_periods = decode_timeout_symbols;
+    return result;
+  }
+  const std::size_t psdu_len = bytes[ZigbeeFrameFormat::kPreambleBytes + 1];
+  if (psdu_len < ZigbeeFrameFormat::kFcsBytes ||
+      psdu_len > ZigbeeFrameFormat::kMaxPsduBytes ||
+      bytes.size() < kHeaderBytes + psdu_len) {
+    result.status = FrameStatus::kBadLength;
+    result.occupied_symbol_periods = decode_timeout_symbols;
+    return result;
+  }
+  const std::size_t payload_len = psdu_len - ZigbeeFrameFormat::kFcsBytes;
+  const auto payload = bytes.subspan(kHeaderBytes, payload_len);
+  const std::uint16_t fcs_rx = static_cast<std::uint16_t>(
+      bytes[kHeaderBytes + payload_len] |
+      (bytes[kHeaderBytes + payload_len + 1] << 8));
+  result.occupied_symbol_periods = 2 * (kHeaderBytes + psdu_len);
+  if (crc16_itu(payload) != fcs_rx) {
+    result.status = FrameStatus::kBadFcs;
+    return result;
+  }
+  result.status = FrameStatus::kOk;
+  result.payload.assign(payload.begin(), payload.end());
+  return result;
+}
+
+}  // namespace ctj::phy

@@ -1,0 +1,64 @@
+// IEEE 802.15.4 PHY frame format (Fig. 3 of the paper): a 4-byte preamble of
+// zeros, a start-of-frame delimiter, a 1-byte PHY header carrying the payload
+// length, and a PSDU of at most 127 bytes whose last two bytes are the
+// ITU-T CRC-16 frame check sequence.
+//
+// The stealthiness of the EmuBee jammer (Sec. II.A.2) comes from violating
+// this format on purpose: a receiver that sees a valid preamble locks on and
+// burns decode time even though nothing valid follows. `inspect()` models
+// that receiver behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "phy/bits.hpp"
+
+namespace ctj::phy {
+
+struct ZigbeeFrameFormat {
+  static constexpr std::size_t kPreambleBytes = 4;
+  /// Start-of-packet delimiter as printed in the paper's Fig. 3.
+  static constexpr std::uint8_t kSfd = 0x7A;
+  static constexpr std::size_t kMaxPsduBytes = 127;
+  static constexpr std::size_t kFcsBytes = 2;
+};
+
+/// Why a received byte stream failed (or passed) frame validation.
+enum class FrameStatus {
+  kOk,
+  kTooShort,
+  kBadPreamble,
+  kBadSfd,        // preamble seen, delimiter wrong/missing (EmuBee case)
+  kBadLength,     // PHR length inconsistent with the received bytes
+  kBadFcs,        // payload corrupted in flight
+};
+
+const char* to_string(FrameStatus status);
+
+struct FrameInspection {
+  FrameStatus status = FrameStatus::kTooShort;
+  /// Payload (without FCS) when status == kOk.
+  std::vector<std::uint8_t> payload;
+  /// Symbol periods the receiver spent before it could abandon the frame.
+  /// A valid preamble with no valid delimiter stalls the receiver for the
+  /// whole timeout window — the EmuBee stealth effect.
+  std::size_t occupied_symbol_periods = 0;
+};
+
+class ZigbeeFrame {
+ public:
+  /// Build a full PHY frame: preamble | SFD | PHR | payload | FCS.
+  /// payload size must be <= kMaxPsduBytes - kFcsBytes.
+  static std::vector<std::uint8_t> build(
+      std::span<const std::uint8_t> payload);
+
+  /// Parse and validate a received byte stream; also models the decode time
+  /// the receiver spends (in symbol periods, 2 per byte examined).
+  /// `decode_timeout_symbols` bounds the stall on malformed frames.
+  static FrameInspection inspect(std::span<const std::uint8_t> bytes,
+                                 std::size_t decode_timeout_symbols = 256);
+};
+
+}  // namespace ctj::phy

@@ -1,0 +1,193 @@
+#include "phy/zigbee_phy.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ctj::phy {
+namespace {
+
+// Base PN sequence for data symbol 0 (IEEE 802.15.4-2006, Table 73).
+// Symbols 1..7 are right cyclic shifts by 4 chips per step; symbols 8..15 are
+// symbols 0..7 with the odd-indexed (Q-rail) chips inverted.
+constexpr std::array<std::uint8_t, 32> kBaseChips = {
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+    0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0};
+
+std::array<std::array<std::uint8_t, 32>, 16> build_chip_table() {
+  std::array<std::array<std::uint8_t, 32>, 16> table{};
+  for (std::size_t sym = 0; sym < 8; ++sym) {
+    const std::size_t shift = 4 * sym;
+    for (std::size_t c = 0; c < 32; ++c) {
+      table[sym][c] = kBaseChips[(c + 32 - shift) % 32];
+    }
+  }
+  for (std::size_t sym = 8; sym < 16; ++sym) {
+    for (std::size_t c = 0; c < 32; ++c) {
+      const std::uint8_t base = table[sym - 8][c];
+      table[sym][c] = (c % 2 == 1) ? static_cast<std::uint8_t>(1 - base) : base;
+    }
+  }
+  return table;
+}
+
+const std::array<std::array<std::uint8_t, 32>, 16>& chip_table() {
+  static const auto table = build_chip_table();
+  return table;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, ChipTable::kChipsPerSymbol>& ChipTable::chips(
+    std::size_t symbol) {
+  CTJ_CHECK(symbol < kSymbols);
+  return chip_table()[symbol];
+}
+
+double ChipTable::correlation(std::span<const double> soft_chips,
+                              std::size_t symbol) {
+  CTJ_CHECK(soft_chips.size() == kChipsPerSymbol);
+  const auto& seq = chips(symbol);
+  double corr = 0.0;
+  for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+    corr += soft_chips[c] * (seq[c] ? 1.0 : -1.0);
+  }
+  return corr;
+}
+
+std::size_t ChipTable::despread(std::span<const double> soft_chips) {
+  std::vector<double> scores(kSymbols);
+  for (std::size_t s = 0; s < kSymbols; ++s) {
+    scores[s] = correlation(soft_chips, s);
+  }
+  return argmax(scores);
+}
+
+std::size_t ChipTable::min_pairwise_distance() {
+  std::size_t best = kChipsPerSymbol;
+  for (std::size_t a = 0; a < kSymbols; ++a) {
+    for (std::size_t b = a + 1; b < kSymbols; ++b) {
+      std::size_t d = 0;
+      for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+        d += chips(a)[c] != chips(b)[c] ? 1 : 0;
+      }
+      best = std::min(best, d);
+    }
+  }
+  return best;
+}
+
+ZigbeePhy::ZigbeePhy(std::size_t samples_per_chip) : spc_(samples_per_chip) {
+  CTJ_CHECK_MSG(spc_ >= 2, "need at least 2 samples per chip");
+}
+
+double ZigbeePhy::pulse(std::size_t s) const {
+  // Half-sine over a 2-chip-period pulse (2 * spc_ samples).
+  return std::sin(std::numbers::pi * static_cast<double>(s) /
+                  (2.0 * static_cast<double>(spc_)));
+}
+
+IqBuffer ZigbeePhy::modulate_symbols(std::span<const std::size_t> symbols) const {
+  const std::size_t n = symbols.size();
+  IqBuffer wave(n * samples_per_symbol() + spc_, Cplx(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto& seq = ChipTable::chips(symbols[k]);
+    const std::size_t base = k * samples_per_symbol();
+    for (std::size_t c = 0; c < ChipTable::kChipsPerSymbol; ++c) {
+      const double v = seq[c] ? 1.0 : -1.0;
+      const std::size_t start = base + c * spc_;
+      // Each chip's half-sine pulse spans two chip periods on its own rail
+      // (even chips -> I, odd chips -> Q); same-rail pulses tile the axis.
+      for (std::size_t s = 0; s < 2 * spc_; ++s) {
+        const double amp = v * pulse(s);
+        if (c % 2 == 0) {
+          wave[start + s] += Cplx(amp, 0.0);
+        } else {
+          wave[start + s] += Cplx(0.0, amp);
+        }
+      }
+    }
+  }
+  return wave;
+}
+
+IqBuffer ZigbeePhy::modulate_bytes(std::span<const std::uint8_t> bytes) const {
+  std::vector<std::size_t> symbols;
+  symbols.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    symbols.push_back(b & 0x0F);         // low nibble first
+    symbols.push_back((b >> 4) & 0x0F);
+  }
+  return modulate_symbols(symbols);
+}
+
+std::vector<double> ZigbeePhy::soft_chips(std::span<const Cplx> waveform,
+                                          std::size_t offset) const {
+  std::vector<double> chips(ChipTable::kChipsPerSymbol, 0.0);
+  // Matched filter: project each rail window onto the half-sine pulse.
+  double pulse_energy = 0.0;
+  for (std::size_t s = 0; s < 2 * spc_; ++s) {
+    const double p = pulse(s);
+    pulse_energy += p * p;
+  }
+  for (std::size_t c = 0; c < ChipTable::kChipsPerSymbol; ++c) {
+    const std::size_t start = offset + c * spc_;
+    double acc = 0.0;
+    for (std::size_t s = 0; s < 2 * spc_; ++s) {
+      const std::size_t idx = start + s;
+      if (idx >= waveform.size()) break;  // tolerate missing tail samples
+      const double sample =
+          (c % 2 == 0) ? waveform[idx].real() : waveform[idx].imag();
+      acc += sample * pulse(s);
+    }
+    chips[c] = acc / pulse_energy;
+  }
+  return chips;
+}
+
+std::vector<std::size_t> ZigbeePhy::demodulate_symbols(
+    std::span<const Cplx> waveform, std::size_t n_symbols) const {
+  CTJ_CHECK_MSG(waveform.size() + spc_ >= n_symbols * samples_per_symbol() &&
+                    waveform.size() >= (n_symbols > 0 ? 1u : 0u),
+                "waveform too short for " << n_symbols << " symbols");
+  std::vector<std::size_t> out;
+  out.reserve(n_symbols);
+  for (std::size_t k = 0; k < n_symbols; ++k) {
+    const auto soft = soft_chips(waveform, k * samples_per_symbol());
+    out.push_back(ChipTable::despread(soft));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ZigbeePhy::demodulate_bytes(
+    std::span<const Cplx> waveform, std::size_t n_bytes) const {
+  const auto symbols = demodulate_symbols(waveform, n_bytes * 2);
+  std::vector<std::uint8_t> bytes(n_bytes);
+  for (std::size_t i = 0; i < n_bytes; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(symbols[2 * i] |
+                                         (symbols[2 * i + 1] << 4));
+  }
+  return bytes;
+}
+
+double ZigbeePhy::chip_error_rate(
+    std::span<const Cplx> waveform,
+    std::span<const std::size_t> sent_symbols) const {
+  CTJ_CHECK(!sent_symbols.empty());
+  std::size_t errors = 0;
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < sent_symbols.size(); ++k) {
+    const auto soft = soft_chips(waveform, k * samples_per_symbol());
+    const auto& seq = ChipTable::chips(sent_symbols[k]);
+    for (std::size_t c = 0; c < ChipTable::kChipsPerSymbol; ++c) {
+      const std::uint8_t hard = soft[c] >= 0.0 ? 1 : 0;
+      errors += (hard != seq[c]) ? 1 : 0;
+      ++total;
+    }
+  }
+  return static_cast<double>(errors) / static_cast<double>(total);
+}
+
+}  // namespace ctj::phy

@@ -1,0 +1,91 @@
+// IEEE 802.15.4 (ZigBee) 2.4 GHz PHY: O-QPSK with direct-sequence spread
+// spectrum. Each 4-bit symbol maps to a 32-chip PN sequence; even chips drive
+// the I rail and odd chips the Q rail (offset by half a chip period), each
+// shaped by a half-sine pulse. Chip rate is 2 Mchip/s, symbol rate 62.5 ksym/s,
+// bit rate 250 kbps.
+//
+// The DSSS despreader is what gives ZigBee its processing gain against
+// noise-like interferers (such as a plain Wi-Fi jammer) — and what the EmuBee
+// attack bypasses by transmitting a valid chip waveform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "phy/bits.hpp"
+#include "phy/iq.hpp"
+
+namespace ctj::phy {
+
+/// The 16 pseudo-noise chip sequences of the 2.4 GHz O-QPSK PHY.
+class ChipTable {
+ public:
+  static constexpr std::size_t kSymbols = 16;
+  static constexpr std::size_t kChipsPerSymbol = 32;
+
+  /// Chip sequence (0/1 per chip) for a data symbol in [0, 16).
+  static const std::array<std::uint8_t, kChipsPerSymbol>& chips(
+      std::size_t symbol);
+
+  /// Correlate a ±1 soft chip vector against all 16 sequences and return the
+  /// symbol with the highest correlation (DSSS despreading).
+  static std::size_t despread(std::span<const double> soft_chips);
+
+  /// Correlation value of a soft chip vector against one symbol's sequence.
+  static double correlation(std::span<const double> soft_chips,
+                            std::size_t symbol);
+
+  /// Minimum pairwise Hamming distance across the 16 sequences.
+  static std::size_t min_pairwise_distance();
+};
+
+/// Waveform-level modem.
+class ZigbeePhy {
+ public:
+  static constexpr double kChipRateHz = 2e6;
+  static constexpr std::size_t kBitsPerSymbol = 4;
+
+  /// samples_per_chip >= 2 controls waveform resolution.
+  explicit ZigbeePhy(std::size_t samples_per_chip = 4);
+
+  std::size_t samples_per_chip() const { return spc_; }
+  double sample_rate_hz() const { return kChipRateHz * static_cast<double>(spc_); }
+
+  /// Samples consumed per symbol in a stream (32 chips).
+  std::size_t samples_per_symbol() const { return 32 * spc_; }
+
+  /// Modulate data symbols (each in [0,16)) into a complex baseband waveform.
+  /// The waveform is `samples_per_symbol() * n + spc_` long: the final half-sine
+  /// Q-rail pulse extends half a chip past the last symbol boundary.
+  IqBuffer modulate_symbols(std::span<const std::size_t> symbols) const;
+
+  /// Modulate bytes (low nibble first, per 802.15.4).
+  IqBuffer modulate_bytes(std::span<const std::uint8_t> bytes) const;
+
+  /// Demodulate a waveform back to data symbols via matched filtering plus
+  /// DSSS despreading. Accepts waveforms with or without the final tail.
+  std::vector<std::size_t> demodulate_symbols(std::span<const Cplx> waveform,
+                                              std::size_t n_symbols) const;
+
+  /// Demodulate to bytes; n_bytes * 2 symbols are consumed.
+  std::vector<std::uint8_t> demodulate_bytes(std::span<const Cplx> waveform,
+                                             std::size_t n_bytes) const;
+
+  /// Estimate soft chips (I/Q matched-filter outputs, ±1-ish) for one symbol
+  /// window starting at `offset` samples.
+  std::vector<double> soft_chips(std::span<const Cplx> waveform,
+                                 std::size_t offset) const;
+
+  /// Fraction of chips that differ between the chip streams of two
+  /// equally-long symbol sequences after hard decisions on `waveform`.
+  double chip_error_rate(std::span<const Cplx> waveform,
+                         std::span<const std::size_t> sent_symbols) const;
+
+ private:
+  /// Half-sine pulse value at sample s of a 2*spc_-sample pulse.
+  double pulse(std::size_t s) const;
+
+  std::size_t spc_;
+};
+
+}  // namespace ctj::phy

@@ -1,0 +1,142 @@
+#include "rl/dqn.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ctj::rl {
+namespace {
+
+std::vector<std::size_t> layer_sizes(const DqnConfig& config) {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(config.state_dim);
+  sizes.insert(sizes.end(), config.hidden.begin(), config.hidden.end());
+  sizes.push_back(config.num_actions);
+  return sizes;
+}
+
+}  // namespace
+
+DqnAgent::DqnAgent(DqnConfig config)
+    : config_(config),
+      rng_(config.seed),
+      online_(layer_sizes(config), rng_),
+      target_(layer_sizes(config), rng_),
+      optimizer_(online_, {.lr = config.learning_rate,
+                           .beta1 = 0.9,
+                           .beta2 = 0.999,
+                           .epsilon = 1e-8}),
+      replay_(config.replay_capacity) {
+  CTJ_CHECK(config.num_actions >= 2);
+  CTJ_CHECK(config.gamma >= 0.0 && config.gamma < 1.0);
+  CTJ_CHECK(config.epsilon_start >= config.epsilon_end);
+  CTJ_CHECK(config.batch_size > 0);
+  target_.copy_parameters_from(online_);
+}
+
+double DqnAgent::epsilon() const {
+  if (config_.epsilon_decay_steps == 0) return config_.epsilon_end;
+  const double frac =
+      std::min(1.0, static_cast<double>(env_steps_) /
+                        static_cast<double>(config_.epsilon_decay_steps));
+  return config_.epsilon_start +
+         frac * (config_.epsilon_end - config_.epsilon_start);
+}
+
+std::vector<double> DqnAgent::q_values(std::span<const double> state) const {
+  CTJ_CHECK_MSG(state.size() == config_.state_dim,
+                "state dim " << state.size() << " != " << config_.state_dim);
+  const Matrix q = online_.forward_const(Matrix::row(state));
+  return {q.data(), q.data() + q.cols()};
+}
+
+std::size_t DqnAgent::act_greedy(std::span<const double> state) const {
+  const auto q = q_values(state);
+  return argmax(q);
+}
+
+std::size_t DqnAgent::act(std::span<const double> state) {
+  const std::size_t best = act_greedy(state);
+  const double eps = epsilon();
+  if (!rng_.bernoulli(eps)) return best;
+  // ε-greedy as in the paper: every non-best action gets ε/(C·PL − 1).
+  std::size_t other = rng_.index(config_.num_actions - 1);
+  if (other >= best) ++other;
+  return other;
+}
+
+void DqnAgent::observe(Transition transition) {
+  CTJ_CHECK(transition.state.size() == config_.state_dim);
+  CTJ_CHECK(transition.next_state.size() == config_.state_dim);
+  CTJ_CHECK(transition.action < config_.num_actions);
+  replay_.push(std::move(transition));
+  ++env_steps_;
+  if (config_.train_every > 0 && env_steps_ % config_.train_every == 0) {
+    train_step();
+  }
+}
+
+std::optional<double> DqnAgent::train_step() {
+  if (replay_.size() < config_.min_replay_before_training) return std::nullopt;
+  const auto batch = replay_.sample(config_.batch_size, rng_);
+  const std::size_t B = batch.size();
+
+  Matrix states(B, config_.state_dim);
+  Matrix next_states(B, config_.state_dim);
+  for (std::size_t i = 0; i < B; ++i) {
+    std::copy(batch[i]->state.begin(), batch[i]->state.end(),
+              states.data() + i * config_.state_dim);
+    std::copy(batch[i]->next_state.begin(), batch[i]->next_state.end(),
+              next_states.data() + i * config_.state_dim);
+  }
+
+  const Matrix next_q = target_.forward_const(next_states);
+  // For Double DQN the bootstrap action comes from the online network.
+  Matrix next_q_online(1, 1);
+  if (config_.double_dqn) next_q_online = online_.forward_const(next_states);
+  Matrix q = online_.forward(states);
+
+  // TD error only on the taken actions; Huber-clipped gradient.
+  Matrix grad(B, config_.num_actions, 0.0);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < B; ++i) {
+    double max_next;
+    if (config_.double_dqn) {
+      std::size_t best = 0;
+      for (std::size_t a = 1; a < config_.num_actions; ++a) {
+        if (next_q_online.at(i, a) > next_q_online.at(i, best)) best = a;
+      }
+      max_next = next_q.at(i, best);
+    } else {
+      max_next = next_q.at(i, 0);
+      for (std::size_t a = 1; a < config_.num_actions; ++a) {
+        max_next = std::max(max_next, next_q.at(i, a));
+      }
+    }
+    const double r = batch[i]->reward * config_.reward_scale;
+    const double target =
+        batch[i]->done ? r : r + config_.gamma * max_next;
+    const double error = q.at(i, batch[i]->action) - target;
+    loss += 0.5 * error * error;
+    grad.at(i, batch[i]->action) =
+        huber_grad(error) / static_cast<double>(B);
+  }
+
+  online_.zero_grad();
+  online_.backward(grad);
+  optimizer_.step(online_);
+  ++grad_steps_;
+  if (config_.target_sync_interval > 0 &&
+      grad_steps_ % config_.target_sync_interval == 0) {
+    target_.copy_parameters_from(online_);
+  }
+  return loss / static_cast<double>(B);
+}
+
+void DqnAgent::load_file(const std::string& path) {
+  online_.load_file(path);
+  target_.copy_parameters_from(online_);
+}
+
+}  // namespace ctj::rl

@@ -1,0 +1,92 @@
+// Deep Q-Network agent (Sec. III.C).
+//
+// Matches the paper's design: a 4-layer fully-connected network whose input
+// encodes the victim's last I slots (3 observables per slot: outcome, channel,
+// power level) and whose C·PL outputs score every (channel, power) action;
+// ε-greedy exploration where the best action is taken with probability 1−ε
+// and each other action with ε/(C·PL−1); experience replay and a periodically
+// synchronized target network stabilize learning.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rl/nn.hpp"
+#include "rl/replay.hpp"
+
+namespace ctj::rl {
+
+struct DqnConfig {
+  std::size_t state_dim = 24;    // 3 × I with I = 8 history slots
+  std::size_t num_actions = 160; // C × PL = 16 channels × 10 power levels
+  std::vector<std::size_t> hidden = {45, 45};  // ≈10.5 k parameters total
+  double learning_rate = 1e-3;
+  double gamma = 0.9;
+  /// Rewards are scaled by this factor before entering the TD target
+  /// (the paper's losses are O(100)).
+  double reward_scale = 0.01;
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  std::size_t epsilon_decay_steps = 4000;
+  std::size_t batch_size = 32;
+  std::size_t replay_capacity = 20000;
+  std::size_t min_replay_before_training = 256;
+  std::size_t target_sync_interval = 250;
+  /// Gradient steps per observed transition.
+  std::size_t train_every = 1;
+  /// Double-DQN target (van Hasselt et al.): select the bootstrap action
+  /// with the online network, evaluate it with the target network. Reduces
+  /// the max-operator overestimation bias; off by default to match the
+  /// paper's vanilla DQN.
+  bool double_dqn = false;
+  std::uint64_t seed = 1;
+};
+
+class DqnAgent {
+ public:
+  explicit DqnAgent(DqnConfig config);
+
+  /// ε-greedy action for the current state (advances the exploration step).
+  std::size_t act(std::span<const double> state);
+
+  /// Greedy action (used at deployment, after training).
+  std::size_t act_greedy(std::span<const double> state) const;
+
+  /// Q-value estimates for a state.
+  std::vector<double> q_values(std::span<const double> state) const;
+
+  /// Record a transition; trains when enough experience has accumulated.
+  void observe(Transition transition);
+
+  /// One gradient step on a sampled minibatch (no-op if the buffer is
+  /// below the training threshold). Returns the minibatch TD loss, if run.
+  std::optional<double> train_step();
+
+  double epsilon() const;
+  std::size_t steps() const { return env_steps_; }
+  std::size_t gradient_steps() const { return grad_steps_; }
+  std::size_t param_count() const { return online_.param_count(); }
+
+  /// Approximate serialized size in bytes if stored as 32-bit floats — the
+  /// footprint the paper reports (10 664 floats ≈ 42.7 KB).
+  std::size_t deployed_size_bytes() const { return param_count() * 4; }
+
+  const DqnConfig& config() const { return config_; }
+  const Mlp& online_network() const { return online_; }
+
+  void save_file(const std::string& path) const { online_.save_file(path); }
+  void load_file(const std::string& path);
+
+ private:
+  DqnConfig config_;
+  Rng rng_;
+  Mlp online_;
+  Mlp target_;
+  AdamOptimizer optimizer_;
+  ReplayBuffer replay_;
+  std::size_t env_steps_ = 0;
+  std::size_t grad_steps_ = 0;
+};
+
+}  // namespace ctj::rl

@@ -1,0 +1,139 @@
+#include "rl/matrix.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace ctj::rl {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  CTJ_CHECK(rows > 0 && cols > 0);
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 0.0);
+}
+
+Matrix Matrix::he_normal(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double scale = std::sqrt(2.0 / static_cast<double>(rows));
+  for (double& v : m.data_) v = rng.normal(0.0, scale);
+  return m;
+}
+
+Matrix Matrix::row(std::span<const double> values) {
+  Matrix m(1, values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) m.data_[i] = values[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  CTJ_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  CTJ_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row_span(std::size_t r) {
+  CTJ_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row_span(std::size_t r) const {
+  CTJ_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Matrix::fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  CTJ_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+void Matrix::save(std::ostream& os) const {
+  const std::uint64_t r = rows_, c = cols_;
+  os.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  os.write(reinterpret_cast<const char*>(&c), sizeof(c));
+  os.write(reinterpret_cast<const char*>(data_.data()),
+           static_cast<std::streamsize>(data_.size() * sizeof(double)));
+  CTJ_CHECK_MSG(os.good(), "matrix serialization failed");
+}
+
+Matrix Matrix::load(std::istream& is) {
+  std::uint64_t r = 0, c = 0;
+  is.read(reinterpret_cast<char*>(&r), sizeof(r));
+  is.read(reinterpret_cast<char*>(&c), sizeof(c));
+  CTJ_CHECK_MSG(is.good() && r > 0 && c > 0, "corrupt matrix header");
+  Matrix m(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+  is.read(reinterpret_cast<char*>(m.data_.data()),
+          static_cast<std::streamsize>(m.data_.size() * sizeof(double)));
+  CTJ_CHECK_MSG(is.good(), "corrupt matrix payload");
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  CTJ_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch: "
+                                          << a.rows() << "x" << a.cols()
+                                          << " · " << b.rows() << "x"
+                                          << b.cols());
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data() + k * b.cols();
+      double* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  CTJ_CHECK(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols(), 0.0);
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.data() + k * a.cols();
+    const double* brow = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  CTJ_CHECK(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.data() + j * b.cols();
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+}  // namespace ctj::rl

@@ -1,0 +1,217 @@
+#include "rl/nn.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace ctj::rl {
+
+LinearLayer::LinearLayer(std::size_t in, std::size_t out, Rng& rng)
+    : w_(Matrix::he_normal(in, out, rng)),
+      b_(1, out, 0.0),
+      gw_(in, out, 0.0),
+      gb_(1, out, 0.0) {}
+
+Matrix LinearLayer::forward(const Matrix& x) {
+  cached_input_ = x;
+  return forward_const(x);
+}
+
+Matrix LinearLayer::forward_const(const Matrix& x) const {
+  Matrix y = matmul(x, w_);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double* row = y.data() + r * y.cols();
+    for (std::size_t c = 0; c < y.cols(); ++c) row[c] += b_.at(0, c);
+  }
+  return y;
+}
+
+Matrix LinearLayer::backward(const Matrix& grad_out) {
+  CTJ_CHECK_MSG(cached_input_.rows() == grad_out.rows(),
+                "backward() without a matching forward()");
+  gw_ += matmul_at_b(cached_input_, grad_out);
+  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+    const double* row = grad_out.data() + r * grad_out.cols();
+    for (std::size_t c = 0; c < grad_out.cols(); ++c) gb_.at(0, c) += row[c];
+  }
+  return matmul_a_bt(grad_out, w_);
+}
+
+void LinearLayer::zero_grad() {
+  gw_.fill(0.0);
+  gb_.fill(0.0);
+}
+
+void LinearLayer::save(std::ostream& os) const {
+  w_.save(os);
+  b_.save(os);
+}
+
+void LinearLayer::load(std::istream& is) {
+  Matrix w = Matrix::load(is);
+  Matrix b = Matrix::load(is);
+  CTJ_CHECK_MSG(w.rows() == w_.rows() && w.cols() == w_.cols() &&
+                    b.cols() == b_.cols(),
+                "layer shape mismatch on load");
+  w_ = std::move(w);
+  b_ = std::move(b);
+}
+
+Mlp::Mlp(std::vector<std::size_t> sizes, Rng& rng) : sizes_(std::move(sizes)) {
+  CTJ_CHECK_MSG(sizes_.size() >= 2, "an MLP needs at least input and output");
+  layers_.reserve(sizes_.size() - 1);
+  for (std::size_t i = 0; i + 1 < sizes_.size(); ++i) {
+    layers_.emplace_back(sizes_[i], sizes_[i + 1], rng);
+  }
+  relu_masks_.resize(layers_.size() > 0 ? layers_.size() - 1 : 0);
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  Matrix h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward(h);
+    if (i + 1 < layers_.size()) {
+      Matrix mask(h.rows(), h.cols(), 0.0);
+      for (std::size_t k = 0; k < h.size(); ++k) {
+        if (h.data()[k] > 0.0) {
+          mask.data()[k] = 1.0;
+        } else {
+          h.data()[k] = 0.0;
+        }
+      }
+      relu_masks_[i] = std::move(mask);
+    }
+  }
+  return h;
+}
+
+Matrix Mlp::forward_const(const Matrix& x) const {
+  Matrix h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward_const(h);
+    if (i + 1 < layers_.size()) {
+      for (std::size_t k = 0; k < h.size(); ++k) {
+        if (h.data()[k] < 0.0) h.data()[k] = 0.0;
+      }
+    }
+  }
+  return h;
+}
+
+void Mlp::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i].backward(g);
+    if (i > 0) {
+      const Matrix& mask = relu_masks_[i - 1];
+      CTJ_CHECK(mask.rows() == g.rows() && mask.cols() == g.cols());
+      for (std::size_t k = 0; k < g.size(); ++k) g.data()[k] *= mask.data()[k];
+    }
+  }
+}
+
+void Mlp::zero_grad() {
+  for (auto& layer : layers_) layer.zero_grad();
+}
+
+std::size_t Mlp::param_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer.param_count();
+  return n;
+}
+
+LinearLayer& Mlp::layer(std::size_t i) {
+  CTJ_CHECK(i < layers_.size());
+  return layers_[i];
+}
+
+const LinearLayer& Mlp::layer(std::size_t i) const {
+  CTJ_CHECK(i < layers_.size());
+  return layers_[i];
+}
+
+void Mlp::copy_parameters_from(const Mlp& other) {
+  CTJ_CHECK_MSG(sizes_ == other.sizes_, "cannot sync differently-shaped MLPs");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].weights() = other.layers_[i].weights();
+    layers_[i].bias() = other.layers_[i].bias();
+  }
+}
+
+void Mlp::save(std::ostream& os) const {
+  for (const auto& layer : layers_) layer.save(os);
+}
+
+void Mlp::load(std::istream& is) {
+  for (auto& layer : layers_) layer.load(is);
+}
+
+void Mlp::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  CTJ_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  save(os);
+}
+
+void Mlp::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CTJ_CHECK_MSG(is.is_open(), "cannot open " << path << " for reading");
+  load(is);
+}
+
+AdamOptimizer::AdamOptimizer(const Mlp& net, Config config) : config_(config) {
+  CTJ_CHECK(config.lr > 0.0);
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const auto& layer = net.layer(i);
+    m_.push_back(Matrix::zeros(layer.weights().rows(), layer.weights().cols()));
+    m_.push_back(Matrix::zeros(1, layer.bias().cols()));
+    v_.push_back(Matrix::zeros(layer.weights().rows(), layer.weights().cols()));
+    v_.push_back(Matrix::zeros(1, layer.bias().cols()));
+  }
+}
+
+void AdamOptimizer::step(Mlp& net) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  std::size_t slot = 0;
+  auto update = [&](Matrix& param, const Matrix& grad) {
+    Matrix& m = m_[slot];
+    Matrix& v = v_[slot];
+    ++slot;
+    for (std::size_t k = 0; k < param.size(); ++k) {
+      const double g = grad.data()[k];
+      m.data()[k] = config_.beta1 * m.data()[k] + (1.0 - config_.beta1) * g;
+      v.data()[k] = config_.beta2 * v.data()[k] + (1.0 - config_.beta2) * g * g;
+      const double mhat = m.data()[k] / bc1;
+      const double vhat = v.data()[k] / bc2;
+      param.data()[k] -= config_.lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+    }
+  };
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    update(net.layer(i).weights(), net.layer(i).weight_grad());
+    update(net.layer(i).bias(), net.layer(i).bias_grad());
+  }
+}
+
+void sgd_step(Mlp& net, double lr) {
+  CTJ_CHECK(lr > 0.0);
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    auto& layer = net.layer(i);
+    for (std::size_t k = 0; k < layer.weights().size(); ++k) {
+      layer.weights().data()[k] -= lr * layer.weight_grad().data()[k];
+    }
+    for (std::size_t k = 0; k < layer.bias().size(); ++k) {
+      layer.bias().data()[k] -= lr * layer.bias_grad().data()[k];
+    }
+  }
+}
+
+double huber_grad(double error, double delta) {
+  CTJ_CHECK(delta > 0.0);
+  if (error > delta) return delta;
+  if (error < -delta) return -delta;
+  return error;
+}
+
+}  // namespace ctj::rl

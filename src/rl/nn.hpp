@@ -1,0 +1,119 @@
+// A fully-connected feed-forward network with manual backpropagation, plus
+// SGD and Adam optimizers.
+//
+// Architecture per the paper's Fig. 4: input layer (3·I neurons), two hidden
+// ReLU layers, linear output layer (C·PL neurons). The implementation is
+// generic in the layer sizes so ablations can vary width and depth.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rl/matrix.hpp"
+
+namespace ctj::rl {
+
+/// One affine layer y = x·W + b with cached activations for backprop.
+class LinearLayer {
+ public:
+  LinearLayer(std::size_t in, std::size_t out, Rng& rng);
+
+  /// x: [batch × in] → [batch × out]; caches x for backward().
+  Matrix forward(const Matrix& x);
+  /// Forward without caching (inference on a const network).
+  Matrix forward_const(const Matrix& x) const;
+
+  /// grad_out: [batch × out] → grad_in [batch × in]; accumulates parameter
+  /// gradients (summed over the batch).
+  Matrix backward(const Matrix& grad_out);
+
+  void zero_grad();
+
+  Matrix& weights() { return w_; }
+  Matrix& bias() { return b_; }
+  const Matrix& weights() const { return w_; }
+  const Matrix& bias() const { return b_; }
+  Matrix& weight_grad() { return gw_; }
+  Matrix& bias_grad() { return gb_; }
+
+  std::size_t param_count() const { return w_.size() + b_.size(); }
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  Matrix w_;   // [in × out]
+  Matrix b_;   // [1 × out]
+  Matrix gw_;
+  Matrix gb_;
+  Matrix cached_input_;
+};
+
+/// Multi-layer perceptron with ReLU activations between affine layers.
+class Mlp {
+ public:
+  /// sizes = {in, h1, …, out}; at least one layer (sizes.size() >= 2).
+  Mlp(std::vector<std::size_t> sizes, Rng& rng);
+
+  Matrix forward(const Matrix& x);
+  Matrix forward_const(const Matrix& x) const;
+
+  /// Backprop from the output gradient; fills all layer gradients.
+  void backward(const Matrix& grad_out);
+
+  void zero_grad();
+  std::size_t param_count() const;
+  std::size_t num_layers() const { return layers_.size(); }
+  LinearLayer& layer(std::size_t i);
+  const LinearLayer& layer(std::size_t i) const;
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
+
+  /// Copy all parameters from another identically-shaped network
+  /// (target-network sync).
+  void copy_parameters_from(const Mlp& other);
+
+  /// Binary (de)serialization of the full parameter set.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<LinearLayer> layers_;
+  std::vector<Matrix> relu_masks_;  // cached per forward pass
+};
+
+/// Adam optimizer over an Mlp's parameters.
+class AdamOptimizer {
+ public:
+  struct Config {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+  };
+
+  AdamOptimizer(const Mlp& net, Config config);
+
+  /// Apply one update using the gradients currently stored in the network.
+  void step(Mlp& net);
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<Matrix> m_;  // first moments, one per parameter matrix
+  std::vector<Matrix> v_;  // second moments
+  std::size_t t_ = 0;
+};
+
+/// Plain SGD (used by tests as a cross-check of the gradient computation).
+void sgd_step(Mlp& net, double lr);
+
+/// Huber loss derivative for a scalar error (delta = 1).
+double huber_grad(double error, double delta = 1.0);
+
+}  // namespace ctj::rl

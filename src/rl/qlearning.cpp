@@ -1,0 +1,83 @@
+#include "rl/qlearning.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace ctj::rl {
+
+QLearningAgent::QLearningAgent(QLearningConfig config)
+    : config_(config), rng_(config.seed) {
+  CTJ_CHECK(config.state_dim > 0);
+  CTJ_CHECK(config.num_actions >= 2);
+  CTJ_CHECK(config.bins_per_dim >= 2);
+  CTJ_CHECK(config.gamma >= 0.0 && config.gamma < 1.0);
+}
+
+std::uint64_t QLearningAgent::key_of(std::span<const double> state) const {
+  CTJ_CHECK(state.size() == config_.state_dim);
+  // FNV-style rolling hash of the per-dimension bin indices. Observations
+  // are expected in [0, 1]; out-of-range values clamp to the edge bins.
+  std::uint64_t key = 1469598103934665603ULL;
+  for (double v : state) {
+    const double clamped = std::min(1.0, std::max(0.0, v));
+    auto bin = static_cast<std::uint64_t>(
+        clamped * static_cast<double>(config_.bins_per_dim));
+    bin = std::min<std::uint64_t>(bin, config_.bins_per_dim - 1);
+    key ^= bin + 0x9e3779b97f4a7c15ULL;
+    key *= 1099511628211ULL;
+  }
+  return key;
+}
+
+const std::vector<double>& QLearningAgent::row(std::uint64_t key) const {
+  const auto it = table_.find(key);
+  if (it != table_.end()) return it->second;
+  // Unvisited state: all-zero Q row (not inserted — reads stay cheap).
+  static thread_local std::vector<double> zeros;
+  zeros.assign(config_.num_actions, 0.0);
+  return zeros;
+}
+
+std::vector<double>& QLearningAgent::row_mut(std::uint64_t key) {
+  auto [it, inserted] = table_.try_emplace(key);
+  if (inserted) it->second.assign(config_.num_actions, 0.0);
+  return it->second;
+}
+
+double QLearningAgent::epsilon() const {
+  if (config_.epsilon_decay_steps == 0) return config_.epsilon_end;
+  const double frac =
+      std::min(1.0, static_cast<double>(steps_) /
+                        static_cast<double>(config_.epsilon_decay_steps));
+  return config_.epsilon_start +
+         frac * (config_.epsilon_end - config_.epsilon_start);
+}
+
+std::size_t QLearningAgent::act_greedy(std::span<const double> state) const {
+  const auto& q = row(key_of(state));
+  return argmax(q);
+}
+
+std::size_t QLearningAgent::act(std::span<const double> state) {
+  const std::size_t best = act_greedy(state);
+  if (!rng_.bernoulli(epsilon())) return best;
+  std::size_t other = rng_.index(config_.num_actions - 1);
+  if (other >= best) ++other;
+  return other;
+}
+
+void QLearningAgent::update(std::span<const double> state, std::size_t action,
+                            double reward,
+                            std::span<const double> next_state) {
+  CTJ_CHECK(action < config_.num_actions);
+  const auto& next_q = row(key_of(next_state));
+  const double max_next = *std::max_element(next_q.begin(), next_q.end());
+  auto& q = row_mut(key_of(state));
+  const double target = reward * config_.reward_scale + config_.gamma * max_next;
+  q[action] += config_.learning_rate * (target - q[action]);
+  ++steps_;
+}
+
+}  // namespace ctj::rl

@@ -1,0 +1,65 @@
+// Tabular Q-learning baseline.
+//
+// Sec. III.C motivates the DQN by contrast with classic Q-learning, whose
+// convergence "suffers from the curse of high-dimensionality": the table
+// grows with the product of the observation quantization levels, and every
+// cell must be visited many times. This implementation discretizes a
+// continuous observation vector onto a per-dimension grid so the comparison
+// in bench_ablation_dqn can quantify that claim on the same environment.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ctj::rl {
+
+struct QLearningConfig {
+  std::size_t state_dim = 24;
+  std::size_t num_actions = 160;
+  /// Quantization levels per observation dimension (the table has up to
+  /// bins^state_dim cells — the curse the paper refers to).
+  std::size_t bins_per_dim = 3;
+  double learning_rate = 0.1;
+  double gamma = 0.9;
+  double reward_scale = 0.01;
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  std::size_t epsilon_decay_steps = 4000;
+  std::uint64_t seed = 1;
+};
+
+class QLearningAgent {
+ public:
+  explicit QLearningAgent(QLearningConfig config);
+
+  /// ε-greedy action for the (continuous) observation.
+  std::size_t act(std::span<const double> state);
+  std::size_t act_greedy(std::span<const double> state) const;
+
+  /// Q-learning update for (s, a, r, s').
+  void update(std::span<const double> state, std::size_t action, double reward,
+              std::span<const double> next_state);
+
+  double epsilon() const;
+  std::size_t steps() const { return steps_; }
+  /// Number of distinct discretized states seen so far (table growth).
+  std::size_t table_size() const { return table_.size(); }
+
+  const QLearningConfig& config() const { return config_; }
+
+ private:
+  /// Discretize an observation into a table key.
+  std::uint64_t key_of(std::span<const double> state) const;
+  const std::vector<double>& row(std::uint64_t key) const;
+  std::vector<double>& row_mut(std::uint64_t key);
+
+  QLearningConfig config_;
+  mutable Rng rng_;
+  std::unordered_map<std::uint64_t, std::vector<double>> table_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace ctj::rl

@@ -1,0 +1,42 @@
+#include "rl/replay.hpp"
+
+#include "common/check.hpp"
+
+namespace ctj::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  CTJ_CHECK(capacity > 0);
+  buffer_.reserve(capacity);
+}
+
+void ReplayBuffer::push(Transition transition) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(transition));
+  } else {
+    buffer_[next_] = std::move(transition);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch,
+                                                    Rng& rng) const {
+  CTJ_CHECK_MSG(!buffer_.empty(), "sampling from an empty replay buffer");
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    out.push_back(&buffer_[rng.index(buffer_.size())]);
+  }
+  return out;
+}
+
+const Transition& ReplayBuffer::at(std::size_t i) const {
+  CTJ_CHECK(i < buffer_.size());
+  return buffer_[i];
+}
+
+void ReplayBuffer::clear() {
+  buffer_.clear();
+  next_ = 0;
+}
+
+}  // namespace ctj::rl

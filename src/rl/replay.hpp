@@ -1,0 +1,43 @@
+// Uniform experience replay for the DQN (Sec. III.C).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ctj::rl {
+
+struct Transition {
+  std::vector<double> state;
+  std::size_t action = 0;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  /// Terminal flag; the anti-jamming competition is a continuing task so this
+  /// stays false there, but the agent is generic.
+  bool done = false;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void push(Transition transition);
+
+  std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return buffer_.empty(); }
+
+  /// Sample `batch` transitions uniformly with replacement.
+  std::vector<const Transition*> sample(std::size_t batch, Rng& rng) const;
+
+  const Transition& at(std::size_t i) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring cursor once full
+  std::vector<Transition> buffer_;
+};
+
+}  // namespace ctj::rl

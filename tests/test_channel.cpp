@@ -1,0 +1,251 @@
+// Tests for the 2.4 GHz channel substrate: spectrum layout, path loss and
+// the SINR→BER→PER link model with cross-technology jammer suppression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/link.hpp"
+#include "channel/pathloss.hpp"
+#include "channel/spectrum.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace ctj::channel {
+namespace {
+
+// ------------------------------------------------------------- spectrum ----
+
+TEST(Spectrum, ZigbeeChannelCenters) {
+  EXPECT_DOUBLE_EQ(zigbee_center_hz(0), 2405e6);   // channel 11
+  EXPECT_DOUBLE_EQ(zigbee_center_hz(15), 2480e6);  // channel 26
+  EXPECT_EQ(zigbee_channel_number(0), 11);
+  EXPECT_EQ(zigbee_channel_number(15), 26);
+}
+
+TEST(Spectrum, WifiChannelCenters) {
+  EXPECT_DOUBLE_EQ(wifi_center_hz(1), 2412e6);
+  EXPECT_DOUBLE_EQ(wifi_center_hz(6), 2437e6);
+  EXPECT_DOUBLE_EQ(wifi_center_hz(11), 2462e6);
+}
+
+TEST(Spectrum, WifiChannelCoversExactlyFourZigbeeChannels) {
+  // The paper's m = 4: one Wi-Fi channel can jam 4 consecutive ZigBee
+  // channels at once.
+  for (int w = 1; w <= 11; ++w) {
+    const auto covered = zigbee_channels_covered(w);
+    EXPECT_EQ(covered.size(), 4u) << "wifi channel " << w;
+    for (std::size_t i = 1; i < covered.size(); ++i) {
+      EXPECT_EQ(covered[i], covered[i - 1] + 1);  // consecutive
+    }
+  }
+}
+
+TEST(Spectrum, KnownOverlapWifi1) {
+  // Wi-Fi channel 1 (2402–2422 MHz) fully covers ZigBee 11–14
+  // (indices 0–3).
+  const auto covered = zigbee_channels_covered(1);
+  EXPECT_EQ(covered, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Spectrum, OverlapFractionBounds) {
+  for (int z = 0; z < kZigbeeChannelCount; ++z) {
+    for (int w = 1; w <= 11; ++w) {
+      const double f = overlap_fraction(z, w);
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+}
+
+TEST(Spectrum, CoveringChannelIsConsistent) {
+  for (int z = 0; z < kZigbeeChannelCount; ++z) {
+    const int w = wifi_channel_covering(z);
+    if (w > 0) {
+      EXPECT_DOUBLE_EQ(overlap_fraction(z, w), 1.0);
+    }
+  }
+  // Every ZigBee channel except the topmost ones is covered by some Wi-Fi
+  // channel 1..11 (ZigBee 25/26 sit above Wi-Fi 11's band edge).
+  EXPECT_GT(wifi_channel_covering(0), 0);
+  EXPECT_GT(wifi_channel_covering(10), 0);
+}
+
+TEST(Spectrum, RejectsOutOfRange) {
+  EXPECT_THROW(zigbee_center_hz(16), CheckFailure);
+  EXPECT_THROW(wifi_center_hz(0), CheckFailure);
+  EXPECT_THROW(wifi_center_hz(12), CheckFailure);
+}
+
+// ------------------------------------------------------------- path loss ----
+
+TEST(PathLoss, FreeSpaceKnownValue) {
+  // FSPL at 1 m, 2.44 GHz ≈ 40.2 dB.
+  EXPECT_NEAR(LogDistancePathLoss::free_space_db(1.0, 2.44e9), 40.2, 0.3);
+}
+
+TEST(PathLoss, MonotonicInDistance) {
+  LogDistancePathLoss pl;
+  double prev = pl.mean_loss_db(1.0);
+  for (double d = 2.0; d <= 30.0; d += 1.0) {
+    const double cur = pl.mean_loss_db(d);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PathLoss, ExponentControlsSlope) {
+  LogDistancePathLoss::Config c2;
+  c2.exponent = 2.0;
+  LogDistancePathLoss::Config c4;
+  c4.exponent = 4.0;
+  const LogDistancePathLoss pl2(c2), pl4(c4);
+  const double slope2 = pl2.mean_loss_db(10.0) - pl2.mean_loss_db(1.0);
+  const double slope4 = pl4.mean_loss_db(10.0) - pl4.mean_loss_db(1.0);
+  EXPECT_NEAR(slope2, 20.0, 0.1);  // 10·n per decade
+  EXPECT_NEAR(slope4, 40.0, 0.1);
+}
+
+TEST(PathLoss, ClampsBelowReference) {
+  LogDistancePathLoss pl;
+  EXPECT_DOUBLE_EQ(pl.mean_loss_db(0.2), pl.mean_loss_db(1.0));
+}
+
+TEST(PathLoss, ShadowingZeroSigmaIsDeterministic) {
+  LogDistancePathLoss pl;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(pl.sample_loss_db(5.0, rng), pl.mean_loss_db(5.0));
+}
+
+TEST(PathLoss, ShadowingSpread) {
+  LogDistancePathLoss::Config c;
+  c.shadowing_sigma_db = 4.0;
+  const LogDistancePathLoss pl(c);
+  Rng rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) stats.add(pl.sample_loss_db(5.0, rng));
+  EXPECT_NEAR(stats.mean(), pl.mean_loss_db(5.0), 0.2);
+  EXPECT_NEAR(stats.stddev(), 4.0, 0.2);
+}
+
+TEST(Position, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+// ------------------------------------------------------------ link model ----
+
+TEST(Link, DsssProcessingGain) {
+  EXPECT_NEAR(dsss_processing_gain_db(), 9.03, 0.05);
+}
+
+TEST(Link, SuppressionRanking) {
+  // EmuBee suffers almost no suppression; plain Wi-Fi is suppressed by the
+  // in-band fraction (10 dB) plus the processing gain (9 dB).
+  EXPECT_LT(jammer_suppression_db(JammingSignalType::kEmuBee), 1.0);
+  EXPECT_NEAR(jammer_suppression_db(JammingSignalType::kWifi), 19.0, 0.5);
+  EXPECT_DOUBLE_EQ(jammer_suppression_db(JammingSignalType::kZigbee), 0.0);
+}
+
+TEST(Link, BerMonotonicInSinr) {
+  double prev = 0.5;
+  for (double sinr_db = -10.0; sinr_db <= 10.0; sinr_db += 0.5) {
+    const double ber = zigbee_ber(db_to_ratio(sinr_db));
+    EXPECT_LE(ber, prev + 1e-12);
+    prev = ber;
+  }
+}
+
+TEST(Link, BerLimits) {
+  EXPECT_NEAR(zigbee_ber(100.0), 0.0, 1e-12);
+  EXPECT_GT(zigbee_ber(0.01), 0.2);  // deep in the noise: near coin-flip
+}
+
+TEST(Link, PerIncreasesWithPacketSize) {
+  const double sinr_db = 1.0;
+  EXPECT_LT(zigbee_per(sinr_db, 16), zigbee_per(sinr_db, 128));
+}
+
+TEST(Link, SinrWithoutJammerIsSnr) {
+  ZigbeeLink link;
+  const double rx = -70.0;
+  EXPECT_NEAR(link.sinr_db(rx), rx - link.noise_floor_dbm(), 1e-9);
+}
+
+TEST(Link, JammerLowersSinr) {
+  ZigbeeLink link;
+  const double clean = link.sinr_db(-70.0);
+  const double jammed =
+      link.sinr_db(-70.0, -60.0, JammingSignalType::kEmuBee);
+  EXPECT_LT(jammed, clean);
+}
+
+TEST(Link, ZeroOverlapMeansNoInterference) {
+  ZigbeeLink link;
+  EXPECT_NEAR(link.sinr_db(-70.0, -40.0, JammingSignalType::kEmuBee, 0.0),
+              link.sinr_db(-70.0), 1e-9);
+}
+
+TEST(Link, JammingEffectRankingMatchesPaper) {
+  // Fig. 2(b): same jammer position, realistic transmit powers — the EmuBee
+  // jammer (Wi-Fi class, 100 mW) jams hardest, a conventional ZigBee jammer
+  // (5 dBm) second, a plain Wi-Fi jammer (100 mW but DSSS-suppressed) least.
+  ZigbeeLink link;
+  const double signal = -60.0;
+  const double jam_distance = 10.0;
+  auto sinr_for = [&](double tx_dbm, JammingSignalType type) {
+    const double jam_rx = link.received_power_dbm(tx_dbm, jam_distance);
+    return link.sinr_db(signal, jam_rx, type);
+  };
+  // Lower SINR == stronger jamming effect (PER is monotone in SINR).
+  const double sinr_emubee = sinr_for(20.0, JammingSignalType::kEmuBee);
+  const double sinr_zigbee_jam = sinr_for(5.0, JammingSignalType::kZigbee);
+  const double sinr_wifi = sinr_for(20.0, JammingSignalType::kWifi);
+  EXPECT_LT(sinr_emubee, sinr_zigbee_jam);
+  EXPECT_LT(sinr_zigbee_jam, sinr_wifi);
+  // And at these operating points the PERs are ordered the same way.
+  EXPECT_GE(link.per(sinr_emubee), link.per(sinr_zigbee_jam));
+  EXPECT_GE(link.per(sinr_zigbee_jam), link.per(sinr_wifi));
+  // At *equal received power*, EmuBee and a native ZigBee signal are within
+  // ~1 dB of each other (both bypass the processing gain).
+  const double jam_rx = -74.0;
+  EXPECT_NEAR(link.sinr_db(signal, jam_rx, JammingSignalType::kEmuBee),
+              link.sinr_db(signal, jam_rx, JammingSignalType::kZigbee), 1.0);
+}
+
+TEST(Link, PerWithJammerDecreasesWithJammerDistance) {
+  // The distance trend of Fig. 2(b): a farther jammer hurts less.
+  ZigbeeLink link;
+  double prev = 1.1;
+  for (double d = 1.0; d <= 15.0; d += 1.0) {
+    const double per = link.per_with_jammer(
+        /*tx_power_dbm=*/0.0, /*tx_distance_m=*/2.0,
+        /*jam_power_dbm=*/20.0, /*jam_distance_m=*/d,
+        JammingSignalType::kEmuBee);
+    EXPECT_LE(per, prev + 1e-9);
+    prev = per;
+  }
+}
+
+TEST(Link, FullPowerDuel) {
+  // A 100 mW EmuBee jammer at 8 m crushes a 1 mW ZigBee link at 3 m, but a
+  // +5 dBm (max ZigBee-class) transmitter has a fighting chance against the
+  // jammer's low power levels.
+  ZigbeeLink link;
+  const double per_weak = link.per_with_jammer(0.0, 3.0, 20.0, 8.0,
+                                               JammingSignalType::kEmuBee);
+  EXPECT_GT(per_weak, 0.9);
+  const double per_strong = link.per_with_jammer(5.0, 3.0, 11.0, 8.0,
+                                                 JammingSignalType::kEmuBee);
+  EXPECT_LT(per_strong, per_weak);
+}
+
+TEST(Link, ToStringNames) {
+  EXPECT_STREQ(to_string(JammingSignalType::kEmuBee), "EmuBee");
+  EXPECT_STREQ(to_string(JammingSignalType::kWifi), "WiFi");
+  EXPECT_STREQ(to_string(JammingSignalType::kZigbee), "ZigBee");
+}
+
+}  // namespace
+}  // namespace ctj::channel

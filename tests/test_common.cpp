@@ -1,0 +1,250 @@
+// Tests for the common substrate: checks, RNG, units, math utilities,
+// statistics and the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "common/modes.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace ctj {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(CTJ_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsCheckFailure) {
+  EXPECT_THROW(CTJ_CHECK(false), CheckFailure);
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    CTJ_CHECK_MSG(false, "the answer is " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("the answer is 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  const std::vector<double> w = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng rng(1);
+  const std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(w), CheckFailure);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  EXPECT_NE(a.uniform(), child.uniform());
+}
+
+TEST(Units, DbmMwRoundTrip) {
+  for (double dbm : {-90.0, -30.0, 0.0, 20.0}) {
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-12);
+  }
+}
+
+TEST(Units, KnownConversions) {
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(20.0), 100.0, 1e-9);  // the Wi-Fi jammer's 100 mW
+  EXPECT_NEAR(ratio_to_db(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_ratio(3.0), 1.995, 0.01);
+}
+
+TEST(Units, NoiseFloor2MHz) {
+  // kTB for 2 MHz ≈ −111 dBm.
+  EXPECT_NEAR(noise_floor_dbm(2e6), -111.0, 0.2);
+}
+
+TEST(MathUtil, LinspaceEndpointsAndSpacing) {
+  const auto v = linspace(1.0, 3.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+  EXPECT_NEAR(v[1] - v[0], 0.5, 1e-12);
+}
+
+TEST(MathUtil, LinspaceSinglePoint) {
+  const auto v = linspace(2.0, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+}
+
+TEST(MathUtil, ArgmaxArgminFirstOnTies) {
+  const std::vector<double> v = {1.0, 5.0, 5.0, -2.0, -2.0};
+  EXPECT_EQ(argmax(v), 1u);
+  EXPECT_EQ(argmin(v), 3u);
+}
+
+TEST(MathUtil, ClampBounds) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtil, MinimizeUnimodalQuadratic) {
+  const double x = minimize_unimodal(
+      [](double v) { return (v - 1.7) * (v - 1.7) + 3.0; }, -10.0, 10.0);
+  EXPECT_NEAR(x, 1.7, 1e-6);
+}
+
+TEST(MathUtil, MinimizeUnimodalAsymmetric) {
+  const double x = minimize_unimodal(
+      [](double v) { return std::abs(v - 0.25) + 0.1 * v; }, 0.0, 1.0);
+  EXPECT_NEAR(x, 0.25, 1e-6);
+}
+
+TEST(MathUtil, MeanAndStddev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(sample_stddev(v), 2.138, 0.01);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats stats;
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 10.0};
+  for (double x : v) stats.add(x);
+  EXPECT_EQ(stats.count(), v.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), mean(v));
+  EXPECT_NEAR(stats.stddev(), sample_stddev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 10.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  RunningStats a, b, all;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal();
+    if (i % 2 == 0) a.add(x); else b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RateCounter, RateAndEdgeCases) {
+  RateCounter c;
+  EXPECT_DOUBLE_EQ(c.rate(), 0.0);
+  c.record(true);
+  c.record(false);
+  c.record(true);
+  c.record(true);
+  EXPECT_DOUBLE_EQ(c.rate(), 0.75);
+  EXPECT_EQ(c.trials(), 4u);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(-5.0);  // clamps to 0
+  h.add(50.0);  // clamps to 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.5);
+}
+
+TEST(TextTable, FormatsAlignedColumns) {
+  TextTable t({"x", "value"});
+  t.add_row(std::vector<std::string>{"1", "10.00"});
+  t.add_row(std::vector<double>{1.0, 2.5}, 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("value"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), CheckFailure);
+}
+
+TEST(Modes, ToString) {
+  EXPECT_STREQ(to_string(JammerPowerMode::kMaxPower), "max-power");
+  EXPECT_STREQ(to_string(JammerPowerMode::kRandomPower), "random-power");
+}
+
+}  // namespace
+}  // namespace ctj

@@ -1,0 +1,200 @@
+// Cross-module integration tests and edge cases: the experiment harness,
+// deployment ε, packet-level field runs, degenerate slot budgets, and
+// spectrum corners.
+#include <gtest/gtest.h>
+
+#include "channel/spectrum.hpp"
+#include "core/experiment.hpp"
+#include "core/field.hpp"
+#include "core/mdp_scheme.hpp"
+#include "core/random_fh.hpp"
+#include "core/rl_fh.hpp"
+#include "net/star_network.hpp"
+
+namespace ctj {
+namespace {
+
+using namespace core;
+
+TEST(ExperimentConfig, SyncDimensionsPropagatesEnv) {
+  RlExperimentConfig config;
+  config.env = EnvironmentConfig::defaults();
+  config.env.num_channels = 8;
+  config.env.tx_levels = {6, 7, 8};
+  config.sync_dimensions();
+  EXPECT_EQ(config.scheme.num_channels, 8);
+  EXPECT_EQ(config.scheme.num_power_levels, 3u);
+}
+
+TEST(DqnScheme, DeployEpsilonValidated) {
+  DqnScheme::Config config;
+  config.history = 2;
+  config.hidden = {8};
+  DqnScheme scheme(config);
+  EXPECT_THROW(scheme.set_deploy_epsilon(1.0), CheckFailure);
+  EXPECT_THROW(scheme.set_deploy_epsilon(-0.1), CheckFailure);
+  scheme.set_deploy_epsilon(0.3);
+  EXPECT_DOUBLE_EQ(scheme.deploy_epsilon(), 0.3);
+}
+
+TEST(DqnScheme, DeployEpsilonRandomizesActions) {
+  DqnScheme::Config config;
+  config.history = 2;
+  config.hidden = {8};
+  config.deploy_epsilon = 0.5;
+  DqnScheme scheme(config);
+  scheme.set_training(false);
+  std::set<int> channels;
+  for (int i = 0; i < 300; ++i) {
+    const auto d = scheme.decide();
+    channels.insert(d.channel);
+    SlotFeedback fb;
+    fb.success = true;
+    fb.channel = d.channel;
+    fb.power_index = d.power_index;
+    scheme.feedback(fb);
+  }
+  // With 50% exploration the channel pattern cannot be a fixed point.
+  EXPECT_GT(channels.size(), 4u);
+}
+
+TEST(DqnScheme, ZeroDeployEpsilonIsDeterministicGivenHistory) {
+  DqnScheme::Config config;
+  config.history = 2;
+  config.hidden = {8};
+  config.deploy_epsilon = 0.0;
+  config.seed = 5;
+  DqnScheme a(config), b(config);
+  a.set_training(false);
+  b.set_training(false);
+  for (int i = 0; i < 20; ++i) {
+    const auto da = a.decide();
+    const auto db = b.decide();
+    EXPECT_EQ(da.channel, db.channel);
+    EXPECT_EQ(da.power_index, db.power_index);
+    SlotFeedback fb;
+    fb.success = true;
+    fb.channel = da.channel;
+    fb.power_index = da.power_index;
+    a.feedback(fb);
+    b.feedback(fb);
+  }
+}
+
+TEST(MdpOracle, UsesPowerControlInRandomMode) {
+  // Against the hidden-mode jammer, the oracle's optimal actions include
+  // raised power levels (the hybrid FH+PC behaviour of Sec. III).
+  MdpOracleScheme::Config config;
+  config.params = mdp::AntijamParams::defaults();
+  config.params.mode = JammerPowerMode::kRandomPower;
+  MdpOracleScheme oracle(config);
+  auto env_config = EnvironmentConfig::defaults();
+  env_config.mode = JammerPowerMode::kRandomPower;
+  CompetitionEnvironment env(env_config);
+  const auto metrics = evaluate(oracle, env, 8000);
+  EXPECT_GT(metrics.ap, 0.1);
+  EXPECT_GT(metrics.st, 0.75);
+}
+
+TEST(MdpOracle, HopsLeaveTheJammerGroup) {
+  MdpOracleScheme::Config config;
+  config.params.loss_jam = 1e5;  // hop-always policy
+  config.params.loss_hop = 0.1;
+  MdpOracleScheme oracle(config);
+  int prev = oracle.decide().channel;
+  SlotFeedback fb;
+  fb.success = true;
+  for (int i = 0; i < 200; ++i) {
+    oracle.feedback(fb);
+    const int next = oracle.decide().channel;
+    if (next != prev) {
+      EXPECT_NE(next / 4, prev / 4) << "hop stayed inside the jammed group";
+    }
+    prev = next;
+  }
+}
+
+TEST(Field, PacketLevelFieldRunWorksUnderJamming) {
+  RandomFhScheme scheme{RandomFhScheme::Config{}};
+  FieldConfig config = FieldConfig::defaults();
+  config.network.num_peripherals = 2;
+  config.network.slot_duration_s = 0.5;
+  config.network.packet_level = true;  // real frames end to end
+  config.network.seed = 21;
+  config.seed = 22;
+  FieldExperiment experiment(config, scheme);
+  const auto result = experiment.run(60);
+  EXPECT_GT(result.goodput_packets_per_slot, 0.0);
+  EXPECT_GT(experiment.network().hub().total_delivered(), 0u);
+}
+
+TEST(StarNetwork, TinySlotCarriesNothing) {
+  net::StarNetworkConfig config;
+  config.num_peripherals = 2;
+  config.slot_duration_s = 0.01;  // smaller than the fixed overhead
+  config.seed = 9;
+  net::StarNetwork network(config);
+  net::SlotDecision decision;
+  decision.channel = 0;
+  const auto stats = network.run_slot(decision, std::nullopt);
+  EXPECT_EQ(stats.packets_attempted, 0u);
+  EXPECT_FALSE(stats.success);
+  EXPECT_DOUBLE_EQ(stats.delivery_ratio, 0.0);
+}
+
+TEST(Field, DisabledJammerStillAdvancesClock) {
+  RandomFhScheme scheme{RandomFhScheme::Config{}};
+  FieldConfig config = FieldConfig::defaults();
+  config.jammer_enabled = false;
+  config.network.seed = 31;
+  config.seed = 32;
+  FieldExperiment experiment(config, scheme);
+  const auto r = experiment.run(10);
+  EXPECT_EQ(r.slots, 10u);
+  EXPECT_FALSE(experiment.jammer().locked());
+}
+
+TEST(Spectrum, TopZigbeeChannelsEscapeWifi) {
+  // ZigBee channels 25/26 (indices 14/15) sit above Wi-Fi channel 11's band:
+  // no North-American Wi-Fi channel covers them — the classic "safe
+  // channels" of coexistence folklore.
+  EXPECT_EQ(channel::wifi_channel_covering(15), -1);
+}
+
+TEST(Spectrum, EveryWifiChannelHasDistinctCoverageWindow) {
+  std::set<std::vector<int>> windows;
+  for (int w = 1; w <= 11; ++w) {
+    windows.insert(channel::zigbee_channels_covered(w));
+  }
+  EXPECT_EQ(windows.size(), 11u);
+}
+
+TEST(Trainer, RewardWindowShorterThanRun) {
+  auto env_config = EnvironmentConfig::defaults();
+  CompetitionEnvironment env(env_config);
+  DqnScheme::Config scheme_config;
+  scheme_config.history = 2;
+  scheme_config.hidden = {8};
+  DqnScheme scheme(scheme_config);
+  TrainerConfig config;
+  config.max_slots = 100;
+  config.reward_window = 1000;  // larger than the run: mean over all slots
+  const auto stats = train(scheme, env, config);
+  EXPECT_EQ(stats.slots_trained, 100u);
+  EXPECT_LT(stats.final_mean_reward, 0.0);
+}
+
+TEST(Evaluate, OracleMatchesItsOwnThresholdPrediction) {
+  // Internal consistency: the oracle's FH adoption rate is bounded by the
+  // threshold structure — at threshold n*, roughly one hop per n* slots in
+  // steady jam-free stretches, plus escapes.
+  MdpOracleScheme::Config config;
+  MdpOracleScheme oracle(config);
+  CompetitionEnvironment env(EnvironmentConfig::defaults());
+  const auto metrics = evaluate(oracle, env, 10000);
+  EXPECT_GT(metrics.ah, 0.0);
+  EXPECT_LT(metrics.ah, 0.8);
+}
+
+}  // namespace
+}  // namespace ctj

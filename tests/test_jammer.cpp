@@ -1,0 +1,210 @@
+// Tests for the behavioural sweeping cross-technology jammer and the
+// victim-side error-rate detector.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.hpp"
+#include "jammer/detector.hpp"
+#include "jammer/sweep_jammer.hpp"
+
+namespace ctj::jammer {
+namespace {
+
+TEST(SweepJammerConfig, DefaultsMatchPaper) {
+  const auto c = SweepJammerConfig::defaults();
+  EXPECT_EQ(c.num_channels, 16);
+  EXPECT_EQ(c.channels_per_sweep, 4);
+  EXPECT_EQ(c.sweep_cycle(), 4);
+  EXPECT_EQ(c.power_levels.size(), 10u);
+}
+
+TEST(SweepJammerConfig, SweepCycleCeiling) {
+  SweepJammerConfig c = SweepJammerConfig::defaults();
+  c.num_channels = 10;
+  c.channels_per_sweep = 4;
+  EXPECT_EQ(c.sweep_cycle(), 3);  // ⌈10/4⌉
+}
+
+TEST(SweepJammer, FindsStationaryVictimWithinOneCycle) {
+  // A victim that never hops must be found within ⌈K/m⌉ = 4 slots.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SweepJammer jammer(SweepJammerConfig::defaults(), seed);
+    int slots_to_find = 0;
+    for (int slot = 1; slot <= 4; ++slot) {
+      if (jammer.step(5).hit) {
+        slots_to_find = slot;
+        break;
+      }
+    }
+    EXPECT_GE(slots_to_find, 1) << "seed " << seed;
+    EXPECT_LE(slots_to_find, 4) << "seed " << seed;
+  }
+}
+
+TEST(SweepJammer, LocksOnAndKeepsJamming) {
+  SweepJammer jammer(SweepJammerConfig::defaults(), 3);
+  // Force discovery.
+  while (!jammer.step(7).hit) {
+  }
+  EXPECT_TRUE(jammer.locked());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(jammer.step(7).hit);
+  }
+}
+
+TEST(SweepJammer, ResumesSweepWhenVictimLeaves) {
+  SweepJammer jammer(SweepJammerConfig::defaults(), 4);
+  while (!jammer.step(7).hit) {
+  }
+  EXPECT_TRUE(jammer.locked());
+  // Victim hops far away (different group): the jammer must unlock.
+  const auto report = jammer.step(12);
+  EXPECT_FALSE(report.hit && jammer.locked_channel() == 7);
+  // Eventually it finds the victim again.
+  bool found = false;
+  for (int i = 0; i < 4; ++i) {
+    if (jammer.step(12).hit) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SweepJammer, StaysLockedWhenVictimMovesWithinGroup) {
+  // The jammer's 20 MHz emission covers the whole 4-channel group: hopping
+  // inside the group does not escape it.
+  SweepJammer jammer(SweepJammerConfig::defaults(), 5);
+  while (!jammer.step(4).hit) {
+  }
+  EXPECT_TRUE(jammer.step(5).hit);  // channels 4..7 share a group
+  EXPECT_TRUE(jammer.step(6).hit);
+}
+
+TEST(SweepJammer, HazardRateMatchesMdpModel) {
+  // Statistical check of the 1/(N−n) discovery hazard: over many fresh
+  // cycles, a stationary victim is found in slot 1, 2, 3, 4 with equal
+  // probability 1/4 (uniform random sweep order).
+  std::vector<int> found_at(5, 0);
+  SweepJammerConfig config = SweepJammerConfig::defaults();
+  for (std::uint64_t seed = 0; seed < 4000; ++seed) {
+    SweepJammer jammer(config, seed);
+    for (int slot = 1; slot <= 4; ++slot) {
+      if (jammer.step(9).hit) {
+        ++found_at[static_cast<std::size_t>(slot)];
+        break;
+      }
+    }
+  }
+  for (int slot = 1; slot <= 4; ++slot) {
+    EXPECT_NEAR(found_at[static_cast<std::size_t>(slot)] / 4000.0, 0.25, 0.03)
+        << "slot " << slot;
+  }
+}
+
+TEST(SweepJammer, MaxPowerModeAlwaysTop) {
+  SweepJammerConfig config = SweepJammerConfig::defaults();
+  config.mode = JammerPowerMode::kMaxPower;
+  SweepJammer jammer(config, 6);
+  while (!jammer.step(2).hit) {
+  }
+  for (int i = 0; i < 20; ++i) {
+    const auto report = jammer.step(2);
+    ASSERT_TRUE(report.hit);
+    EXPECT_DOUBLE_EQ(report.power, 20.0);
+  }
+}
+
+TEST(SweepJammer, RandomPowerModeSpansLevels) {
+  SweepJammerConfig config = SweepJammerConfig::defaults();
+  config.mode = JammerPowerMode::kRandomPower;
+  SweepJammer jammer(config, 7);
+  while (!jammer.step(2).hit) {
+  }
+  std::set<double> seen;
+  for (int i = 0; i < 300; ++i) {
+    const auto report = jammer.step(2);
+    ASSERT_TRUE(report.hit);
+    seen.insert(report.power);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all levels 11..20 appear
+  EXPECT_EQ(*seen.begin(), 11.0);
+  EXPECT_EQ(*seen.rbegin(), 20.0);
+}
+
+TEST(SweepJammer, ResetRestartsSweep) {
+  SweepJammer jammer(SweepJammerConfig::defaults(), 8);
+  while (!jammer.step(3).hit) {
+  }
+  EXPECT_TRUE(jammer.locked());
+  jammer.reset();
+  EXPECT_FALSE(jammer.locked());
+}
+
+TEST(SweepJammer, RejectsBadConfig) {
+  SweepJammerConfig config = SweepJammerConfig::defaults();
+  config.power_levels.clear();
+  EXPECT_THROW(SweepJammer(config, 1), CheckFailure);
+  config = SweepJammerConfig::defaults();
+  config.channels_per_sweep = 32;
+  EXPECT_THROW(SweepJammer(config, 1), CheckFailure);
+}
+
+TEST(SweepJammer, RejectsOutOfRangeVictimChannel) {
+  SweepJammer jammer(SweepJammerConfig::defaults(), 9);
+  EXPECT_THROW(jammer.step(16), CheckFailure);
+  EXPECT_THROW(jammer.step(-1), CheckFailure);
+}
+
+// ---------------------------------------------------------------- detector ----
+
+TEST(Detector, TriggersAtThreshold) {
+  ErrorRateDetector det(4, 0.5);
+  det.record(false);
+  det.record(false);
+  EXPECT_FALSE(det.jammed());
+  det.record(true);
+  det.record(true);
+  EXPECT_TRUE(det.jammed());  // 2/4 = 0.5 >= 0.5
+}
+
+TEST(Detector, SlidingWindowForgets) {
+  ErrorRateDetector det(3, 0.9);
+  det.record(true);
+  det.record(true);
+  det.record(true);
+  EXPECT_TRUE(det.jammed());
+  det.record(false);
+  det.record(false);
+  det.record(false);
+  EXPECT_FALSE(det.jammed());
+  EXPECT_DOUBLE_EQ(det.error_rate(), 0.0);
+}
+
+TEST(Detector, ResetClearsHistory) {
+  ErrorRateDetector det(2, 0.5);
+  det.record(true);
+  det.record(true);
+  EXPECT_TRUE(det.jammed());
+  det.reset();
+  EXPECT_FALSE(det.jammed());
+  EXPECT_DOUBLE_EQ(det.error_rate(), 0.0);
+}
+
+TEST(Detector, SingleSlotWindowReactsImmediately) {
+  ErrorRateDetector det(1, 1.0);
+  det.record(true);
+  EXPECT_TRUE(det.jammed());
+  det.record(false);
+  EXPECT_FALSE(det.jammed());
+}
+
+TEST(Detector, RejectsBadParameters) {
+  EXPECT_THROW(ErrorRateDetector(0, 0.5), CheckFailure);
+  EXPECT_THROW(ErrorRateDetector(4, 0.0), CheckFailure);
+  EXPECT_THROW(ErrorRateDetector(4, 1.5), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ctj::jammer

@@ -1,0 +1,366 @@
+// Tests for the MDP substrate: the generic solver, the paper's anti-jamming
+// MDP (Eqs. 3–14), and the structural results (Lemmas III.2–III.3,
+// Theorems III.4–III.5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "mdp/analysis.hpp"
+#include "mdp/antijam_mdp.hpp"
+#include "mdp/mdp.hpp"
+#include "mdp/value_iteration.hpp"
+
+namespace ctj::mdp {
+namespace {
+
+// ------------------------------------------------------------ generic MDP ----
+
+TEST(Mdp, ValidateAcceptsProperKernel) {
+  Mdp m(2, 1);
+  m.set_transition(0, 0, 1, 1.0);
+  m.set_transition(1, 0, 0, 0.5);
+  m.set_transition(1, 0, 1, 0.5);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Mdp, ValidateRejectsNonStochasticRow) {
+  Mdp m(2, 1);
+  m.set_transition(0, 0, 1, 0.7);
+  m.set_transition(1, 0, 0, 1.0);
+  EXPECT_THROW(m.validate(), CheckFailure);
+}
+
+TEST(Mdp, AddTransitionAccumulates) {
+  Mdp m(2, 1);
+  m.add_transition(0, 0, 1, 0.3);
+  m.add_transition(0, 0, 1, 0.7);
+  EXPECT_DOUBLE_EQ(m.transition(0, 0, 1), 1.0);
+}
+
+TEST(ValueIteration, TwoStateClosedForm) {
+  // State 0: action 0 gives reward 1 and stays; γ = 0.5 → V = 1/(1−γ) = 2.
+  Mdp m(1, 1);
+  m.set_reward(0, 0, 1.0);
+  m.set_transition(0, 0, 0, 1.0);
+  ValueIterationOptions opt;
+  opt.gamma = 0.5;
+  const Solution sol = value_iteration(m, opt);
+  EXPECT_NEAR(sol.value[0], 2.0, 1e-8);
+}
+
+TEST(ValueIteration, PicksBetterAction) {
+  // Two actions in one absorbing state: reward 1 vs reward 3.
+  Mdp m(1, 2);
+  m.set_reward(0, 0, 1.0);
+  m.set_reward(0, 1, 3.0);
+  m.set_transition(0, 0, 0, 1.0);
+  m.set_transition(0, 1, 0, 1.0);
+  ValueIterationOptions opt;
+  opt.gamma = 0.9;
+  const Solution sol = value_iteration(m, opt);
+  EXPECT_EQ(sol.policy[0], 1u);
+  EXPECT_NEAR(sol.value[0], 30.0, 1e-6);
+}
+
+TEST(ValueIteration, HandComputedChain) {
+  // s0 --a0--> s1 (r=0); s1 absorbing r=1 per step. γ=0.9.
+  // V(s1) = 10, V(s0) = 0 + 0.9·10 = 9.
+  Mdp m(2, 1);
+  m.set_reward(0, 0, 0.0);
+  m.set_reward(1, 0, 1.0);
+  m.set_transition(0, 0, 1, 1.0);
+  m.set_transition(1, 0, 1, 1.0);
+  ValueIterationOptions opt;
+  opt.gamma = 0.9;
+  const Solution sol = value_iteration(m, opt);
+  EXPECT_NEAR(sol.value[1], 10.0, 1e-6);
+  EXPECT_NEAR(sol.value[0], 9.0, 1e-6);
+}
+
+TEST(ValueIteration, BellmanResidualIsZeroAtFixpoint) {
+  // Theorem III.1 / Banach: the solution must satisfy V = T V.
+  AntijamParams params = AntijamParams::defaults();
+  params.mode = JammerPowerMode::kRandomPower;
+  const AntijamMdp model(params);
+  const Solution sol = solve(model);
+  const auto backed_up = bellman_backup(model.mdp(), params.gamma, sol.value);
+  for (std::size_t s = 0; s < sol.value.size(); ++s) {
+    EXPECT_NEAR(backed_up[s], sol.value[s], 1e-7);
+  }
+}
+
+TEST(ValueIteration, ContractionConvergesFromAnyStart) {
+  // Run the Bellman operator from two different initializations; both must
+  // land on the same fixed point (uniqueness per the contraction argument).
+  AntijamParams params = AntijamParams::defaults();
+  const AntijamMdp model(params);
+  std::vector<double> v1(model.num_states(), 0.0);
+  std::vector<double> v2(model.num_states(), 500.0);
+  for (int it = 0; it < 500; ++it) {
+    v1 = bellman_backup(model.mdp(), params.gamma, v1);
+    v2 = bellman_backup(model.mdp(), params.gamma, v2);
+  }
+  for (std::size_t s = 0; s < v1.size(); ++s) {
+    EXPECT_NEAR(v1[s], v2[s], 1e-6);
+  }
+}
+
+TEST(ValueIteration, PolicyEvaluationMatchesOptimalForGreedyPolicy) {
+  AntijamParams params = AntijamParams::defaults();
+  params.mode = JammerPowerMode::kRandomPower;
+  const AntijamMdp model(params);
+  const Solution sol = solve(model);
+  const auto v_pi =
+      policy_evaluation(model.mdp(), params.gamma, sol.policy);
+  for (std::size_t s = 0; s < v_pi.size(); ++s) {
+    EXPECT_NEAR(v_pi[s], sol.value[s], 1e-6);
+  }
+}
+
+// -------------------------------------------------------- anti-jam MDP ----
+
+TEST(AntijamParams, DefaultsMatchPaper) {
+  const auto p = AntijamParams::defaults();
+  EXPECT_EQ(p.sweep_cycle, 4);
+  EXPECT_EQ(p.tx_levels.size(), 10u);
+  EXPECT_DOUBLE_EQ(p.tx_levels.front(), 6.0);
+  EXPECT_DOUBLE_EQ(p.tx_levels.back(), 15.0);
+  EXPECT_DOUBLE_EQ(p.jam_levels.front(), 11.0);
+  EXPECT_DOUBLE_EQ(p.jam_levels.back(), 20.0);
+  EXPECT_DOUBLE_EQ(p.loss_jam, 100.0);
+  EXPECT_DOUBLE_EQ(p.loss_hop, 50.0);
+}
+
+TEST(AntijamParams, MaxPowerModeSuccessProb) {
+  const auto p = AntijamParams::defaults();
+  // Max jammer power is 20; no tx level in [6,15] reaches it.
+  for (std::size_t i = 0; i < p.tx_levels.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p.success_prob(i), 0.0);
+  }
+}
+
+TEST(AntijamParams, RandomPowerModeSuccessProb) {
+  auto p = AntijamParams::defaults();
+  p.mode = JammerPowerMode::kRandomPower;
+  // tx level 15 survives jam levels 11..15 → 5/10.
+  EXPECT_DOUBLE_EQ(p.success_prob(9), 0.5);
+  // tx level 11 survives only jam level 11 → 1/10.
+  EXPECT_DOUBLE_EQ(p.success_prob(5), 0.1);
+  // tx level 6..10 survive nothing.
+  EXPECT_DOUBLE_EQ(p.success_prob(0), 0.0);
+}
+
+class AntijamKernel
+    : public ::testing::TestWithParam<std::tuple<int, JammerPowerMode>> {};
+
+TEST_P(AntijamKernel, AllRowsAreDistributions) {
+  auto params = AntijamParams::defaults();
+  params.sweep_cycle = std::get<0>(GetParam());
+  params.mode = std::get<1>(GetParam());
+  const AntijamMdp model(params);
+  EXPECT_NO_THROW(model.mdp().validate(1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepAndMode, AntijamKernel,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8, 16),
+                       ::testing::Values(JammerPowerMode::kMaxPower,
+                                         JammerPowerMode::kRandomPower)));
+
+TEST(AntijamMdp, StateIndexing) {
+  const AntijamMdp model(AntijamParams::defaults());
+  EXPECT_EQ(model.num_states(), 5u);  // n=1..3, T_J, J
+  EXPECT_EQ(model.state_n(1), 0u);
+  EXPECT_EQ(model.state_n(3), 2u);
+  EXPECT_EQ(model.state_tj(), 3u);
+  EXPECT_EQ(model.state_j(), 4u);
+  EXPECT_THROW(model.state_n(0), ctj::CheckFailure);
+  EXPECT_THROW(model.state_n(4), ctj::CheckFailure);
+}
+
+TEST(AntijamMdp, ActionIndexing) {
+  const AntijamMdp model(AntijamParams::defaults());
+  EXPECT_EQ(model.num_actions(), 20u);
+  EXPECT_FALSE(model.is_hop(model.action_stay(3)));
+  EXPECT_TRUE(model.is_hop(model.action_hop(3)));
+  EXPECT_EQ(model.power_index_of(model.action_stay(7)), 7u);
+  EXPECT_EQ(model.power_index_of(model.action_hop(7)), 7u);
+}
+
+TEST(AntijamMdp, TransitionsMatchEq6Through8) {
+  // Sweep cycle 4, stay at n=1: P(2) = 1 − 1/3; P(T_J)+P(J) = 1/3 split by q.
+  auto params = AntijamParams::defaults();
+  params.mode = JammerPowerMode::kRandomPower;
+  const AntijamMdp model(params);
+  const std::size_t i = 9;  // tx level 15, q = 0.5
+  const double q = params.success_prob(i);
+  const auto& m = model.mdp();
+  const std::size_t s1 = model.state_n(1);
+  EXPECT_NEAR(m.transition(s1, model.action_stay(i), model.state_n(2)),
+              1.0 - 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.transition(s1, model.action_stay(i), model.state_tj()),
+              q / 3.0, 1e-12);
+  EXPECT_NEAR(m.transition(s1, model.action_stay(i), model.state_j()),
+              (1.0 - q) / 3.0, 1e-12);
+}
+
+TEST(AntijamMdp, TransitionsMatchEq9Through11) {
+  // Hop from n=1 at N=4: r = (4−1−1)/((4−1)(4−1)) = 2/9.
+  auto params = AntijamParams::defaults();
+  params.mode = JammerPowerMode::kRandomPower;
+  const AntijamMdp model(params);
+  const std::size_t i = 9;
+  const double q = params.success_prob(i);
+  const double r = 2.0 / 9.0;
+  const auto& m = model.mdp();
+  const std::size_t s1 = model.state_n(1);
+  EXPECT_NEAR(m.transition(s1, model.action_hop(i), model.state_n(1)),
+              1.0 - r, 1e-12);
+  EXPECT_NEAR(m.transition(s1, model.action_hop(i), model.state_tj()),
+              r * q, 1e-12);
+  EXPECT_NEAR(m.transition(s1, model.action_hop(i), model.state_j()),
+              r * (1.0 - q), 1e-12);
+}
+
+TEST(AntijamMdp, TransitionsMatchEq12Through14) {
+  auto params = AntijamParams::defaults();
+  params.mode = JammerPowerMode::kRandomPower;
+  const AntijamMdp model(params);
+  const std::size_t i = 9;
+  const double q = params.success_prob(i);
+  const auto& m = model.mdp();
+  for (std::size_t s : {model.state_tj(), model.state_j()}) {
+    EXPECT_NEAR(m.transition(s, model.action_stay(i), model.state_tj()), q,
+                1e-12);
+    EXPECT_NEAR(m.transition(s, model.action_stay(i), model.state_j()),
+                1.0 - q, 1e-12);
+    EXPECT_NEAR(m.transition(s, model.action_hop(i), model.state_n(1)), 1.0,
+                1e-12);
+  }
+}
+
+TEST(AntijamMdp, HopFromLastCountingStateIsSafe) {
+  // At n = N−1 = 3, r = (4−3−1)/((3)(1)) = 0: a hop cannot be jammed, and a
+  // stay is jammed with certainty.
+  const AntijamMdp model(AntijamParams::defaults());
+  const auto& m = model.mdp();
+  const std::size_t s3 = model.state_n(3);
+  EXPECT_NEAR(m.transition(s3, model.action_hop(0), model.state_n(1)), 1.0,
+              1e-12);
+  EXPECT_NEAR(m.transition(s3, model.action_stay(0), model.state_n(1)), 0.0,
+              1e-12);
+  EXPECT_NEAR(m.transition(s3, model.action_stay(0), model.state_j()) +
+                  m.transition(s3, model.action_stay(0), model.state_tj()),
+              1.0, 1e-12);
+}
+
+TEST(AntijamMdp, RewardsMatchEq5) {
+  // Expected reward of stay at n with power i:
+  // −L_p − L_J·(1−q)/(N−n)  (Eq. 23).
+  auto params = AntijamParams::defaults();
+  params.mode = JammerPowerMode::kRandomPower;
+  const AntijamMdp model(params);
+  const std::size_t i = 9;
+  const double q = params.success_prob(i);
+  const double lp = params.tx_levels[i];
+  const auto& m = model.mdp();
+  EXPECT_NEAR(m.reward(model.state_n(1), model.action_stay(i)),
+              -lp - params.loss_jam * (1.0 - q) / 3.0, 1e-12);
+  // Hop adds L_H (Eq. 24 with the r factor).
+  const double r = 2.0 / 9.0;
+  EXPECT_NEAR(m.reward(model.state_n(1), model.action_hop(i)),
+              -lp - params.loss_hop - params.loss_jam * r * (1.0 - q), 1e-12);
+}
+
+TEST(AntijamMdp, RejectsDegenerateSweepCycle) {
+  auto params = AntijamParams::defaults();
+  params.sweep_cycle = 1;
+  EXPECT_THROW(AntijamMdp{params}, ctj::CheckFailure);
+}
+
+// ------------------------------------------- structural results (III.2-5) ----
+
+class QStructure : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(QStructure, LemmasHoldAcrossParameters) {
+  auto params = AntijamParams::defaults();
+  params.sweep_cycle = std::get<0>(GetParam());
+  params.loss_jam = std::get<1>(GetParam());
+  params.loss_hop = std::get<2>(GetParam());
+  params.mode = JammerPowerMode::kRandomPower;
+  const AntijamMdp model(params);
+  const Solution sol = solve(model);
+  for (std::size_t i : {0u, 5u, 9u}) {
+    const QCurves curves = q_curves(model, sol, i);
+    EXPECT_TRUE(stay_curve_decreasing(curves))
+        << "Lemma III.2 violated at power " << i;
+    EXPECT_TRUE(hop_curve_increasing(curves))
+        << "Lemma III.3 violated at power " << i;
+  }
+  EXPECT_TRUE(policy_has_threshold_form(model, sol)) << "Theorem III.4";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, QStructure,
+    ::testing::Combine(::testing::Values(3, 4, 8),
+                       ::testing::Values(20.0, 100.0, 300.0),
+                       ::testing::Values(10.0, 50.0, 120.0)));
+
+TEST(Threshold, DecreasesWithLossJam) {
+  // Theorem III.5: larger L_J → hop earlier (smaller n*).
+  auto params = AntijamParams::defaults();
+  params.sweep_cycle = 8;
+  params.mode = JammerPowerMode::kRandomPower;
+  int prev = 1 << 20;
+  for (double lj : {10.0, 60.0, 150.0, 400.0}) {
+    params.loss_jam = lj;
+    const AntijamMdp model(params);
+    const int n_star = threshold_n_star(model, solve(model));
+    EXPECT_LE(n_star, prev) << "L_J = " << lj;
+    prev = n_star;
+  }
+}
+
+TEST(Threshold, IncreasesWithLossHop) {
+  auto params = AntijamParams::defaults();
+  params.sweep_cycle = 8;
+  params.mode = JammerPowerMode::kRandomPower;
+  int prev = 0;
+  for (double lh : {5.0, 30.0, 80.0, 200.0}) {
+    params.loss_hop = lh;
+    const AntijamMdp model(params);
+    const int n_star = threshold_n_star(model, solve(model));
+    EXPECT_GE(n_star, prev) << "L_H = " << lh;
+    prev = n_star;
+  }
+}
+
+TEST(Threshold, IncreasesWithSweepCycle) {
+  auto params = AntijamParams::defaults();
+  params.mode = JammerPowerMode::kRandomPower;
+  int prev = 0;
+  for (int cycle : {3, 4, 8, 16}) {
+    params.sweep_cycle = cycle;
+    const AntijamMdp model(params);
+    const int n_star = threshold_n_star(model, solve(model));
+    EXPECT_GE(n_star, prev) << "sweep cycle = " << cycle;
+    prev = n_star;
+  }
+}
+
+TEST(Threshold, ExtremeCasesClampPerTheorem34) {
+  // Huge L_H: never hop → n* = sweep_cycle. Huge L_J: hop immediately → 1.
+  auto params = AntijamParams::defaults();
+  params.mode = JammerPowerMode::kRandomPower;
+  params.loss_hop = 1e6;
+  params.loss_jam = 100.0;
+  EXPECT_EQ(threshold_n_star(AntijamMdp(params), solve(AntijamMdp(params))),
+            params.sweep_cycle);
+  params.loss_hop = 0.1;
+  params.loss_jam = 1e6;
+  EXPECT_EQ(threshold_n_star(AntijamMdp(params), solve(AntijamMdp(params))), 1);
+}
+
+}  // namespace
+}  // namespace ctj::mdp

@@ -1,0 +1,270 @@
+// Tests for the ZigBee O-QPSK/DSSS PHY and the 802.15.4 frame format.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "phy/zigbee_packet.hpp"
+#include "phy/zigbee_phy.hpp"
+
+namespace ctj::phy {
+namespace {
+
+// ----------------------------------------------------------- chip table ----
+
+TEST(ChipTable, AllSequencesHave32Chips) {
+  for (std::size_t s = 0; s < ChipTable::kSymbols; ++s) {
+    const auto& chips = ChipTable::chips(s);
+    EXPECT_EQ(chips.size(), 32u);
+    for (std::uint8_t c : chips) EXPECT_LE(c, 1);
+  }
+}
+
+TEST(ChipTable, SequencesAreDistinct) {
+  for (std::size_t a = 0; a < 16; ++a) {
+    for (std::size_t b = a + 1; b < 16; ++b) {
+      EXPECT_NE(ChipTable::chips(a), ChipTable::chips(b));
+    }
+  }
+}
+
+TEST(ChipTable, CyclicShiftStructure) {
+  // Symbol s (1..7) is symbol 0 right-rotated by 4s chips.
+  for (std::size_t s = 1; s < 8; ++s) {
+    const auto& base = ChipTable::chips(0);
+    const auto& seq = ChipTable::chips(s);
+    for (std::size_t c = 0; c < 32; ++c) {
+      EXPECT_EQ(seq[c], base[(c + 32 - 4 * s) % 32]);
+    }
+  }
+}
+
+TEST(ChipTable, UpperHalfInvertsOddChips) {
+  for (std::size_t s = 0; s < 8; ++s) {
+    const auto& lo = ChipTable::chips(s);
+    const auto& hi = ChipTable::chips(s + 8);
+    for (std::size_t c = 0; c < 32; ++c) {
+      if (c % 2 == 1) {
+        EXPECT_EQ(hi[c], 1 - lo[c]);
+      } else {
+        EXPECT_EQ(hi[c], lo[c]);
+      }
+    }
+  }
+}
+
+TEST(ChipTable, LargeMinimumPairwiseDistance) {
+  // Near-orthogonality is what gives DSSS its processing gain; the 802.15.4
+  // family has a minimum pairwise Hamming distance of at least 12 chips.
+  EXPECT_GE(ChipTable::min_pairwise_distance(), 12u);
+}
+
+TEST(ChipTable, DespreadRecoversCleanSymbols) {
+  for (std::size_t s = 0; s < 16; ++s) {
+    std::vector<double> soft(32);
+    const auto& chips = ChipTable::chips(s);
+    for (std::size_t c = 0; c < 32; ++c) soft[c] = chips[c] ? 1.0 : -1.0;
+    EXPECT_EQ(ChipTable::despread(soft), s);
+  }
+}
+
+TEST(ChipTable, DespreadTolerates8ChipErrors) {
+  Rng rng(1);
+  for (std::size_t s = 0; s < 16; ++s) {
+    std::vector<double> soft(32);
+    const auto& chips = ChipTable::chips(s);
+    for (std::size_t c = 0; c < 32; ++c) soft[c] = chips[c] ? 1.0 : -1.0;
+    // Flip 5 random chips (below half the min distance).
+    std::vector<std::size_t> idx(32);
+    for (std::size_t i = 0; i < 32; ++i) idx[i] = i;
+    rng.shuffle(idx);
+    for (std::size_t k = 0; k < 5; ++k) soft[idx[k]] = -soft[idx[k]];
+    EXPECT_EQ(ChipTable::despread(soft), s);
+  }
+}
+
+// ---------------------------------------------------------------- modem ----
+
+TEST(ZigbeePhy, WaveformLength) {
+  ZigbeePhy phy(4);
+  const std::vector<std::size_t> syms = {1, 2, 3};
+  const IqBuffer wave = phy.modulate_symbols(syms);
+  EXPECT_EQ(wave.size(), 3 * phy.samples_per_symbol() + phy.samples_per_chip());
+}
+
+TEST(ZigbeePhy, CleanRoundTripAllSymbols) {
+  ZigbeePhy phy(4);
+  std::vector<std::size_t> syms(16);
+  for (std::size_t s = 0; s < 16; ++s) syms[s] = s;
+  const IqBuffer wave = phy.modulate_symbols(syms);
+  EXPECT_EQ(phy.demodulate_symbols(wave, syms.size()), syms);
+}
+
+TEST(ZigbeePhy, CleanRoundTripRandomStream) {
+  Rng rng(2);
+  ZigbeePhy phy(4);
+  std::vector<std::size_t> syms(200);
+  for (auto& s : syms) s = static_cast<std::size_t>(rng.uniform_int(0, 15));
+  const IqBuffer wave = phy.modulate_symbols(syms);
+  EXPECT_EQ(phy.demodulate_symbols(wave, syms.size()), syms);
+}
+
+TEST(ZigbeePhy, ByteRoundTrip) {
+  Rng rng(3);
+  ZigbeePhy phy(4);
+  std::vector<std::uint8_t> bytes(64);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const IqBuffer wave = phy.modulate_bytes(bytes);
+  EXPECT_EQ(phy.demodulate_bytes(wave, bytes.size()), bytes);
+}
+
+class ZigbeePhyNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZigbeePhyNoise, DsssSurvivesAwgn) {
+  const double noise_std = GetParam();
+  Rng rng(4);
+  ZigbeePhy phy(4);
+  std::vector<std::size_t> syms(100);
+  for (auto& s : syms) s = static_cast<std::size_t>(rng.uniform_int(0, 15));
+  IqBuffer wave = phy.modulate_symbols(syms);
+  for (Cplx& v : wave) {
+    v += Cplx(rng.normal(0.0, noise_std), rng.normal(0.0, noise_std));
+  }
+  const auto decoded = phy.demodulate_symbols(wave, syms.size());
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < syms.size(); ++i) {
+    errors += decoded[i] != syms[i] ? 1 : 0;
+  }
+  // 32-chip despreading keeps the symbol error rate tiny even at 0 dB
+  // chip SNR (noise_std = 1 per rail ≈ unit signal amplitude).
+  EXPECT_LE(errors, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseSweep, ZigbeePhyNoise,
+                         ::testing::Values(0.3, 0.6, 1.0));
+
+TEST(ZigbeePhy, ChipErrorRateZeroOnCleanWaveform) {
+  ZigbeePhy phy(4);
+  const std::vector<std::size_t> syms = {0, 5, 9, 15};
+  const IqBuffer wave = phy.modulate_symbols(syms);
+  EXPECT_DOUBLE_EQ(phy.chip_error_rate(wave, syms), 0.0);
+}
+
+TEST(ZigbeePhy, ChipErrorRateHalfOnNoise) {
+  Rng rng(5);
+  ZigbeePhy phy(4);
+  const std::vector<std::size_t> syms = {0, 1, 2, 3, 4, 5, 6, 7};
+  IqBuffer wave(syms.size() * phy.samples_per_symbol() + phy.samples_per_chip());
+  for (Cplx& v : wave) v = Cplx(rng.normal(), rng.normal());
+  EXPECT_NEAR(phy.chip_error_rate(wave, syms), 0.5, 0.12);
+}
+
+TEST(ZigbeePhy, RejectsTooFewSamplesPerChip) {
+  EXPECT_THROW(ZigbeePhy(1), CheckFailure);
+}
+
+TEST(ZigbeePhy, ConstantEnvelopeOnRails) {
+  // O-QPSK/half-sine (MSK-like) waveforms have near-constant envelope away
+  // from the symbol edges.
+  ZigbeePhy phy(8);
+  const std::vector<std::size_t> syms = {3, 12, 7};
+  const IqBuffer wave = phy.modulate_symbols(syms);
+  // Skip the ramp-up/down half-chips at both ends.
+  for (std::size_t i = phy.samples_per_chip();
+       i < wave.size() - 2 * phy.samples_per_chip(); ++i) {
+    EXPECT_NEAR(std::abs(wave[i]), 1.0, 0.02);
+  }
+}
+
+// --------------------------------------------------------------- frames ----
+
+TEST(ZigbeeFrame, BuildLayout) {
+  const std::vector<std::uint8_t> payload = {0xAA, 0xBB, 0xCC};
+  const auto frame = ZigbeeFrame::build(payload);
+  ASSERT_EQ(frame.size(), 4u + 1 + 1 + 3 + 2);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(frame[static_cast<std::size_t>(i)], 0x00);
+  EXPECT_EQ(frame[4], ZigbeeFrameFormat::kSfd);
+  EXPECT_EQ(frame[5], 5);  // PSDU length: 3 payload + 2 FCS
+  EXPECT_EQ(frame[6], 0xAA);
+}
+
+TEST(ZigbeeFrame, InspectValidFrame) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto frame = ZigbeeFrame::build(payload);
+  const auto result = ZigbeeFrame::inspect(frame);
+  EXPECT_EQ(result.status, FrameStatus::kOk);
+  EXPECT_EQ(result.payload, payload);
+  EXPECT_GT(result.occupied_symbol_periods, 0u);
+}
+
+TEST(ZigbeeFrame, MaxPayloadAcceptedOversizedRejected) {
+  const std::vector<std::uint8_t> max_payload(125, 0x11);  // 125 + 2 FCS = 127
+  EXPECT_EQ(ZigbeeFrame::inspect(ZigbeeFrame::build(max_payload)).status,
+            FrameStatus::kOk);
+  const std::vector<std::uint8_t> too_big(126, 0x11);
+  EXPECT_THROW(ZigbeeFrame::build(too_big), CheckFailure);
+}
+
+TEST(ZigbeeFrame, DetectsCorruptedPayload) {
+  const std::vector<std::uint8_t> payload = {10, 20, 30};
+  auto frame = ZigbeeFrame::build(payload);
+  frame[7] ^= 0xFF;  // corrupt payload byte
+  EXPECT_EQ(ZigbeeFrame::inspect(frame).status, FrameStatus::kBadFcs);
+}
+
+TEST(ZigbeeFrame, DetectsBadPreamble) {
+  const std::vector<std::uint8_t> payload = {10, 20, 30};
+  auto frame = ZigbeeFrame::build(payload);
+  frame[1] = 0x55;
+  const auto result = ZigbeeFrame::inspect(frame);
+  EXPECT_EQ(result.status, FrameStatus::kBadPreamble);
+  // The receiver drops out quickly — no stealth stall.
+  EXPECT_LT(result.occupied_symbol_periods, 20u);
+}
+
+TEST(ZigbeeFrame, EmuBeeStealthStall) {
+  // The EmuBee jammer sends a valid preamble and then garbage instead of the
+  // SFD: the receiver stalls for the whole decode timeout — the paper's
+  // "meaningless decoding" stealth effect (Sec. II.A.2).
+  std::vector<std::uint8_t> jam(64, 0x00);
+  jam[4] = 0x13;  // not the SFD
+  const auto result = ZigbeeFrame::inspect(jam, 256);
+  EXPECT_EQ(result.status, FrameStatus::kBadSfd);
+  EXPECT_EQ(result.occupied_symbol_periods, 256u);
+}
+
+TEST(ZigbeeFrame, PreambleOnlyStallsUntilTimeout) {
+  const std::vector<std::uint8_t> preamble_only(4, 0x00);
+  const auto result = ZigbeeFrame::inspect(preamble_only, 128);
+  EXPECT_EQ(result.status, FrameStatus::kTooShort);
+  EXPECT_EQ(result.occupied_symbol_periods, 128u);
+}
+
+TEST(ZigbeeFrame, BadLengthDetected) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  auto frame = ZigbeeFrame::build(payload);
+  frame[5] = 127;  // claims a PSDU the stream does not contain
+  EXPECT_EQ(ZigbeeFrame::inspect(frame).status, FrameStatus::kBadLength);
+}
+
+TEST(ZigbeeFrame, StatusStrings) {
+  EXPECT_STREQ(to_string(FrameStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(FrameStatus::kBadSfd), "bad-sfd");
+}
+
+// End-to-end: frame bytes over the modem.
+TEST(ZigbeeFrame, FrameSurvivesModemRoundTrip) {
+  Rng rng(6);
+  ZigbeePhy phy(4);
+  std::vector<std::uint8_t> payload(40);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const auto frame = ZigbeeFrame::build(payload);
+  const IqBuffer wave = phy.modulate_bytes(frame);
+  const auto received = phy.demodulate_bytes(wave, frame.size());
+  const auto result = ZigbeeFrame::inspect(received);
+  EXPECT_EQ(result.status, FrameStatus::kOk);
+  EXPECT_EQ(result.payload, payload);
+}
+
+}  // namespace
+}  // namespace ctj::phy

@@ -1,0 +1,220 @@
+// Property-style parameterized sweeps across modules: invariants that must
+// hold over whole parameter grids, not just at single points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/link.hpp"
+#include "common/rng.hpp"
+#include "core/environment.hpp"
+#include "mdp/analysis.hpp"
+#include "phy/convolutional.hpp"
+#include "phy/emulation.hpp"
+#include "phy/fft.hpp"
+#include "phy/qam.hpp"
+#include "phy/zigbee_phy.hpp"
+
+namespace ctj {
+namespace {
+
+// ------------------------------------------------------------------- FFT ----
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, RoundTripAndParseval) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  phy::IqBuffer x(n);
+  for (auto& v : x) v = phy::Cplx(rng.normal(), rng.normal());
+  const phy::IqBuffer X = phy::fft(x);
+  EXPECT_NEAR(phy::energy(X) / static_cast<double>(n), phy::energy(x), 1e-6);
+  const phy::IqBuffer y = phy::ifft(X);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512));
+
+// --------------------------------------------------------- convolutional ----
+
+class ConvLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConvLengths, RoundTripAtAllRates) {
+  Rng rng(GetParam());
+  const phy::Bits info = phy::random_bits(GetParam(), rng);
+  for (auto rate : {phy::CodeRate::kRate1of2, phy::CodeRate::kRate2of3,
+                    phy::CodeRate::kRate3of4}) {
+    const phy::Bits coded = phy::ConvolutionalCode::encode(info, rate);
+    EXPECT_EQ(phy::ConvolutionalCode::decode(coded, rate), info);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ConvLengths,
+                         ::testing::Values(6, 12, 48, 144, 216, 288));
+
+// ------------------------------------------------------------------- QAM ----
+
+TEST(QamProperty, QuantizeIsIdempotent) {
+  Rng rng(9);
+  for (int trial = 0; trial < 300; ++trial) {
+    const phy::Cplx t(rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0));
+    const double alpha = rng.uniform(0.1, 3.0);
+    const phy::Cplx q1 = phy::Qam64::quantize(t, alpha);
+    const phy::Cplx q2 = phy::Qam64::quantize(q1, alpha);
+    EXPECT_NEAR(std::abs(q2 - q1), 0.0, 1e-12);
+  }
+}
+
+TEST(QamProperty, QuantizationErrorScalesQuadratically) {
+  // E(α; scaled targets) == s² · E(α/s; targets) — homogeneity of Eq. (1).
+  Rng rng(10);
+  phy::IqBuffer targets(32);
+  for (auto& t : targets) t = phy::Cplx(rng.normal(), rng.normal());
+  const double s = 2.5;
+  phy::IqBuffer scaled = targets;
+  for (auto& t : scaled) t *= s;
+  const double alpha = 1.3;
+  EXPECT_NEAR(phy::quantization_error(scaled, alpha * s),
+              s * s * phy::quantization_error(targets, alpha), 1e-9);
+}
+
+// -------------------------------------------------------------- chip table ----
+
+class ChipSymbols : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChipSymbols, DespreadIsExactOnEverySymbolUnderBias) {
+  // A constant DC bias on the soft chips must not flip the decision
+  // (sequences are balanced enough).
+  const std::size_t sym = GetParam();
+  const auto& chips = phy::ChipTable::chips(sym);
+  std::vector<double> soft(32);
+  for (std::size_t c = 0; c < 32; ++c) {
+    soft[c] = (chips[c] ? 1.0 : -1.0) + 0.15;
+  }
+  EXPECT_EQ(phy::ChipTable::despread(soft), sym);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteen, ChipSymbols,
+                         ::testing::Range<std::size_t>(0, 16));
+
+// ------------------------------------------------------------------ link ----
+
+TEST(LinkProperty, PerMonotoneInJammerPower) {
+  channel::ZigbeeLink link;
+  double prev = -1.0;
+  for (double jam_dbm = 0.0; jam_dbm <= 30.0; jam_dbm += 2.0) {
+    const double per = link.per_with_jammer(0.0, 3.0, jam_dbm, 8.0,
+                                            channel::JammingSignalType::kEmuBee);
+    EXPECT_GE(per, prev - 1e-12);
+    prev = per;
+  }
+}
+
+TEST(LinkProperty, PerMonotoneInTxPower) {
+  channel::ZigbeeLink link;
+  double prev = 2.0;
+  for (double tx_dbm = -10.0; tx_dbm <= 10.0; tx_dbm += 1.0) {
+    const double per = link.per_with_jammer(tx_dbm, 3.0, 14.0, 8.0,
+                                            channel::JammingSignalType::kEmuBee);
+    EXPECT_LE(per, prev + 1e-12);
+    prev = per;
+  }
+}
+
+TEST(LinkProperty, OverlapFractionMonotoneInInterference) {
+  channel::ZigbeeLink link;
+  double prev = 100.0;
+  for (double overlap = 0.0; overlap <= 1.0; overlap += 0.1) {
+    const double sinr = link.sinr_db(-70.0, -65.0,
+                                     channel::JammingSignalType::kEmuBee,
+                                     overlap);
+    EXPECT_LE(sinr, prev + 1e-12);
+    prev = sinr;
+  }
+}
+
+// ------------------------------------------------------------ environment ----
+
+class EnvKernelGrid
+    : public ::testing::TestWithParam<std::tuple<int, JammerPowerMode>> {};
+
+TEST_P(EnvKernelGrid, RewardsBoundedAndOutcomesConsistent) {
+  auto config = core::EnvironmentConfig::defaults();
+  config.num_channels = std::get<0>(GetParam());
+  config.channels_per_sweep = 1;
+  config.mode = std::get<1>(GetParam());
+  config.seed = static_cast<std::uint64_t>(config.num_channels) * 7;
+  core::CompetitionEnvironment env(config);
+  Rng rng(3);
+  const double min_reward =
+      -config.tx_levels.back() - config.loss_hop - config.loss_jam;
+  for (int slot = 0; slot < 3000; ++slot) {
+    const int channel = rng.uniform_int(0, config.num_channels - 1);
+    const auto power = rng.index(config.num_power_levels());
+    const auto step = env.step(channel, power);
+    EXPECT_GE(step.reward, min_reward);
+    EXPECT_LE(step.reward, -config.tx_levels.front());
+    EXPECT_EQ(step.success,
+              step.outcome != core::SlotOutcome::kJammedFailed);
+    // The hidden counter never exceeds the cycle bound.
+    if (env.hidden_kind() ==
+        core::CompetitionEnvironment::HiddenKind::kCounting) {
+      EXPECT_GE(env.hidden_n(), 1);
+      EXPECT_LE(env.hidden_n(), config.sweep_cycle() - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CycleAndMode, EnvKernelGrid,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 16),
+                       ::testing::Values(JammerPowerMode::kMaxPower,
+                                         JammerPowerMode::kRandomPower)));
+
+// ------------------------------------------------------------------- MDP ----
+
+class GammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaSweep, OptimalValueDominatesArbitraryPolicies) {
+  auto params = mdp::AntijamParams::defaults();
+  params.gamma = GetParam();
+  params.mode = JammerPowerMode::kRandomPower;
+  const mdp::AntijamMdp model(params);
+  mdp::ValueIterationOptions options;
+  options.gamma = params.gamma;
+  const auto sol = mdp::value_iteration(model.mdp(), options);
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::size_t> policy(model.num_states());
+    for (auto& a : policy) a = rng.index(model.num_actions());
+    const auto v_pi =
+        mdp::policy_evaluation(model.mdp(), params.gamma, policy);
+    for (std::size_t s = 0; s < v_pi.size(); ++s) {
+      EXPECT_LE(v_pi[s], sol.value[s] + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, GammaSweep,
+                         ::testing::Values(0.5, 0.8, 0.9, 0.99));
+
+// --------------------------------------------------------------- ZigBee ----
+
+class SamplesPerChip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SamplesPerChip, ModemRoundTripAtAnyResolution) {
+  phy::ZigbeePhy phy(GetParam());
+  Rng rng(GetParam() * 13);
+  std::vector<std::size_t> syms(50);
+  for (auto& s : syms) s = static_cast<std::size_t>(rng.uniform_int(0, 15));
+  const auto wave = phy.modulate_symbols(syms);
+  EXPECT_EQ(phy.demodulate_symbols(wave, syms.size()), syms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, SamplesPerChip,
+                         ::testing::Values(2, 3, 4, 8, 10));
+
+}  // namespace
+}  // namespace ctj

@@ -1,0 +1,428 @@
+// Tests for the from-scratch RL stack: matrix algebra, MLP backprop
+// (finite-difference gradient check), optimizers, replay buffer and the DQN
+// agent (including the Fig. 4 architecture's parameter footprint).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "rl/dqn.hpp"
+#include "rl/matrix.hpp"
+#include "rl/nn.hpp"
+#include "rl/replay.hpp"
+
+namespace ctj::rl {
+namespace {
+
+// --------------------------------------------------------------- matrix ----
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+}
+
+TEST(Matrix, MatmulHandComputed) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposedProductsMatchExplicit) {
+  Rng rng(1);
+  Matrix a = Matrix::he_normal(4, 3, rng);
+  Matrix b = Matrix::he_normal(4, 5, rng);
+  const Matrix atb = matmul_at_b(a, b);  // 3×5
+  // Explicit transpose.
+  Matrix at(3, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Matrix expected = matmul(at, b);
+  for (std::size_t i = 0; i < atb.size(); ++i) {
+    EXPECT_NEAR(atb.data()[i], expected.data()[i], 1e-12);
+  }
+
+  Matrix c = Matrix::he_normal(5, 3, rng);
+  Matrix d = Matrix::he_normal(2, 3, rng);
+  const Matrix cdt = matmul_a_bt(c, d);  // 5×2
+  Matrix dt(3, 2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) dt.at(j, i) = d.at(i, j);
+  }
+  const Matrix expected2 = matmul(c, dt);
+  for (std::size_t i = 0; i < cdt.size(); ++i) {
+    EXPECT_NEAR(cdt.data()[i], expected2.data()[i], 1e-12);
+  }
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(matmul(a, b), CheckFailure);
+}
+
+TEST(Matrix, SaveLoadRoundTrip) {
+  Rng rng(2);
+  Matrix m = Matrix::he_normal(7, 5, rng);
+  std::stringstream ss;
+  m.save(ss);
+  const Matrix loaded = Matrix::load(ss);
+  ASSERT_EQ(loaded.rows(), 7u);
+  ASSERT_EQ(loaded.cols(), 5u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.data()[i], m.data()[i]);
+  }
+}
+
+// ------------------------------------------------------------------ MLP ----
+
+TEST(Mlp, OutputShape) {
+  Rng rng(3);
+  Mlp net({4, 8, 8, 2}, rng);
+  Matrix x(5, 4, 0.1);
+  const Matrix y = net.forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(Mlp, ForwardConstMatchesForward) {
+  Rng rng(4);
+  Mlp net({3, 6, 2}, rng);
+  Matrix x(2, 3);
+  Rng data_rng(5);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = data_rng.normal();
+  const Matrix a = net.forward(x);
+  const Matrix b = net.forward_const(x);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Mlp, ParamCountFig4Architecture) {
+  // The paper's deployed network stores ~10 664 float parameters (~42.7 KB).
+  // Our Fig. 4 instantiation (3·8 inputs, two 45-neuron hidden layers,
+  // 16·10 outputs) has 10 555 parameters ≈ 42.2 KB as 32-bit floats.
+  Rng rng(6);
+  Mlp net({24, 45, 45, 160}, rng);
+  EXPECT_EQ(net.param_count(),
+            24u * 45 + 45 + 45u * 45 + 45 + 45u * 160 + 160);
+  EXPECT_EQ(net.param_count(), 10555u);
+  EXPECT_NEAR(static_cast<double>(net.param_count() * 4) / 1024.0, 42.7, 2.0);
+}
+
+TEST(Mlp, GradientCheckFiniteDifferences) {
+  // The decisive correctness test for manual backprop: analytic gradients
+  // must match central finite differences on a scalar loss.
+  Rng rng(7);
+  Mlp net({3, 5, 4, 2}, rng);
+  Matrix x(4, 3);
+  Rng data_rng(8);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = data_rng.normal();
+
+  // Loss: sum of squares of outputs → dL/dy = 2y.
+  auto loss = [&](Mlp& n) {
+    const Matrix y = n.forward_const(x);
+    double l = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) l += y.data()[i] * y.data()[i];
+    return l;
+  };
+
+  const Matrix y = net.forward(x);
+  Matrix grad(y.rows(), y.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) grad.data()[i] = 2.0 * y.data()[i];
+  net.zero_grad();
+  net.backward(grad);
+
+  const double eps = 1e-6;
+  for (std::size_t layer = 0; layer < net.num_layers(); ++layer) {
+    auto& w = net.layer(layer).weights();
+    const auto& gw = net.layer(layer).weight_grad();
+    for (std::size_t k = 0; k < w.size(); k += 3) {  // sample every 3rd param
+      const double orig = w.data()[k];
+      w.data()[k] = orig + eps;
+      const double lp = loss(net);
+      w.data()[k] = orig - eps;
+      const double lm = loss(net);
+      w.data()[k] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(gw.data()[k], numeric, 1e-4 * (1.0 + std::abs(numeric)))
+          << "layer " << layer << " weight " << k;
+    }
+    auto& b = net.layer(layer).bias();
+    const auto& gb = net.layer(layer).bias_grad();
+    for (std::size_t k = 0; k < b.size(); ++k) {
+      const double orig = b.data()[k];
+      b.data()[k] = orig + eps;
+      const double lp = loss(net);
+      b.data()[k] = orig - eps;
+      const double lm = loss(net);
+      b.data()[k] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(gb.data()[k], numeric, 1e-4 * (1.0 + std::abs(numeric)))
+          << "layer " << layer << " bias " << k;
+    }
+  }
+}
+
+TEST(Mlp, SgdLearnsLinearRegression) {
+  Rng rng(9);
+  Mlp net({2, 1}, rng);  // single linear layer
+  Rng data_rng(10);
+  // Target: y = 3x0 − 2x1 + 0.5.
+  for (int step = 0; step < 4000; ++step) {
+    Matrix x(8, 2);
+    Matrix target(8, 1);
+    for (std::size_t r = 0; r < 8; ++r) {
+      x.at(r, 0) = data_rng.normal();
+      x.at(r, 1) = data_rng.normal();
+      target.at(r, 0) = 3.0 * x.at(r, 0) - 2.0 * x.at(r, 1) + 0.5;
+    }
+    const Matrix y = net.forward(x);
+    Matrix grad(8, 1);
+    for (std::size_t r = 0; r < 8; ++r) {
+      grad.at(r, 0) = 2.0 * (y.at(r, 0) - target.at(r, 0)) / 8.0;
+    }
+    net.zero_grad();
+    net.backward(grad);
+    sgd_step(net, 0.05);
+  }
+  EXPECT_NEAR(net.layer(0).weights().at(0, 0), 3.0, 0.01);
+  EXPECT_NEAR(net.layer(0).weights().at(1, 0), -2.0, 0.01);
+  EXPECT_NEAR(net.layer(0).bias().at(0, 0), 0.5, 0.01);
+}
+
+TEST(Mlp, AdamLearnsNonlinearFunction) {
+  Rng rng(11);
+  Mlp net({1, 24, 24, 1}, rng);
+  AdamOptimizer adam(net, {.lr = 3e-3, .beta1 = 0.9, .beta2 = 0.999, .epsilon = 1e-8});
+  Rng data_rng(12);
+  for (int step = 0; step < 3000; ++step) {
+    Matrix x(16, 1);
+    Matrix target(16, 1);
+    for (std::size_t r = 0; r < 16; ++r) {
+      const double v = data_rng.uniform(-1.0, 1.0);
+      x.at(r, 0) = v;
+      target.at(r, 0) = std::sin(3.0 * v);
+    }
+    const Matrix y = net.forward(x);
+    Matrix grad(16, 1);
+    for (std::size_t r = 0; r < 16; ++r) {
+      grad.at(r, 0) = 2.0 * (y.at(r, 0) - target.at(r, 0)) / 16.0;
+    }
+    net.zero_grad();
+    net.backward(grad);
+    adam.step(net);
+  }
+  // Evaluate fit.
+  double mse = 0.0;
+  for (double v = -0.9; v <= 0.9; v += 0.1) {
+    Matrix x(1, 1);
+    x.at(0, 0) = v;
+    const double y = net.forward_const(x).at(0, 0);
+    mse += (y - std::sin(3.0 * v)) * (y - std::sin(3.0 * v));
+  }
+  EXPECT_LT(mse / 19.0, 0.02);
+}
+
+TEST(Mlp, CopyParametersMakesNetworksIdentical) {
+  Rng rng(13);
+  Mlp a({4, 6, 3}, rng), b({4, 6, 3}, rng);
+  b.copy_parameters_from(a);
+  Matrix x(2, 4, 0.3);
+  const Matrix ya = a.forward_const(x), yb = b.forward_const(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  Rng rng(14);
+  Mlp a({5, 7, 2}, rng), b({5, 7, 2}, rng);
+  std::stringstream ss;
+  a.save(ss);
+  b.load(ss);
+  Matrix x(3, 5, -0.2);
+  const Matrix ya = a.forward_const(x), yb = b.forward_const(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST(Mlp, HuberGradClamps) {
+  EXPECT_DOUBLE_EQ(huber_grad(0.3), 0.3);
+  EXPECT_DOUBLE_EQ(huber_grad(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(huber_grad(-5.0), -1.0);
+}
+
+// --------------------------------------------------------------- replay ----
+
+TEST(Replay, PushAndSize) {
+  ReplayBuffer buf(4);
+  for (int i = 0; i < 3; ++i) buf.push({{1.0}, 0, 0.0, {1.0}, false});
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(Replay, RingOverwritesOldest) {
+  ReplayBuffer buf(3);
+  for (int i = 0; i < 5; ++i) {
+    buf.push({{static_cast<double>(i)}, 0, 0.0, {0.0}, false});
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  // Entries 0 and 1 must have been overwritten by 3 and 4.
+  std::set<double> seen;
+  for (std::size_t i = 0; i < buf.size(); ++i) seen.insert(buf.at(i).state[0]);
+  EXPECT_EQ(seen.count(0.0), 0u);
+  EXPECT_EQ(seen.count(1.0), 0u);
+  EXPECT_EQ(seen.count(4.0), 1u);
+}
+
+TEST(Replay, SampleFromEmptyThrows) {
+  ReplayBuffer buf(2);
+  Rng rng(1);
+  EXPECT_THROW(buf.sample(1, rng), CheckFailure);
+}
+
+TEST(Replay, SampleCoversBuffer) {
+  ReplayBuffer buf(8);
+  for (int i = 0; i < 8; ++i) {
+    buf.push({{static_cast<double>(i)}, 0, 0.0, {0.0}, false});
+  }
+  Rng rng(2);
+  std::set<double> seen;
+  for (const auto* t : buf.sample(400, rng)) seen.insert(t->state[0]);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+// ------------------------------------------------------------------ DQN ----
+
+DqnConfig small_config() {
+  DqnConfig c;
+  c.state_dim = 2;
+  c.num_actions = 2;
+  c.hidden = {16, 16};
+  c.learning_rate = 2e-3;
+  c.gamma = 0.5;
+  c.reward_scale = 1.0;
+  c.epsilon_start = 1.0;
+  c.epsilon_end = 0.05;
+  c.epsilon_decay_steps = 500;
+  c.batch_size = 16;
+  c.replay_capacity = 2000;
+  c.min_replay_before_training = 64;
+  c.target_sync_interval = 50;
+  c.seed = 3;
+  return c;
+}
+
+TEST(Dqn, EpsilonDecaysLinearly) {
+  DqnAgent agent(small_config());
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 1.0);
+  const std::vector<double> s = {0.0, 0.0};
+  for (int i = 0; i < 250; ++i) {
+    agent.observe({s, 0, 0.0, s, false});
+  }
+  EXPECT_NEAR(agent.epsilon(), 0.525, 0.01);
+  for (int i = 0; i < 500; ++i) {
+    agent.observe({s, 0, 0.0, s, false});
+  }
+  EXPECT_NEAR(agent.epsilon(), 0.05, 1e-9);
+}
+
+TEST(Dqn, QValuesHaveActionArity) {
+  DqnAgent agent(small_config());
+  const auto q = agent.q_values(std::vector<double>{0.1, -0.3});
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Dqn, LearnsContextualBandit) {
+  // Two states; action must match the state to earn reward 1 (else 0).
+  DqnAgent agent(small_config());
+  Rng rng(4);
+  for (int step = 0; step < 3000; ++step) {
+    const bool which = rng.bernoulli(0.5);
+    const std::vector<double> s = {which ? 1.0 : 0.0, which ? 0.0 : 1.0};
+    const std::size_t a = agent.act(s);
+    const double r = (a == (which ? 1u : 0u)) ? 1.0 : 0.0;
+    const bool next_which = rng.bernoulli(0.5);
+    const std::vector<double> s2 = {next_which ? 1.0 : 0.0,
+                                    next_which ? 0.0 : 1.0};
+    agent.observe({s, a, r, s2, false});
+  }
+  EXPECT_EQ(agent.act_greedy(std::vector<double>{0.0, 1.0}), 0u);
+  EXPECT_EQ(agent.act_greedy(std::vector<double>{1.0, 0.0}), 1u);
+}
+
+TEST(Dqn, LearnsDelayedRewardChain) {
+  // A 2-step chain: from state A, action 1 leads to state B (reward 0),
+  // where action 1 earns reward 1. Requires bootstrapping through γ.
+  auto config = small_config();
+  config.gamma = 0.9;
+  DqnAgent agent(config);
+  Rng rng(5);
+  const std::vector<double> A = {1.0, 0.0};
+  const std::vector<double> B = {0.0, 1.0};
+  for (int episode = 0; episode < 1200; ++episode) {
+    const std::size_t a0 = agent.act(A);
+    if (a0 == 1) {
+      agent.observe({A, a0, 0.0, B, false});
+      const std::size_t a1 = agent.act(B);
+      agent.observe({B, a1, a1 == 1 ? 1.0 : 0.0, A, true});
+    } else {
+      agent.observe({A, a0, 0.0, A, true});
+    }
+  }
+  EXPECT_EQ(agent.act_greedy(A), 1u);
+  EXPECT_EQ(agent.act_greedy(B), 1u);
+  // Q(A, 1) should approach γ·1 = 0.9.
+  const auto qa = agent.q_values(A);
+  EXPECT_NEAR(qa[1], 0.9, 0.25);
+}
+
+TEST(Dqn, SaveLoadPreservesPolicy) {
+  DqnAgent a(small_config());
+  const std::vector<double> s = {0.4, -0.8};
+  // Perturb the network with a few training steps.
+  for (int i = 0; i < 200; ++i) {
+    a.observe({s, i % 2 == 0 ? 0u : 1u, 0.3, s, false});
+  }
+  const std::string path = "/tmp/ctj_dqn_test.bin";
+  a.save_file(path);
+  DqnAgent b(small_config());
+  b.load_file(path);
+  const auto qa = a.q_values(s), qb = b.q_values(s);
+  for (std::size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(qa[i], qb[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Dqn, DeployedSizeMatchesPaperScale) {
+  DqnConfig c;  // defaults: 24-45-45-160
+  DqnAgent agent(c);
+  EXPECT_EQ(agent.param_count(), 10555u);
+  EXPECT_NEAR(static_cast<double>(agent.deployed_size_bytes()) / 1024.0, 42.7,
+              2.0);
+}
+
+TEST(Dqn, TrainStepRequiresMinimumReplay) {
+  DqnAgent agent(small_config());
+  EXPECT_FALSE(agent.train_step().has_value());
+}
+
+}  // namespace
+}  // namespace ctj::rl
