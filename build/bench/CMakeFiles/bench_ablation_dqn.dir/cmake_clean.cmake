@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dqn.dir/bench_ablation_dqn.cpp.o"
+  "CMakeFiles/bench_ablation_dqn.dir/bench_ablation_dqn.cpp.o.d"
+  "bench_ablation_dqn"
+  "bench_ablation_dqn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dqn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_stealth.dir/bench_energy_stealth.cpp.o"
+  "CMakeFiles/bench_energy_stealth.dir/bench_energy_stealth.cpp.o.d"
+  "bench_energy_stealth"
+  "bench_energy_stealth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_stealth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

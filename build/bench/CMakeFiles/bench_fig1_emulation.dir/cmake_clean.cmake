@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_emulation.dir/bench_fig1_emulation.cpp.o"
+  "CMakeFiles/bench_fig1_emulation.dir/bench_fig1_emulation.cpp.o.d"
+  "bench_fig1_emulation"
+  "bench_fig1_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

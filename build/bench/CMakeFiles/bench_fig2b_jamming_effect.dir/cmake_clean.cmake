@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_jamming_effect.dir/bench_fig2b_jamming_effect.cpp.o"
+  "CMakeFiles/bench_fig2b_jamming_effect.dir/bench_fig2b_jamming_effect.cpp.o.d"
+  "bench_fig2b_jamming_effect"
+  "bench_fig2b_jamming_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_jamming_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

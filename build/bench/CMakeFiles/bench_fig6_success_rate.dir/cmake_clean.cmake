@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_success_rate.dir/bench_fig6_success_rate.cpp.o"
+  "CMakeFiles/bench_fig6_success_rate.dir/bench_fig6_success_rate.cpp.o.d"
+  "bench_fig6_success_rate"
+  "bench_fig6_success_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_success_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_action_success.dir/bench_fig8_action_success.cpp.o"
+  "CMakeFiles/bench_fig8_action_success.dir/bench_fig8_action_success.cpp.o.d"
+  "bench_fig8_action_success"
+  "bench_fig8_action_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_action_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_time_consumption.dir/bench_fig9_time_consumption.cpp.o"
+  "CMakeFiles/bench_fig9_time_consumption.dir/bench_fig9_time_consumption.cpp.o.d"
+  "bench_fig9_time_consumption"
+  "bench_fig9_time_consumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_time_consumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

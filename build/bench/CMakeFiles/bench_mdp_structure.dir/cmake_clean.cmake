@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mdp_structure.dir/bench_mdp_structure.cpp.o"
+  "CMakeFiles/bench_mdp_structure.dir/bench_mdp_structure.cpp.o.d"
+  "bench_mdp_structure"
+  "bench_mdp_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mdp_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

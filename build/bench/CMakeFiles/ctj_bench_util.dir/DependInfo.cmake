@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cpp" "bench/CMakeFiles/ctj_bench_util.dir/bench_util.cpp.o" "gcc" "bench/CMakeFiles/ctj_bench_util.dir/bench_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ctj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/ctj_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdp/CMakeFiles/ctj_mdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/jammer/CMakeFiles/ctj_jammer.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ctj_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ctj_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ctj_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctj_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/ctj_bench_util.dir/bench_util.cpp.o.d"
+  "libctj_bench_util.a"
+  "libctj_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctj_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_jammer_duel.dir/adaptive_jammer_duel.cpp.o"
+  "CMakeFiles/adaptive_jammer_duel.dir/adaptive_jammer_duel.cpp.o.d"
+  "adaptive_jammer_duel"
+  "adaptive_jammer_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_jammer_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

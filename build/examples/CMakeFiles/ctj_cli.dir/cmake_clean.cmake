@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctj_cli.dir/ctj_cli.cpp.o"
+  "CMakeFiles/ctj_cli.dir/ctj_cli.cpp.o.d"
+  "ctj_cli"
+  "ctj_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctj_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emubee_attack_study.dir/emubee_attack_study.cpp.o"
+  "CMakeFiles/emubee_attack_study.dir/emubee_attack_study.cpp.o.d"
+  "emubee_attack_study"
+  "emubee_attack_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emubee_attack_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

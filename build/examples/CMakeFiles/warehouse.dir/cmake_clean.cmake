@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse.dir/warehouse.cpp.o"
+  "CMakeFiles/warehouse.dir/warehouse.cpp.o.d"
+  "warehouse"
+  "warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

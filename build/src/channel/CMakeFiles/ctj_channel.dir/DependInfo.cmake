@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/link.cpp" "src/channel/CMakeFiles/ctj_channel.dir/link.cpp.o" "gcc" "src/channel/CMakeFiles/ctj_channel.dir/link.cpp.o.d"
+  "/root/repo/src/channel/pathloss.cpp" "src/channel/CMakeFiles/ctj_channel.dir/pathloss.cpp.o" "gcc" "src/channel/CMakeFiles/ctj_channel.dir/pathloss.cpp.o.d"
+  "/root/repo/src/channel/spectrum.cpp" "src/channel/CMakeFiles/ctj_channel.dir/spectrum.cpp.o" "gcc" "src/channel/CMakeFiles/ctj_channel.dir/spectrum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

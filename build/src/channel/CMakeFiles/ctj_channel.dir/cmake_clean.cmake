@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctj_channel.dir/link.cpp.o"
+  "CMakeFiles/ctj_channel.dir/link.cpp.o.d"
+  "CMakeFiles/ctj_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/ctj_channel.dir/pathloss.cpp.o.d"
+  "CMakeFiles/ctj_channel.dir/spectrum.cpp.o"
+  "CMakeFiles/ctj_channel.dir/spectrum.cpp.o.d"
+  "libctj_channel.a"
+  "libctj_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctj_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctj_common.dir/logging.cpp.o"
+  "CMakeFiles/ctj_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ctj_common.dir/math_util.cpp.o"
+  "CMakeFiles/ctj_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/ctj_common.dir/modes.cpp.o"
+  "CMakeFiles/ctj_common.dir/modes.cpp.o.d"
+  "CMakeFiles/ctj_common.dir/rng.cpp.o"
+  "CMakeFiles/ctj_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ctj_common.dir/stats.cpp.o"
+  "CMakeFiles/ctj_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ctj_common.dir/table.cpp.o"
+  "CMakeFiles/ctj_common.dir/table.cpp.o.d"
+  "libctj_common.a"
+  "libctj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/common/CMakeFiles/ctj_common.dir/modes.cpp.o: \
+ /root/repo/src/common/modes.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/common/modes.hpp

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy.cpp" "src/core/CMakeFiles/ctj_core.dir/energy.cpp.o" "gcc" "src/core/CMakeFiles/ctj_core.dir/energy.cpp.o.d"
+  "/root/repo/src/core/environment.cpp" "src/core/CMakeFiles/ctj_core.dir/environment.cpp.o" "gcc" "src/core/CMakeFiles/ctj_core.dir/environment.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/ctj_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/ctj_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/field.cpp" "src/core/CMakeFiles/ctj_core.dir/field.cpp.o" "gcc" "src/core/CMakeFiles/ctj_core.dir/field.cpp.o.d"
+  "/root/repo/src/core/mdp_scheme.cpp" "src/core/CMakeFiles/ctj_core.dir/mdp_scheme.cpp.o" "gcc" "src/core/CMakeFiles/ctj_core.dir/mdp_scheme.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/ctj_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/ctj_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/passive_fh.cpp" "src/core/CMakeFiles/ctj_core.dir/passive_fh.cpp.o" "gcc" "src/core/CMakeFiles/ctj_core.dir/passive_fh.cpp.o.d"
+  "/root/repo/src/core/qlearning_scheme.cpp" "src/core/CMakeFiles/ctj_core.dir/qlearning_scheme.cpp.o" "gcc" "src/core/CMakeFiles/ctj_core.dir/qlearning_scheme.cpp.o.d"
+  "/root/repo/src/core/random_fh.cpp" "src/core/CMakeFiles/ctj_core.dir/random_fh.cpp.o" "gcc" "src/core/CMakeFiles/ctj_core.dir/random_fh.cpp.o.d"
+  "/root/repo/src/core/rl_fh.cpp" "src/core/CMakeFiles/ctj_core.dir/rl_fh.cpp.o" "gcc" "src/core/CMakeFiles/ctj_core.dir/rl_fh.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/ctj_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/ctj_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/ctj_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdp/CMakeFiles/ctj_mdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/jammer/CMakeFiles/ctj_jammer.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ctj_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ctj_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ctj_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

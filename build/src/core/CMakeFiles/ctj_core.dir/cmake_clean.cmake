@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctj_core.dir/energy.cpp.o"
+  "CMakeFiles/ctj_core.dir/energy.cpp.o.d"
+  "CMakeFiles/ctj_core.dir/environment.cpp.o"
+  "CMakeFiles/ctj_core.dir/environment.cpp.o.d"
+  "CMakeFiles/ctj_core.dir/experiment.cpp.o"
+  "CMakeFiles/ctj_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/ctj_core.dir/field.cpp.o"
+  "CMakeFiles/ctj_core.dir/field.cpp.o.d"
+  "CMakeFiles/ctj_core.dir/mdp_scheme.cpp.o"
+  "CMakeFiles/ctj_core.dir/mdp_scheme.cpp.o.d"
+  "CMakeFiles/ctj_core.dir/metrics.cpp.o"
+  "CMakeFiles/ctj_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/ctj_core.dir/passive_fh.cpp.o"
+  "CMakeFiles/ctj_core.dir/passive_fh.cpp.o.d"
+  "CMakeFiles/ctj_core.dir/qlearning_scheme.cpp.o"
+  "CMakeFiles/ctj_core.dir/qlearning_scheme.cpp.o.d"
+  "CMakeFiles/ctj_core.dir/random_fh.cpp.o"
+  "CMakeFiles/ctj_core.dir/random_fh.cpp.o.d"
+  "CMakeFiles/ctj_core.dir/rl_fh.cpp.o"
+  "CMakeFiles/ctj_core.dir/rl_fh.cpp.o.d"
+  "CMakeFiles/ctj_core.dir/trainer.cpp.o"
+  "CMakeFiles/ctj_core.dir/trainer.cpp.o.d"
+  "libctj_core.a"
+  "libctj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

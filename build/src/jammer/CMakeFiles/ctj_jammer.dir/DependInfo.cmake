@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jammer/adaptive_jammer.cpp" "src/jammer/CMakeFiles/ctj_jammer.dir/adaptive_jammer.cpp.o" "gcc" "src/jammer/CMakeFiles/ctj_jammer.dir/adaptive_jammer.cpp.o.d"
+  "/root/repo/src/jammer/detector.cpp" "src/jammer/CMakeFiles/ctj_jammer.dir/detector.cpp.o" "gcc" "src/jammer/CMakeFiles/ctj_jammer.dir/detector.cpp.o.d"
+  "/root/repo/src/jammer/stealth.cpp" "src/jammer/CMakeFiles/ctj_jammer.dir/stealth.cpp.o" "gcc" "src/jammer/CMakeFiles/ctj_jammer.dir/stealth.cpp.o.d"
+  "/root/repo/src/jammer/sweep_jammer.cpp" "src/jammer/CMakeFiles/ctj_jammer.dir/sweep_jammer.cpp.o" "gcc" "src/jammer/CMakeFiles/ctj_jammer.dir/sweep_jammer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ctj_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctj_jammer.dir/adaptive_jammer.cpp.o"
+  "CMakeFiles/ctj_jammer.dir/adaptive_jammer.cpp.o.d"
+  "CMakeFiles/ctj_jammer.dir/detector.cpp.o"
+  "CMakeFiles/ctj_jammer.dir/detector.cpp.o.d"
+  "CMakeFiles/ctj_jammer.dir/stealth.cpp.o"
+  "CMakeFiles/ctj_jammer.dir/stealth.cpp.o.d"
+  "CMakeFiles/ctj_jammer.dir/sweep_jammer.cpp.o"
+  "CMakeFiles/ctj_jammer.dir/sweep_jammer.cpp.o.d"
+  "libctj_jammer.a"
+  "libctj_jammer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctj_jammer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdp/analysis.cpp" "src/mdp/CMakeFiles/ctj_mdp.dir/analysis.cpp.o" "gcc" "src/mdp/CMakeFiles/ctj_mdp.dir/analysis.cpp.o.d"
+  "/root/repo/src/mdp/antijam_mdp.cpp" "src/mdp/CMakeFiles/ctj_mdp.dir/antijam_mdp.cpp.o" "gcc" "src/mdp/CMakeFiles/ctj_mdp.dir/antijam_mdp.cpp.o.d"
+  "/root/repo/src/mdp/mdp.cpp" "src/mdp/CMakeFiles/ctj_mdp.dir/mdp.cpp.o" "gcc" "src/mdp/CMakeFiles/ctj_mdp.dir/mdp.cpp.o.d"
+  "/root/repo/src/mdp/value_iteration.cpp" "src/mdp/CMakeFiles/ctj_mdp.dir/value_iteration.cpp.o" "gcc" "src/mdp/CMakeFiles/ctj_mdp.dir/value_iteration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

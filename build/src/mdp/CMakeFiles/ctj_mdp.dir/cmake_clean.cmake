@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctj_mdp.dir/analysis.cpp.o"
+  "CMakeFiles/ctj_mdp.dir/analysis.cpp.o.d"
+  "CMakeFiles/ctj_mdp.dir/antijam_mdp.cpp.o"
+  "CMakeFiles/ctj_mdp.dir/antijam_mdp.cpp.o.d"
+  "CMakeFiles/ctj_mdp.dir/mdp.cpp.o"
+  "CMakeFiles/ctj_mdp.dir/mdp.cpp.o.d"
+  "CMakeFiles/ctj_mdp.dir/value_iteration.cpp.o"
+  "CMakeFiles/ctj_mdp.dir/value_iteration.cpp.o.d"
+  "libctj_mdp.a"
+  "libctj_mdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctj_mdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctj_mdp.a"
+)

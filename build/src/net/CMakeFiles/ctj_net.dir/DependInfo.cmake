@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/mac.cpp" "src/net/CMakeFiles/ctj_net.dir/mac.cpp.o" "gcc" "src/net/CMakeFiles/ctj_net.dir/mac.cpp.o.d"
+  "/root/repo/src/net/medium.cpp" "src/net/CMakeFiles/ctj_net.dir/medium.cpp.o" "gcc" "src/net/CMakeFiles/ctj_net.dir/medium.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/ctj_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/ctj_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/star_network.cpp" "src/net/CMakeFiles/ctj_net.dir/star_network.cpp.o" "gcc" "src/net/CMakeFiles/ctj_net.dir/star_network.cpp.o.d"
+  "/root/repo/src/net/timing.cpp" "src/net/CMakeFiles/ctj_net.dir/timing.cpp.o" "gcc" "src/net/CMakeFiles/ctj_net.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ctj_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ctj_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctj_net.dir/mac.cpp.o"
+  "CMakeFiles/ctj_net.dir/mac.cpp.o.d"
+  "CMakeFiles/ctj_net.dir/medium.cpp.o"
+  "CMakeFiles/ctj_net.dir/medium.cpp.o.d"
+  "CMakeFiles/ctj_net.dir/node.cpp.o"
+  "CMakeFiles/ctj_net.dir/node.cpp.o.d"
+  "CMakeFiles/ctj_net.dir/star_network.cpp.o"
+  "CMakeFiles/ctj_net.dir/star_network.cpp.o.d"
+  "CMakeFiles/ctj_net.dir/timing.cpp.o"
+  "CMakeFiles/ctj_net.dir/timing.cpp.o.d"
+  "libctj_net.a"
+  "libctj_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctj_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

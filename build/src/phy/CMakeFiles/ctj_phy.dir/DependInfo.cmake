@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/bits.cpp" "src/phy/CMakeFiles/ctj_phy.dir/bits.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/bits.cpp.o.d"
+  "/root/repo/src/phy/convolutional.cpp" "src/phy/CMakeFiles/ctj_phy.dir/convolutional.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/convolutional.cpp.o.d"
+  "/root/repo/src/phy/emulation.cpp" "src/phy/CMakeFiles/ctj_phy.dir/emulation.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/emulation.cpp.o.d"
+  "/root/repo/src/phy/fft.cpp" "src/phy/CMakeFiles/ctj_phy.dir/fft.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/fft.cpp.o.d"
+  "/root/repo/src/phy/interleaver.cpp" "src/phy/CMakeFiles/ctj_phy.dir/interleaver.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy/iq.cpp" "src/phy/CMakeFiles/ctj_phy.dir/iq.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/iq.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/phy/CMakeFiles/ctj_phy.dir/ofdm.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy/qam.cpp" "src/phy/CMakeFiles/ctj_phy.dir/qam.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/qam.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/ctj_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/scrambler.cpp.o.d"
+  "/root/repo/src/phy/wifi_phy.cpp" "src/phy/CMakeFiles/ctj_phy.dir/wifi_phy.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/wifi_phy.cpp.o.d"
+  "/root/repo/src/phy/wifi_preamble.cpp" "src/phy/CMakeFiles/ctj_phy.dir/wifi_preamble.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/wifi_preamble.cpp.o.d"
+  "/root/repo/src/phy/zigbee_packet.cpp" "src/phy/CMakeFiles/ctj_phy.dir/zigbee_packet.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/zigbee_packet.cpp.o.d"
+  "/root/repo/src/phy/zigbee_phy.cpp" "src/phy/CMakeFiles/ctj_phy.dir/zigbee_phy.cpp.o" "gcc" "src/phy/CMakeFiles/ctj_phy.dir/zigbee_phy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

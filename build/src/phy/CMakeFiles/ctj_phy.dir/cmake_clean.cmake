@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctj_phy.dir/bits.cpp.o"
+  "CMakeFiles/ctj_phy.dir/bits.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/convolutional.cpp.o"
+  "CMakeFiles/ctj_phy.dir/convolutional.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/emulation.cpp.o"
+  "CMakeFiles/ctj_phy.dir/emulation.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/fft.cpp.o"
+  "CMakeFiles/ctj_phy.dir/fft.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/interleaver.cpp.o"
+  "CMakeFiles/ctj_phy.dir/interleaver.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/iq.cpp.o"
+  "CMakeFiles/ctj_phy.dir/iq.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/ofdm.cpp.o"
+  "CMakeFiles/ctj_phy.dir/ofdm.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/qam.cpp.o"
+  "CMakeFiles/ctj_phy.dir/qam.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/scrambler.cpp.o"
+  "CMakeFiles/ctj_phy.dir/scrambler.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/wifi_phy.cpp.o"
+  "CMakeFiles/ctj_phy.dir/wifi_phy.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/wifi_preamble.cpp.o"
+  "CMakeFiles/ctj_phy.dir/wifi_preamble.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/zigbee_packet.cpp.o"
+  "CMakeFiles/ctj_phy.dir/zigbee_packet.cpp.o.d"
+  "CMakeFiles/ctj_phy.dir/zigbee_phy.cpp.o"
+  "CMakeFiles/ctj_phy.dir/zigbee_phy.cpp.o.d"
+  "libctj_phy.a"
+  "libctj_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctj_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

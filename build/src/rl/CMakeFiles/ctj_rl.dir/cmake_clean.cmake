@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctj_rl.dir/dqn.cpp.o"
+  "CMakeFiles/ctj_rl.dir/dqn.cpp.o.d"
+  "CMakeFiles/ctj_rl.dir/matrix.cpp.o"
+  "CMakeFiles/ctj_rl.dir/matrix.cpp.o.d"
+  "CMakeFiles/ctj_rl.dir/nn.cpp.o"
+  "CMakeFiles/ctj_rl.dir/nn.cpp.o.d"
+  "CMakeFiles/ctj_rl.dir/qlearning.cpp.o"
+  "CMakeFiles/ctj_rl.dir/qlearning.cpp.o.d"
+  "CMakeFiles/ctj_rl.dir/replay.cpp.o"
+  "CMakeFiles/ctj_rl.dir/replay.cpp.o.d"
+  "libctj_rl.a"
+  "libctj_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctj_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_env.dir/test_core_env.cpp.o"
+  "CMakeFiles/test_core_env.dir/test_core_env.cpp.o.d"
+  "test_core_env"
+  "test_core_env.pdb"
+  "test_core_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_schemes.dir/test_core_schemes.cpp.o"
+  "CMakeFiles/test_core_schemes.dir/test_core_schemes.cpp.o.d"
+  "test_core_schemes"
+  "test_core_schemes.pdb"
+  "test_core_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdp.dir/test_mdp.cpp.o"
+  "CMakeFiles/test_mdp.dir/test_mdp.cpp.o.d"
+  "test_mdp"
+  "test_mdp.pdb"
+  "test_mdp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

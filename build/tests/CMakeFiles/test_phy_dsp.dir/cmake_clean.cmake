@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_dsp.dir/test_phy_dsp.cpp.o"
+  "CMakeFiles/test_phy_dsp.dir/test_phy_dsp.cpp.o.d"
+  "test_phy_dsp"
+  "test_phy_dsp.pdb"
+  "test_phy_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_emulation.dir/test_phy_emulation.cpp.o"
+  "CMakeFiles/test_phy_emulation.dir/test_phy_emulation.cpp.o.d"
+  "test_phy_emulation"
+  "test_phy_emulation.pdb"
+  "test_phy_emulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

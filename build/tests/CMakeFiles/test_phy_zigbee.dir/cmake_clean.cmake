@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_zigbee.dir/test_phy_zigbee.cpp.o"
+  "CMakeFiles/test_phy_zigbee.dir/test_phy_zigbee.cpp.o.d"
+  "test_phy_zigbee"
+  "test_phy_zigbee.pdb"
+  "test_phy_zigbee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_zigbee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_dsp[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_zigbee[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_emulation[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_mdp[1]_include.cmake")
+include("/root/repo/build/tests/test_rl[1]_include.cmake")
+include("/root/repo/build/tests/test_jammer[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_core_env[1]_include.cmake")
+include("/root/repo/build/tests/test_core_schemes[1]_include.cmake")
+include("/root/repo/build/tests/test_field[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions2[1]_include.cmake")
