@@ -3,10 +3,13 @@
 // length I (the 3×I input layer), the hidden width of the two fully
 // connected layers, and the deployed ε of the ε-greedy communication policy.
 // Each point trains on the default max-power scenario and reports ST and the
-// mean reward.
+// mean reward. The training-variant sections fan their points out across
+// CTJ_BENCH_THREADS cores; the deployed-ε study trains one scheme and
+// redeploys it sequentially (the scheme object is mutated between runs).
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/field.hpp"
 #include "core/qlearning_scheme.hpp"
@@ -43,30 +46,60 @@ int main() {
   std::cout << "DQN design ablations (max-power jammer, paper defaults "
                "otherwise)\n"
             << "train slots/point: " << train_slots()
-            << ", eval slots/point: " << eval_slots() << "\n";
+            << ", eval slots/point: " << eval_slots()
+            << ", threads: " << bench_threads() << "\n";
+  BenchReport report("ablation_dqn");
 
   {
     print_header("history length I (input layer = 3*I neurons)",
                  "the paper uses the previous I slots; too little history "
                  "hides the jammer's sweep phase");
+    const std::size_t histories[] = {1, 2, 4, 8};
+    const auto ms = parallel_map(
+        4,
+        [&](std::size_t i) {
+          return run_variant(histories[i], {32, 32}, 0.05, 11);
+        },
+        bench_threads());
     TextTable table({"I", "ST (%)", "mean reward"});
-    for (std::size_t I : {1u, 2u, 4u, 8u}) {
-      const auto m = run_variant(I, {32, 32}, 0.05, 11);
-      table.add_row({static_cast<double>(I), 100.0 * m.st, m.mean_reward});
+    JsonValue rows = JsonValue::array();
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      table.add_row({static_cast<double>(histories[i]), 100.0 * ms[i].st,
+                     ms[i].mean_reward});
+      JsonValue row = JsonValue::object();
+      row["history"] = histories[i];
+      row["metrics"] = metrics_json(ms[i]);
+      rows.push_back(std::move(row));
     }
     table.print(std::cout);
+    report.add_sweep("history_length", std::move(rows));
+    report.add_slots(ms.size() * (train_slots() + eval_slots()));
   }
 
   {
     print_header("hidden width (two fully connected layers, Fig. 4)",
                  "the paper: two hidden layers suffice; width trades "
                  "capacity against on-device footprint");
+    const std::size_t widths[] = {16, 32, 45, 64};
+    const auto ms = parallel_map(
+        4,
+        [&](std::size_t i) {
+          return run_variant(4, {widths[i], widths[i]}, 0.05, 22);
+        },
+        bench_threads());
     TextTable table({"width", "ST (%)", "mean reward"});
-    for (std::size_t w : {16u, 32u, 45u, 64u}) {
-      const auto m = run_variant(4, {w, w}, 0.05, 22);
-      table.add_row({static_cast<double>(w), 100.0 * m.st, m.mean_reward});
+    JsonValue rows = JsonValue::array();
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      table.add_row({static_cast<double>(widths[i]), 100.0 * ms[i].st,
+                     ms[i].mean_reward});
+      JsonValue row = JsonValue::object();
+      row["width"] = widths[i];
+      row["metrics"] = metrics_json(ms[i]);
+      rows.push_back(std::move(row));
     }
     table.print(std::cout);
+    report.add_sweep("hidden_width", std::move(rows));
+    report.add_slots(ms.size() * (train_slots() + eval_slots()));
   }
 
   {
@@ -75,7 +108,8 @@ int main() {
                  "sweeping jammer can track a deterministic channel "
                  "pattern: eps = 0 collapses, a little exploration "
                  "restores the escape behaviour, too much wastes slots");
-    // Train once, redeploy with different epsilons.
+    // Train once, redeploy with different epsilons. The scheme object is
+    // mutated between deployments, so this section stays sequential.
     DqnScheme::Config scheme_config;
     scheme_config.history = 4;
     scheme_config.hidden = {32, 32};
@@ -91,8 +125,10 @@ int main() {
       trainer.max_slots = train_slots();
       train(scheme, env, trainer);
       scheme.set_training(false);
+      report.add_slots(train_slots());
     }
     TextTable table({"deploy eps", "field ST (%)", "goodput (pkts/slot)"});
+    JsonValue rows = JsonValue::array();
     for (double eps : {0.0, 0.02, 0.05, 0.1, 0.2}) {
       scheme.set_deploy_epsilon(eps);
       scheme.reset();
@@ -104,8 +140,15 @@ int main() {
       FieldExperiment experiment(field, scheme);
       const auto r = experiment.run(300);
       table.add_row({eps, 100.0 * r.metrics.st, r.goodput_packets_per_slot});
+      JsonValue row = JsonValue::object();
+      row["deploy_epsilon"] = eps;
+      row["field_st"] = r.metrics.st;
+      row["goodput_packets_per_slot"] = r.goodput_packets_per_slot;
+      rows.push_back(std::move(row));
+      report.add_slots(300);
     }
     table.print(std::cout);
+    report.add_sweep("deploy_epsilon", std::move(rows));
   }
 
   {
@@ -113,73 +156,107 @@ int main() {
                  "Sec. III.C's motivation: the Q table over the 3*I "
                  "observation space converges far slower than the DQN for "
                  "the same slot budget");
+    // Three independent trainings: run them as one parallel batch. Each item
+    // builds all of its state from the index alone.
+    struct FamilyResult {
+      MetricsReport metrics;
+      std::size_t table_size = 0;  // only for the tabular agent
+    };
+    const auto family = parallel_map(
+        3,
+        [&](std::size_t i) -> FamilyResult {
+          if (i == 0) {
+            auto env_config = EnvironmentConfig::defaults();
+            env_config.mode = JammerPowerMode::kMaxPower;
+            env_config.seed = 55;
+            QLearningScheme::Config ql_config;
+            ql_config.history = 4;
+            ql_config.epsilon_decay_steps = train_slots() / 4;
+            QLearningScheme ql(ql_config);
+            CompetitionEnvironment env(env_config);
+            for (std::size_t slot = 0; slot < train_slots(); ++slot) {
+              const auto d = ql.decide();
+              const auto step = env.step(d.channel, d.power_index);
+              SlotFeedback fb;
+              fb.success = step.success;
+              fb.jammed = step.outcome != SlotOutcome::kClear;
+              fb.channel = step.channel;
+              fb.power_index = d.power_index;
+              fb.reward = step.reward;
+              ql.feedback(fb);
+            }
+            ql.set_training(false);
+            env_config.seed = 56;
+            CompetitionEnvironment eval_env(env_config);
+            return {evaluate(ql, eval_env, eval_slots()),
+                    ql.agent().table_size()};
+          }
+          if (i == 1) {
+            return {run_variant(4, {32, 32}, 0.05, 55), 0};
+          }
+          RlExperimentConfig config;
+          config.env = EnvironmentConfig::defaults();
+          config.env.mode = JammerPowerMode::kMaxPower;
+          config.env.seed = 55;
+          config.eval_seed = 56;
+          config.scheme.history = 4;
+          config.scheme.hidden = {32, 32};
+          config.scheme.epsilon_decay_steps = train_slots() / 4;
+          config.scheme.double_dqn = true;
+          config.scheme.seed = 555;
+          config.train_slots = train_slots();
+          config.eval_slots = eval_slots();
+          return {run_rl_experiment(config).metrics, 0};
+        },
+        bench_threads());
+    const char* const family_names[] = {"tabular Q-learning", "DQN (paper)",
+                                        "Double DQN"};
     TextTable table({"agent", "ST (%)", "notes"});
-    // Tabular Q-learning on the same budget.
-    {
-      auto env_config = EnvironmentConfig::defaults();
-      env_config.mode = JammerPowerMode::kMaxPower;
-      env_config.seed = 55;
-      QLearningScheme::Config ql_config;
-      ql_config.history = 4;
-      ql_config.epsilon_decay_steps = train_slots() / 4;
-      QLearningScheme ql(ql_config);
-      CompetitionEnvironment env(env_config);
-      for (std::size_t slot = 0; slot < train_slots(); ++slot) {
-        const auto d = ql.decide();
-        const auto step = env.step(d.channel, d.power_index);
-        SlotFeedback fb;
-        fb.success = step.success;
-        fb.jammed = step.outcome != SlotOutcome::kClear;
-        fb.channel = step.channel;
-        fb.power_index = d.power_index;
-        fb.reward = step.reward;
-        ql.feedback(fb);
-      }
-      ql.set_training(false);
-      env_config.seed = 56;
-      CompetitionEnvironment eval_env(env_config);
-      const auto m = evaluate(ql, eval_env, eval_slots());
-      table.add_row({"tabular Q-learning", TextTable::fmt(100 * m.st, 2),
-                     "table size " + std::to_string(ql.agent().table_size())});
-    }
-    {
-      const auto m = run_variant(4, {32, 32}, 0.05, 55);
-      table.add_row({"DQN (paper)", TextTable::fmt(100 * m.st, 2), "-"});
-    }
-    {
-      RlExperimentConfig config;
-      config.env = EnvironmentConfig::defaults();
-      config.env.mode = JammerPowerMode::kMaxPower;
-      config.env.seed = 55;
-      config.eval_seed = 56;
-      config.scheme.history = 4;
-      config.scheme.hidden = {32, 32};
-      config.scheme.epsilon_decay_steps = train_slots() / 4;
-      config.scheme.double_dqn = true;
-      config.scheme.seed = 555;
-      config.train_slots = train_slots();
-      config.eval_slots = eval_slots();
-      const auto m = run_rl_experiment(config).metrics;
-      table.add_row({"Double DQN", TextTable::fmt(100 * m.st, 2), "-"});
+    JsonValue rows = JsonValue::array();
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      table.add_row({family_names[i],
+                     TextTable::fmt(100 * family[i].metrics.st, 2),
+                     i == 0 ? "table size " +
+                                  std::to_string(family[i].table_size)
+                            : "-"});
+      JsonValue row = JsonValue::object();
+      row["agent"] = family_names[i];
+      row["metrics"] = metrics_json(family[i].metrics);
+      if (i == 0) row["table_size"] = family[i].table_size;
+      rows.push_back(std::move(row));
     }
     table.print(std::cout);
+    report.add_sweep("agent_family", std::move(rows));
+    report.add_slots(family.size() * (train_slots() + eval_slots()));
   }
 
   {
     print_header("single vs two hidden layers",
                  "checks the paper's claim that 2 FC layers are sufficient");
-    TextTable table({"architecture", "ST (%)", "mean reward"});
     const std::pair<std::string, std::vector<std::size_t>> variants[] = {
         {"1 x 32", {32}},
         {"2 x 32", {32, 32}},
         {"3 x 32", {32, 32, 32}},
     };
-    for (const auto& [name, hidden] : variants) {
-      const auto m = run_variant(4, hidden, 0.05, 44);
-      table.add_row({name, TextTable::fmt(100.0 * m.st, 2),
-                     TextTable::fmt(m.mean_reward, 2)});
+    const auto ms = parallel_map(
+        3,
+        [&](std::size_t i) {
+          return run_variant(4, variants[i].second, 0.05, 44);
+        },
+        bench_threads());
+    TextTable table({"architecture", "ST (%)", "mean reward"});
+    JsonValue rows = JsonValue::array();
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      table.add_row({variants[i].first, TextTable::fmt(100.0 * ms[i].st, 2),
+                     TextTable::fmt(ms[i].mean_reward, 2)});
+      JsonValue row = JsonValue::object();
+      row["architecture"] = variants[i].first;
+      row["metrics"] = metrics_json(ms[i]);
+      rows.push_back(std::move(row));
     }
     table.print(std::cout);
+    report.add_sweep("depth", std::move(rows));
+    report.add_slots(ms.size() * (train_slots() + eval_slots()));
   }
   return 0;
 }

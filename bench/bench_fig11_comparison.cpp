@@ -10,6 +10,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/environment.hpp"
 #include "core/field.hpp"
@@ -20,6 +21,7 @@
 #include "core/trainer.hpp"
 
 using namespace ctj;
+using namespace ctj::bench;
 using namespace ctj::core;
 
 namespace {
@@ -66,9 +68,13 @@ std::unique_ptr<DqnScheme> train_rl_scheme() {
 int main() {
   std::cout << "Fig. 11 reproduction: anti-jamming scheme comparison "
                "(field simulator, EmuBee sweeping jammer, 3 s slots)\n\n";
+  BenchReport report("fig11_comparison");
 
+  // The trained DQN is shared by every comparison run below, so this bench
+  // stays sequential.
   auto rl = train_rl_scheme();
   constexpr std::size_t kSlots = 400;
+  report.add_slots(16000);
 
   double goodput_normal = 0.0;
   {
@@ -97,17 +103,27 @@ int main() {
     FieldExperiment exp_oracle(field_config(501, true), oracle);
     const auto r_oracle = exp_oracle.run(kSlots);
 
+    JsonValue rows = JsonValue::array();
     auto add = [&](const std::string& name, const FieldResult& r) {
       table.add_row({name, TextTable::fmt(r.goodput_packets_per_slot, 0),
                      TextTable::fmt(100.0 * r.goodput_packets_per_slot /
                                         goodput_normal, 1),
                      TextTable::fmt(100.0 * r.metrics.st, 1)});
+      JsonValue row = JsonValue::object();
+      row["scheme"] = name;
+      row["goodput_packets_per_slot"] = r.goodput_packets_per_slot;
+      row["fraction_of_normal"] =
+          r.goodput_packets_per_slot / goodput_normal;
+      row["st"] = r.metrics.st;
+      rows.push_back(std::move(row));
+      report.add_slots(kSlots);
     };
     add("PSV FH", r_passive);
     add("Rand FH", r_random);
     add("RL FH (DQN)", r_rl);
     add("MDP oracle (ideal)", r_oracle);
     add("w/o Jx (normal)", r_normal);
+    report.add_sweep("goodput_by_scheme", std::move(rows));
     table.print(std::cout);
     std::cout << "paper: PSV 216 (37.6%), Rand 311 (54.1%), RL 431 (78.5%), "
                  "normal 575 pkts/slot\n";
@@ -117,13 +133,22 @@ int main() {
     std::cout << "\n=== Fig. 11(b): goodput vs Jx slot duration (Tx slot "
                  "3 s, RL FH) ===\n";
     TextTable table({"Jx slot (s)", "goodput (pkts/slot)", "% of normal"});
+    JsonValue rows = JsonValue::array();
     for (double jx : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0}) {
       rl->reset();
       FieldExperiment experiment(field_config(601, true, jx), *rl);
       const auto r = experiment.run(kSlots);
       table.add_row({jx, r.goodput_packets_per_slot,
                      100.0 * r.goodput_packets_per_slot / goodput_normal});
+      JsonValue row = JsonValue::object();
+      row["jammer_slot_s"] = jx;
+      row["goodput_packets_per_slot"] = r.goodput_packets_per_slot;
+      row["fraction_of_normal"] =
+          r.goodput_packets_per_slot / goodput_normal;
+      rows.push_back(std::move(row));
+      report.add_slots(kSlots);
     }
+    report.add_sweep("goodput_vs_jammer_slot", std::move(rows));
     table.print(std::cout);
     std::cout << "paper: peak ~421 pkts/slot at the matched 3 s, degrading "
                  "for faster or slower jammer clocks\n";

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -13,6 +14,7 @@
 #include "phy/ofdm.hpp"
 
 using namespace ctj;
+using namespace ctj::bench;
 using namespace ctj::phy;
 
 namespace {
@@ -52,8 +54,13 @@ int main() {
   std::cout << "Fig. 1 / Eqs. (1)-(2) reproduction: EmuBee emulation\n"
             << "designed waveform: " << syms.size() << " ZigBee symbols, "
             << targets.size() << " constellation targets (M)\n";
+  BenchReport report("fig1_emulation");
 
   const double alpha_star = optimal_alpha(targets);
+  report.set_metric("num_targets", JsonValue(targets.size()));
+  report.set_metric("alpha_star", JsonValue(alpha_star));
+  report.set_metric("quantization_error_at_alpha_star",
+                    JsonValue(quantization_error(targets, alpha_star)));
   {
     std::cout << "\n=== E(alpha) around the optimum (convex per the paper) ===\n";
     TextTable table({"alpha", "E(alpha)"});
@@ -78,6 +85,7 @@ int main() {
 
     TextTable table({"variant", "alpha", "E(alpha)", "EVM", "chip err (%)",
                      "sym err (%)"});
+    JsonValue rows = JsonValue::array();
     for (const auto& [name, cfg] :
          {std::pair{std::string("optimized (paper)"), opt_cfg},
           std::pair{std::string("naive alpha=1"), naive_cfg}}) {
@@ -88,7 +96,16 @@ int main() {
                      TextTable::fmt(fidelity.evm, 3),
                      TextTable::fmt(100.0 * fidelity.chip_error_rate, 2),
                      TextTable::fmt(100.0 * fidelity.symbol_error_rate, 2)});
+      JsonValue row = JsonValue::object();
+      row["variant"] = name;
+      row["alpha"] = result.alpha;
+      row["quantization_error"] = result.quantization_error;
+      row["evm"] = fidelity.evm;
+      row["chip_error_rate"] = fidelity.chip_error_rate;
+      row["symbol_error_rate"] = fidelity.symbol_error_rate;
+      rows.push_back(std::move(row));
     }
+    report.add_sweep("fidelity", std::move(rows));
     table.print(std::cout);
     std::cout << "expected shape: optimized E(alpha) << naive; chip/symbol "
                  "error low enough that a ZigBee receiver decodes the "
@@ -98,6 +115,7 @@ int main() {
   {
     std::cout << "\n=== alpha search cost vs M (O(M log M) claim) ===\n";
     TextTable table({"M (targets)", "time (ms)"});
+    JsonValue rows = JsonValue::array();
     for (std::size_t n_syms : {16u, 64u, 256u}) {
       Rng local(7);
       const auto s = random_symbols(n_syms, local);
@@ -113,7 +131,12 @@ int main() {
                             std::chrono::steady_clock::now() - t0)
                             .count();
       table.add_row({static_cast<double>(t.size()), ms});
+      JsonValue row = JsonValue::object();
+      row["num_targets"] = t.size();
+      row["time_ms"] = ms;
+      rows.push_back(std::move(row));
     }
+    report.add_sweep("alpha_search_cost", std::move(rows));
     table.print(std::cout);
   }
   return 0;

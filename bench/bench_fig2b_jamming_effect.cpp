@@ -6,13 +6,18 @@
 // LBT, the jammer continuously emitting on the victim's channel from
 // different distances. EmuBee and Wi-Fi jammers transmit at Wi-Fi power
 // (100 mW); the conventional ZigBee jammer at ZigBee-class power (+5 dBm).
+// The 15 distances x 3 signal types are independent measurements and fan
+// out across CTJ_BENCH_THREADS cores.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "channel/link.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "net/star_network.hpp"
 
 using namespace ctj;
+using namespace ctj::bench;
 using namespace ctj::net;
 using channel::JammingSignalType;
 
@@ -68,19 +73,50 @@ int main() {
   std::cout << "Fig. 2(b) reproduction: PER and throughput vs jamming "
                "distance\n"
             << "paper: PER decreases / throughput increases with distance; "
-               "ranking EmuBee > ZigBee > WiFi (EmuBee strongest jammer)\n\n";
+               "ranking EmuBee > ZigBee > WiFi (EmuBee strongest jammer)\n"
+            << "threads: " << bench_threads() << "\n\n";
+  BenchReport report("fig2b_jamming_effect");
+
+  const JammingSignalType types[] = {JammingSignalType::kEmuBee,
+                                     JammingSignalType::kZigbee,
+                                     JammingSignalType::kWifi};
+  const double powers_dbm[] = {20.0, 5.0, 20.0};
+  constexpr std::size_t kDistances = 15;
+
+  // Item layout: distance-major, type-minor — index alone determines the
+  // measurement.
+  const auto flat = parallel_map(
+      kDistances * 3,
+      [&](std::size_t item) {
+        const double distance = static_cast<double>(item / 3 + 1);
+        const std::size_t t = item % 3;
+        return measure(types[t], powers_dbm[t], distance);
+      },
+      bench_threads());
 
   TextTable table({"dist (m)", "PER EmuBee", "PER ZigBee", "PER WiFi",
                    "Tput EmuBee", "Tput ZigBee", "Tput WiFi"});
-  for (int d = 1; d <= 15; ++d) {
-    const auto emubee = measure(JammingSignalType::kEmuBee, 20.0, d);
-    const auto zigbee = measure(JammingSignalType::kZigbee, 5.0, d);
-    const auto wifi = measure(JammingSignalType::kWifi, 20.0, d);
-    table.add_row({static_cast<double>(d), emubee.per_pct, zigbee.per_pct,
+  JsonValue rows = JsonValue::array();
+  for (std::size_t d = 0; d < kDistances; ++d) {
+    const Point& emubee = flat[d * 3 + 0];
+    const Point& zigbee = flat[d * 3 + 1];
+    const Point& wifi = flat[d * 3 + 2];
+    table.add_row({static_cast<double>(d + 1), emubee.per_pct, zigbee.per_pct,
                    wifi.per_pct, emubee.throughput_kbps,
                    zigbee.throughput_kbps, wifi.throughput_kbps});
+    JsonValue row = JsonValue::object();
+    row["distance_m"] = d + 1;
+    for (std::size_t t = 0; t < 3; ++t) {
+      JsonValue cell = JsonValue::object();
+      cell["per_pct"] = flat[d * 3 + t].per_pct;
+      cell["throughput_kbps"] = flat[d * 3 + t].throughput_kbps;
+      row[channel::to_string(types[t])] = std::move(cell);
+    }
+    rows.push_back(std::move(row));
+    report.add_slots(3 * 30);
   }
   table.print(std::cout);
+  report.add_sweep("per_throughput_vs_distance", std::move(rows));
   std::cout << "(PER in %, throughput in kbps; jammers: EmuBee/WiFi at "
                "100 mW, conventional ZigBee at +5 dBm)\n";
   return 0;

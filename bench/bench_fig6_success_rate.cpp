@@ -1,7 +1,8 @@
 // Fig. 6 — Success rate of transmission (ST) of the DQN anti-jamming scheme
 // against (a) L_J, (b) the jammer's sweep cycle, (c) L_H, and (d) the lower
 // bound of the transmit power range, under the max-power and random-power
-// jammer modes. Each point trains a fresh DQN and evaluates 20 000 slots.
+// jammer modes. Each point trains a fresh DQN and evaluates 20 000 slots;
+// points fan out across CTJ_BENCH_THREADS cores.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -10,61 +11,79 @@
 using namespace ctj;
 using namespace ctj::bench;
 
+namespace {
+
+void report_sweep(BenchReport& report, const std::string& sweep_name,
+                  const std::string& xlabel,
+                  const std::vector<ModeSweepPoint>& points) {
+  JsonValue rows = JsonValue::array();
+  for (const auto& p : points) {
+    JsonValue row = JsonValue::object();
+    row[xlabel] = p.x;
+    row["max_power"] = metrics_json(p.max_mode);
+    row["random_power"] = metrics_json(p.rand_mode);
+    rows.push_back(std::move(row));
+  }
+  report.add_sweep(sweep_name, std::move(rows));
+  report.add_slots(points.size() * 2 * (train_slots() + eval_slots()));
+}
+
+void print_st_table(const std::string& xlabel,
+                    const std::vector<ModeSweepPoint>& points) {
+  TextTable table({xlabel, "ST max-pwr (%)", "ST rand-pwr (%)"});
+  for (const auto& p : points) {
+    table.add_row({p.x, 100.0 * p.max_mode.st, 100.0 * p.rand_mode.st});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
 int main() {
   std::cout << "Fig. 6 reproduction: success rate of transmission (ST, %)\n"
             << "train slots/point: " << train_slots()
-            << ", eval slots/point: " << eval_slots() << "\n";
+            << ", eval slots/point: " << eval_slots()
+            << ", threads: " << bench_threads() << "\n";
+  BenchReport report("fig6_success_rate");
 
   {
     print_header("Fig. 6(a): ST vs L_J",
                  "ST ~0 for L_J<=15, rising to ~78% for L_J>50; random mode "
                  "rises earlier than max mode in 15<L_J<=50");
-    TextTable table({"L_J", "ST max-pwr (%)", "ST rand-pwr (%)"});
-    for (double lj : lj_sweep()) {
-      const auto max_m = run_rl_point(env_with_lj(lj, JammerPowerMode::kMaxPower));
-      const auto rnd_m = run_rl_point(env_with_lj(lj, JammerPowerMode::kRandomPower));
-      table.add_row({lj, 100.0 * max_m.st, 100.0 * rnd_m.st});
-    }
-    table.print(std::cout);
+    const auto points = run_mode_sweep(lj_sweep(), env_with_lj);
+    print_st_table("L_J", points);
+    report_sweep(report, "st_vs_lj", "lj", points);
   }
 
   {
     print_header("Fig. 6(b): ST vs sweep cycle",
                  "ST increases with the sweep cycle (~70% at 4 to ~90% at 15)");
-    TextTable table({"cycle", "ST max-pwr (%)", "ST rand-pwr (%)"});
-    for (int cycle : sweep_cycle_sweep()) {
-      const auto max_m = run_rl_point(env_with_cycle(cycle, JammerPowerMode::kMaxPower));
-      const auto rnd_m = run_rl_point(env_with_cycle(cycle, JammerPowerMode::kRandomPower));
-      table.add_row({static_cast<double>(cycle), 100.0 * max_m.st,
-                     100.0 * rnd_m.st});
-    }
-    table.print(std::cout);
+    std::vector<double> cycles;
+    for (int c : sweep_cycle_sweep()) cycles.push_back(c);
+    const auto points = run_mode_sweep(
+        cycles, [](double cycle, JammerPowerMode mode) {
+          return env_with_cycle(static_cast<int>(cycle), mode);
+        });
+    print_st_table("cycle", points);
+    report_sweep(report, "st_vs_cycle", "cycle", points);
   }
 
   {
     print_header("Fig. 6(c): ST vs L_H",
                  "ST decreases with L_H; random mode drops sharply past "
                  "L_H>85 while max mode keeps hopping");
-    TextTable table({"L_H", "ST max-pwr (%)", "ST rand-pwr (%)"});
-    for (double lh : lh_sweep()) {
-      const auto max_m = run_rl_point(env_with_lh(lh, JammerPowerMode::kMaxPower));
-      const auto rnd_m = run_rl_point(env_with_lh(lh, JammerPowerMode::kRandomPower));
-      table.add_row({lh, 100.0 * max_m.st, 100.0 * rnd_m.st});
-    }
-    table.print(std::cout);
+    const auto points = run_mode_sweep(lh_sweep(), env_with_lh);
+    print_st_table("L_H", points);
+    report_sweep(report, "st_vs_lh", "lh", points);
   }
 
   {
     print_header("Fig. 6(d): ST vs lower bound of L^T_p",
                  "slow rise for 6-9, ST ~100% once the bound reaches 11 "
                  "(tx power then always beats the jammer)");
-    TextTable table({"L_p lower", "ST max-pwr (%)", "ST rand-pwr (%)"});
-    for (double lower : lp_lower_sweep()) {
-      const auto max_m = run_rl_point(env_with_lp_lower(lower, JammerPowerMode::kMaxPower));
-      const auto rnd_m = run_rl_point(env_with_lp_lower(lower, JammerPowerMode::kRandomPower));
-      table.add_row({lower, 100.0 * max_m.st, 100.0 * rnd_m.st});
-    }
-    table.print(std::cout);
+    const auto points = run_mode_sweep(lp_lower_sweep(), env_with_lp_lower);
+    print_st_table("L_p lower", points);
+    report_sweep(report, "st_vs_lp_lower", "lp_lower", points);
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 // Fig. 7 — Adoption rates of frequency hopping (AH) and power control (AP)
 // against L_J, sweep cycle, L_H and the lower bound of the transmit power
-// range, under both jammer modes (8 sub-figures).
+// range, under both jammer modes (8 sub-figures). Sweep points fan out
+// across CTJ_BENCH_THREADS cores.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -11,22 +12,31 @@ using namespace ctj::bench;
 
 namespace {
 
-void sweep_and_print(const std::string& name_a, const std::string& name_b,
+void sweep_and_print(BenchReport& report, const std::string& sweep_name,
+                     const std::string& name_a, const std::string& name_b,
                      const std::string& xlabel,
                      const std::vector<double>& xs,
                      core::EnvironmentConfig (*make_env)(double,
                                                          JammerPowerMode),
                      const std::string& note_ah, const std::string& note_ap) {
+  const auto points = run_mode_sweep(xs, make_env);
+
   TextTable table({xlabel, "AH max (%)", "AH rand (%)", "AP max (%)",
                    "AP rand (%)"});
-  for (double x : xs) {
-    const auto max_m = run_rl_point(make_env(x, JammerPowerMode::kMaxPower));
-    const auto rnd_m = run_rl_point(make_env(x, JammerPowerMode::kRandomPower));
-    table.add_row({x, 100.0 * max_m.ah, 100.0 * rnd_m.ah, 100.0 * max_m.ap,
-                   100.0 * rnd_m.ap});
+  JsonValue rows = JsonValue::array();
+  for (const auto& p : points) {
+    table.add_row({p.x, 100.0 * p.max_mode.ah, 100.0 * p.rand_mode.ah,
+                   100.0 * p.max_mode.ap, 100.0 * p.rand_mode.ap});
+    JsonValue row = JsonValue::object();
+    row["x"] = p.x;
+    row["max_power"] = metrics_json(p.max_mode);
+    row["random_power"] = metrics_json(p.rand_mode);
+    rows.push_back(std::move(row));
   }
   print_header(name_a + " / " + name_b, note_ah + " | " + note_ap);
   table.print(std::cout);
+  report.add_sweep(sweep_name, std::move(rows));
+  report.add_slots(points.size() * 2 * (train_slots() + eval_slots()));
 }
 
 core::EnvironmentConfig env_cycle_d(double cycle, JammerPowerMode mode) {
@@ -38,9 +48,12 @@ core::EnvironmentConfig env_cycle_d(double cycle, JammerPowerMode mode) {
 int main() {
   std::cout << "Fig. 7 reproduction: adoption rate of FH (AH) and PC (AP)\n"
             << "train slots/point: " << train_slots()
-            << ", eval slots/point: " << eval_slots() << "\n";
+            << ", eval slots/point: " << eval_slots()
+            << ", threads: " << bench_threads() << "\n";
+  BenchReport report("fig7_adoption_rate");
 
   sweep_and_print(
+      report, "ah_ap_vs_lj",
       "Fig. 7(a): AH vs L_J", "Fig. 7(b): AP vs L_J", "L_J", lj_sweep(),
       env_with_lj,
       "AH ~0 until L_J~35, then rises toward ~50%",
@@ -49,18 +62,21 @@ int main() {
   std::vector<double> cycles;
   for (int c : sweep_cycle_sweep()) cycles.push_back(c);
   sweep_and_print(
+      report, "ah_ap_vs_cycle",
       "Fig. 7(c): AH vs sweep cycle", "Fig. 7(d): AP vs sweep cycle", "cycle",
       cycles, env_cycle_d,
       "AH decreases with the cycle (less jamming pressure)",
       "AP decreases with the cycle; rand mode usually above max mode");
 
   sweep_and_print(
+      report, "ah_ap_vs_lh",
       "Fig. 7(e): AH vs L_H", "Fig. 7(f): AP vs L_H", "L_H", lh_sweep(),
       env_with_lh,
       "AH decreases with L_H; modes diverge past L_H>85",
       "AP picks up the slack in random mode when FH becomes expensive");
 
   sweep_and_print(
+      report, "ah_ap_vs_lp_lower",
       "Fig. 7(g): AH vs L_p lower bound", "Fig. 7(h): AP vs L_p lower bound",
       "L_p lower", lp_lower_sweep(), env_with_lp_lower,
       "AH falls once power suffices (inflection at 11)",

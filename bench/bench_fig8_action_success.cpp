@@ -1,6 +1,7 @@
 // Fig. 8 — Success rates of frequency hopping (SH) and power control (SP)
 // against L_J, sweep cycle, L_H and the lower bound of the transmit power
-// range, under both jammer modes (8 sub-figures).
+// range, under both jammer modes (8 sub-figures). Sweep points fan out
+// across CTJ_BENCH_THREADS cores.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -11,21 +12,30 @@ using namespace ctj::bench;
 
 namespace {
 
-void sweep_and_print(const std::string& title, const std::string& xlabel,
+void sweep_and_print(BenchReport& report, const std::string& sweep_name,
+                     const std::string& title, const std::string& xlabel,
                      const std::vector<double>& xs,
                      core::EnvironmentConfig (*make_env)(double,
                                                          JammerPowerMode),
                      const std::string& note) {
+  const auto points = run_mode_sweep(xs, make_env);
+
   TextTable table({xlabel, "SH max (%)", "SH rand (%)", "SP max (%)",
                    "SP rand (%)"});
-  for (double x : xs) {
-    const auto max_m = run_rl_point(make_env(x, JammerPowerMode::kMaxPower));
-    const auto rnd_m = run_rl_point(make_env(x, JammerPowerMode::kRandomPower));
-    table.add_row({x, 100.0 * max_m.sh, 100.0 * rnd_m.sh, 100.0 * max_m.sp,
-                   100.0 * rnd_m.sp});
+  JsonValue rows = JsonValue::array();
+  for (const auto& p : points) {
+    table.add_row({p.x, 100.0 * p.max_mode.sh, 100.0 * p.rand_mode.sh,
+                   100.0 * p.max_mode.sp, 100.0 * p.rand_mode.sp});
+    JsonValue row = JsonValue::object();
+    row["x"] = p.x;
+    row["max_power"] = metrics_json(p.max_mode);
+    row["random_power"] = metrics_json(p.rand_mode);
+    rows.push_back(std::move(row));
   }
   print_header(title, note);
   table.print(std::cout);
+  report.add_sweep(sweep_name, std::move(rows));
+  report.add_slots(points.size() * 2 * (train_slots() + eval_slots()));
 }
 
 core::EnvironmentConfig env_cycle_d(double cycle, JammerPowerMode mode) {
@@ -37,9 +47,12 @@ core::EnvironmentConfig env_cycle_d(double cycle, JammerPowerMode mode) {
 int main() {
   std::cout << "Fig. 8 reproduction: success rate of FH (SH) and PC (SP)\n"
             << "train slots/point: " << train_slots()
-            << ", eval slots/point: " << eval_slots() << "\n";
+            << ", eval slots/point: " << eval_slots()
+            << ", threads: " << bench_threads() << "\n";
+  BenchReport report("fig8_action_success");
 
-  sweep_and_print("Fig. 8(a)/(b): SH and SP vs L_J", "L_J", lj_sweep(),
+  sweep_and_print(report, "sh_sp_vs_lj",
+                  "Fig. 8(a)/(b): SH and SP vs L_J", "L_J", lj_sweep(),
                   env_with_lj,
                   "SH rises rapidly for 35<L_J<55 then tapers; SP differs "
                   "between the modes for 15<L_J<55 (PC only works in the "
@@ -47,17 +60,20 @@ int main() {
 
   std::vector<double> cycles;
   for (int c : sweep_cycle_sweep()) cycles.push_back(c);
-  sweep_and_print("Fig. 8(c)/(d): SH and SP vs sweep cycle", "cycle", cycles,
+  sweep_and_print(report, "sh_sp_vs_cycle",
+                  "Fig. 8(c)/(d): SH and SP vs sweep cycle", "cycle", cycles,
                   env_cycle_d,
                   "both decrease with the cycle; FH dominant (77.8%..20.6%), "
                   "PC low (19.5%..1.3%)");
 
-  sweep_and_print("Fig. 8(e)/(f): SH and SP vs L_H", "L_H", lh_sweep(),
+  sweep_and_print(report, "sh_sp_vs_lh",
+                  "Fig. 8(e)/(f): SH and SP vs L_H", "L_H", lh_sweep(),
                   env_with_lh,
                   "modes diverge past L_H>85: PC replaces FH in the random "
                   "mode, FH irreplaceable in the max mode");
 
-  sweep_and_print("Fig. 8(g)/(h): SH and SP vs L_p lower bound", "L_p lower",
+  sweep_and_print(report, "sh_sp_vs_lp_lower",
+                  "Fig. 8(g)/(h): SH and SP vs L_p lower bound", "L_p lower",
                   lp_lower_sweep(), env_with_lp_lower,
                   "opposite trends: PC replaces FH as the power budget grows");
   return 0;

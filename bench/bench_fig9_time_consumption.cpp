@@ -10,6 +10,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -17,11 +18,13 @@
 #include "net/timing.hpp"
 
 using namespace ctj;
+using namespace ctj::bench;
 using namespace ctj::net;
 
 int main() {
   TimingModel timing;
   Rng rng(99);
+  BenchReport report("fig9_time_consumption");
 
   std::cout << "Fig. 9(a) reproduction: time consumption of typical "
                "functions (100 trials each)\n"
@@ -35,6 +38,7 @@ int main() {
         {"data processing", timing.processing_s},
         {"polling (per node)", timing.polling_per_node_s},
     };
+    JsonValue rows = JsonValue::array();
     for (const auto& [name, nominal] : functions) {
       RunningStats stats;
       for (int trial = 0; trial < 100; ++trial) {
@@ -43,7 +47,14 @@ int main() {
       table.add_row({name, TextTable::fmt(stats.mean(), 2),
                      TextTable::fmt(stats.min(), 2),
                      TextTable::fmt(stats.max(), 2)});
+      JsonValue row = JsonValue::object();
+      row["function"] = name;
+      row["mean_ms"] = stats.mean();
+      row["min_ms"] = stats.min();
+      row["max_ms"] = stats.max();
+      rows.push_back(std::move(row));
     }
+    report.add_sweep("function_timings", std::move(rows));
     table.print(std::cout);
   }
 
@@ -69,6 +80,8 @@ int main() {
     std::cout << "mean " << TextTable::fmt(stats.mean(), 4) << " ms, max "
               << TextTable::fmt(stats.max(), 4)
               << " ms (paper hardware budget: 9 ms)\n";
+    report.set_metric("dqn_inference_mean_ms", JsonValue(stats.mean()));
+    report.set_metric("dqn_inference_max_ms", JsonValue(stats.max()));
   }
 
   std::cout << "\nFig. 9(b) reproduction: FH negotiation time vs network "
@@ -78,6 +91,7 @@ int main() {
   {
     TextTable table({"# nodes", "mean (s)", "p95 (s)", "max (s)",
                      "mean lost nodes"});
+    JsonValue rows = JsonValue::array();
     for (int nodes = 1; nodes <= 10; ++nodes) {
       RunningStats stats;
       RunningStats lost_stats;
@@ -93,7 +107,15 @@ int main() {
       const double p95 = samples[static_cast<std::size_t>(0.95 * samples.size())];
       table.add_row({static_cast<double>(nodes), stats.mean(), p95,
                      stats.max(), lost_stats.mean()});
+      JsonValue row = JsonValue::object();
+      row["nodes"] = nodes;
+      row["mean_s"] = stats.mean();
+      row["p95_s"] = p95;
+      row["max_s"] = stats.max();
+      row["mean_lost_nodes"] = lost_stats.mean();
+      rows.push_back(std::move(row));
     }
+    report.add_sweep("negotiation_time", std::move(rows));
     table.print(std::cout);
   }
   return 0;

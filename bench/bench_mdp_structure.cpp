@@ -4,10 +4,12 @@
 // sweep cycle (Theorem III.5).
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "mdp/analysis.hpp"
 
 using namespace ctj;
+using namespace ctj::bench;
 using namespace ctj::mdp;
 
 namespace {
@@ -24,6 +26,7 @@ AntijamParams base_params() {
 int main() {
   std::cout << "MDP structure (Sec. III.B): Q-curve monotonicity and the "
                "threshold policy\n";
+  BenchReport report("mdp_structure");
 
   {
     const AntijamParams params = base_params();
@@ -33,12 +36,19 @@ int main() {
                  "(cycle 8, random mode) ===\n";
     TextTable table({"n", "Q(n, stay)", "Q(n, hop)", "optimal"});
     const QCurves curves = q_curves(model, sol, 9);
+    JsonValue rows = JsonValue::array();
     for (std::size_t i = 0; i < curves.stay.size(); ++i) {
       table.add_row({static_cast<std::string>(TextTable::fmt(i + 1.0, 0)),
                      TextTable::fmt(curves.stay[i], 2),
                      TextTable::fmt(curves.hop[i], 2),
                      curves.hop[i] >= curves.stay[i] ? "hop" : "stay"});
+      JsonValue row = JsonValue::object();
+      row["n"] = i + 1;
+      row["q_stay"] = curves.stay[i];
+      row["q_hop"] = curves.hop[i];
+      rows.push_back(std::move(row));
     }
+    report.add_sweep("q_curves", std::move(rows));
     table.print(std::cout);
     std::cout << "Lemma III.2 (stay decreasing): "
               << (stay_curve_decreasing(curves) ? "holds" : "VIOLATED")
@@ -47,42 +57,69 @@ int main() {
               << "; threshold form (Thm. III.4): "
               << (policy_has_threshold_form(model, sol) ? "holds" : "VIOLATED")
               << "; n* = " << threshold_n_star(model, sol) << "\n";
+    report.set_metric("stay_curve_decreasing",
+                      JsonValue(stay_curve_decreasing(curves)));
+    report.set_metric("hop_curve_increasing",
+                      JsonValue(hop_curve_increasing(curves)));
+    report.set_metric("policy_has_threshold_form",
+                      JsonValue(policy_has_threshold_form(model, sol)));
+    report.set_metric("n_star", JsonValue(threshold_n_star(model, sol)));
   }
 
   {
     std::cout << "\n=== Thm. III.5: n* vs L_J (decreasing) ===\n";
     TextTable table({"L_J", "n*"});
+    JsonValue rows = JsonValue::array();
     for (double lj : {10.0, 30.0, 60.0, 100.0, 200.0, 400.0}) {
       auto params = base_params();
       params.loss_jam = lj;
       const AntijamMdp model(params);
-      table.add_row({lj, static_cast<double>(threshold_n_star(model, solve(model)))});
+      const auto n_star = threshold_n_star(model, solve(model));
+      table.add_row({lj, static_cast<double>(n_star)});
+      JsonValue row = JsonValue::object();
+      row["lj"] = lj;
+      row["n_star"] = n_star;
+      rows.push_back(std::move(row));
     }
+    report.add_sweep("n_star_vs_lj", std::move(rows));
     table.print(std::cout);
   }
 
   {
     std::cout << "\n=== Thm. III.5: n* vs L_H (increasing) ===\n";
     TextTable table({"L_H", "n*"});
+    JsonValue rows = JsonValue::array();
     for (double lh : {5.0, 20.0, 50.0, 100.0, 200.0, 400.0}) {
       auto params = base_params();
       params.loss_hop = lh;
       const AntijamMdp model(params);
-      table.add_row({lh, static_cast<double>(threshold_n_star(model, solve(model)))});
+      const auto n_star = threshold_n_star(model, solve(model));
+      table.add_row({lh, static_cast<double>(n_star)});
+      JsonValue row = JsonValue::object();
+      row["lh"] = lh;
+      row["n_star"] = n_star;
+      rows.push_back(std::move(row));
     }
+    report.add_sweep("n_star_vs_lh", std::move(rows));
     table.print(std::cout);
   }
 
   {
     std::cout << "\n=== Thm. III.5: n* vs sweep cycle (increasing) ===\n";
     TextTable table({"cycle", "n*"});
+    JsonValue rows = JsonValue::array();
     for (int cycle : {2, 4, 6, 8, 12, 16}) {
       auto params = base_params();
       params.sweep_cycle = cycle;
       const AntijamMdp model(params);
-      table.add_row({static_cast<double>(cycle),
-                     static_cast<double>(threshold_n_star(model, solve(model)))});
+      const auto n_star = threshold_n_star(model, solve(model));
+      table.add_row({static_cast<double>(cycle), static_cast<double>(n_star)});
+      JsonValue row = JsonValue::object();
+      row["cycle"] = cycle;
+      row["n_star"] = n_star;
+      rows.push_back(std::move(row));
     }
+    report.add_sweep("n_star_vs_cycle", std::move(rows));
     table.print(std::cout);
   }
   return 0;

@@ -1,6 +1,8 @@
-// Micro-benchmarks (google-benchmark) of the hot paths: FFT, Viterbi,
-// ZigBee despreading, 64-QAM quantization, the Eq. (2) α search, DQN
-// inference and training step, environment step and value iteration.
+// Micro-benchmarks (google-benchmark) of the hot paths: FFT (plan cache vs
+// per-call), matmul (blocked kernel vs naive reference), MLP forward
+// (cached vs allocation-free eval), Viterbi, ZigBee despreading, 64-QAM
+// quantization, the Eq. (2) α search, DQN inference and training step,
+// environment step and value iteration.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
@@ -12,10 +14,34 @@
 #include "phy/qam.hpp"
 #include "phy/zigbee_phy.hpp"
 #include "rl/dqn.hpp"
+#include "rl/matrix.hpp"
+#include "rl/nn.hpp"
 
 namespace {
 
 using namespace ctj;
+
+rl::Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  rl::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m.at(r, c) = rng.normal();
+  return m;
+}
+
+// Reference triple loop with the same ikj order and k-accumulation as the
+// blocked kernel — the baseline the blocked variant is measured against.
+void matmul_naive(rl::Matrix& c, const rl::Matrix& a, const rl::Matrix& b) {
+  c.resize(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+}
 
 void BM_Fft64(benchmark::State& state) {
   Rng rng(1);
@@ -28,6 +54,73 @@ void BM_Fft64(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Fft64);
+
+void BM_FftPlanCached(benchmark::State& state) {
+  // Same transform as BM_Fft64 at N=range(0), but through the explicit plan
+  // handle — isolates the (tiny) cache-lookup overhead of fft_inplace.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  phy::IqBuffer x(n);
+  for (auto& v : x) v = phy::Cplx(rng.normal(), rng.normal());
+  const phy::FftPlan& plan = phy::FftPlan::for_size(n);
+  for (auto _ : state) {
+    phy::IqBuffer y = x;
+    plan.forward(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_FftPlanCached)->Arg(64)->Arg(256);
+
+void BM_MatmulNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const auto a = random_matrix(n, n, rng);
+  const auto b = random_matrix(n, n, rng);
+  rl::Matrix c;
+  for (auto _ : state) {
+    matmul_naive(c, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatmulNaive)->Arg(32)->Arg(64)->Arg(160);
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const auto a = random_matrix(n, n, rng);
+  const auto b = random_matrix(n, n, rng);
+  rl::Matrix c;
+  for (auto _ : state) {
+    rl::matmul_into(c, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatmulBlocked)->Arg(32)->Arg(64)->Arg(160);
+
+void BM_MlpForwardAlloc(benchmark::State& state) {
+  // Per-call allocating forward (the thread-safe const path).
+  Rng rng(7);
+  rl::Mlp mlp({24, 45, 45, 160}, rng);
+  const auto x = random_matrix(32, 24, rng);
+  for (auto _ : state) {
+    rl::Matrix y = mlp.forward_const(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MlpForwardAlloc);
+
+void BM_MlpForwardEval(benchmark::State& state) {
+  // Allocation-free eval path used by the train-step target computations.
+  Rng rng(7);
+  rl::Mlp mlp({24, 45, 45, 160}, rng);
+  const auto x = random_matrix(32, 24, rng);
+  rl::Matrix y;
+  for (auto _ : state) {
+    mlp.forward_eval(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MlpForwardEval);
 
 void BM_ViterbiDecodeSymbol(benchmark::State& state) {
   Rng rng(2);

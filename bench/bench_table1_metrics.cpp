@@ -1,9 +1,13 @@
 // Table I — the five evaluation metrics (ST, AH, SH, AP, SP) instantiated on
 // the paper's default configuration (L_J = 100, L_H = 50, sweep cycle 4,
-// L^T_p in [6,15]) for every scheme, under both jammer modes.
+// L^T_p in [6,15]) for every scheme, under both jammer modes. The eight
+// (scheme, mode) cells are independent and fan out across
+// CTJ_BENCH_THREADS cores; each work item constructs its own scheme so no
+// state is shared between threads.
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/mdp_scheme.hpp"
 #include "core/passive_fh.hpp"
@@ -15,13 +19,43 @@ using namespace ctj::core;
 
 namespace {
 
-MetricsReport run_scheme(AntiJammingScheme& scheme, JammerPowerMode mode,
-                         std::uint64_t seed) {
+constexpr std::size_t kNumSchemes = 4;
+const char* const kSchemeNames[kNumSchemes] = {"PSV FH", "Rand FH",
+                                               "MDP oracle", "RL FH (DQN)"};
+const char* const kSchemeKeys[kNumSchemes] = {"passive_fh", "random_fh",
+                                              "mdp_oracle", "rl_fh_dqn"};
+
+MetricsReport eval_scheme(AntiJammingScheme& scheme, JammerPowerMode mode,
+                          std::uint64_t seed) {
   auto env_config = EnvironmentConfig::defaults();
   env_config.mode = mode;
   env_config.seed = seed;
   CompetitionEnvironment env(env_config);
   return evaluate(scheme, env, eval_slots());
+}
+
+MetricsReport run_cell(std::size_t scheme_index, JammerPowerMode mode) {
+  switch (scheme_index) {
+    case 0: {
+      PassiveFhScheme scheme{PassiveFhScheme::Config{}};
+      return eval_scheme(scheme, mode, 301);
+    }
+    case 1: {
+      RandomFhScheme scheme{RandomFhScheme::Config{}};
+      return eval_scheme(scheme, mode, 301);
+    }
+    case 2: {
+      MdpOracleScheme::Config oracle_config;
+      oracle_config.params.mode = mode;
+      MdpOracleScheme scheme(oracle_config);
+      return eval_scheme(scheme, mode, 301);
+    }
+    default: {
+      auto env_config = EnvironmentConfig::defaults();
+      env_config.mode = mode;
+      return run_rl_point(env_config, 301);
+    }
+  }
 }
 
 void add_metrics_row(TextTable& table, const std::string& name,
@@ -40,30 +74,38 @@ int main() {
   std::cout << "Table I metrics on the default configuration "
                "(L_J=100, L_H=50, cycle 4, L_p in [6,15])\n"
             << "ST: success rate of transmission; AH/AP: adoption rates of "
-               "FH/PC; SH/SP: success rates of FH/PC\n";
+               "FH/PC; SH/SP: success rates of FH/PC\n"
+            << "threads: " << bench_threads() << "\n";
+  BenchReport report("table1_metrics");
 
-  for (JammerPowerMode mode :
-       {JammerPowerMode::kMaxPower, JammerPowerMode::kRandomPower}) {
-    std::cout << "\n=== jammer mode: " << to_string(mode) << " ===\n";
+  const JammerPowerMode modes[] = {JammerPowerMode::kMaxPower,
+                                   JammerPowerMode::kRandomPower};
+  // Item layout: mode-major, scheme-minor — index alone determines the cell.
+  const auto cells = parallel_map(
+      2 * kNumSchemes,
+      [&](std::size_t item) {
+        return run_cell(item % kNumSchemes, modes[item / kNumSchemes]);
+      },
+      bench_threads());
+
+  for (std::size_t mi = 0; mi < 2; ++mi) {
+    std::cout << "\n=== jammer mode: " << to_string(modes[mi]) << " ===\n";
     TextTable table({"scheme", "ST (%)", "AH (%)", "SH (%)", "AP (%)",
                      "SP (%)", "mean reward"});
-
-    PassiveFhScheme passive{PassiveFhScheme::Config{}};
-    add_metrics_row(table, "PSV FH", run_scheme(passive, mode, 301));
-
-    RandomFhScheme random_scheme{RandomFhScheme::Config{}};
-    add_metrics_row(table, "Rand FH", run_scheme(random_scheme, mode, 301));
-
-    MdpOracleScheme::Config oracle_config;
-    oracle_config.params.mode = mode;
-    MdpOracleScheme oracle(oracle_config);
-    add_metrics_row(table, "MDP oracle", run_scheme(oracle, mode, 301));
-
-    auto env_config = EnvironmentConfig::defaults();
-    env_config.mode = mode;
-    add_metrics_row(table, "RL FH (DQN)", run_rl_point(env_config, 301));
-
+    JsonValue rows = JsonValue::array();
+    for (std::size_t si = 0; si < kNumSchemes; ++si) {
+      const auto& m = cells[mi * kNumSchemes + si];
+      add_metrics_row(table, kSchemeNames[si], m);
+      JsonValue row = JsonValue::object();
+      row["scheme"] = kSchemeKeys[si];
+      row["metrics"] = metrics_json(m);
+      rows.push_back(std::move(row));
+      // The DQN cell trains before evaluating; the fixed schemes only
+      // evaluate.
+      report.add_slots(eval_slots() + (si == 3 ? train_slots() : 0));
+    }
     table.print(std::cout);
+    report.add_sweep(mi == 0 ? "max_power" : "random_power", std::move(rows));
   }
   std::cout << "\nexpected shape: RL FH approaches the MDP oracle and "
                "clearly beats PSV/Rand FH on ST (paper: ST ~78% with "

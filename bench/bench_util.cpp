@@ -1,11 +1,26 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <fstream>
 
 #include "common/math_util.hpp"
+#include "common/parallel.hpp"
+
+#ifndef CTJ_GIT_REV
+#define CTJ_GIT_REV "unknown"
+#endif
 
 namespace ctj::bench {
 namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 double bench_scale() {
   if (const char* s = std::getenv("CTJ_BENCH_SCALE")) {
@@ -15,7 +30,7 @@ double bench_scale() {
   return 1.0;
 }
 
-}  // namespace
+std::size_t bench_threads() { return default_parallelism(); }
 
 std::size_t eval_slots() {
   return std::max<std::size_t>(500, static_cast<std::size_t>(20000 * bench_scale()));
@@ -40,6 +55,32 @@ core::MetricsReport run_rl_point(core::EnvironmentConfig env,
   config.train_slots = train_slots();
   config.eval_slots = eval_slots();
   return core::run_rl_experiment(config).metrics;
+}
+
+std::vector<ModeSweepPoint> run_mode_sweep(
+    const std::vector<double>& xs,
+    core::EnvironmentConfig (*make_env)(double, JammerPowerMode),
+    std::uint64_t seed) {
+  // One work item per (x, mode): every item builds its whole experiment
+  // from (x, mode, seed) alone, so the fan-out is deterministic.
+  const auto flat = parallel_map(
+      xs.size() * 2,
+      [&](std::size_t item) {
+        const double x = xs[item / 2];
+        const JammerPowerMode mode = (item % 2 == 0)
+                                         ? JammerPowerMode::kMaxPower
+                                         : JammerPowerMode::kRandomPower;
+        return run_rl_point(make_env(x, mode), seed);
+      },
+      bench_threads());
+
+  std::vector<ModeSweepPoint> points(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    points[i].x = xs[i];
+    points[i].max_mode = flat[2 * i];
+    points[i].rand_mode = flat[2 * i + 1];
+  }
+  return points;
 }
 
 std::vector<double> lj_sweep() { return linspace(10.0, 100.0, 10); }
@@ -86,6 +127,69 @@ core::EnvironmentConfig env_with_lp_lower(double lower, JammerPowerMode mode) {
 void print_header(const std::string& title, const std::string& paper_note) {
   std::cout << "\n=== " << title << " ===\n";
   if (!paper_note.empty()) std::cout << "paper: " << paper_note << "\n";
+}
+
+JsonValue metrics_json(const core::MetricsReport& m) {
+  JsonValue j = JsonValue::object();
+  j["st"] = m.st;
+  j["ah"] = m.ah;
+  j["sh"] = m.sh;
+  j["ap"] = m.ap;
+  j["sp"] = m.sp;
+  j["mean_reward"] = m.mean_reward;
+  j["slots"] = m.slots;
+  return j;
+}
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_seconds_(now_seconds()) {}
+
+BenchReport::~BenchReport() {
+  if (!written_) write();
+}
+
+void BenchReport::add_sweep(const std::string& name, JsonValue rows) {
+  sweeps_[name] = std::move(rows);
+}
+
+void BenchReport::set_metric(const std::string& key, JsonValue value) {
+  metrics_[key] = std::move(value);
+}
+
+void BenchReport::write() {
+  written_ = true;
+  const double wall = now_seconds() - start_seconds_;
+
+  JsonValue doc = JsonValue::object();
+  doc["schema_version"] = 1;
+  doc["bench"] = name_;
+  doc["git_rev"] = CTJ_GIT_REV;
+  doc["threads"] = bench_threads();
+  doc["scale"] = bench_scale();
+  doc["train_slots_per_point"] = train_slots();
+  doc["eval_slots_per_point"] = eval_slots();
+  doc["wall_seconds"] = wall;
+  doc["simulated_slots"] = simulated_slots_;
+  doc["slots_per_second"] =
+      wall > 0.0 ? static_cast<double>(simulated_slots_) / wall : 0.0;
+  if (sweeps_.size() > 0) doc["sweeps"] = std::move(sweeps_);
+  if (metrics_.size() > 0) doc["metrics"] = std::move(metrics_);
+
+  std::string dir = ".";
+  if (const char* d = std::getenv("CTJ_BENCH_JSON_DIR")) {
+    if (*d != '\0') dir = d;
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    std::cerr << "BenchReport: cannot open " << path << " for writing\n";
+    return;
+  }
+  doc.dump(os, 2);
+  os << '\n';
+  std::cout << "\nperf record: " << path << " (wall "
+            << static_cast<long>(wall * 1000.0) << " ms, threads "
+            << bench_threads() << ")\n";
 }
 
 }  // namespace ctj::bench

@@ -1,0 +1,162 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ctj {
+
+JsonValue::JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+JsonValue::JsonValue(int value)
+    : kind_(Kind::kNumber), number_(value), integral_(true) {}
+JsonValue::JsonValue(std::size_t value)
+    : kind_(Kind::kNumber), number_(static_cast<double>(value)),
+      integral_(true) {}
+JsonValue::JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+JsonValue::JsonValue(const char* value)
+    : kind_(Kind::kString), string_(value) {}
+JsonValue::JsonValue(std::string value)
+    : kind_(Kind::kString), string_(std::move(value)) {}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  CTJ_CHECK_MSG(kind_ == Kind::kNull || kind_ == Kind::kObject,
+                "operator[] on a non-object JSON value");
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(key, JsonValue());
+  return members_.back().second;
+}
+
+JsonValue& JsonValue::push_back(JsonValue value) {
+  CTJ_CHECK_MSG(kind_ == Kind::kNull || kind_ == Kind::kArray,
+                "push_back on a non-array JSON value");
+  kind_ = Kind::kArray;
+  elements_.push_back(std::move(value));
+  return elements_.back();
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return elements_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  return 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void dump_number(std::ostream& os, double v, bool integral) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  if (integral || v == std::floor(v)) {
+    // Integers (and doubles that happen to be integral) print exactly when
+    // they fit; avoids "20000.0" noise in slot counts.
+    if (std::abs(v) < 9.007199254740992e15) {
+      os << static_cast<long long>(v);
+      return;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void put_newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void JsonValue::dump_impl(std::ostream& os, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kNumber: dump_number(os, number_, integral_); break;
+    case Kind::kString: os << '"' << json_escape(string_) << '"'; break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        put_newline_indent(os, indent, depth + 1);
+        os << '"' << json_escape(members_[i].first) << "\": ";
+        members_[i].second.dump_impl(os, indent, depth + 1);
+        if (i + 1 < members_.size()) os << ',';
+      }
+      put_newline_indent(os, indent, depth);
+      os << '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        put_newline_indent(os, indent, depth + 1);
+        elements_[i].dump_impl(os, indent, depth + 1);
+        if (i + 1 < elements_.size()) os << ',';
+      }
+      put_newline_indent(os, indent, depth);
+      os << ']';
+      break;
+    }
+  }
+}
+
+void JsonValue::dump(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+}  // namespace ctj

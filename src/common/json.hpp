@@ -1,0 +1,64 @@
+// Minimal JSON document builder for the bench perf-tracking output.
+//
+// Build-only (no parser): the benches assemble a tree of values and dump it
+// to a stream. Insertion order of object keys is preserved so the emitted
+// files diff cleanly run-to-run. Non-finite doubles serialize as null —
+// BENCH_*.json must always be valid JSON.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ctj {
+
+class JsonValue {
+ public:
+  JsonValue() = default;  // null
+  JsonValue(bool value);
+  JsonValue(int value);
+  JsonValue(std::size_t value);
+  JsonValue(double value);
+  JsonValue(const char* value);
+  JsonValue(std::string value);
+
+  static JsonValue object();
+  static JsonValue array();
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Object field accessor: inserts a null member on first use.
+  JsonValue& operator[](const std::string& key);
+
+  /// Append to an array.
+  JsonValue& push_back(JsonValue value);
+
+  std::size_t size() const;
+
+  /// Serialize; indent = 0 emits a single line, otherwise pretty-prints
+  /// with the given indent width.
+  void dump(std::ostream& os, int indent = 2) const;
+  std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool integral_ = false;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> elements_;
+};
+
+/// JSON string escaping (quotes not included).
+std::string json_escape(const std::string& s);
+
+}  // namespace ctj

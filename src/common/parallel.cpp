@@ -1,0 +1,86 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ctj {
+namespace {
+
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+std::size_t default_parallelism() {
+  if (const char* s = std::getenv("CTJ_BENCH_THREADS")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  current_pool = this;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::on_worker_thread() const { return current_pool == this; }
+
+ThreadPool& ThreadPool::shared() {
+  // At least 4 workers so parallel_map(n, fn, k) exercises real concurrency
+  // for k > hardware_concurrency (the determinism tests sweep thread counts
+  // on whatever machine they land on). Never destroyed: tears down at
+  // process exit without racing static destruction order against in-flight
+  // jobs.
+  static ThreadPool* pool =
+      new ThreadPool(std::max<std::size_t>(default_parallelism(), 4));
+  return *pool;
+}
+
+}  // namespace ctj

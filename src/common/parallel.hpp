@@ -1,0 +1,124 @@
+// Reusable thread pool and a deterministic parallel_map for embarrassingly
+// parallel sweeps.
+//
+// The figure benches train and evaluate an independent DQN per sweep point —
+// ideal fan-out work. parallel_map(n, fn) applies fn(i) for i in [0, n) on a
+// shared pool and returns the results in index order. Determinism contract:
+// as long as fn(i) depends only on i (every bench point seeds its own Rng),
+// the result vector is bit-identical for ANY thread count, including the
+// sequential num_threads == 1 path — scheduling order only changes *when*
+// each item runs, never what it computes or where its result lands.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ctj {
+
+/// Worker-thread count for bench fan-out: the CTJ_BENCH_THREADS environment
+/// variable when set to a positive integer, otherwise hardware_concurrency().
+std::size_t default_parallelism();
+
+/// Fixed-size pool of worker threads consuming a FIFO job queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job; runs on some worker thread.
+  void submit(std::function<void()> job);
+
+  /// Block until every job submitted so far has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Process-wide pool with default_parallelism() workers, created on first
+  /// use. Benches share it so repeated parallel_map calls reuse the threads.
+  static ThreadPool& shared();
+
+  /// True when called from inside one of this pool's workers (parallel_map
+  /// uses it to run nested calls inline instead of deadlocking on the pool).
+  bool on_worker_thread() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Apply fn(i) for each i in [0, n) and return {fn(0), …, fn(n−1)}.
+///
+/// Work is distributed over `num_threads` workers of the shared pool
+/// (0 = default_parallelism()). Runs inline when only one thread is asked
+/// for, when there is at most one item, or when already on a pool worker.
+/// The first exception thrown by any fn(i) is rethrown on the caller.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, std::size_t num_threads = 0)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  using Result = decltype(fn(std::size_t{}));
+  if (num_threads == 0) num_threads = default_parallelism();
+
+  std::vector<Result> results(n);
+  if (n == 0) return results;
+  if (num_threads <= 1 || n == 1 || ThreadPool::shared().on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  const std::size_t total = n;
+
+  auto drain = [state, total, &results, &fn]() {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= total) break;
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->done.fetch_add(1) + 1 == total) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  // The caller participates too, so num_threads counts it plus the workers.
+  const std::size_t helpers = std::min(num_threads - 1, total - 1);
+  for (std::size_t t = 0; t < helpers; ++t) ThreadPool::shared().submit(drain);
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock,
+                       [&] { return state->done.load() == total; });
+  if (state->error) std::rethrow_exception(state->error);
+  return results;
+}
+
+}  // namespace ctj

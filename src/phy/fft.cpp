@@ -1,7 +1,9 @@
 #include "phy/fft.hpp"
 
 #include <cmath>
+#include <memory>
 #include <numbers>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.hpp"
@@ -9,45 +11,90 @@
 namespace ctj::phy {
 namespace {
 
-// Iterative Cooley–Tukey with bit-reversal permutation; sign = -1 for the
-// forward transform, +1 for the inverse.
-void transform(IqBuffer& a, int sign) {
-  const std::size_t n = a.size();
-  CTJ_CHECK_MSG(is_power_of_two(n), "FFT size " << n << " is not a power of 2");
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
+// Twiddles for one direction, all stages concatenated (len = 2, 4, …, n):
+// stage s contributes len/2 factors built with the same w *= w_len
+// recurrence the direct transform used, so the planned butterflies produce
+// bit-identical results.
+std::vector<Cplx> make_twiddles(std::size_t n, int sign) {
+  std::vector<Cplx> tw;
+  tw.reserve(n > 1 ? n - 1 : 0);
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang =
-        static_cast<double>(sign) * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const double ang = static_cast<double>(sign) * 2.0 * std::numbers::pi /
+                       static_cast<double>(len);
     const Cplx wlen(std::cos(ang), std::sin(ang));
-    for (std::size_t i = 0; i < n; i += len) {
-      Cplx w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Cplx u = a[i + k];
-        const Cplx v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
+    Cplx w(1.0, 0.0);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      tw.push_back(w);
+      w *= wlen;
     }
   }
+  return tw;
 }
 
 }  // namespace
 
 bool is_power_of_two(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
 
-void fft_inplace(IqBuffer& data) { transform(data, -1); }
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  CTJ_CHECK_MSG(is_power_of_two(n), "FFT size " << n << " is not a power of 2");
+  bit_reverse_.resize(n);
+  bit_reverse_[0] = 0;
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bit_reverse_[i] = j;
+  }
+  twiddles_fwd_ = make_twiddles(n, -1);
+  twiddles_inv_ = make_twiddles(n, +1);
+}
+
+void FftPlan::transform(IqBuffer& data,
+                        const std::vector<Cplx>& twiddles) const {
+  CTJ_CHECK_MSG(data.size() == n_, "FFT plan for size " << n_ << " applied to "
+                                                        << data.size()
+                                                        << " samples");
+  Cplx* a = data.data();
+  for (std::size_t i = 1; i < n_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  const Cplx* w_stage = twiddles.data();
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n_; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Cplx u = a[i + k];
+        const Cplx v = a[i + k + half] * w_stage[k];
+        a[i + k] = u + v;
+        a[i + k + half] = u - v;
+      }
+    }
+    w_stage += half;
+  }
+}
+
+void FftPlan::forward(IqBuffer& data) const { transform(data, twiddles_fwd_); }
+
+void FftPlan::inverse(IqBuffer& data) const {
+  transform(data, twiddles_inv_);
+  const double inv = 1.0 / static_cast<double>(n_);
+  for (Cplx& x : data) x *= inv;
+}
+
+const FftPlan& FftPlan::for_size(std::size_t n) {
+  // Thread-local so parallel bench workers never contend on a lock; the
+  // tables are tiny (N complex doubles per direction at the sizes we use).
+  thread_local std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> cache;
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_unique<FftPlan>(n);
+  return *slot;
+}
+
+void fft_inplace(IqBuffer& data) { FftPlan::for_size(data.size()).forward(data); }
 
 void ifft_inplace(IqBuffer& data) {
-  transform(data, +1);
-  const double inv = 1.0 / static_cast<double>(data.size());
-  for (Cplx& x : data) x *= inv;
+  FftPlan::for_size(data.size()).inverse(data);
 }
 
 IqBuffer fft(IqBuffer data) {

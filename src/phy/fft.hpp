@@ -3,7 +3,17 @@
 // Sizes must be powers of two (the Wi-Fi PHY uses 64). The transforms follow
 // the usual engineering convention: fft() is unnormalized, ifft() divides by N
 // so that ifft(fft(x)) == x.
+//
+// The OFDM/emulation path hammers a fixed N = 64, so the butterfly constants
+// are precomputed once per size in an FftPlan (twiddle factors per stage plus
+// the bit-reversal permutation) and cached per thread; fft_inplace() and
+// friends transparently use the cache. The twiddles are generated with the
+// same w *= w_len recurrence the direct transform used, so planned results
+// are bit-identical to the unplanned ones.
 #pragma once
+
+#include <cstddef>
+#include <vector>
 
 #include "phy/iq.hpp"
 
@@ -11,6 +21,31 @@ namespace ctj::phy {
 
 /// True if n is a power of two (and > 0).
 bool is_power_of_two(std::size_t n);
+
+/// Precomputed butterfly constants for one transform size.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place transforms; data.size() must equal size().
+  void forward(IqBuffer& data) const;
+  /// Inverse with 1/N normalization.
+  void inverse(IqBuffer& data) const;
+
+  /// Per-thread plan cache keyed by size; builds the plan on first use.
+  /// The reference stays valid for the lifetime of the calling thread.
+  static const FftPlan& for_size(std::size_t n);
+
+ private:
+  void transform(IqBuffer& data, const std::vector<Cplx>& twiddles) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> bit_reverse_;  // permutation targets, one per index
+  std::vector<Cplx> twiddles_fwd_;        // stages concatenated: 1, 2, 4, … n/2
+  std::vector<Cplx> twiddles_inv_;
+};
 
 /// In-place decimation-in-time FFT. Size must be a power of two.
 void fft_inplace(IqBuffer& data);

@@ -82,49 +82,49 @@ std::optional<double> DqnAgent::train_step() {
   const auto batch = replay_.sample(config_.batch_size, rng_);
   const std::size_t B = batch.size();
 
-  Matrix states(B, config_.state_dim);
-  Matrix next_states(B, config_.state_dim);
+  states_.resize(B, config_.state_dim);
+  next_states_.resize(B, config_.state_dim);
   for (std::size_t i = 0; i < B; ++i) {
     std::copy(batch[i]->state.begin(), batch[i]->state.end(),
-              states.data() + i * config_.state_dim);
+              states_.data() + i * config_.state_dim);
     std::copy(batch[i]->next_state.begin(), batch[i]->next_state.end(),
-              next_states.data() + i * config_.state_dim);
+              next_states_.data() + i * config_.state_dim);
   }
 
-  const Matrix next_q = target_.forward_const(next_states);
+  target_.forward_eval(next_states_, next_q_);
   // For Double DQN the bootstrap action comes from the online network.
-  Matrix next_q_online(1, 1);
-  if (config_.double_dqn) next_q_online = online_.forward_const(next_states);
-  Matrix q = online_.forward(states);
+  if (config_.double_dqn) online_.forward_eval(next_states_, next_q_online_);
+  const Matrix& q = online_.forward_cached(states_);
 
-  // TD error only on the taken actions; Huber-clipped gradient.
-  Matrix grad(B, config_.num_actions, 0.0);
+  // TD error only on the taken actions; Huber-clipped gradient, and the
+  // reported loss is the Huber objective those gradients optimize.
+  grad_.resize(B, config_.num_actions, 0.0);
   double loss = 0.0;
   for (std::size_t i = 0; i < B; ++i) {
     double max_next;
     if (config_.double_dqn) {
       std::size_t best = 0;
       for (std::size_t a = 1; a < config_.num_actions; ++a) {
-        if (next_q_online.at(i, a) > next_q_online.at(i, best)) best = a;
+        if (next_q_online_.at(i, a) > next_q_online_.at(i, best)) best = a;
       }
-      max_next = next_q.at(i, best);
+      max_next = next_q_.at(i, best);
     } else {
-      max_next = next_q.at(i, 0);
+      max_next = next_q_.at(i, 0);
       for (std::size_t a = 1; a < config_.num_actions; ++a) {
-        max_next = std::max(max_next, next_q.at(i, a));
+        max_next = std::max(max_next, next_q_.at(i, a));
       }
     }
     const double r = batch[i]->reward * config_.reward_scale;
     const double target =
         batch[i]->done ? r : r + config_.gamma * max_next;
     const double error = q.at(i, batch[i]->action) - target;
-    loss += 0.5 * error * error;
-    grad.at(i, batch[i]->action) =
+    loss += huber_loss(error);
+    grad_.at(i, batch[i]->action) =
         huber_grad(error) / static_cast<double>(B);
   }
 
   online_.zero_grad();
-  online_.backward(grad);
+  online_.backward(grad_);
   optimizer_.step(online_);
   ++grad_steps_;
   if (config_.target_sync_interval > 0 &&

@@ -60,7 +60,8 @@ class DqnAgent {
   void observe(Transition transition);
 
   /// One gradient step on a sampled minibatch (no-op if the buffer is
-  /// below the training threshold). Returns the minibatch TD loss, if run.
+  /// below the training threshold). Returns the minibatch mean Huber loss
+  /// — the objective the clipped gradients actually optimize — if run.
   std::optional<double> train_step();
 
   double epsilon() const;
@@ -87,6 +88,13 @@ class DqnAgent {
   ReplayBuffer replay_;
   std::size_t env_steps_ = 0;
   std::size_t grad_steps_ = 0;
+  // Minibatch scratch reused across train_step() calls (the training loop
+  // runs one step per slot — allocation churn here dominates the profile).
+  Matrix states_;
+  Matrix next_states_;
+  Matrix grad_;
+  Matrix next_q_;
+  Matrix next_q_online_;
 };
 
 }  // namespace ctj::rl

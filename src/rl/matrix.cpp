@@ -1,5 +1,6 @@
 #include "rl/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <istream>
@@ -55,6 +56,13 @@ void Matrix::fill(double value) {
   for (double& v : data_) v = value;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols, double fill) {
+  CTJ_CHECK(rows > 0 && cols > 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
 Matrix& Matrix::operator+=(const Matrix& other) {
   CTJ_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
@@ -87,52 +95,103 @@ Matrix Matrix::load(std::istream& is) {
   return m;
 }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+namespace {
+
+// Tile sizes for the blocked kernels: a kI×kJ tile of C plus the touched
+// rows of B stay L1-resident while the k loop streams over them. k itself is
+// never tiled, so each C element accumulates in the same order as the naive
+// ikj product and a fixed binary computes the same result regardless of how
+// the surrounding sweep is scheduled.
+constexpr std::size_t kBlockI = 32;
+constexpr std::size_t kBlockJ = 128;
+
+}  // namespace
+
+void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
   CTJ_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch: "
                                           << a.rows() << "x" << a.cols()
                                           << " · " << b.rows() << "x"
                                           << b.cols());
-  Matrix c(a.rows(), b.cols(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a.at(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.data() + k * b.cols();
-      double* crow = c.data() + i * c.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+  const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
+  c.resize(m, n, 0.0);
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
+    const std::size_t i1 = std::min(m, i0 + kBlockI);
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+      const std::size_t j1 = std::min(n, j0 + kBlockJ);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* arow = a.data() + i * kk;
+        double* crow = c.data() + i * n;
+        for (std::size_t k = 0; k < kk; ++k) {
+          const double aik = arow[k];
+          if (aik == 0.0) continue;
+          const double* brow = b.data() + k * n;
+          for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+        }
+      }
     }
   }
+}
+
+void matmul_at_b_acc(Matrix& c, const Matrix& a, const Matrix& b) {
+  CTJ_CHECK(a.rows() == b.rows());
+  CTJ_CHECK(c.rows() == a.cols() && c.cols() == b.cols());
+  const std::size_t n = b.cols();
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.data() + k * a.cols();
+    const double* brow = b.data() + k * n;
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void matmul_at_b_into(Matrix& c, const Matrix& a, const Matrix& b) {
+  CTJ_CHECK(a.rows() == b.rows());
+  c.resize(a.cols(), b.cols(), 0.0);
+  matmul_at_b_acc(c, a, b);
+}
+
+void matmul_a_bt_into(Matrix& c, const Matrix& a, const Matrix& b,
+                      Matrix& bt_scratch) {
+  // A·Bᵀ as transpose-then-multiply: the dot-product form walks B's rows
+  // with a serial reduction the compiler cannot vectorize, while A·(Bᵀ)
+  // reuses the SAXPY-shaped blocked kernel (and its zero-skip, which pays
+  // off when A is a sparse gradient). Per element the k-accumulation order
+  // is unchanged, so the result matches the dot-product form bit for bit.
+  CTJ_CHECK(a.cols() == b.cols());
+  const std::size_t kk = b.cols(), n = b.rows();
+  bt_scratch.resize(kk, n);
+  double* bt = bt_scratch.data();
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* brow = b.data() + j * kk;
+    for (std::size_t k = 0; k < kk; ++k) bt[k * n + j] = brow[k];
+  }
+  matmul_into(c, a, bt_scratch);
+}
+
+void matmul_a_bt_into(Matrix& c, const Matrix& a, const Matrix& b) {
+  Matrix bt_scratch;
+  matmul_a_bt_into(c, a, b, bt_scratch);
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_into(c, a, b);
   return c;
 }
 
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
-  CTJ_CHECK(a.rows() == b.rows());
-  Matrix c(a.cols(), b.cols(), 0.0);
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.data() + k * a.cols();
-    const double* brow = b.data() + k * b.cols();
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.data() + i * c.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  Matrix c;
+  matmul_at_b_into(c, a, b);
   return c;
 }
 
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
-  CTJ_CHECK(a.cols() == b.cols());
-  Matrix c(a.rows(), b.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.data() + i * a.cols();
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.data() + j * b.cols();
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      c.at(i, j) = acc;
-    }
-  }
+  Matrix c;
+  matmul_a_bt_into(c, a, b);
   return c;
 }
 

@@ -1,8 +1,14 @@
 // Dense row-major matrix for the from-scratch neural network.
 //
-// The DQN of Fig. 4 is tiny (~10.5 k parameters), so a straightforward
-// cache-friendly ikj matrix product is all the "tensor library" we need; the
-// repository stays free of external ML dependencies.
+// The DQN of Fig. 4 is tiny (~10.5 k parameters), so a cache-friendly
+// blocked ikj matrix product is all the "tensor library" we need; the
+// repository stays free of external ML dependencies. The *_into kernels
+// write into caller-owned buffers so the training hot path runs without
+// per-step allocations. Per-element accumulation order matches the naive
+// ikj product, so for a fixed binary the result is deterministic — in
+// particular identical whether a sweep runs sequentially or across threads
+// (compiler FMA contraction may still round a differently-written loop
+// differently).
 #pragma once
 
 #include <cstddef>
@@ -40,6 +46,10 @@ class Matrix {
 
   void fill(double value);
 
+  /// Reshape to rows×cols, reusing the existing allocation when possible;
+  /// contents are reset to `fill`.
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+
   Matrix& operator+=(const Matrix& other);
   Matrix& operator*=(double scalar);
 
@@ -59,5 +69,17 @@ Matrix matmul(const Matrix& a, const Matrix& b);
 Matrix matmul_at_b(const Matrix& a, const Matrix& b);
 /// C = A·Bᵀ.
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// Allocation-free variants: resize C (reusing its buffer) and overwrite.
+void matmul_into(Matrix& c, const Matrix& a, const Matrix& b);
+void matmul_at_b_into(Matrix& c, const Matrix& a, const Matrix& b);
+void matmul_a_bt_into(Matrix& c, const Matrix& a, const Matrix& b);
+/// A·Bᵀ with a caller-owned scratch buffer for Bᵀ (the backward hot path:
+/// no allocation once the scratch is warm).
+void matmul_a_bt_into(Matrix& c, const Matrix& a, const Matrix& b,
+                      Matrix& bt_scratch);
+
+/// C += Aᵀ·B with C already shaped [a.cols × b.cols] (gradient accumulation).
+void matmul_at_b_acc(Matrix& c, const Matrix& a, const Matrix& b);
 
 }  // namespace ctj::rl

@@ -15,27 +15,46 @@ LinearLayer::LinearLayer(std::size_t in, std::size_t out, Rng& rng)
 
 Matrix LinearLayer::forward(const Matrix& x) {
   cached_input_ = x;
-  return forward_const(x);
+  Matrix y;
+  forward_into(x, y);
+  return y;
 }
 
 Matrix LinearLayer::forward_const(const Matrix& x) const {
-  Matrix y = matmul(x, w_);
+  Matrix y;
+  forward_into(x, y);
+  return y;
+}
+
+void LinearLayer::forward_into(const Matrix& x, Matrix& y) const {
+  matmul_into(y, x, w_);
+  const double* bias = b_.data();
   for (std::size_t r = 0; r < y.rows(); ++r) {
     double* row = y.data() + r * y.cols();
-    for (std::size_t c = 0; c < y.cols(); ++c) row[c] += b_.at(0, c);
+    for (std::size_t c = 0; c < y.cols(); ++c) row[c] += bias[c];
   }
-  return y;
 }
 
 Matrix LinearLayer::backward(const Matrix& grad_out) {
   CTJ_CHECK_MSG(cached_input_.rows() == grad_out.rows(),
                 "backward() without a matching forward()");
-  gw_ += matmul_at_b(cached_input_, grad_out);
+  backward_params_acc(cached_input_, grad_out);
+  return matmul_a_bt(grad_out, w_);
+}
+
+void LinearLayer::backward_params_acc(const Matrix& input,
+                                      const Matrix& grad_out) {
+  CTJ_CHECK(input.rows() == grad_out.rows());
+  matmul_at_b_acc(gw_, input, grad_out);
+  double* gbias = gb_.data();
   for (std::size_t r = 0; r < grad_out.rows(); ++r) {
     const double* row = grad_out.data() + r * grad_out.cols();
-    for (std::size_t c = 0; c < grad_out.cols(); ++c) gb_.at(0, c) += row[c];
+    for (std::size_t c = 0; c < grad_out.cols(); ++c) gbias[c] += row[c];
   }
-  return matmul_a_bt(grad_out, w_);
+}
+
+void LinearLayer::grad_input_into(const Matrix& grad_out, Matrix& grad_in) {
+  matmul_a_bt_into(grad_in, grad_out, w_, wt_scratch_);
 }
 
 void LinearLayer::zero_grad() {
@@ -67,12 +86,17 @@ Mlp::Mlp(std::vector<std::size_t> sizes, Rng& rng) : sizes_(std::move(sizes)) {
   relu_masks_.resize(layers_.size() > 0 ? layers_.size() - 1 : 0);
 }
 
-Matrix Mlp::forward(const Matrix& x) {
-  Matrix h = x;
+Matrix Mlp::forward(const Matrix& x) { return forward_cached(x); }
+
+const Matrix& Mlp::forward_cached(const Matrix& x) {
+  acts_.resize(layers_.size() + 1);
+  acts_[0] = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].forward(h);
+    Matrix& h = acts_[i + 1];
+    layers_[i].forward_into(acts_[i], h);
     if (i + 1 < layers_.size()) {
-      Matrix mask(h.rows(), h.cols(), 0.0);
+      Matrix& mask = relu_masks_[i];
+      mask.resize(h.rows(), h.cols());
       for (std::size_t k = 0; k < h.size(); ++k) {
         if (h.data()[k] > 0.0) {
           mask.data()[k] = 1.0;
@@ -80,16 +104,17 @@ Matrix Mlp::forward(const Matrix& x) {
           h.data()[k] = 0.0;
         }
       }
-      relu_masks_[i] = std::move(mask);
     }
   }
-  return h;
+  return acts_.back();
 }
 
 Matrix Mlp::forward_const(const Matrix& x) const {
   Matrix h = x;
+  Matrix next;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].forward_const(h);
+    layers_[i].forward_into(h, next);
+    std::swap(h, next);
     if (i + 1 < layers_.size()) {
       for (std::size_t k = 0; k < h.size(); ++k) {
         if (h.data()[k] < 0.0) h.data()[k] = 0.0;
@@ -99,14 +124,38 @@ Matrix Mlp::forward_const(const Matrix& x) const {
   return h;
 }
 
+void Mlp::forward_eval(const Matrix& x, Matrix& out) {
+  const Matrix* cur = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const bool last = i + 1 == layers_.size();
+    Matrix& dst = last ? out : (i % 2 == 0 ? eval_a_ : eval_b_);
+    layers_[i].forward_into(*cur, dst);
+    if (!last) {
+      for (std::size_t k = 0; k < dst.size(); ++k) {
+        if (dst.data()[k] < 0.0) dst.data()[k] = 0.0;
+      }
+    }
+    cur = &dst;
+  }
+}
+
 void Mlp::backward(const Matrix& grad_out) {
-  Matrix g = grad_out;
+  CTJ_CHECK_MSG(acts_.size() == layers_.size() + 1 &&
+                    acts_[0].rows() == grad_out.rows(),
+                "backward() without a matching forward()");
+  grad_a_ = grad_out;
+  Matrix* g = &grad_a_;
+  Matrix* next = &grad_b_;
   for (std::size_t i = layers_.size(); i-- > 0;) {
-    g = layers_[i].backward(g);
+    layers_[i].backward_params_acc(acts_[i], *g);
     if (i > 0) {
+      layers_[i].grad_input_into(*g, *next);
+      std::swap(g, next);
       const Matrix& mask = relu_masks_[i - 1];
-      CTJ_CHECK(mask.rows() == g.rows() && mask.cols() == g.cols());
-      for (std::size_t k = 0; k < g.size(); ++k) g.data()[k] *= mask.data()[k];
+      CTJ_CHECK(mask.rows() == g->rows() && mask.cols() == g->cols());
+      for (std::size_t k = 0; k < g->size(); ++k) {
+        g->data()[k] *= mask.data()[k];
+      }
     }
   }
 }
@@ -176,16 +225,18 @@ void AdamOptimizer::step(Mlp& net) {
   const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
   std::size_t slot = 0;
   auto update = [&](Matrix& param, const Matrix& grad) {
-    Matrix& m = m_[slot];
-    Matrix& v = v_[slot];
+    double* __restrict m = m_[slot].data();
+    double* __restrict v = v_[slot].data();
+    double* __restrict p = param.data();
+    const double* __restrict g = grad.data();
     ++slot;
     for (std::size_t k = 0; k < param.size(); ++k) {
-      const double g = grad.data()[k];
-      m.data()[k] = config_.beta1 * m.data()[k] + (1.0 - config_.beta1) * g;
-      v.data()[k] = config_.beta2 * v.data()[k] + (1.0 - config_.beta2) * g * g;
-      const double mhat = m.data()[k] / bc1;
-      const double vhat = v.data()[k] / bc2;
-      param.data()[k] -= config_.lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+      const double gk = g[k];
+      m[k] = config_.beta1 * m[k] + (1.0 - config_.beta1) * gk;
+      v[k] = config_.beta2 * v[k] + (1.0 - config_.beta2) * gk * gk;
+      const double mhat = m[k] / bc1;
+      const double vhat = v[k] / bc2;
+      p[k] -= config_.lr * mhat / (std::sqrt(vhat) + config_.epsilon);
     }
   };
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
@@ -212,6 +263,13 @@ double huber_grad(double error, double delta) {
   if (error > delta) return delta;
   if (error < -delta) return -delta;
   return error;
+}
+
+double huber_loss(double error, double delta) {
+  CTJ_CHECK(delta > 0.0);
+  const double abs_error = std::abs(error);
+  if (abs_error <= delta) return 0.5 * error * error;
+  return delta * (abs_error - 0.5 * delta);
 }
 
 }  // namespace ctj::rl

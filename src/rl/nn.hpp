@@ -25,9 +25,21 @@ class LinearLayer {
   /// Forward without caching (inference on a const network).
   Matrix forward_const(const Matrix& x) const;
 
+  /// Allocation-free forward: y = x·W + b, reusing y's buffer. Does not
+  /// cache x — the Mlp training path keeps its own activation buffers.
+  void forward_into(const Matrix& x, Matrix& y) const;
+
   /// grad_out: [batch × out] → grad_in [batch × in]; accumulates parameter
   /// gradients (summed over the batch).
   Matrix backward(const Matrix& grad_out);
+
+  /// Split backward used by the buffer-reusing Mlp path: accumulate the
+  /// parameter gradients from the layer input actually seen in forward…
+  void backward_params_acc(const Matrix& input, const Matrix& grad_out);
+  /// …and propagate the input gradient without touching parameters.
+  /// Non-const: keeps a Wᵀ scratch so the product runs through the
+  /// vectorized kernel without allocating.
+  void grad_input_into(const Matrix& grad_out, Matrix& grad_in);
 
   void zero_grad();
 
@@ -49,6 +61,7 @@ class LinearLayer {
   Matrix gw_;
   Matrix gb_;
   Matrix cached_input_;
+  Matrix wt_scratch_;  // Wᵀ buffer for grad_input_into()
 };
 
 /// Multi-layer perceptron with ReLU activations between affine layers.
@@ -60,7 +73,18 @@ class Mlp {
   Matrix forward(const Matrix& x);
   Matrix forward_const(const Matrix& x) const;
 
-  /// Backprop from the output gradient; fills all layer gradients.
+  /// Training forward pass reusing internal activation buffers; caches the
+  /// activations and ReLU masks backward() needs. The returned reference is
+  /// valid until the next forward on this network.
+  const Matrix& forward_cached(const Matrix& x);
+
+  /// Inference forward pass reusing internal scratch (no backward caching,
+  /// no allocations after warm-up). Non-const: see forward_const for the
+  /// thread-safe variant.
+  void forward_eval(const Matrix& x, Matrix& out);
+
+  /// Backprop from the output gradient; fills all layer gradients. Requires
+  /// a preceding forward() / forward_cached() on this network.
   void backward(const Matrix& grad_out);
 
   void zero_grad();
@@ -84,6 +108,9 @@ class Mlp {
   std::vector<std::size_t> sizes_;
   std::vector<LinearLayer> layers_;
   std::vector<Matrix> relu_masks_;  // cached per forward pass
+  std::vector<Matrix> acts_;        // acts_[i]: input of layer i; back is output
+  Matrix grad_a_, grad_b_;          // ping-pong buffers for backward()
+  Matrix eval_a_, eval_b_;          // ping-pong buffers for forward_eval()
 };
 
 /// Adam optimizer over an Mlp's parameters.
@@ -115,5 +142,9 @@ void sgd_step(Mlp& net, double lr);
 
 /// Huber loss derivative for a scalar error (delta = 1).
 double huber_grad(double error, double delta = 1.0);
+
+/// Huber loss itself: ½e² in the quadratic zone, δ(|e| − ½δ) beyond — the
+/// objective whose derivative huber_grad() clips.
+double huber_loss(double error, double delta = 1.0);
 
 }  // namespace ctj::rl

@@ -93,6 +93,49 @@ TEST(Fft, RejectsNonPowerOfTwo) {
   EXPECT_THROW(fft_inplace(x), CheckFailure);
 }
 
+TEST(FftPlan, RoundTripIdentity) {
+  for (std::size_t n : {std::size_t{64}, std::size_t{128}}) {
+    const FftPlan& plan = FftPlan::for_size(n);
+    EXPECT_EQ(plan.size(), n);
+    Rng rng(11);
+    IqBuffer x(n);
+    for (Cplx& v : x) v = Cplx(rng.normal(), rng.normal());
+    IqBuffer y = x;
+    plan.forward(y);
+    plan.inverse(y);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(FftPlan, MatchesDirectDft) {
+  // Cross-check the cached-plan transform against the O(n²) definition.
+  const std::size_t n = 64;
+  Rng rng(12);
+  IqBuffer x(n);
+  for (Cplx& v : x) v = Cplx(rng.normal(), rng.normal());
+  IqBuffer fast = x;
+  FftPlan::for_size(n).forward(fast);
+  for (std::size_t k = 0; k < n; ++k) {
+    Cplx ref(0, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double phase = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * i) / static_cast<double>(n);
+      ref += x[i] * Cplx(std::cos(phase), std::sin(phase));
+    }
+    EXPECT_NEAR(std::abs(fast[k] - ref), 0.0, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(FftPlan, CacheReturnsSameInstance) {
+  const FftPlan& a = FftPlan::for_size(64);
+  const FftPlan& b = FftPlan::for_size(64);
+  EXPECT_EQ(&a, &b);
+  const FftPlan& c = FftPlan::for_size(128);
+  EXPECT_NE(&a, &c);
+}
+
 // --------------------------------------------------------------- bits ----
 
 TEST(Bits, BytesBitsRoundTrip) {

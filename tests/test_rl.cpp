@@ -76,6 +76,123 @@ TEST(Matrix, ShapeMismatchThrows) {
   EXPECT_THROW(matmul(a, b), CheckFailure);
 }
 
+namespace {
+
+Matrix reference_matmul(const Matrix& a, const Matrix& b) {
+  // Plain ikj triple loop with the same per-element k-accumulation order the
+  // blocked kernel promises to preserve.
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix random_dense(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+}  // namespace
+
+TEST(Matrix, BlockedMatmulMatchesReference) {
+  Rng rng(3);
+  // Sizes straddling the blocking factors (32 in i, 128 in j), including
+  // odd remainders and the shapes the Fig. 4 network actually multiplies.
+  const std::size_t shapes[][3] = {
+      {1, 24, 45}, {32, 45, 160}, {33, 7, 129}, {64, 64, 64}, {5, 200, 300}};
+  for (const auto& s : shapes) {
+    const Matrix a = random_dense(s[0], s[1], rng);
+    const Matrix b = random_dense(s[1], s[2], rng);
+    const Matrix expected = reference_matmul(a, b);
+    Matrix c;
+    matmul_into(c, a, b);
+    ASSERT_EQ(c.rows(), expected.rows());
+    ASSERT_EQ(c.cols(), expected.cols());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      // The kernel accumulates each element in the same k order as the
+      // reference; the only admissible difference is the compiler
+      // contracting mul+add in one loop but not the other, which is
+      // bounded by ~1 ulp per term.
+      const double tol =
+          1e-12 * std::max(1.0, std::abs(expected.data()[i]));
+      ASSERT_NEAR(c.data()[i], expected.data()[i], tol)
+          << s[0] << "x" << s[1] << "x" << s[2] << " elem " << i;
+    }
+  }
+}
+
+TEST(Matrix, IntoVariantsReuseBuffersAndMatchAllocatingOnes) {
+  Rng rng(4);
+  const Matrix a = random_dense(6, 9, rng);
+  const Matrix b = random_dense(9, 4, rng);
+  Matrix c;
+  matmul_into(c, a, b);
+  const double* buffer = c.data();
+  matmul_into(c, a, b);  // same shape: the allocation must be reused
+  EXPECT_EQ(c.data(), buffer);
+  const Matrix expected = matmul(a, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.data()[i], expected.data()[i]);
+  }
+
+  const Matrix x = random_dense(9, 6, rng);
+  Matrix atb;
+  matmul_at_b_into(atb, x, b);
+  const Matrix atb_expected = matmul_at_b(x, b);
+  for (std::size_t i = 0; i < atb.size(); ++i) {
+    EXPECT_EQ(atb.data()[i], atb_expected.data()[i]);
+  }
+
+  const Matrix y = random_dense(4, 9, rng);
+  Matrix abt;
+  matmul_a_bt_into(abt, a, y);
+  const Matrix abt_expected = matmul_a_bt(a, y);
+  for (std::size_t i = 0; i < abt.size(); ++i) {
+    EXPECT_EQ(abt.data()[i], abt_expected.data()[i]);
+  }
+}
+
+TEST(Matrix, AtBAccAccumulatesOnTopOfExisting) {
+  Rng rng(5);
+  const Matrix a = random_dense(7, 3, rng);
+  const Matrix b = random_dense(7, 5, rng);
+  Matrix acc(3, 5, 1.0);
+  matmul_at_b_acc(acc, a, b);
+  const Matrix product = matmul_at_b(a, b);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    // Near, not equal: accumulating term-by-term on top of 1.0 associates
+    // the sum differently than 1.0 + (full product).
+    EXPECT_NEAR(acc.data()[i], 1.0 + product.data()[i], 1e-12);
+  }
+
+  // Accumulation from zero is exactly the product — the case the backward
+  // pass relies on after zero_grad.
+  Matrix from_zero(3, 5, 0.0);
+  matmul_at_b_acc(from_zero, a, b);
+  for (std::size_t i = 0; i < from_zero.size(); ++i) {
+    EXPECT_EQ(from_zero.data()[i], product.data()[i]);
+  }
+}
+
+TEST(Matrix, ResizeReusesCapacityAndResetsContents) {
+  Matrix m(10, 10, 3.0);
+  m.resize(4, 6, -1.0);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 6u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.data()[i], -1.0);
+  }
+  m.resize(2, 2);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
 TEST(Matrix, SaveLoadRoundTrip) {
   Rng rng(2);
   Matrix m = Matrix::he_normal(7, 5, rng);
