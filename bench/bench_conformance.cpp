@@ -1,0 +1,193 @@
+// Kernel-conformance deep sweep: prove the simulators match Eqs. (6)–(14).
+//
+// Drives CompetitionEnvironment and the behavioural SweepJammer for millions
+// of slots per configuration under scripted policies, bins every transition
+// by hidden state {n=1..N−1, T_J, J} × action (stay|hop) × power level, and
+// compares each cell's empirical next-state distribution and mean reward
+// against the analytic AntijamMdp row (union-corrected Hoeffding bounds +
+// total variation). Also runs the policy-structure checks of
+// Thms. III.4–III.5 across the L_J / L_H / ⌈K/m⌉ grids.
+//
+// Output: a per-configuration summary, a divergence-triage list naming every
+// offending (state, action) cell, and BENCH_conformance.json. Exit status is
+// non-zero when any divergence survives — CI treats this bench as a gate.
+#include <iostream>
+#include <variant>
+
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "conformance/conformance.hpp"
+
+using namespace ctj;
+using namespace ctj::bench;
+using namespace ctj::conformance;
+
+namespace {
+
+std::vector<double> levels(int lo, int hi) {
+  std::vector<double> v;
+  for (int x = lo; x <= hi; ++x) v.push_back(x);
+  return v;
+}
+
+struct EnvCase {
+  std::string label;
+  core::EnvironmentConfig config;
+};
+
+struct JammerCase {
+  std::string label;
+  jammer::SweepJammerConfig config;
+  std::vector<double> tx_levels;
+};
+
+std::vector<EnvCase> env_cases() {
+  std::vector<EnvCase> cases;
+  {
+    auto c = core::EnvironmentConfig::defaults();
+    cases.push_back({"default_max", c});
+    c.mode = JammerPowerMode::kRandomPower;
+    cases.push_back({"default_random", c});
+  }
+  {
+    // Overlapping power ranges: q spans (0, 1] including the certain-survival
+    // edge, so the T_J-heavy rows get exercised too.
+    auto c = core::EnvironmentConfig::defaults();
+    c.mode = JammerPowerMode::kRandomPower;
+    c.jam_levels = levels(4, 13);
+    cases.push_back({"overlap_random", c});
+  }
+  {
+    // Shortest sweep cycle the MDP admits: N = 2, a single counting state.
+    auto c = core::EnvironmentConfig::defaults();
+    c.mode = JammerPowerMode::kRandomPower;
+    c.num_channels = 8;
+    cases.push_back({"cycle2_random", c});
+  }
+  {
+    // Narrowband jammer (m = 1) with a longer cycle.
+    auto c = core::EnvironmentConfig::defaults();
+    c.mode = JammerPowerMode::kRandomPower;
+    c.num_channels = 6;
+    c.channels_per_sweep = 1;
+    cases.push_back({"n6_random", c});
+  }
+  return cases;
+}
+
+std::vector<JammerCase> jammer_cases() {
+  std::vector<JammerCase> cases;
+  {
+    auto c = jammer::SweepJammerConfig::defaults();
+    cases.push_back({"default_max", c, levels(6, 15)});
+    c.mode = JammerPowerMode::kRandomPower;
+    cases.push_back({"default_random", c, levels(6, 15)});
+  }
+  {
+    auto c = jammer::SweepJammerConfig::defaults();
+    c.mode = JammerPowerMode::kRandomPower;
+    c.power_levels = levels(4, 13);
+    cases.push_back({"overlap_random", c, levels(6, 15)});
+  }
+  {
+    auto c = jammer::SweepJammerConfig::defaults();
+    c.mode = JammerPowerMode::kRandomPower;
+    c.num_channels = 6;
+    c.channels_per_sweep = 1;
+    cases.push_back({"n6_random", c, levels(6, 15)});
+  }
+  return cases;
+}
+
+void print_kernel_summary(const std::vector<KernelCheckResult>& results) {
+  TextTable table({"path", "config", "slots", "binned", "checked", "skipped",
+                   "max tv", "divergences"});
+  for (const auto& r : results) {
+    table.add_row({r.source, r.config,
+                   TextTable::fmt(static_cast<double>(r.slots), 0),
+                   TextTable::fmt(static_cast<double>(r.binned), 0),
+                   TextTable::fmt(static_cast<double>(r.cells_checked), 0),
+                   TextTable::fmt(static_cast<double>(r.cells_skipped), 0),
+                   TextTable::fmt(r.max_tv, 4),
+                   TextTable::fmt(static_cast<double>(r.divergences.size()), 0)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Kernel conformance: simulator vs Eqs. (6)-(14) / Eq. (5) "
+               "oracle, plus Thms. III.4-III.5 structure\n";
+  BenchReport report("conformance");
+
+  const double scale = bench_scale();
+  KernelCheckOptions deep;
+  deep.slots = static_cast<std::size_t>(
+      std::max(200000.0, 2000000.0 * scale));
+  deep.min_samples = 200;
+  deep.confidence_delta = 1e-6;
+
+  const auto envs = env_cases();
+  const auto jammers = jammer_cases();
+
+  // Every check is independent and deterministically seeded: fan out.
+  const std::size_t total = envs.size() + jammers.size();
+  const auto results = parallel_map(
+      total,
+      [&](std::size_t item) {
+        KernelCheckOptions options = deep;
+        options.seed = 101 + 31 * item;
+        if (item < envs.size()) {
+          return check_environment(envs[item].config, options,
+                                   envs[item].label);
+        }
+        const auto& jc = jammers[item - envs.size()];
+        return check_sweep_jammer(jc.config, jc.tx_levels, /*loss_jam=*/100.0,
+                                  /*loss_hop=*/50.0, options, jc.label);
+      },
+      bench_threads());
+
+  print_header("Empirical kernel vs analytic MDP",
+               "every (state, action) cell within exact Hoeffding/TV bounds");
+  print_kernel_summary(results);
+
+  std::vector<Divergence> all;
+  std::size_t checked_cells = 0;
+  double max_tv = 0.0;
+  for (const auto& r : results) {
+    report.add_sweep(r.source + "_" + r.config + "_cells", cells_json(r));
+    report.add_slots(r.slots);
+    all.insert(all.end(), r.divergences.begin(), r.divergences.end());
+    checked_cells += r.cells_checked;
+    max_tv = std::max(max_tv, r.max_tv);
+  }
+
+  print_header("Policy structure (Thms. III.4-III.5)",
+               "threshold form + n* monotone in L_J, L_H, cycle; both modes");
+  const auto structure = check_policy_structure(StructureCheckOptions::defaults());
+  std::cout << structure.points.size() << " grid points solved, "
+            << structure.divergences.size() << " violations\n";
+  report.add_sweep("policy_structure", structure_json(structure));
+  all.insert(all.end(), structure.divergences.begin(),
+             structure.divergences.end());
+
+  print_header("Divergence triage", "");
+  if (all.empty()) {
+    std::cout << "none: every cell conforms (" << checked_cells
+              << " cells checked, max tv " << max_tv << ")\n";
+  } else {
+    for (const auto& d : all) std::cout << "  " << d.describe() << "\n";
+  }
+
+  report.add_sweep("divergences", divergences_json(all));
+  report.set_metric("kernel_cells_checked", checked_cells);
+  report.set_metric("kernel_max_tv", max_tv);
+  report.set_metric("structure_points", structure.points.size());
+  report.set_metric("num_divergences", all.size());
+  report.set_metric("conformant", JsonValue(all.empty()));
+  report.write();
+
+  return all.empty() ? 0 : 1;
+}

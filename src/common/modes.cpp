@@ -1,5 +1,9 @@
 #include "common/modes.hpp"
 
+#include <algorithm>
+
+#include "common/check.hpp"
+
 namespace ctj {
 
 const char* to_string(JammerPowerMode mode) {
@@ -8,6 +12,23 @@ const char* to_string(JammerPowerMode mode) {
     case JammerPowerMode::kRandomPower: return "random-power";
   }
   return "?";
+}
+
+double duel_success_prob(double tx_level, std::span<const double> jam_levels,
+                         JammerPowerMode mode) {
+  CTJ_CHECK_MSG(!jam_levels.empty(), "power duel needs jammer levels");
+  if (mode == JammerPowerMode::kMaxPower) {
+    const double max_jam =
+        *std::max_element(jam_levels.begin(), jam_levels.end());
+    return tx_level >= max_jam ? 1.0 : 0.0;
+  }
+  // Random power: τ drawn uniformly from the jammer's levels each slot.
+  std::size_t survivable = 0;
+  for (double j : jam_levels) {
+    if (tx_level >= j) ++survivable;
+  }
+  return static_cast<double>(survivable) /
+         static_cast<double>(jam_levels.size());
 }
 
 }  // namespace ctj

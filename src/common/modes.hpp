@@ -2,6 +2,8 @@
 // experiment harnesses.
 #pragma once
 
+#include <span>
+
 namespace ctj {
 
 /// Jammer power-selection behaviour (Sec. II.C.1 of the paper):
@@ -10,5 +12,13 @@ namespace ctj {
 enum class JammerPowerMode { kMaxPower, kRandomPower };
 
 const char* to_string(JammerPowerMode mode);
+
+/// The power duel of Eqs. (7)–(8): q = P(p^T >= τ), the probability a
+/// transmission at `tx_level` survives a jamming attempt when the jammer
+/// draws its power τ per `mode` from `jam_levels`. Shared by the analytic
+/// MDP (src/mdp) and the sampling simulator (src/core) so the two cannot
+/// silently drift apart.
+double duel_success_prob(double tx_level, std::span<const double> jam_levels,
+                         JammerPowerMode mode);
 
 }  // namespace ctj

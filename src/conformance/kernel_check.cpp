@@ -1,0 +1,329 @@
+#include "conformance/conformance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ctj::conformance {
+
+std::string Divergence::describe() const {
+  std::ostringstream os;
+  os << source << " [" << config << "] (" << state << ", " << action
+     << ") " << metric << ": observed " << observed << " vs expected "
+     << expected << " (bound " << bound << ", " << samples << " samples)";
+  return os.str();
+}
+
+namespace {
+
+/// Transition and reward counts binned by (state, action).
+class KernelAccumulator {
+ public:
+  KernelAccumulator(std::size_t num_states, std::size_t num_actions)
+      : S_(num_states),
+        A_(num_actions),
+        counts_(num_states * num_actions * num_states, 0),
+        reward_sum_(num_states * num_actions, 0.0) {}
+
+  void record(std::size_t s, std::size_t a, std::size_t s2, double reward) {
+    CTJ_CHECK(s < S_ && a < A_ && s2 < S_);
+    ++counts_[(s * A_ + a) * S_ + s2];
+    reward_sum_[s * A_ + a] += reward;
+    ++binned_;
+  }
+
+  std::size_t count(std::size_t s, std::size_t a, std::size_t s2) const {
+    return counts_[(s * A_ + a) * S_ + s2];
+  }
+
+  std::size_t cell_total(std::size_t s, std::size_t a) const {
+    std::size_t total = 0;
+    for (std::size_t s2 = 0; s2 < S_; ++s2) total += count(s, a, s2);
+    return total;
+  }
+
+  double reward_sum(std::size_t s, std::size_t a) const {
+    return reward_sum_[s * A_ + a];
+  }
+
+  std::size_t binned() const { return binned_; }
+
+ private:
+  std::size_t S_;
+  std::size_t A_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> reward_sum_;
+  std::size_t binned_ = 0;
+};
+
+/// Compare every accumulated cell against the oracle's rows.
+///
+/// Per-probability bound: Hoeffding's inequality gives, for T iid Bernoulli
+/// draws with mean p, P(|p̂ − p| > ε) <= 2·exp(−2Tε²); solving for the
+/// union-corrected per-test budget δ' = delta / (S·A·(S+1)) (every
+/// next-state of every cell plus the cell's reward test) yields
+/// ε(T) = sqrt(ln(2/δ') / (2T)). The reward of Eq. (5) is an affine
+/// function of the J-indicator given (s, a), so its mean is bounded within
+/// L_J·ε of U(s, a) under the same event.
+KernelCheckResult compare(const mdp::AntijamMdp& oracle,
+                          const KernelAccumulator& acc,
+                          const KernelCheckOptions& options,
+                          std::string source, std::string label,
+                          std::size_t slots) {
+  const std::size_t S = oracle.num_states();
+  const std::size_t A = oracle.num_actions();
+  const double loss_jam = oracle.params().loss_jam;
+
+  KernelCheckResult result;
+  result.source = std::move(source);
+  result.config = std::move(label);
+  result.slots = slots;
+  result.binned = acc.binned();
+
+  const double tests = static_cast<double>(S * A * (S + 1));
+  const double log_term = std::log(2.0 * tests / options.confidence_delta);
+
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t a = 0; a < A; ++a) {
+      CellReport cell;
+      cell.state = oracle.state_name(s);
+      cell.action = oracle.action_name(a);
+      cell.samples = acc.cell_total(s, a);
+      if (cell.samples < options.min_samples) {
+        ++result.cells_skipped;
+        result.cells.push_back(std::move(cell));
+        continue;
+      }
+      cell.checked = true;
+      const double T = static_cast<double>(cell.samples);
+      const double eps = std::sqrt(log_term / (2.0 * T));
+
+      auto flag = [&](const std::string& metric, double observed,
+                      double expected, double bound) {
+        cell.ok = false;
+        result.divergences.push_back({result.source, result.config,
+                                      cell.state, cell.action, metric,
+                                      observed, expected, bound,
+                                      cell.samples});
+      };
+
+      double tv = 0.0;
+      for (std::size_t s2 = 0; s2 < S; ++s2) {
+        const double p = oracle.mdp().transition(s, a, s2);
+        const double p_hat = static_cast<double>(acc.count(s, a, s2)) / T;
+        tv += 0.5 * std::abs(p_hat - p);
+        const std::string metric = "P(" + oracle.state_name(s2) + ")";
+        if (p <= 0.0) {
+          // The oracle says this transition is impossible: one occurrence
+          // is a divergence, no statistics needed.
+          if (acc.count(s, a, s2) > 0) flag(metric + " impossible", p_hat, p, 0.0);
+        } else if (p >= 1.0) {
+          if (acc.count(s, a, s2) < cell.samples) {
+            flag(metric + " certain", p_hat, p, 0.0);
+          }
+        } else if (std::abs(p_hat - p) > eps) {
+          flag(metric, p_hat, p, eps);
+        }
+      }
+      cell.tv = tv;
+      cell.tv_bound = 0.5 * static_cast<double>(S) * eps;
+      if (tv > cell.tv_bound) flag("tv", tv, 0.0, cell.tv_bound);
+
+      cell.reward_error =
+          std::abs(acc.reward_sum(s, a) / T - oracle.mdp().reward(s, a));
+      cell.reward_bound = std::abs(loss_jam) * eps + 1e-9;
+      if (cell.reward_error > cell.reward_bound) {
+        flag("mean reward", acc.reward_sum(s, a) / T,
+             oracle.mdp().reward(s, a), cell.reward_bound);
+      }
+
+      ++result.cells_checked;
+      result.max_tv = std::max(result.max_tv, cell.tv);
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+mdp::AntijamParams oracle_params(int sweep_cycle,
+                                 std::vector<double> tx_levels,
+                                 std::vector<double> jam_levels,
+                                 JammerPowerMode mode, double loss_jam,
+                                 double loss_hop) {
+  mdp::AntijamParams params;
+  params.sweep_cycle = sweep_cycle;
+  params.tx_levels = std::move(tx_levels);
+  params.jam_levels = std::move(jam_levels);
+  params.mode = mode;
+  params.loss_jam = loss_jam;
+  params.loss_hop = loss_hop;
+  return params;
+}
+
+/// Uniform channel in a uniformly random group other than `current_group`.
+int hop_channel(Rng& rng, int current_group, int num_groups,
+                int channels_per_group, int num_channels) {
+  CTJ_CHECK(num_groups >= 2);
+  int g = static_cast<int>(rng.index(static_cast<std::size_t>(num_groups - 1)));
+  if (g >= current_group) ++g;
+  const int lo = g * channels_per_group;
+  const int hi = std::min(num_channels, lo + channels_per_group);
+  return lo + static_cast<int>(rng.index(static_cast<std::size_t>(hi - lo)));
+}
+
+std::size_t env_state(const core::CompetitionEnvironment& env,
+                      const mdp::AntijamMdp& oracle) {
+  switch (env.hidden_kind()) {
+    case core::CompetitionEnvironment::HiddenKind::kCounting:
+      return oracle.state_n(env.hidden_n());
+    case core::CompetitionEnvironment::HiddenKind::kTj:
+      return oracle.state_tj();
+    case core::CompetitionEnvironment::HiddenKind::kJ:
+      return oracle.state_j();
+  }
+  CTJ_CHECK_MSG(false, "unreachable hidden kind");
+  return 0;
+}
+
+}  // namespace
+
+KernelCheckResult check_environment(const core::EnvironmentConfig& config,
+                                    const KernelCheckOptions& options,
+                                    const std::string& label) {
+  const mdp::AntijamMdp oracle(
+      oracle_params(config.sweep_cycle(), config.tx_levels, config.jam_levels,
+                    config.mode, config.loss_jam, config.loss_hop));
+  core::CompetitionEnvironment env(config);
+  Rng rng(options.seed);
+  KernelAccumulator acc(oracle.num_states(), oracle.num_actions());
+
+  const int N = config.sweep_cycle();
+  const int m = config.channels_per_sweep;
+  const std::size_t P = config.num_power_levels();
+
+  // The environment is Markov in its (inspectable) hidden state, so a
+  // uniformly randomized scripted policy visits and bins every cell.
+  for (std::size_t slot = 0; slot < options.slots; ++slot) {
+    const std::size_t s = env_state(env, oracle);
+    const std::size_t power = rng.index(P);
+    const bool hop = rng.bernoulli(options.hop_prob);
+    int channel = env.current_channel();
+    if (hop) {
+      // A *group-changing* hop: within-group channel changes pay L_H
+      // without changing the jamming odds and are outside the MDP's action
+      // abstraction, so the script never takes them.
+      channel = hop_channel(rng, channel / m, N, m, config.num_channels);
+    }
+    const auto step = env.step(channel, power);
+    const std::size_t a =
+        hop ? oracle.action_hop(power) : oracle.action_stay(power);
+    acc.record(s, a, env_state(env, oracle), step.reward);
+  }
+  return compare(oracle, acc, options, "environment", label, options.slots);
+}
+
+KernelCheckResult check_sweep_jammer(const jammer::SweepJammerConfig& config,
+                                     const std::vector<double>& tx_levels,
+                                     double loss_jam, double loss_hop,
+                                     const KernelCheckOptions& options,
+                                     const std::string& label) {
+  CTJ_CHECK(!tx_levels.empty());
+  const mdp::AntijamMdp oracle(
+      oracle_params(config.sweep_cycle(), tx_levels, config.power_levels,
+                    config.mode, loss_jam, loss_hop));
+  jammer::SweepJammer jam(config, options.seed * 0x9e3779b9ULL + 17);
+  Rng rng(options.seed + 1);
+  KernelAccumulator acc(oracle.num_states(), oracle.num_actions());
+
+  const int N = config.sweep_cycle();
+  const int m = config.channels_per_sweep;
+  const std::size_t P = tx_levels.size();
+
+  // Alignment argument. The MDP state n asserts "the jammer has ruled out
+  // exactly n groups, the victim's group is uniformly one of the remaining
+  // N − n". That invariant holds along these scripted trajectories:
+  //   · locked states (T_J/J) are exact regardless of history — the jammer
+  //     dwells and re-jams every slot (Case 5) and an escape hop is safe
+  //     for one slot while the jammer rules out the vacated group (Case 6),
+  //     so the post-escape state is exactly n = 1;
+  //   · consecutive stays preserve it: each miss rules out one more group
+  //     (n → n + 1, hazard 1/(N − n));
+  //   · a mid-sweep hop (Cases 3–4) obeys the MDP for the *recorded* slot,
+  //     but a missed hop leaves the behavioural jammer with memory the MDP
+  //     state abstraction cannot carry (the victim may now sit in an
+  //     already-swept group). Those trajectories are marked unaligned: the
+  //     victim stays put, no counting-state slot is binned, and alignment
+  //     returns at the next lock.
+  // A cold-started jammer has ruled out nothing (first-slot hazard 1/N,
+  // outside the MDP's state space), so binning starts at the first lock.
+  enum class Kind { kCounting, kTj, kJ };
+  Kind kind = Kind::kCounting;
+  int n = 1;
+  int channel = 0;
+  bool aligned = false;
+
+  for (std::size_t slot = 0; slot < options.slots; ++slot) {
+    const std::size_t power = rng.index(P);
+    const double tx = tx_levels[power];
+    const bool counting = kind == Kind::kCounting;
+    const bool may_act = aligned || !counting;
+    const bool hop = may_act && rng.bernoulli(options.hop_prob);
+    if (hop) channel = hop_channel(rng, channel / m, N, m, config.num_channels);
+
+    const auto report = jam.step(channel);
+    Kind next_kind;
+    if (report.hit) {
+      next_kind = tx >= report.power ? Kind::kTj : Kind::kJ;
+    } else {
+      next_kind = Kind::kCounting;
+    }
+    const double reward = -tx - (hop ? loss_hop : 0.0) -
+                          (next_kind == Kind::kJ ? loss_jam : 0.0);
+
+    if (may_act) {
+      const std::size_t s = counting  ? oracle.state_n(n)
+                            : kind == Kind::kTj ? oracle.state_tj()
+                                                : oracle.state_j();
+      const std::size_t a =
+          hop ? oracle.action_hop(power) : oracle.action_stay(power);
+      const std::size_t s2 = next_kind == Kind::kCounting
+                                 ? oracle.state_n(1)
+                                 : next_kind == Kind::kTj ? oracle.state_tj()
+                                                          : oracle.state_j();
+      // A stay-miss advances the count rather than resetting it.
+      const std::size_t s2_actual =
+          (next_kind == Kind::kCounting && counting && !hop)
+              ? oracle.state_n(std::min(n + 1, N - 1))
+              : s2;
+      acc.record(s, a, s2_actual, reward);
+    }
+
+    // Advance the tracked state and the alignment flag.
+    if (report.hit) {
+      kind = next_kind;
+      aligned = true;  // locked-state dynamics are exact from here on
+    } else if (counting && !hop) {
+      n = std::min(n + 1, N - 1);  // the cap only matters while unaligned
+    } else if (!counting && hop) {
+      kind = Kind::kCounting;  // escape: exactly n = 1 (vacated group ruled out)
+      n = 1;
+    } else if (counting && hop) {
+      kind = Kind::kCounting;  // hop miss: n = 1 nominally, but off-model
+      n = 1;
+      aligned = false;
+    } else {
+      // !hit while locked and staying in the group: the jammer lost a
+      // victim that never moved — bin it (the oracle calls it impossible)
+      // and drop alignment.
+      kind = Kind::kCounting;
+      n = 1;
+      aligned = false;
+    }
+  }
+  return compare(oracle, acc, options, "sweep-jammer", label, options.slots);
+}
+
+}  // namespace ctj::conformance

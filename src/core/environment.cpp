@@ -20,19 +20,7 @@ int EnvironmentConfig::sweep_cycle() const {
 
 double EnvironmentConfig::success_prob(std::size_t power_index) const {
   CTJ_CHECK(power_index < tx_levels.size());
-  CTJ_CHECK(!jam_levels.empty());
-  const double tx = tx_levels[power_index];
-  if (mode == JammerPowerMode::kMaxPower) {
-    const double max_jam =
-        *std::max_element(jam_levels.begin(), jam_levels.end());
-    return tx >= max_jam ? 1.0 : 0.0;
-  }
-  std::size_t survivable = 0;
-  for (double j : jam_levels) {
-    if (tx >= j) ++survivable;
-  }
-  return static_cast<double>(survivable) /
-         static_cast<double>(jam_levels.size());
+  return duel_success_prob(tx_levels[power_index], jam_levels, mode);
 }
 
 const char* to_string(SlotOutcome outcome) {

@@ -68,8 +68,13 @@ net::SlotStats FieldExperiment::run_slot() {
   if (config_.jammer_enabled) {
     const auto [duty, power] = advance_jammer(decision.channel);
     if (duty > 0.0) {
+      // The emission blankets the victim's whole m-channel group (the
+      // jammer only transmits while locked onto the victim, so the covered
+      // group is the victim's own).
+      const int m = config_.jammer.channels_per_sweep;
       net::ActiveJamming jam;
-      jam.channel = decision.channel;
+      jam.channel = (decision.channel / m) * m;
+      jam.width = m;
       jam.type = config_.signal_type;
       jam.tx_power_dbm = net::jam_level_to_dbm(power);
       jam.distance_m = config_.jammer_distance_m;

@@ -35,10 +35,13 @@ void SweepJammer::reset() {
   refill_sweep_order();
 }
 
-void SweepJammer::refill_sweep_order() {
+void SweepJammer::refill_sweep_order(int excluded_group) {
   const int groups = config_.sweep_cycle();
-  pending_groups_.resize(static_cast<std::size_t>(groups));
-  for (int g = 0; g < groups; ++g) pending_groups_[static_cast<std::size_t>(g)] = g;
+  pending_groups_.clear();
+  pending_groups_.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    if (g != excluded_group) pending_groups_.push_back(g);
+  }
   rng_.shuffle(pending_groups_);
 }
 
@@ -56,18 +59,24 @@ JammerSlotReport SweepJammer::step(int victim_channel) {
   JammerSlotReport report;
 
   // Locked: verify the victim is still on the channel (eavesdropping at the
-  // slot start), jam if so, otherwise resume sweeping this very slot.
+  // slot start) and jam if so. When the victim hopped away, this whole slot
+  // goes into discovering the loss — the escape slot is always safe for the
+  // victim (Case 6 / Eq. (14) of the MDP) — and the next sweep cycle skips
+  // the vacated group, which the jammer now knows is empty. That makes the
+  // first post-escape hazard 1/(⌈K/m⌉ − 1), matching the MDP's state n = 1.
   if (locked()) {
-    if (group_of(locked_channel_) == group_of(victim_channel)) {
+    const int vacated_group = group_of(locked_channel_);
+    if (vacated_group == group_of(victim_channel)) {
       locked_channel_ = victim_channel;
       report.hit = true;
       report.power = pick_power();
-      report.jammed_group_start =
-          group_of(victim_channel) * config_.channels_per_sweep;
+      report.jammed_group_start = vacated_group * config_.channels_per_sweep;
       return report;
     }
     locked_channel_ = -1;
-    refill_sweep_order();
+    refill_sweep_order(vacated_group);
+    report.jammed_group_start = vacated_group * config_.channels_per_sweep;
+    return report;
   }
 
   // Sweeping: visit the next unvisited group of this cycle.

@@ -7,8 +7,11 @@
 // in the next slot with probability 1/(⌈K/m⌉ − n) — exactly the hazard rate
 // the MDP of Sec. III.A assumes. Once the victim is found the jammer locks on
 // and jams every slot, verifying at each slot start (by eavesdropping on the
-// victim's traffic/ACKs) that the victim is still there; when the victim
-// hops away the sweep resumes.
+// victim's traffic/ACKs) that the victim is still there. When the victim
+// hops away, the jammer spends that slot discovering the loss (the escape
+// slot is always safe — Case 6 of the MDP) and then resumes sweeping over
+// the ⌈K/m⌉ − 1 groups it has not just ruled out, so the first post-escape
+// hazard is 1/(⌈K/m⌉ − 1), exactly the MDP's state-n = 1 hazard.
 #pragma once
 
 #include <vector>
@@ -60,7 +63,9 @@ class SweepJammer {
  private:
   int group_of(int channel) const { return channel / config_.channels_per_sweep; }
   double pick_power();
-  void refill_sweep_order();
+  /// Start a fresh shuffled cycle over all groups except `excluded_group`
+  /// (−1 for none: a cold start or a cycle that ran dry without a find).
+  void refill_sweep_order(int excluded_group = -1);
 
   SweepJammerConfig config_;
   Rng rng_;

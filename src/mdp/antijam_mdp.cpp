@@ -14,20 +14,7 @@ AntijamParams AntijamParams::defaults() {
 
 double AntijamParams::success_prob(std::size_t power_index) const {
   CTJ_CHECK(power_index < tx_levels.size());
-  CTJ_CHECK(!jam_levels.empty());
-  const double tx = tx_levels[power_index];
-  if (mode == JammerPowerMode::kMaxPower) {
-    double max_jam = jam_levels.front();
-    for (double j : jam_levels) max_jam = std::max(max_jam, j);
-    return tx >= max_jam ? 1.0 : 0.0;
-  }
-  // Random power: τ drawn uniformly from the jammer's levels each slot.
-  std::size_t survivable = 0;
-  for (double j : jam_levels) {
-    if (tx >= j) ++survivable;
-  }
-  return static_cast<double>(survivable) /
-         static_cast<double>(jam_levels.size());
+  return duel_success_prob(tx_levels[power_index], jam_levels, mode);
 }
 
 namespace {
@@ -88,6 +75,19 @@ bool AntijamMdp::is_hop(std::size_t action) const {
 std::size_t AntijamMdp::power_index_of(std::size_t action) const {
   CTJ_CHECK(action < num_actions());
   return action % params_.num_power_levels();
+}
+
+std::string AntijamMdp::state_name(std::size_t state) const {
+  CTJ_CHECK(state < num_states());
+  if (state == state_tj()) return "T_J";
+  if (state == state_j()) return "J";
+  return "n=" + std::to_string(state + 1);
+}
+
+std::string AntijamMdp::action_name(std::size_t action) const {
+  CTJ_CHECK(action < num_actions());
+  return std::string(is_hop(action) ? "hop@p" : "stay@p") +
+         std::to_string(power_index_of(action));
 }
 
 void AntijamMdp::build() {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/modes.hpp"
@@ -59,6 +60,8 @@ class AntijamMdp {
   /// True if the state represents a slot whose data got through
   /// (any n-state or T_J).
   bool is_success_state(std::size_t state) const;
+  /// Human-readable state label: "n=1".."n=N−1", "T_J", "J".
+  std::string state_name(std::size_t state) const;
 
   // --- action indexing ------------------------------------------------
   std::size_t num_actions() const { return mdp_.num_actions(); }
@@ -66,6 +69,8 @@ class AntijamMdp {
   std::size_t action_hop(std::size_t power_index) const;
   bool is_hop(std::size_t action) const;
   std::size_t power_index_of(std::size_t action) const;
+  /// Human-readable action label: "stay@p<i>" / "hop@p<i>".
+  std::string action_name(std::size_t action) const;
 
  private:
   void build();

@@ -14,7 +14,7 @@ void Medium::set_jamming(std::optional<ActiveJamming> jamming) {
 double Medium::sinr_db(int channel, double tx_power_dbm,
                        double tx_distance_m) const {
   const double signal = link_.received_power_dbm(tx_power_dbm, tx_distance_m);
-  if (!jamming_ || jamming_->channel != channel) {
+  if (!jamming_ || !jamming_->covers(channel)) {
     return link_.sinr_db(signal);
   }
   const double jam_rx =
@@ -25,7 +25,7 @@ double Medium::sinr_db(int channel, double tx_power_dbm,
 double Medium::packet_error_rate(int channel, double tx_power_dbm,
                                  double tx_distance_m) const {
   const double jammed_per = link_.per(sinr_db(channel, tx_power_dbm, tx_distance_m));
-  if (!jamming_ || jamming_->channel != channel || jamming_->duty_cycle >= 1.0) {
+  if (!jamming_ || !jamming_->covers(channel) || jamming_->duty_cycle >= 1.0) {
     return jammed_per;
   }
   // Packets are spread uniformly over the slot: a duty-cycled emission only
@@ -43,7 +43,7 @@ bool Medium::packet_delivered(int channel, double tx_power_dbm,
 }
 
 bool Medium::channel_busy(int channel, double cca_threshold_dbm) const {
-  if (!jamming_ || jamming_->channel != channel) return false;
+  if (!jamming_ || !jamming_->covers(channel)) return false;
   // CCA mode 2 (carrier sense): only ZigBee-modulated energy is recognized.
   // A plain Wi-Fi emission fails the chip correlation and is not reported
   // as busy, whatever its power — EmuBee *is* reported, but the jammer only

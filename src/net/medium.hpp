@@ -13,7 +13,12 @@ namespace ctj::net {
 
 /// A jammer emission active on (part of) the band during a slot.
 struct ActiveJamming {
-  int channel = 0;  // ZigBee channel index being jammed
+  int channel = 0;  // first ZigBee channel index covered by the emission
+  /// Number of consecutive ZigBee channels the emission covers starting at
+  /// `channel`: 1 for a narrowband (ZigBee-class) emitter, m = 4 for the
+  /// cross-technology jammer, whose 20 MHz Wi-Fi band blankets a whole
+  /// 4-channel group (Sec. II.C).
+  int width = 1;
   channel::JammingSignalType type = channel::JammingSignalType::kEmuBee;
   double tx_power_dbm = 20.0;
   double distance_m = 5.0;  // jammer → victim receiver distance
@@ -21,6 +26,11 @@ struct ActiveJamming {
   /// when the jammer's own slot clock is not aligned with the victim's
   /// (Sec. IV.D.4, Fig. 11(b)).
   double duty_cycle = 1.0;
+
+  /// True when the emission overlaps `rx_channel`.
+  bool covers(int rx_channel) const {
+    return rx_channel >= channel && rx_channel < channel + width;
+  }
 };
 
 /// Per-slot view of the medium for one receiver.

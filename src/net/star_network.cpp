@@ -32,8 +32,12 @@ SlotStats StarNetwork::run_slot(const SlotDecision& decision,
   SlotStats stats;
   stats.channel = decision.channel;
 
+  // The jammed flag follows the medium's interference model: the emission
+  // hits the slot whenever its covered span (the whole m-channel group for a
+  // cross-technology jammer) contains the victim's channel, not only on an
+  // exact channel match.
   medium_.set_jamming(jamming);
-  stats.jammed = jamming.has_value() && jamming->channel == decision.channel;
+  stats.jammed = jamming.has_value() && jamming->covers(decision.channel);
 
   // --- slot overhead: hub decision + polling announcement -----------------
   stats.negotiation_s = config_.timing.negotiation_time_s(

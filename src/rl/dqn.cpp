@@ -57,13 +57,12 @@ std::size_t DqnAgent::act_greedy(std::span<const double> state) const {
 }
 
 std::size_t DqnAgent::act(std::span<const double> state) {
-  const std::size_t best = act_greedy(state);
   const double eps = epsilon();
-  if (!rng_.bernoulli(eps)) return best;
-  // ε-greedy as in the paper: every non-best action gets ε/(C·PL − 1).
-  std::size_t other = rng_.index(config_.num_actions - 1);
-  if (other >= best) ++other;
-  return other;
+  // Textbook ε-greedy (Sec. III.C): explore uniformly over the whole C·PL
+  // action set with probability ε, so the greedy action is selected with
+  // probability 1 − ε + ε/(C·PL) and every other action with ε/(C·PL).
+  if (rng_.bernoulli(eps)) return rng_.index(config_.num_actions);
+  return act_greedy(state);
 }
 
 void DqnAgent::observe(Transition transition) {

@@ -3,8 +3,9 @@
 // Matches the paper's design: a 4-layer fully-connected network whose input
 // encodes the victim's last I slots (3 observables per slot: outcome, channel,
 // power level) and whose C·PL outputs score every (channel, power) action;
-// ε-greedy exploration where the best action is taken with probability 1−ε
-// and each other action with ε/(C·PL−1); experience replay and a periodically
+// textbook ε-greedy exploration: with probability ε the agent explores
+// uniformly over all C·PL actions (so the greedy action is played with total
+// probability 1−ε+ε/(C·PL)); experience replay and a periodically
 // synchronized target network stabilize learning.
 #pragma once
 

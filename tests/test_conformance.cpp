@@ -1,0 +1,185 @@
+// Tier-1 slice of the kernel-conformance harness (fast slot budgets; the
+// deep multi-million-slot sweep lives in bench_conformance). Also pins the
+// regressions the harness originally caught: the exact-channel-match jammed
+// flag in StarNetwork and the sweep jammer's lock-loss refill hazard.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "conformance/conformance.hpp"
+#include "jammer/sweep_jammer.hpp"
+#include "net/star_network.hpp"
+
+namespace ctj {
+namespace {
+
+using conformance::KernelCheckOptions;
+using conformance::KernelCheckResult;
+
+KernelCheckOptions fast_options(std::uint64_t seed) {
+  KernelCheckOptions options;
+  options.slots = 150000;
+  options.seed = seed;
+  return options;
+}
+
+void expect_conformant(const KernelCheckResult& result) {
+  EXPECT_GT(result.cells_checked, 0u);
+  for (const auto& d : result.divergences) ADD_FAILURE() << d.describe();
+}
+
+// ------------------------------------------------ environment vs oracle ----
+
+TEST(Conformance, EnvironmentMatchesMdpMaxPower) {
+  const auto result = conformance::check_environment(
+      core::EnvironmentConfig::defaults(), fast_options(11), "default_max");
+  expect_conformant(result);
+  // The environment is Markov in its hidden state: every slot is binnable.
+  EXPECT_EQ(result.binned, result.slots);
+}
+
+TEST(Conformance, EnvironmentMatchesMdpRandomPower) {
+  auto config = core::EnvironmentConfig::defaults();
+  config.mode = JammerPowerMode::kRandomPower;
+  const auto result =
+      conformance::check_environment(config, fast_options(12), "default_random");
+  expect_conformant(result);
+}
+
+TEST(Conformance, EnvironmentMatchesMdpNarrowbandJammer) {
+  // m = 1, K = 6: a six-state cycle exercises every counting transition.
+  auto config = core::EnvironmentConfig::defaults();
+  config.mode = JammerPowerMode::kRandomPower;
+  config.num_channels = 6;
+  config.channels_per_sweep = 1;
+  const auto result =
+      conformance::check_environment(config, fast_options(13), "n6_random");
+  expect_conformant(result);
+}
+
+// ----------------------------------------------- sweep jammer vs oracle ----
+
+TEST(Conformance, SweepJammerKernelMatchesMdp) {
+  auto config = jammer::SweepJammerConfig::defaults();
+  config.mode = JammerPowerMode::kRandomPower;
+  const std::vector<double> tx_levels = {6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+  const auto result = conformance::check_sweep_jammer(
+      config, tx_levels, /*loss_jam=*/100.0, /*loss_hop=*/50.0,
+      fast_options(14), "default_random");
+  expect_conformant(result);
+  // Alignment tracking excludes some counting slots, never the majority.
+  EXPECT_GT(result.binned, result.slots / 2);
+}
+
+// ---------------------------------------------------- policy structure ----
+
+TEST(Conformance, PolicyStructureMatchesTheorems) {
+  const auto result =
+      conformance::check_policy_structure(conformance::StructureCheckOptions::defaults());
+  EXPECT_GT(result.points.size(), 0u);
+  for (const auto& d : result.divergences) ADD_FAILURE() << d.describe();
+}
+
+// ----------------------------------- regression: group-aware jammed flag ----
+
+net::StarNetworkConfig quick_net_config() {
+  net::StarNetworkConfig c;
+  c.num_peripherals = 4;
+  c.slot_duration_s = 1.0;
+  c.timing.jitter_fraction = 0.0;
+  c.timing.node_loss_probability = 0.0;
+  c.seed = 11;
+  return c;
+}
+
+net::ActiveJamming group_jam(int group_start) {
+  net::ActiveJamming jam;
+  jam.channel = group_start;
+  jam.width = 4;
+  jam.type = channel::JammingSignalType::kEmuBee;
+  jam.tx_power_dbm = 20.0;
+  jam.distance_m = 8.0;
+  return jam;
+}
+
+TEST(Conformance, StarNetworkJammedFlagIsGroupAware) {
+  // A Wi-Fi emission starting at channel 0 covers channels 0..3; a victim on
+  // channel 3 is inside the group even though 3 != 0. The old exact-match
+  // stats.jammed missed this.
+  net::StarNetwork network(quick_net_config());
+  net::SlotDecision decision;
+  decision.channel = 3;
+  decision.tx_power_dbm = -4.0;
+  const auto stats = network.run_slot(decision, group_jam(0));
+  EXPECT_TRUE(stats.jammed);
+  EXPECT_FALSE(stats.success);
+}
+
+TEST(Conformance, StarNetworkOutsideJammedGroupIsClean) {
+  net::StarNetwork network(quick_net_config());
+  net::SlotDecision decision;
+  decision.channel = 5;  // group 1, outside the 0..3 emission
+  decision.tx_power_dbm = 0.0;
+  const auto stats = network.run_slot(decision, group_jam(0));
+  EXPECT_FALSE(stats.jammed);
+  EXPECT_TRUE(stats.success);
+}
+
+// -------------------------------- regression: lock-loss refill semantics ----
+
+// Drive the jammer until it locks onto `channel` (bounded slot count).
+void lock_onto(jammer::SweepJammer& jam, int channel) {
+  for (int slot = 0; slot < 64 && !jam.locked(); ++slot) jam.step(channel);
+  ASSERT_TRUE(jam.locked());
+}
+
+TEST(Conformance, SweepJammerEscapeSlotIsSafe) {
+  // MDP Case 6: the hop out of T_J/J always succeeds for one slot — the
+  // jammer spends that slot discovering the loss.
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    jammer::SweepJammer jam(jammer::SweepJammerConfig::defaults(), seed);
+    lock_onto(jam, 1);
+    const auto report = jam.step(6);  // victim hops to group 1
+    EXPECT_FALSE(report.hit);
+    EXPECT_FALSE(jam.locked());
+  }
+}
+
+TEST(Conformance, SweepJammerExcludesVacatedGroupAfterEscape) {
+  // After losing the lock the jammer has just ruled out the vacated group, so
+  // the refreshed sweep covers the other N−1 groups first. A victim hopping
+  // straight back into the vacated group survives that whole partial cycle.
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    jammer::SweepJammer jam(jammer::SweepJammerConfig::defaults(), seed);
+    lock_onto(jam, 1);
+    ASSERT_FALSE(jam.step(6).hit);  // escape slot: lock lost on group 0
+    bool found = false;
+    for (int slot = 0; slot < 3; ++slot) {
+      // Victim back on the vacated group: unreachable for N−1 = 3 slots.
+      EXPECT_FALSE(jam.step(1).hit);
+    }
+    // The next full cycle includes group 0 again: found within N slots.
+    for (int slot = 0; slot < 4 && !found; ++slot) found = jam.step(1).hit;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Conformance, SweepJammerPostEscapeHazardIsOneOverNMinusOne) {
+  // The first post-escape sweep slot must find a stationary victim with
+  // probability 1/(N−1) = 1/3 — the MDP's n = 1 hazard (the pre-fix refill
+  // over all N groups gave 1/4).
+  const int episodes = 6000;
+  int found = 0;
+  for (int episode = 0; episode < episodes; ++episode) {
+    jammer::SweepJammer jam(jammer::SweepJammerConfig::defaults(),
+                            1000 + static_cast<std::uint64_t>(episode));
+    lock_onto(jam, 2);
+    ASSERT_FALSE(jam.step(6).hit);        // escape slot
+    if (jam.step(6).hit) ++found;         // first post-escape sweep slot
+  }
+  const double hazard = static_cast<double>(found) / episodes;
+  EXPECT_NEAR(hazard, 1.0 / 3.0, 0.03);
+}
+
+}  // namespace
+}  // namespace ctj

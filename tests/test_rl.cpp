@@ -408,6 +408,57 @@ TEST(Replay, RingOverwritesOldest) {
   EXPECT_EQ(seen.count(4.0), 1u);
 }
 
+TEST(Replay, WraparoundReplacesOldestFirst) {
+  ReplayBuffer buf(3);
+  for (int i = 0; i < 4; ++i) {
+    buf.push({{static_cast<double>(i)}, 0, 0.0, {0.0}, false});
+  }
+  // The ring cursor starts at slot 0 once full: pushing 3 evicts 0 (the
+  // oldest), leaving 1 and 2 in place.
+  EXPECT_DOUBLE_EQ(buf.at(0).state[0], 3.0);
+  EXPECT_DOUBLE_EQ(buf.at(1).state[0], 1.0);
+  EXPECT_DOUBLE_EQ(buf.at(2).state[0], 2.0);
+  buf.push({{4.0}, 0, 0.0, {0.0}, false});  // evicts 1
+  buf.push({{5.0}, 0, 0.0, {0.0}, false});  // evicts 2
+  buf.push({{6.0}, 0, 0.0, {0.0}, false});  // cursor wrapped: evicts 3
+  EXPECT_DOUBLE_EQ(buf.at(0).state[0], 6.0);
+  EXPECT_DOUBLE_EQ(buf.at(1).state[0], 4.0);
+  EXPECT_DOUBLE_EQ(buf.at(2).state[0], 5.0);
+}
+
+TEST(Replay, ClearThenRefillRestartsRing) {
+  ReplayBuffer buf(2);
+  for (int i = 0; i < 3; ++i) {
+    buf.push({{static_cast<double>(i)}, 0, 0.0, {0.0}, false});
+  }
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), 2u);
+  // A refilled buffer behaves exactly like a fresh one, cursor included.
+  for (int i = 7; i < 10; ++i) {
+    buf.push({{static_cast<double>(i)}, 0, 0.0, {0.0}, false});
+  }
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_DOUBLE_EQ(buf.at(0).state[0], 9.0);
+  EXPECT_DOUBLE_EQ(buf.at(1).state[0], 8.0);
+}
+
+TEST(Replay, SampleIsDeterministicGivenSeed) {
+  ReplayBuffer buf(8);
+  for (int i = 0; i < 8; ++i) {
+    buf.push({{static_cast<double>(i)}, 0, 0.0, {0.0}, false});
+  }
+  Rng a(42);
+  Rng b(42);
+  const auto sample_a = buf.sample(64, a);
+  const auto sample_b = buf.sample(64, b);
+  ASSERT_EQ(sample_a.size(), sample_b.size());
+  for (std::size_t i = 0; i < sample_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sample_a[i]->state[0], sample_b[i]->state[0]);
+  }
+}
+
 TEST(Replay, SampleFromEmptyThrows) {
   ReplayBuffer buf(2);
   Rng rng(1);
@@ -539,6 +590,30 @@ TEST(Dqn, DeployedSizeMatchesPaperScale) {
 TEST(Dqn, TrainStepRequiresMinimumReplay) {
   DqnAgent agent(small_config());
   EXPECT_FALSE(agent.train_step().has_value());
+}
+
+TEST(Dqn, EpsilonGreedyExploresUniformlyOverAllActions) {
+  // Textbook convention: with probability ε the agent draws uniformly over
+  // ALL actions, so the greedy action's total frequency is 1−ε+ε/A and every
+  // other action's is ε/A.
+  auto config = small_config();
+  config.num_actions = 4;
+  config.hidden = {8, 8};
+  config.epsilon_start = 0.4;
+  config.epsilon_end = 0.4;  // hold ε constant for the frequency estimate
+  DqnAgent agent(config);
+  const std::vector<double> state = {0.3, -0.2};
+  const std::size_t greedy = agent.act_greedy(state);
+  const int trials = 20000;
+  std::vector<int> counts(config.num_actions, 0);
+  for (int i = 0; i < trials; ++i) ++counts[agent.act(state)];
+  const double eps = 0.4;
+  const double uniform = eps / static_cast<double>(config.num_actions);
+  for (std::size_t a = 0; a < config.num_actions; ++a) {
+    const double freq = static_cast<double>(counts[a]) / trials;
+    const double expected = (a == greedy) ? 1.0 - eps + uniform : uniform;
+    EXPECT_NEAR(freq, expected, 0.02) << "action " << a;
+  }
 }
 
 }  // namespace
