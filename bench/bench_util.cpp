@@ -4,9 +4,15 @@
 #include <chrono>
 #include <fstream>
 
+#include "common/kernels.hpp"
 #include "common/math_util.hpp"
 #include "common/parallel.hpp"
 
+// Build-time revision stamp (see cmake/git_rev.cmake); falls back to
+// "unknown" when the generated header is absent (e.g. non-CMake builds).
+#if __has_include("ctj_git_rev.hpp")
+#include "ctj_git_rev.hpp"
+#endif
 #ifndef CTJ_GIT_REV
 #define CTJ_GIT_REV "unknown"
 #endif
@@ -164,6 +170,7 @@ void BenchReport::write() {
   doc["schema_version"] = 1;
   doc["bench"] = name_;
   doc["git_rev"] = CTJ_GIT_REV;
+  doc["simd_level"] = kern::simd_level_name();
   doc["threads"] = bench_threads();
   doc["scale"] = bench_scale();
   doc["train_slots_per_point"] = train_slots();

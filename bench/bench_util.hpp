@@ -84,7 +84,10 @@ JsonValue metrics_json(const core::MetricsReport& m);
 ///   {
 ///     "schema_version": 1,
 ///     "bench": "<name>",            // e.g. "fig6_success_rate"
-///     "git_rev": "<short rev>",     // of the build, "unknown" outside git
+///     "git_rev": "<short rev>",     // of the build ("-dirty" when the tree
+///                                   // had uncommitted changes), "unknown"
+///                                   // outside git
+///     "simd_level": "scalar"|"avx2"|"avx512",  // active kernel set
 ///     "threads": N,                 // bench_threads() at run time
 ///     "scale": S,                   // CTJ_BENCH_SCALE
 ///     "train_slots_per_point": …, "eval_slots_per_point": …,

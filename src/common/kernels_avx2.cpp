@@ -1,0 +1,308 @@
+// AVX2/FMA kernel set. This translation unit is compiled with -mavx2 -mfma
+// regardless of the global architecture flags, so even a portable
+// (-DCTJ_NATIVE=OFF) binary carries these paths; kern::ops() only selects
+// them when CPUID reports AVX2+FMA at run time.
+//
+// Numerics: the matmul/saxpy kernels contract multiply-add into FMA (one
+// rounding instead of two) while keeping the scalar k-accumulation order, so
+// they are ULP-close but not bit-identical to the scalar reference. The
+// max/argmax reductions, bias_act and adam_update contain no FMA: max is
+// order-independent for non-NaN input and the Adam step is elementwise over
+// correctly rounded operations, so those kernels are bit-exact against the
+// scalar level.
+#include "common/kernels.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "common/kernels_detail.hpp"
+
+namespace ctj::kern {
+namespace {
+
+// Register-blocked compressed-nonzero C += A·B. Each A row of the current
+// chunk is packed once into a (value, k-index) list of its nonzeros — a
+// branchless pass, so the ~half-zero ReLU activation rows that made a
+// data-dependent `if (aik == 0.0) continue` mispredict catastrophically cost
+// nothing here — and the FMA loops then run over the packed list only. That
+// skips exactly the entries the scalar reference skips (one-hot DQN output
+// gradients stay bit-exact) and halves both FMAs and B-row loads on ReLU
+// activations. The FMA body keeps a 32-wide stripe of one C row in eight ymm
+// accumulators across the whole packed loop: eight independent dependency
+// chains cover the FMA latency, and C traffic drops k-fold versus the
+// load/store-per-k pattern the autovectorizer produces. Stripes stay in the
+// outer loop so the touched B columns remain L1-resident while the row loop
+// streams over them. Per C element the packed accumulation preserves the
+// scalar k order, so results stay ULP-bounded against the scalar reference.
+void matmul_acc_avx2(double* c, const double* a, const double* b,
+                     std::size_t m, std::size_t kk, std::size_t n) {
+  constexpr std::size_t kRowChunk = 32;
+  static thread_local detail::MatmulScratch scratch;
+  scratch.reserve_chunk(std::min(m, kRowChunk), kk);
+  for (std::size_t i0 = 0; i0 < m; i0 += kRowChunk) {
+    const std::size_t i1 = std::min(m, i0 + kRowChunk);
+    for (std::size_t i = i0; i < i1; ++i) {
+      scratch.cnt[i - i0] = static_cast<std::int32_t>(detail::pack_nonzeros(
+          a + i * kk, kk, scratch.vals.data() + (i - i0) * kk,
+          scratch.idx.data() + (i - i0) * kk));
+    }
+    std::size_t j0 = 0;
+    for (; j0 + 32 <= n; j0 += 32) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* v = scratch.vals.data() + (i - i0) * kk;
+        const std::int32_t* ix = scratch.idx.data() + (i - i0) * kk;
+        const std::size_t nnz = static_cast<std::size_t>(scratch.cnt[i - i0]);
+        double* crow = c + i * n + j0;
+        __m256d c0 = _mm256_loadu_pd(crow + 0);
+        __m256d c1 = _mm256_loadu_pd(crow + 4);
+        __m256d c2 = _mm256_loadu_pd(crow + 8);
+        __m256d c3 = _mm256_loadu_pd(crow + 12);
+        __m256d c4 = _mm256_loadu_pd(crow + 16);
+        __m256d c5 = _mm256_loadu_pd(crow + 20);
+        __m256d c6 = _mm256_loadu_pd(crow + 24);
+        __m256d c7 = _mm256_loadu_pd(crow + 28);
+        const double* bcol = b + j0;
+        for (std::size_t t = 0; t < nnz; ++t) {
+          const __m256d va = _mm256_set1_pd(v[t]);
+          const double* brow = bcol + static_cast<std::size_t>(ix[t]) * n;
+          c0 = _mm256_fmadd_pd(va, _mm256_loadu_pd(brow + 0), c0);
+          c1 = _mm256_fmadd_pd(va, _mm256_loadu_pd(brow + 4), c1);
+          c2 = _mm256_fmadd_pd(va, _mm256_loadu_pd(brow + 8), c2);
+          c3 = _mm256_fmadd_pd(va, _mm256_loadu_pd(brow + 12), c3);
+          c4 = _mm256_fmadd_pd(va, _mm256_loadu_pd(brow + 16), c4);
+          c5 = _mm256_fmadd_pd(va, _mm256_loadu_pd(brow + 20), c5);
+          c6 = _mm256_fmadd_pd(va, _mm256_loadu_pd(brow + 24), c6);
+          c7 = _mm256_fmadd_pd(va, _mm256_loadu_pd(brow + 28), c7);
+        }
+        _mm256_storeu_pd(crow + 0, c0);
+        _mm256_storeu_pd(crow + 4, c1);
+        _mm256_storeu_pd(crow + 8, c2);
+        _mm256_storeu_pd(crow + 12, c3);
+        _mm256_storeu_pd(crow + 16, c4);
+        _mm256_storeu_pd(crow + 20, c5);
+        _mm256_storeu_pd(crow + 24, c6);
+        _mm256_storeu_pd(crow + 28, c7);
+      }
+    }
+    for (; j0 + 8 <= n; j0 += 8) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* v = scratch.vals.data() + (i - i0) * kk;
+        const std::int32_t* ix = scratch.idx.data() + (i - i0) * kk;
+        const std::size_t nnz = static_cast<std::size_t>(scratch.cnt[i - i0]);
+        double* crow = c + i * n + j0;
+        __m256d c0 = _mm256_loadu_pd(crow + 0);
+        __m256d c1 = _mm256_loadu_pd(crow + 4);
+        const double* bcol = b + j0;
+        for (std::size_t t = 0; t < nnz; ++t) {
+          const __m256d va = _mm256_set1_pd(v[t]);
+          const double* brow = bcol + static_cast<std::size_t>(ix[t]) * n;
+          c0 = _mm256_fmadd_pd(va, _mm256_loadu_pd(brow + 0), c0);
+          c1 = _mm256_fmadd_pd(va, _mm256_loadu_pd(brow + 4), c1);
+        }
+        _mm256_storeu_pd(crow + 0, c0);
+        _mm256_storeu_pd(crow + 4, c1);
+      }
+    }
+    for (; j0 + 4 <= n; j0 += 4) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* v = scratch.vals.data() + (i - i0) * kk;
+        const std::int32_t* ix = scratch.idx.data() + (i - i0) * kk;
+        const std::size_t nnz = static_cast<std::size_t>(scratch.cnt[i - i0]);
+        double* crow = c + i * n + j0;
+        __m256d c0 = _mm256_loadu_pd(crow);
+        const double* bcol = b + j0;
+        for (std::size_t t = 0; t < nnz; ++t) {
+          c0 = _mm256_fmadd_pd(
+              _mm256_set1_pd(v[t]),
+              _mm256_loadu_pd(bcol + static_cast<std::size_t>(ix[t]) * n),
+              c0);
+        }
+        _mm256_storeu_pd(crow, c0);
+      }
+    }
+    if (j0 < n) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* v = scratch.vals.data() + (i - i0) * kk;
+        const std::int32_t* ix = scratch.idx.data() + (i - i0) * kk;
+        const std::size_t nnz = static_cast<std::size_t>(scratch.cnt[i - i0]);
+        double* crow = c + i * n;
+        for (std::size_t j = j0; j < n; ++j) {
+          double s = crow[j];
+          for (std::size_t t = 0; t < nnz; ++t) {
+            s = __builtin_fma(v[t], b[static_cast<std::size_t>(ix[t]) * n + j],
+                              s);
+          }
+          crow[j] = s;
+        }
+      }
+    }
+  }
+}
+
+void saxpy_avx2(std::size_t n, double a, const double* x, double* y) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_pd(
+        y + j, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + j),
+                               _mm256_loadu_pd(y + j)));
+    _mm256_storeu_pd(
+        y + j + 4, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + j + 4),
+                                   _mm256_loadu_pd(y + j + 4)));
+  }
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(
+        y + j, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + j),
+                               _mm256_loadu_pd(y + j)));
+  }
+  for (; j < n; ++j) y[j] = __builtin_fma(a, x[j], y[j]);
+}
+
+// Single-pass fused bias + ReLU (the scalar reference makes two passes, as
+// the pre-kernel MLP forward did). Plain add + max: no FMA, bit-exact
+// against the scalar level.
+void bias_act_avx2(double* y, const double* bias, std::size_t rows,
+                   std::size_t cols, bool relu) {
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* row = y + r * cols;
+    std::size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      __m256d v =
+          _mm256_add_pd(_mm256_loadu_pd(row + c), _mm256_loadu_pd(bias + c));
+      if (relu) v = _mm256_max_pd(v, zero);
+      _mm256_storeu_pd(row + c, v);
+    }
+    for (; c < cols; ++c) {
+      double v = row[c] + bias[c];
+      if (relu && v < 0.0) v = 0.0;
+      row[c] = v;
+    }
+  }
+}
+
+double row_max_avx2(const double* x, std::size_t n) {
+  if (n < 8) {
+    double m = x[0];
+    for (std::size_t j = 1; j < n; ++j) {
+      if (x[j] > m) m = x[j];
+    }
+    return m;
+  }
+  __m256d m0 = _mm256_loadu_pd(x);
+  __m256d m1 = _mm256_loadu_pd(x + 4);
+  std::size_t j = 8;
+  for (; j + 8 <= n; j += 8) {
+    m0 = _mm256_max_pd(m0, _mm256_loadu_pd(x + j));
+    m1 = _mm256_max_pd(m1, _mm256_loadu_pd(x + j + 4));
+  }
+  m0 = _mm256_max_pd(m0, m1);
+  const __m128d lo = _mm256_castpd256_pd128(m0);
+  const __m128d hi = _mm256_extractf128_pd(m0, 1);
+  __m128d m2 = _mm_max_pd(lo, hi);
+  m2 = _mm_max_sd(m2, _mm_unpackhi_pd(m2, m2));
+  double m = _mm_cvtsd_f64(m2);
+  for (; j < n; ++j) {
+    if (x[j] > m) m = x[j];
+  }
+  return m;
+}
+
+// First index of the maximum: SIMD max reduction, then a compare+movemask
+// scan for the first element equal to it (first-on-ties, like ctj::argmax).
+std::size_t row_argmax_avx2(const double* x, std::size_t n) {
+  if (n < 8) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < n; ++j) {
+      if (x[j] > x[best]) best = j;
+    }
+    return best;
+  }
+  const double m = row_max_avx2(x, n);
+  const __m256d vm = _mm256_set1_pd(m);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(x + j), vm, _CMP_EQ_OQ));
+    if (mask != 0) {
+      return j + static_cast<std::size_t>(__builtin_ctz(
+                     static_cast<unsigned>(mask)));
+    }
+  }
+  for (; j < n; ++j) {
+    if (x[j] == m) return j;
+  }
+  return 0;  // only reachable for NaN input; mirror the scalar fold
+}
+
+double td_huber_batch_avx2(const TdHuberArgs& args, double* grad) {
+  return detail::td_huber_epilogue(args, grad, row_max_avx2, row_argmax_avx2);
+}
+
+// Elementwise Adam step. Deliberately FMA-free — mul+add, _mm256_div_pd and
+// _mm256_sqrt_pd are all correctly rounded, so this path is bit-exact with
+// the scalar reference while retiring the per-parameter sqrt + three
+// divisions four lanes at a time (they dominate the optimizer cost).
+void adam_update_avx2(double* p, double* m, double* v, const double* g,
+                      std::size_t n, double beta1, double beta2, double lr,
+                      double bc1, double bc2, double epsilon) {
+  const __m256d vb1 = _mm256_set1_pd(beta1);
+  const __m256d vb2 = _mm256_set1_pd(beta2);
+  const __m256d vomb1 = _mm256_set1_pd(1.0 - beta1);
+  const __m256d vomb2 = _mm256_set1_pd(1.0 - beta2);
+  const __m256d vbc1 = _mm256_set1_pd(bc1);
+  const __m256d vbc2 = _mm256_set1_pd(bc2);
+  const __m256d vlr = _mm256_set1_pd(lr);
+  const __m256d veps = _mm256_set1_pd(epsilon);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d gk = _mm256_loadu_pd(g + k);
+    const __m256d mk = _mm256_add_pd(_mm256_mul_pd(vb1, _mm256_loadu_pd(m + k)),
+                                     _mm256_mul_pd(vomb1, gk));
+    // ((1−β₂)·g)·g, in the scalar reference's association order.
+    const __m256d vk = _mm256_add_pd(
+        _mm256_mul_pd(vb2, _mm256_loadu_pd(v + k)),
+        _mm256_mul_pd(_mm256_mul_pd(vomb2, gk), gk));
+    _mm256_storeu_pd(m + k, mk);
+    _mm256_storeu_pd(v + k, vk);
+    const __m256d mhat = _mm256_div_pd(mk, vbc1);
+    const __m256d vhat = _mm256_div_pd(vk, vbc2);
+    const __m256d step = _mm256_div_pd(
+        _mm256_mul_pd(vlr, mhat), _mm256_add_pd(_mm256_sqrt_pd(vhat), veps));
+    _mm256_storeu_pd(p + k, _mm256_sub_pd(_mm256_loadu_pd(p + k), step));
+  }
+  for (; k < n; ++k) {
+    const double gk = g[k];
+    m[k] = beta1 * m[k] + (1.0 - beta1) * gk;
+    v[k] = beta2 * v[k] + (1.0 - beta2) * gk * gk;
+    const double mhat = m[k] / bc1;
+    const double vhat = v[k] / bc2;
+    p[k] -= lr * mhat / (__builtin_sqrt(vhat) + epsilon);
+  }
+}
+
+}  // namespace
+
+const KernelOps* avx2_ops() {
+  static constexpr KernelOps kOps{
+      "avx2",        matmul_acc_avx2, saxpy_avx2,
+      bias_act_avx2, row_max_avx2,    row_argmax_avx2,
+      td_huber_batch_avx2, adam_update_avx2,
+  };
+  return &kOps;
+}
+
+}  // namespace ctj::kern
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace ctj::kern {
+
+const KernelOps* avx2_ops() { return nullptr; }
+
+}  // namespace ctj::kern
+
+#endif

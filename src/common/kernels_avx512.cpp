@@ -1,0 +1,212 @@
+// AVX-512 kernel set. This translation unit is compiled with -mavx512f -mfma
+// regardless of the global architecture flags; kern::ops() only selects it
+// when CPUID reports AVX-512F (plus AVX2+FMA) at run time.
+//
+// Only the kernels where the 512-bit width actually pays are reimplemented:
+// matmul_acc (the batched-forward bottleneck — doubling the FMA width
+// doubles the compute roofline on machines whose 256-bit FMA throughput
+// matches their L2 streaming bandwidth, which is exactly the regime where
+// batched inference is otherwise compute-bound) and saxpy. Everything else
+// (bias_act, reductions, TD/Huber, Adam) is inherited from the AVX2 table:
+// those kernels are bandwidth-bound or tiny, so a wider vector buys nothing.
+//
+// Numerics match the AVX2 level's contract: FMA contraction only,
+// per-element k-accumulation order unchanged and exact zeros skipped like
+// the scalar reference, so results are ULP-bounded against it (and exact for
+// one-hot rows).
+#include "common/kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "common/kernels_detail.hpp"
+
+namespace ctj::kern {
+namespace {
+
+void saxpy_avx512(std::size_t n, double a, const double* x, double* y) {
+  const __m512d va = _mm512_set1_pd(a);
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    _mm512_storeu_pd(
+        y + j, _mm512_fmadd_pd(va, _mm512_loadu_pd(x + j),
+                               _mm512_loadu_pd(y + j)));
+    _mm512_storeu_pd(
+        y + j + 8, _mm512_fmadd_pd(va, _mm512_loadu_pd(x + j + 8),
+                                   _mm512_loadu_pd(y + j + 8)));
+  }
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(
+        y + j, _mm512_fmadd_pd(va, _mm512_loadu_pd(x + j),
+                               _mm512_loadu_pd(y + j)));
+  }
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(
+        y + j, _mm256_fmadd_pd(_mm256_set1_pd(a), _mm256_loadu_pd(x + j),
+                               _mm256_loadu_pd(y + j)));
+  }
+  for (; j < n; ++j) y[j] = __builtin_fma(a, x[j], y[j]);
+}
+
+// Same compressed-nonzero structure as the AVX2 matmul (branchless per-row
+// nonzero packing, stripes-outer FMA body over the packed lists — see
+// kernels_avx2.cpp for the full rationale) with 512-bit accumulators: a
+// 64-wide stripe of one C row lives in eight zmm registers, so the eight
+// independent FMA chains cover the FMA latency at twice the AVX2 width.
+void matmul_acc_avx512(double* c, const double* a, const double* b,
+                       std::size_t m, std::size_t kk, std::size_t n) {
+  constexpr std::size_t kRowChunk = 32;
+  static thread_local detail::MatmulScratch scratch;
+  scratch.reserve_chunk(std::min(m, kRowChunk), kk);
+  for (std::size_t i0 = 0; i0 < m; i0 += kRowChunk) {
+    const std::size_t i1 = std::min(m, i0 + kRowChunk);
+    for (std::size_t i = i0; i < i1; ++i) {
+      scratch.cnt[i - i0] = static_cast<std::int32_t>(detail::pack_nonzeros(
+          a + i * kk, kk, scratch.vals.data() + (i - i0) * kk,
+          scratch.idx.data() + (i - i0) * kk));
+    }
+    std::size_t j0 = 0;
+    for (; j0 + 64 <= n; j0 += 64) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* v = scratch.vals.data() + (i - i0) * kk;
+        const std::int32_t* ix = scratch.idx.data() + (i - i0) * kk;
+        const std::size_t nnz = static_cast<std::size_t>(scratch.cnt[i - i0]);
+        double* crow = c + i * n + j0;
+        __m512d c0 = _mm512_loadu_pd(crow + 0);
+        __m512d c1 = _mm512_loadu_pd(crow + 8);
+        __m512d c2 = _mm512_loadu_pd(crow + 16);
+        __m512d c3 = _mm512_loadu_pd(crow + 24);
+        __m512d c4 = _mm512_loadu_pd(crow + 32);
+        __m512d c5 = _mm512_loadu_pd(crow + 40);
+        __m512d c6 = _mm512_loadu_pd(crow + 48);
+        __m512d c7 = _mm512_loadu_pd(crow + 56);
+        const double* bcol = b + j0;
+        for (std::size_t t = 0; t < nnz; ++t) {
+          const __m512d va = _mm512_set1_pd(v[t]);
+          const double* brow = bcol + static_cast<std::size_t>(ix[t]) * n;
+          c0 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 0), c0);
+          c1 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 8), c1);
+          c2 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 16), c2);
+          c3 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 24), c3);
+          c4 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 32), c4);
+          c5 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 40), c5);
+          c6 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 48), c6);
+          c7 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 56), c7);
+        }
+        _mm512_storeu_pd(crow + 0, c0);
+        _mm512_storeu_pd(crow + 8, c1);
+        _mm512_storeu_pd(crow + 16, c2);
+        _mm512_storeu_pd(crow + 24, c3);
+        _mm512_storeu_pd(crow + 32, c4);
+        _mm512_storeu_pd(crow + 40, c5);
+        _mm512_storeu_pd(crow + 48, c6);
+        _mm512_storeu_pd(crow + 56, c7);
+      }
+    }
+    for (; j0 + 32 <= n; j0 += 32) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* v = scratch.vals.data() + (i - i0) * kk;
+        const std::int32_t* ix = scratch.idx.data() + (i - i0) * kk;
+        const std::size_t nnz = static_cast<std::size_t>(scratch.cnt[i - i0]);
+        double* crow = c + i * n + j0;
+        __m512d c0 = _mm512_loadu_pd(crow + 0);
+        __m512d c1 = _mm512_loadu_pd(crow + 8);
+        __m512d c2 = _mm512_loadu_pd(crow + 16);
+        __m512d c3 = _mm512_loadu_pd(crow + 24);
+        const double* bcol = b + j0;
+        for (std::size_t t = 0; t < nnz; ++t) {
+          const __m512d va = _mm512_set1_pd(v[t]);
+          const double* brow = bcol + static_cast<std::size_t>(ix[t]) * n;
+          c0 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 0), c0);
+          c1 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 8), c1);
+          c2 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 16), c2);
+          c3 = _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + 24), c3);
+        }
+        _mm512_storeu_pd(crow + 0, c0);
+        _mm512_storeu_pd(crow + 8, c1);
+        _mm512_storeu_pd(crow + 16, c2);
+        _mm512_storeu_pd(crow + 24, c3);
+      }
+    }
+    for (; j0 + 8 <= n; j0 += 8) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* v = scratch.vals.data() + (i - i0) * kk;
+        const std::int32_t* ix = scratch.idx.data() + (i - i0) * kk;
+        const std::size_t nnz = static_cast<std::size_t>(scratch.cnt[i - i0]);
+        double* crow = c + i * n + j0;
+        __m512d c0 = _mm512_loadu_pd(crow);
+        const double* bcol = b + j0;
+        for (std::size_t t = 0; t < nnz; ++t) {
+          c0 = _mm512_fmadd_pd(
+              _mm512_set1_pd(v[t]),
+              _mm512_loadu_pd(bcol + static_cast<std::size_t>(ix[t]) * n),
+              c0);
+        }
+        _mm512_storeu_pd(crow, c0);
+      }
+    }
+    for (; j0 + 4 <= n; j0 += 4) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* v = scratch.vals.data() + (i - i0) * kk;
+        const std::int32_t* ix = scratch.idx.data() + (i - i0) * kk;
+        const std::size_t nnz = static_cast<std::size_t>(scratch.cnt[i - i0]);
+        double* crow = c + i * n + j0;
+        __m256d c0 = _mm256_loadu_pd(crow);
+        const double* bcol = b + j0;
+        for (std::size_t t = 0; t < nnz; ++t) {
+          c0 = _mm256_fmadd_pd(
+              _mm256_set1_pd(v[t]),
+              _mm256_loadu_pd(bcol + static_cast<std::size_t>(ix[t]) * n),
+              c0);
+        }
+        _mm256_storeu_pd(crow, c0);
+      }
+    }
+    if (j0 < n) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* v = scratch.vals.data() + (i - i0) * kk;
+        const std::int32_t* ix = scratch.idx.data() + (i - i0) * kk;
+        const std::size_t nnz = static_cast<std::size_t>(scratch.cnt[i - i0]);
+        double* crow = c + i * n;
+        for (std::size_t j = j0; j < n; ++j) {
+          double s = crow[j];
+          for (std::size_t t = 0; t < nnz; ++t) {
+            s = __builtin_fma(v[t], b[static_cast<std::size_t>(ix[t]) * n + j],
+                              s);
+          }
+          crow[j] = s;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const KernelOps* avx512_ops() {
+  const KernelOps* base = avx2_ops();
+  if (base == nullptr) return nullptr;
+  static const KernelOps kOps = [base] {
+    KernelOps ops = *base;  // inherit bias_act/reductions/td_huber/adam
+    ops.name = "avx512";
+    ops.matmul_acc = matmul_acc_avx512;
+    ops.saxpy = saxpy_avx512;
+    return ops;
+  }();
+  return &kOps;
+}
+
+}  // namespace ctj::kern
+
+#else  // !(__AVX512F__ && __FMA__)
+
+namespace ctj::kern {
+
+const KernelOps* avx512_ops() { return nullptr; }
+
+}  // namespace ctj::kern
+
+#endif

@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include "common/check.hpp"
+#include "core/vector_env.hpp"
 
 namespace ctj::core {
 
@@ -21,6 +22,50 @@ MetricsReport evaluate(AntiJammingScheme& scheme, CompetitionEnvironment& env,
     scheme.feedback(feedback);
 
     metrics.record(step, decision.power_index);
+  }
+  return metrics.report();
+}
+
+MetricsReport evaluate_batched(const DqnScheme& scheme,
+                               const EnvironmentConfig& env_config,
+                               std::size_t slots_per_replica,
+                               std::size_t replicas) {
+  CTJ_CHECK(slots_per_replica > 0);
+  CTJ_CHECK_MSG(!scheme.training(),
+                "evaluate_batched expects a frozen (deployed) policy");
+  const DqnScheme::Config& sc = scheme.config();
+  const rl::DqnAgent& agent = scheme.agent();
+  const std::size_t num_actions = agent.config().num_actions;
+  const std::size_t pl = sc.num_power_levels;
+
+  VectorEnv venv(env_config, replicas);
+  ObservationWindows windows(replicas, sc.history, sc.num_channels, pl);
+  std::vector<std::size_t> actions(replicas);
+  std::vector<int> channels(replicas);
+  std::vector<std::size_t> powers(replicas);
+  // Deployed ε-greedy for the batch: one stream for all replicas, seeded
+  // from the evaluation environment (not the scheme's deploy RNG, which
+  // stays untouched — the scheme is const here).
+  Rng explore_rng(env_config.seed ^ 0xD09ULL);
+  const double eps = scheme.deploy_epsilon();
+
+  MetricsAccumulator metrics;
+  for (std::size_t slot = 0; slot < slots_per_replica; ++slot) {
+    agent.act_greedy_batch(windows.states(), actions);
+    for (std::size_t r = 0; r < replicas; ++r) {
+      if (eps > 0.0 && explore_rng.bernoulli(eps)) {
+        actions[r] = explore_rng.index(num_actions);
+      }
+      channels[r] = static_cast<int>(actions[r] / pl);
+      powers[r] = actions[r] % pl;
+    }
+    venv.step(channels, powers);
+    for (std::size_t r = 0; r < replicas; ++r) {
+      const bool success = venv.successes()[r] != 0;
+      windows.push(r, success, venv.channels()[r], powers[r]);
+      metrics.record(success, venv.hopped()[r] != 0, powers[r] > 0,
+                     venv.rewards()[r]);
+    }
   }
   return metrics.report();
 }
@@ -47,8 +92,13 @@ RlExperimentResult run_rl_experiment(RlExperimentConfig config) {
   scheme.reset();
   EnvironmentConfig eval_config = config.env;
   eval_config.seed = config.eval_seed;
-  CompetitionEnvironment eval_env(eval_config);
-  result.metrics = evaluate(scheme, eval_env, config.eval_slots);
+  if (config.eval_replicas > 1) {
+    result.metrics = evaluate_batched(scheme, eval_config, config.eval_slots,
+                                      config.eval_replicas);
+  } else {
+    CompetitionEnvironment eval_env(eval_config);
+    result.metrics = evaluate(scheme, eval_env, config.eval_slots);
+  }
   return result;
 }
 

@@ -17,6 +17,20 @@ namespace ctj::core {
 MetricsReport evaluate(AntiJammingScheme& scheme, CompetitionEnvironment& env,
                        std::size_t slots);
 
+/// Batched evaluation of a frozen DQN policy: `replicas` VectorEnv replicas
+/// (replica r seeded env_config.seed + r) stepped in lockstep for
+/// `slots_per_replica` slots each, with one batched forward pass per slot
+/// instead of a batch-1 forward per replica. Metrics aggregate all
+/// replicas' slots. With deploy_epsilon == 0 and replicas == 1 this
+/// reproduces evaluate() on an environment built from env_config exactly;
+/// with exploration enabled the batched path draws from its own RNG stream
+/// (seeded from env_config.seed), so it matches evaluate() statistically
+/// but not slot for slot.
+MetricsReport evaluate_batched(const DqnScheme& scheme,
+                               const EnvironmentConfig& env_config,
+                               std::size_t slots_per_replica,
+                               std::size_t replicas);
+
 /// End-to-end RL experiment: train a fresh DQN on the environment, then
 /// freeze it and evaluate — one point of a Fig. 6/7/8 sweep.
 struct RlExperimentConfig {
@@ -25,6 +39,11 @@ struct RlExperimentConfig {
   std::size_t train_slots = 30000;
   std::size_t eval_slots = 20000;
   std::uint64_t eval_seed = 97;
+  /// Evaluation environment replicas. 1 (the default) keeps the historical
+  /// sequential evaluate() path — figure numbers are unchanged; > 1 runs
+  /// eval_slots slots on each of the replicas through the batched rollout
+  /// engine (evaluate_batched), amortizing the network forward across them.
+  std::size_t eval_replicas = 1;
 
   /// Derive consistent scheme dimensions from the environment config.
   void sync_dimensions();

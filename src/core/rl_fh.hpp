@@ -60,6 +60,10 @@ class DqnScheme : public AntiJammingScheme {
   rl::DqnAgent& agent() { return agent_; }
   const rl::DqnAgent& agent() const { return agent_; }
 
+  /// The scheme configuration (batched rollout drivers derive window and
+  /// action-space dimensions from it).
+  const Config& config() const { return config_; }
+
   /// The current 3×I observation vector (exposed for tests).
   std::vector<double> observation() const;
 

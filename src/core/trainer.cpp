@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <deque>
+#include <vector>
 
 #include "common/check.hpp"
+#include "core/vector_env.hpp"
 
 namespace ctj::core {
 
@@ -42,6 +44,81 @@ TrainingStats train(DqnScheme& scheme, CompetitionEnvironment& env,
             *config.target_mean_reward) {
       stats.early_stopped = true;
       break;
+    }
+  }
+
+  stats.final_mean_reward =
+      window.empty() ? 0.0 : window_sum / static_cast<double>(window.size());
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return stats;
+}
+
+TrainingStats train_batched(DqnScheme& scheme,
+                            const EnvironmentConfig& env_config,
+                            const TrainerConfig& config,
+                            std::size_t replicas) {
+  CTJ_CHECK(config.max_slots > 0);
+  CTJ_CHECK(config.reward_window > 0);
+  CTJ_CHECK(replicas > 0);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  scheme.set_training(true);
+  rl::DqnAgent& agent = scheme.agent();
+  const DqnScheme::Config& sc = scheme.config();
+  const std::size_t pl = sc.num_power_levels;
+
+  VectorEnv venv(env_config, replicas);
+  ObservationWindows windows(replicas, sc.history, sc.num_channels, pl);
+  std::vector<std::size_t> actions(replicas);
+  std::vector<int> channels(replicas);
+  std::vector<std::size_t> powers(replicas);
+  std::vector<std::vector<double>> pre_states(replicas);
+
+  TrainingStats stats;
+  std::deque<double> window;
+  double window_sum = 0.0;
+
+  while (stats.slots_trained < config.max_slots && !stats.early_stopped) {
+    // One batched ε-greedy forward decides for every replica. For a single
+    // replica the RNG draw order (bernoulli, then index only on explore)
+    // matches DqnAgent::act exactly, so train() is reproduced slot for slot.
+    agent.act_batch(windows.states(), actions);
+    for (std::size_t r = 0; r < replicas; ++r) {
+      channels[r] = static_cast<int>(actions[r] / pl);
+      powers[r] = actions[r] % pl;
+      const auto row = windows.row(r);
+      pre_states[r].assign(row.begin(), row.end());
+    }
+    venv.step(channels, powers);
+    for (std::size_t r = 0; r < replicas; ++r) {
+      const bool success = venv.successes()[r] != 0;
+      windows.push(r, success, venv.channels()[r], powers[r]);
+
+      rl::Transition transition;
+      transition.state = std::move(pre_states[r]);
+      transition.action = actions[r];
+      transition.reward = venv.rewards()[r];
+      const auto next_row = windows.row(r);
+      transition.next_state.assign(next_row.begin(), next_row.end());
+      transition.done = false;  // continuing competition
+      agent.observe(std::move(transition));
+
+      window.push_back(venv.rewards()[r]);
+      window_sum += venv.rewards()[r];
+      if (window.size() > config.reward_window) {
+        window_sum -= window.front();
+        window.pop_front();
+      }
+      ++stats.slots_trained;
+      if (config.target_mean_reward && window.size() == config.reward_window &&
+          window_sum / static_cast<double>(window.size()) >=
+              *config.target_mean_reward) {
+        stats.early_stopped = true;
+        break;
+      }
+      if (stats.slots_trained >= config.max_slots) break;
     }
   }
 

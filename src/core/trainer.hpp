@@ -33,4 +33,17 @@ struct TrainingStats {
 TrainingStats train(DqnScheme& scheme, CompetitionEnvironment& env,
                     const TrainerConfig& config);
 
+/// Lockstep training on `replicas` environment replicas sharing the
+/// scheme's agent: one batched ε-greedy forward per slot, then one observed
+/// transition per replica (in replica order). config.max_slots counts
+/// transitions summed over replicas, so the replay/optimizer work is
+/// comparable to a sequential run of the same budget; the reward window and
+/// early-stop test also run over the per-transition reward stream. With
+/// replicas == 1 this consumes the agent's RNG in exactly the order the
+/// sequential trainer does, and reproduces train() slot for slot.
+TrainingStats train_batched(DqnScheme& scheme,
+                            const EnvironmentConfig& env_config,
+                            const TrainerConfig& config,
+                            std::size_t replicas);
+
 }  // namespace ctj::core

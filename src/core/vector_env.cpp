@@ -1,0 +1,103 @@
+#include "core/vector_env.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ctj::core {
+
+namespace {
+
+EnvironmentConfig replica_config(EnvironmentConfig config, std::size_t r) {
+  config.seed += static_cast<std::uint64_t>(r);
+  return config;
+}
+
+}  // namespace
+
+VectorEnv::VectorEnv(const EnvironmentConfig& config, std::size_t replicas)
+    : config_(config) {
+  CTJ_CHECK_MSG(replicas > 0, "a VectorEnv needs at least one replica");
+  envs_.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    envs_.emplace_back(replica_config(config, r));
+  }
+  rewards_.resize(replicas, 0.0);
+  successes_.resize(replicas, 0);
+  jammed_.resize(replicas, 0);
+  hopped_.resize(replicas, 0);
+  channels_.resize(replicas, 0);
+  outcomes_.resize(replicas, SlotOutcome::kClear);
+}
+
+void VectorEnv::step(std::span<const int> channels,
+                     std::span<const std::size_t> power_indices) {
+  CTJ_CHECK(channels.size() == envs_.size());
+  CTJ_CHECK(power_indices.size() == envs_.size());
+  for (std::size_t r = 0; r < envs_.size(); ++r) {
+    const EnvStep step = envs_[r].step(channels[r], power_indices[r]);
+    rewards_[r] = step.reward;
+    successes_[r] = step.success ? 1 : 0;
+    jammed_[r] = step.outcome != SlotOutcome::kClear ? 1 : 0;
+    hopped_[r] = step.hopped ? 1 : 0;
+    channels_[r] = step.channel;
+    outcomes_[r] = step.outcome;
+  }
+}
+
+CompetitionEnvironment& VectorEnv::env(std::size_t r) {
+  CTJ_CHECK(r < envs_.size());
+  return envs_[r];
+}
+
+const CompetitionEnvironment& VectorEnv::env(std::size_t r) const {
+  CTJ_CHECK(r < envs_.size());
+  return envs_[r];
+}
+
+void VectorEnv::reset() {
+  for (auto& env : envs_) env.reset();
+}
+
+ObservationWindows::ObservationWindows(std::size_t replicas,
+                                       std::size_t history, int num_channels,
+                                       std::size_t num_power_levels)
+    : replicas_(replicas),
+      history_(history),
+      num_channels_(num_channels),
+      num_power_levels_(num_power_levels) {
+  CTJ_CHECK(replicas > 0);
+  CTJ_CHECK(history > 0);
+  CTJ_CHECK(num_channels >= 1);
+  CTJ_CHECK(num_power_levels >= 1);
+  reset();
+}
+
+void ObservationWindows::reset() {
+  states_.resize(replicas_, 3 * history_, 0.0);
+}
+
+void ObservationWindows::push(std::size_t r, bool success, int channel,
+                              std::size_t power_index) {
+  CTJ_CHECK(r < replicas_);
+  double* row = states_.data() + r * states_.cols();
+  // Slide left by one slot record and append the new one — the same window
+  // DqnScheme keeps in its deque, flattened oldest-first.
+  std::copy(row + 3, row + states_.cols(), row);
+  double* rec = row + 3 * (history_ - 1);
+  rec[0] = success ? 1.0 : 0.0;
+  rec[1] = num_channels_ <= 1 ? 0.0
+                              : static_cast<double>(channel) /
+                                    static_cast<double>(num_channels_ - 1);
+  rec[2] = num_power_levels_ <= 1
+               ? 0.0
+               : static_cast<double>(power_index) /
+                     static_cast<double>(num_power_levels_ - 1);
+}
+
+std::span<const double> ObservationWindows::row(std::size_t r) const {
+  CTJ_CHECK(r < replicas_);
+  return {states_.data() + r * states_.cols(), states_.cols()};
+}
+
+}  // namespace ctj::core

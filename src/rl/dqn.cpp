@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/kernels.hpp"
 #include "common/math_util.hpp"
 
 namespace ctj::rl {
@@ -47,13 +48,49 @@ double DqnAgent::epsilon() const {
 std::vector<double> DqnAgent::q_values(std::span<const double> state) const {
   CTJ_CHECK_MSG(state.size() == config_.state_dim,
                 "state dim " << state.size() << " != " << config_.state_dim);
-  const Matrix q = online_.forward_const(Matrix::row(state));
-  return {q.data(), q.data() + q.cols()};
+  infer_in_.resize(1, config_.state_dim);
+  std::copy(state.begin(), state.end(), infer_in_.data());
+  online_.forward_scratch(infer_in_, infer_q_, infer_a_, infer_b_);
+  return {infer_q_.data(), infer_q_.data() + infer_q_.cols()};
 }
 
 std::size_t DqnAgent::act_greedy(std::span<const double> state) const {
-  const auto q = q_values(state);
-  return argmax(q);
+  CTJ_CHECK_MSG(state.size() == config_.state_dim,
+                "state dim " << state.size() << " != " << config_.state_dim);
+  // Same forward as q_values(), but through the scratch matrices end to end
+  // — no temporary row matrix, no returned vector, no allocation at all
+  // once the scratch is warm.
+  infer_in_.resize(1, config_.state_dim);
+  std::copy(state.begin(), state.end(), infer_in_.data());
+  online_.forward_scratch(infer_in_, infer_q_, infer_a_, infer_b_);
+  return kern::ops().row_argmax(infer_q_.data(), config_.num_actions);
+}
+
+void DqnAgent::q_values_batch(const Matrix& states, Matrix& q_out) const {
+  CTJ_CHECK_MSG(states.cols() == config_.state_dim,
+                "state dim " << states.cols() << " != " << config_.state_dim);
+  online_.forward_scratch(states, q_out, infer_a_, infer_b_);
+}
+
+void DqnAgent::act_greedy_batch(const Matrix& states,
+                                std::span<std::size_t> actions_out) const {
+  CTJ_CHECK(actions_out.size() == states.rows());
+  q_values_batch(states, infer_q_);
+  const auto& kernels = kern::ops();
+  for (std::size_t i = 0; i < states.rows(); ++i) {
+    actions_out[i] = kernels.row_argmax(
+        infer_q_.data() + i * config_.num_actions, config_.num_actions);
+  }
+}
+
+void DqnAgent::act_batch(const Matrix& states,
+                         std::span<std::size_t> actions_out) {
+  act_greedy_batch(states, actions_out);
+  const double eps = epsilon();
+  if (eps <= 0.0) return;
+  for (std::size_t i = 0; i < actions_out.size(); ++i) {
+    if (rng_.bernoulli(eps)) actions_out[i] = rng_.index(config_.num_actions);
+  }
 }
 
 std::size_t DqnAgent::act(std::span<const double> state) {
@@ -83,11 +120,17 @@ std::optional<double> DqnAgent::train_step() {
 
   states_.resize(B, config_.state_dim);
   next_states_.resize(B, config_.state_dim);
+  actions_scratch_.resize(B);
+  rewards_scratch_.resize(B);
+  dones_scratch_.resize(B);
   for (std::size_t i = 0; i < B; ++i) {
     std::copy(batch[i]->state.begin(), batch[i]->state.end(),
               states_.data() + i * config_.state_dim);
     std::copy(batch[i]->next_state.begin(), batch[i]->next_state.end(),
               next_states_.data() + i * config_.state_dim);
+    actions_scratch_[i] = batch[i]->action;
+    rewards_scratch_[i] = batch[i]->reward;
+    dones_scratch_[i] = batch[i]->done ? 1 : 0;
   }
 
   target_.forward_eval(next_states_, next_q_);
@@ -95,32 +138,23 @@ std::optional<double> DqnAgent::train_step() {
   if (config_.double_dqn) online_.forward_eval(next_states_, next_q_online_);
   const Matrix& q = online_.forward_cached(states_);
 
-  // TD error only on the taken actions; Huber-clipped gradient, and the
-  // reported loss is the Huber objective those gradients optimize.
+  // Fused batched TD-target + Huber kernel: row-max/argmax bootstrap, TD
+  // error only on the taken actions, Huber-clipped gradient; the reported
+  // loss is the Huber objective those gradients actually optimize.
   grad_.resize(B, config_.num_actions, 0.0);
-  double loss = 0.0;
-  for (std::size_t i = 0; i < B; ++i) {
-    double max_next;
-    if (config_.double_dqn) {
-      std::size_t best = 0;
-      for (std::size_t a = 1; a < config_.num_actions; ++a) {
-        if (next_q_online_.at(i, a) > next_q_online_.at(i, best)) best = a;
-      }
-      max_next = next_q_.at(i, best);
-    } else {
-      max_next = next_q_.at(i, 0);
-      for (std::size_t a = 1; a < config_.num_actions; ++a) {
-        max_next = std::max(max_next, next_q_.at(i, a));
-      }
-    }
-    const double r = batch[i]->reward * config_.reward_scale;
-    const double target =
-        batch[i]->done ? r : r + config_.gamma * max_next;
-    const double error = q.at(i, batch[i]->action) - target;
-    loss += huber_loss(error);
-    grad_.at(i, batch[i]->action) =
-        huber_grad(error) / static_cast<double>(B);
-  }
+  kern::TdHuberArgs td;
+  td.q = q.data();
+  td.next_q = next_q_.data();
+  td.next_q_online = config_.double_dqn ? next_q_online_.data() : nullptr;
+  td.actions = actions_scratch_.data();
+  td.rewards = rewards_scratch_.data();
+  td.dones = dones_scratch_.data();
+  td.gamma = config_.gamma;
+  td.reward_scale = config_.reward_scale;
+  td.grad_div = static_cast<double>(B);
+  td.batch = B;
+  td.num_actions = config_.num_actions;
+  const double loss = kern::ops().td_huber_batch(td, grad_.data());
 
   online_.zero_grad();
   online_.backward(grad_);

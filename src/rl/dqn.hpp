@@ -51,11 +51,30 @@ class DqnAgent {
   /// ε-greedy action for the current state (advances the exploration step).
   std::size_t act(std::span<const double> state);
 
-  /// Greedy action (used at deployment, after training).
+  /// Greedy action (used at deployment, after training). Allocation-free:
+  /// runs through reusable scratch buffers, so concurrent calls on the
+  /// *same* agent are not safe (distinct agents remain independent — every
+  /// sweep worker owns its agent exclusively).
   std::size_t act_greedy(std::span<const double> state) const;
 
   /// Q-value estimates for a state.
   std::vector<double> q_values(std::span<const double> state) const;
+
+  /// Batched inference: Q-values for N states at once ([N × state_dim] in,
+  /// [N × num_actions] out) — one forward pass instead of N batch-1 passes.
+  /// Allocation-free once q_out and the internal scratch are warm.
+  void q_values_batch(const Matrix& states, Matrix& q_out) const;
+
+  /// Greedy actions for N states with a single forward pass. Row i of the
+  /// result equals act_greedy(states.row_span(i)) exactly: batching changes
+  /// neither the per-row accumulation order nor the argmax tie-breaking.
+  void act_greedy_batch(const Matrix& states,
+                        std::span<std::size_t> actions_out) const;
+
+  /// Batched ε-greedy (vectorized rollouts): one forward pass, then a
+  /// per-replica exploration draw at the current epsilon. Does not advance
+  /// the exploration step — observe() does, once per transition.
+  void act_batch(const Matrix& states, std::span<std::size_t> actions_out);
 
   /// Record a transition; trains when enough experience has accumulated.
   void observe(Transition transition);
@@ -96,6 +115,16 @@ class DqnAgent {
   Matrix grad_;
   Matrix next_q_;
   Matrix next_q_online_;
+  std::vector<std::size_t> actions_scratch_;
+  std::vector<double> rewards_scratch_;
+  std::vector<std::uint8_t> dones_scratch_;
+  // Inference scratch for the (logically const) greedy/Q readout paths:
+  // keeps act_greedy allocation-free. Guarded by the same single-caller
+  // contract as the rest of the agent.
+  mutable Matrix infer_in_;
+  mutable Matrix infer_q_;
+  mutable Matrix infer_a_;
+  mutable Matrix infer_b_;
 };
 
 }  // namespace ctj::rl

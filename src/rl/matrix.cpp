@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "common/check.hpp"
+#include "common/kernels.hpp"
 
 namespace ctj::rl {
 
@@ -65,7 +66,7 @@ void Matrix::resize(std::size_t rows, std::size_t cols, double fill) {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   CTJ_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kern::ops().saxpy(data_.size(), 1.0, other.data_.data(), data_.data());
   return *this;
 }
 
@@ -95,18 +96,6 @@ Matrix Matrix::load(std::istream& is) {
   return m;
 }
 
-namespace {
-
-// Tile sizes for the blocked kernels: a kI×kJ tile of C plus the touched
-// rows of B stay L1-resident while the k loop streams over them. k itself is
-// never tiled, so each C element accumulates in the same order as the naive
-// ikj product and a fixed binary computes the same result regardless of how
-// the surrounding sweep is scheduled.
-constexpr std::size_t kBlockI = 32;
-constexpr std::size_t kBlockJ = 128;
-
-}  // namespace
-
 void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
   CTJ_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch: "
                                           << a.rows() << "x" << a.cols()
@@ -114,36 +103,49 @@ void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
                                           << b.cols());
   const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
   c.resize(m, n, 0.0);
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
-    const std::size_t i1 = std::min(m, i0 + kBlockI);
-    for (std::size_t j0 = 0; j0 < n; j0 += kBlockJ) {
-      const std::size_t j1 = std::min(n, j0 + kBlockJ);
-      for (std::size_t i = i0; i < i1; ++i) {
-        const double* arow = a.data() + i * kk;
-        double* crow = c.data() + i * n;
-        for (std::size_t k = 0; k < kk; ++k) {
-          const double aik = arow[k];
-          if (aik == 0.0) continue;
-          const double* brow = b.data() + k * n;
-          for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
-        }
-      }
-    }
-  }
+  kern::ops().matmul_acc(c.data(), a.data(), b.data(), m, kk, n);
 }
 
 void matmul_at_b_acc(Matrix& c, const Matrix& a, const Matrix& b) {
   CTJ_CHECK(a.rows() == b.rows());
   CTJ_CHECK(c.rows() == a.cols() && c.cols() == b.cols());
+  const auto& kernels = kern::ops();
   const std::size_t n = b.cols();
+  const std::size_t ac = a.cols();
+  // Sparse-row fast path: the DQN's output gradient is one-hot per sample
+  // (Huber-clipped TD error on the taken action only), so the rank-1 update
+  // from such a row touches one column of C, not n. Skipping exact-zero
+  // terms is bit-exact: each skipped contribution is ±0.0, and a C entry can
+  // never hold -0.0 (it starts at +0.0, and +0.0 + -0.0 = +0.0), so adding
+  // the zero would not have changed a single bit.
+  constexpr std::size_t kSparseCap = 8;
+  std::size_t nz_idx[kSparseCap];
   for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.data() + k * a.cols();
+    const double* arow = a.data() + k * ac;
     const double* brow = b.data() + k * n;
-    for (std::size_t i = 0; i < a.cols(); ++i) {
+    std::size_t nz = 0;
+    for (std::size_t j = 0; j < n && nz <= kSparseCap; ++j) {
+      if (brow[j] != 0.0) {
+        if (nz < kSparseCap) nz_idx[nz] = j;
+        ++nz;
+      }
+    }
+    if (nz == 0) continue;
+    if (nz <= kSparseCap) {
+      for (std::size_t i = 0; i < ac; ++i) {
+        const double aki = arow[i];
+        if (aki == 0.0) continue;
+        double* crow = c.data() + i * n;
+        for (std::size_t s = 0; s < nz; ++s) {
+          crow[nz_idx[s]] += aki * brow[nz_idx[s]];
+        }
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < ac; ++i) {
       const double aki = arow[i];
       if (aki == 0.0) continue;
-      double* crow = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+      kernels.saxpy(n, aki, brow, c.data() + i * n);
     }
   }
 }

@@ -2,13 +2,15 @@
 //
 // The DQN of Fig. 4 is tiny (~10.5 k parameters), so a cache-friendly
 // blocked ikj matrix product is all the "tensor library" we need; the
-// repository stays free of external ML dependencies. The *_into kernels
-// write into caller-owned buffers so the training hot path runs without
-// per-step allocations. Per-element accumulation order matches the naive
-// ikj product, so for a fixed binary the result is deterministic — in
-// particular identical whether a sweep runs sequentially or across threads
-// (compiler FMA contraction may still round a differently-written loop
-// differently).
+// repository stays free of external ML dependencies. The products run
+// through the runtime-dispatched kernel layer (common/kernels.hpp): a
+// scalar reference that keeps the historical bit-exact accumulation order,
+// and an AVX2/FMA level selected by CPUID (override with CTJ_SIMD). The
+// *_into kernels write into caller-owned buffers so the training hot path
+// runs without per-step allocations. Per-element accumulation order matches
+// the naive ikj product at every kernel level, so for a fixed binary and
+// kernel level the result is deterministic — in particular identical
+// whether a sweep runs sequentially or across threads.
 #pragma once
 
 #include <cstddef>

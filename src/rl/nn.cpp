@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/check.hpp"
+#include "common/kernels.hpp"
 
 namespace ctj::rl {
 
@@ -27,12 +28,12 @@ Matrix LinearLayer::forward_const(const Matrix& x) const {
 }
 
 void LinearLayer::forward_into(const Matrix& x, Matrix& y) const {
+  forward_into(x, y, /*relu=*/false);
+}
+
+void LinearLayer::forward_into(const Matrix& x, Matrix& y, bool relu) const {
   matmul_into(y, x, w_);
-  const double* bias = b_.data();
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    double* row = y.data() + r * y.cols();
-    for (std::size_t c = 0; c < y.cols(); ++c) row[c] += bias[c];
-  }
+  kern::ops().bias_act(y.data(), b_.data(), y.rows(), y.cols(), relu);
 }
 
 Matrix LinearLayer::backward(const Matrix& grad_out) {
@@ -46,10 +47,11 @@ void LinearLayer::backward_params_acc(const Matrix& input,
                                       const Matrix& grad_out) {
   CTJ_CHECK(input.rows() == grad_out.rows());
   matmul_at_b_acc(gw_, input, grad_out);
+  const auto& kernels = kern::ops();
   double* gbias = gb_.data();
   for (std::size_t r = 0; r < grad_out.rows(); ++r) {
-    const double* row = grad_out.data() + r * grad_out.cols();
-    for (std::size_t c = 0; c < grad_out.cols(); ++c) gbias[c] += row[c];
+    kernels.saxpy(grad_out.cols(), 1.0,
+                  grad_out.data() + r * grad_out.cols(), gbias);
   }
 }
 
@@ -93,16 +95,15 @@ const Matrix& Mlp::forward_cached(const Matrix& x) {
   acts_[0] = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     Matrix& h = acts_[i + 1];
-    layers_[i].forward_into(acts_[i], h);
-    if (i + 1 < layers_.size()) {
+    const bool hidden = i + 1 < layers_.size();
+    // ReLU fused into the bias kernel; the backward mask is recovered from
+    // the post-activation values (h > 0 post-ReLU iff pre-ReLU).
+    layers_[i].forward_into(acts_[i], h, hidden);
+    if (hidden) {
       Matrix& mask = relu_masks_[i];
       mask.resize(h.rows(), h.cols());
       for (std::size_t k = 0; k < h.size(); ++k) {
-        if (h.data()[k] > 0.0) {
-          mask.data()[k] = 1.0;
-        } else {
-          h.data()[k] = 0.0;
-        }
+        if (h.data()[k] > 0.0) mask.data()[k] = 1.0;
       }
     }
   }
@@ -113,28 +114,23 @@ Matrix Mlp::forward_const(const Matrix& x) const {
   Matrix h = x;
   Matrix next;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    layers_[i].forward_into(h, next);
+    layers_[i].forward_into(h, next, i + 1 < layers_.size());
     std::swap(h, next);
-    if (i + 1 < layers_.size()) {
-      for (std::size_t k = 0; k < h.size(); ++k) {
-        if (h.data()[k] < 0.0) h.data()[k] = 0.0;
-      }
-    }
   }
   return h;
 }
 
 void Mlp::forward_eval(const Matrix& x, Matrix& out) {
+  forward_scratch(x, out, eval_a_, eval_b_);
+}
+
+void Mlp::forward_scratch(const Matrix& x, Matrix& out, Matrix& scratch_a,
+                          Matrix& scratch_b) const {
   const Matrix* cur = &x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     const bool last = i + 1 == layers_.size();
-    Matrix& dst = last ? out : (i % 2 == 0 ? eval_a_ : eval_b_);
-    layers_[i].forward_into(*cur, dst);
-    if (!last) {
-      for (std::size_t k = 0; k < dst.size(); ++k) {
-        if (dst.data()[k] < 0.0) dst.data()[k] = 0.0;
-      }
-    }
+    Matrix& dst = last ? out : (i % 2 == 0 ? scratch_a : scratch_b);
+    layers_[i].forward_into(*cur, dst, !last);
     cur = &dst;
   }
 }
@@ -224,20 +220,12 @@ void AdamOptimizer::step(Mlp& net) {
   const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
   std::size_t slot = 0;
+  const auto& kernels = kern::ops();
   auto update = [&](Matrix& param, const Matrix& grad) {
-    double* __restrict m = m_[slot].data();
-    double* __restrict v = v_[slot].data();
-    double* __restrict p = param.data();
-    const double* __restrict g = grad.data();
+    kernels.adam_update(param.data(), m_[slot].data(), v_[slot].data(),
+                        grad.data(), param.size(), config_.beta1,
+                        config_.beta2, config_.lr, bc1, bc2, config_.epsilon);
     ++slot;
-    for (std::size_t k = 0; k < param.size(); ++k) {
-      const double gk = g[k];
-      m[k] = config_.beta1 * m[k] + (1.0 - config_.beta1) * gk;
-      v[k] = config_.beta2 * v[k] + (1.0 - config_.beta2) * gk * gk;
-      const double mhat = m[k] / bc1;
-      const double vhat = v[k] / bc2;
-      p[k] -= config_.lr * mhat / (std::sqrt(vhat) + config_.epsilon);
-    }
   };
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     update(net.layer(i).weights(), net.layer(i).weight_grad());

@@ -27,7 +27,10 @@ class LinearLayer {
 
   /// Allocation-free forward: y = x·W + b, reusing y's buffer. Does not
   /// cache x — the Mlp training path keeps its own activation buffers.
+  /// With `relu` set the activation is fused into the bias kernel
+  /// (single pass over y).
   void forward_into(const Matrix& x, Matrix& y) const;
+  void forward_into(const Matrix& x, Matrix& y, bool relu) const;
 
   /// grad_out: [batch × out] → grad_in [batch × in]; accumulates parameter
   /// gradients (summed over the batch).
@@ -82,6 +85,12 @@ class Mlp {
   /// no allocations after warm-up). Non-const: see forward_const for the
   /// thread-safe variant.
   void forward_eval(const Matrix& x, Matrix& out);
+
+  /// Inference forward with caller-owned ping-pong scratch buffers, so a
+  /// const network can run allocation-free (each caller brings its own
+  /// scratch; concurrent calls must not share buffers).
+  void forward_scratch(const Matrix& x, Matrix& out, Matrix& scratch_a,
+                       Matrix& scratch_b) const;
 
   /// Backprop from the output gradient; fills all layer gradients. Requires
   /// a preceding forward() / forward_cached() on this network.

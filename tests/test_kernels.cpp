@@ -1,0 +1,344 @@
+// SIMD kernel layer: scalar vs AVX2/AVX-512 parity (bit-exact where
+// promised, ULP-bounded where FMA contraction is allowed), TD/Huber
+// semantics against the straightforward reference, and the CTJ_SIMD
+// dispatch resolver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/kernels.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "rl/nn.hpp"
+
+namespace ctj {
+namespace {
+
+using kern::KernelOps;
+using kern::SimdLevel;
+using kern::TdHuberArgs;
+
+std::vector<double> random_vec(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal(0.0, 1.0);
+  return v;
+}
+
+/// Every SIMD level the build carries AND this CPU can execute. Parity tests
+/// loop over these so the AVX-512 level gets the same coverage as AVX2
+/// wherever hardware allows.
+std::vector<const KernelOps*> simd_levels() {
+  std::vector<const KernelOps*> levels;
+  if (kern::cpu_supports_avx2() && kern::avx2_ops() != nullptr) {
+    levels.push_back(kern::avx2_ops());
+  }
+  if (kern::cpu_supports_avx512() && kern::avx512_ops() != nullptr) {
+    levels.push_back(kern::avx512_ops());
+  }
+  return levels;
+}
+
+#define REQUIRE_SIMD(levels_var)                                    \
+  const std::vector<const KernelOps*> levels_var = simd_levels();   \
+  if (levels_var.empty())                                           \
+  GTEST_SKIP() << "no SIMD kernel level available on this CPU/build"
+
+TEST(KernelDispatch, ResolveLevelHonorsOverridesAndCpu) {
+  const bool have_avx2 = kern::avx2_ops() != nullptr;
+  const bool have_avx512 = kern::avx512_ops() != nullptr;
+  // Explicit off/scalar wins regardless of CPU capabilities.
+  EXPECT_EQ(kern::resolve_level("off", true, true), SimdLevel::kScalar);
+  EXPECT_EQ(kern::resolve_level("scalar", true, true), SimdLevel::kScalar);
+  EXPECT_EQ(kern::resolve_level("OFF", true, true), SimdLevel::kScalar);
+  // No CPU support at all -> scalar whatever was asked.
+  EXPECT_EQ(kern::resolve_level(nullptr, false, false), SimdLevel::kScalar);
+  EXPECT_EQ(kern::resolve_level("", false, false), SimdLevel::kScalar);
+  EXPECT_EQ(kern::resolve_level("avx2", false, false), SimdLevel::kScalar);
+  EXPECT_EQ(kern::resolve_level("bogus", false, false), SimdLevel::kScalar);
+  if (have_avx2) {
+    EXPECT_EQ(kern::resolve_level("avx2", true, false), SimdLevel::kAvx2);
+    EXPECT_EQ(kern::resolve_level("AVX2", true, false), SimdLevel::kAvx2);
+    EXPECT_EQ(kern::resolve_level(nullptr, true, false), SimdLevel::kAvx2);
+    EXPECT_EQ(kern::resolve_level("", true, false), SimdLevel::kAvx2);
+    // Unknown values warn and fall back to auto-detection.
+    EXPECT_EQ(kern::resolve_level("bogus", true, false), SimdLevel::kAvx2);
+    // Pinning avx2 on an AVX-512 machine must not upgrade.
+    EXPECT_EQ(kern::resolve_level("avx2", true, true), SimdLevel::kAvx2);
+  }
+  if (have_avx512) {
+    EXPECT_EQ(kern::resolve_level("avx512", true, true), SimdLevel::kAvx512);
+    EXPECT_EQ(kern::resolve_level("AVX512", true, true), SimdLevel::kAvx512);
+    // Auto-detection prefers the widest usable level.
+    EXPECT_EQ(kern::resolve_level(nullptr, true, true), SimdLevel::kAvx512);
+    EXPECT_EQ(kern::resolve_level("", true, true), SimdLevel::kAvx512);
+    EXPECT_EQ(kern::resolve_level("bogus", true, true), SimdLevel::kAvx512);
+  }
+  if (have_avx2) {
+    // avx512 requested on a CPU without it falls back to the best level,
+    // not to scalar.
+    EXPECT_EQ(kern::resolve_level("avx512", true, false), SimdLevel::kAvx2);
+  }
+}
+
+TEST(KernelDispatch, ActiveOpsNamedConsistently) {
+  const std::string name = kern::simd_level_name();
+  EXPECT_TRUE(name == "scalar" || name == "avx2" || name == "avx512");
+  EXPECT_STREQ(kern::ops().name, name.c_str());
+}
+
+TEST(KernelParity, MatmulUlpBounded) {
+  REQUIRE_SIMD(levels);
+  const KernelOps& scalar = kern::scalar_ops();
+  // Shapes cover the DQN layers plus ragged tails for the stripe cascades
+  // (64/32/8/4-wide in the AVX-512 level, 32/8/4-wide in AVX2).
+  const struct { std::size_t m, k, n; } shapes[] = {
+      {1, 24, 45},  {32, 24, 45}, {32, 45, 45},  {32, 45, 160},
+      {45, 32, 160}, {3, 7, 5},   {2, 4, 17},    {8, 16, 33},
+      {4, 12, 67},  {16, 24, 130},
+  };
+  for (const KernelOps* simd : levels) {
+    SCOPED_TRACE(simd->name);
+    Rng rng(11);
+    for (const auto& s : shapes) {
+      const auto a = random_vec(s.m * s.k, rng);
+      const auto b = random_vec(s.k * s.n, rng);
+      std::vector<double> c_ref(s.m * s.n, 0.0);
+      std::vector<double> c_simd(s.m * s.n, 0.0);
+      scalar.matmul_acc(c_ref.data(), a.data(), b.data(), s.m, s.k, s.n);
+      simd->matmul_acc(c_simd.data(), a.data(), b.data(), s.m, s.k, s.n);
+      for (std::size_t i = 0; i < c_ref.size(); ++i) {
+        // Condition-aware bound: both levels run the same k-order sum, the
+        // only divergence is one rounding per FMA, so the difference is tiny
+        // relative to Σ|a·b| even when the signed sum cancels.
+        const std::size_t row = i / s.n, col = i % s.n;
+        double abs_sum = 0.0;
+        for (std::size_t k = 0; k < s.k; ++k) {
+          abs_sum += std::abs(a[row * s.k + k] * b[k * s.n + col]);
+        }
+        EXPECT_LE(std::abs(c_ref[i] - c_simd[i]), 1e-13 * (abs_sum + 1.0))
+            << "matmul " << s.m << "x" << s.k << "x" << s.n << " elem " << i
+            << ": " << c_ref[i] << " vs " << c_simd[i];
+      }
+    }
+  }
+}
+
+TEST(KernelParity, MatmulSkipsExactZeros) {
+  REQUIRE_SIMD(levels);
+  for (const KernelOps* simd : levels) {
+    SCOPED_TRACE(simd->name);
+    Rng rng(12);
+    // One-hot A rows (the DQN output gradient): both levels must produce the
+    // single-term products exactly.
+    const std::size_t m = 6, k = 160, n = 45;
+    std::vector<double> a(m * k, 0.0);
+    for (std::size_t i = 0; i < m; ++i) a[i * k + rng.index(k)] = rng.normal();
+    const auto b = random_vec(k * n, rng);
+    std::vector<double> c_ref(m * n, 0.0), c_simd(m * n, 0.0);
+    kern::scalar_ops().matmul_acc(c_ref.data(), a.data(), b.data(), m, k, n);
+    simd->matmul_acc(c_simd.data(), a.data(), b.data(), m, k, n);
+    for (std::size_t i = 0; i < c_ref.size(); ++i) {
+      EXPECT_EQ(c_ref[i], c_simd[i]);
+    }
+  }
+}
+
+TEST(KernelParity, SaxpyUlpBounded) {
+  REQUIRE_SIMD(levels);
+  for (const KernelOps* simd : levels) {
+    SCOPED_TRACE(simd->name);
+    Rng rng(13);
+    for (std::size_t n : {1u, 3u, 4u, 7u, 8u, 17u, 45u, 160u, 161u}) {
+      const auto x = random_vec(n, rng);
+      const auto y0 = random_vec(n, rng);
+      auto y_ref = y0;
+      auto y_simd = y0;
+      const double alpha = rng.normal();
+      kern::scalar_ops().saxpy(n, alpha, x.data(), y_ref.data());
+      simd->saxpy(n, alpha, x.data(), y_simd.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        // FMA saves one rounding of a·x, so the paths differ by at most one
+        // ulp of the operand magnitudes (not of the possibly-cancelled sum).
+        const double tol = 1e-15 * (std::abs(alpha * x[i]) + std::abs(y0[i]));
+        EXPECT_LE(std::abs(y_ref[i] - y_simd[i]), tol)
+            << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, BiasActBitExact) {
+  REQUIRE_SIMD(levels);
+  for (const KernelOps* simd : levels) {
+    SCOPED_TRACE(simd->name);
+    Rng rng(14);
+    for (const bool relu : {false, true}) {
+      for (std::size_t cols : {1u, 5u, 45u, 160u}) {
+        const std::size_t rows = 9;
+        const auto bias = random_vec(cols, rng);
+        auto y_ref = random_vec(rows * cols, rng);
+        auto y_simd = y_ref;
+        kern::scalar_ops().bias_act(y_ref.data(), bias.data(), rows, cols,
+                                    relu);
+        simd->bias_act(y_simd.data(), bias.data(), rows, cols, relu);
+        for (std::size_t i = 0; i < y_ref.size(); ++i) {
+          EXPECT_EQ(y_ref[i], y_simd[i])
+              << "relu=" << relu << " cols=" << cols;
+        }
+        if (relu) {
+          for (double v : y_simd) EXPECT_GE(v, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParity, RowMaxAndArgmaxBitExact) {
+  REQUIRE_SIMD(levels);
+  for (const KernelOps* simd : levels) {
+    SCOPED_TRACE(simd->name);
+    Rng rng(15);
+    for (std::size_t n : {1u, 2u, 7u, 8u, 9u, 16u, 45u, 160u, 163u}) {
+      const auto x = random_vec(n, rng);
+      EXPECT_EQ(kern::scalar_ops().row_max(x.data(), n),
+                simd->row_max(x.data(), n));
+      const std::size_t ref = kern::scalar_ops().row_argmax(x.data(), n);
+      EXPECT_EQ(ref, simd->row_argmax(x.data(), n));
+      EXPECT_EQ(ref, argmax(std::span<const double>(x)));
+    }
+  }
+}
+
+TEST(KernelParity, ArgmaxFirstOnTies) {
+  REQUIRE_SIMD(levels);
+  for (const KernelOps* simd : levels) {
+    SCOPED_TRACE(simd->name);
+    for (std::size_t n : {6u, 12u, 40u}) {
+      std::vector<double> x(n, -1.0);
+      // Duplicate maxima in different SIMD lanes: both levels must report
+      // the first occurrence, like std::max_element.
+      x[2] = 3.5;
+      x[n - 1] = 3.5;
+      EXPECT_EQ(kern::scalar_ops().row_argmax(x.data(), n), 2u);
+      EXPECT_EQ(simd->row_argmax(x.data(), n), 2u);
+    }
+  }
+}
+
+/// Straight-line reference for the fused TD/Huber kernel, written against
+/// the rl:: Huber helpers rather than kernels_detail.
+double td_huber_reference(const TdHuberArgs& a, std::vector<double>& grad) {
+  grad.assign(a.batch * a.num_actions, 0.0);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < a.batch; ++i) {
+    const double* nq = a.next_q + i * a.num_actions;
+    double max_next;
+    if (a.next_q_online != nullptr) {
+      const double* nqo = a.next_q_online + i * a.num_actions;
+      max_next = nq[argmax(std::span<const double>(nqo, a.num_actions))];
+    } else {
+      max_next = nq[argmax(std::span<const double>(nq, a.num_actions))];
+    }
+    const double r = a.rewards[i] * a.reward_scale;
+    const double target = a.dones[i] ? r : r + a.gamma * max_next;
+    const double error = a.q[i * a.num_actions + a.actions[i]] - target;
+    loss += rl::huber_loss(error, a.huber_delta);
+    grad[i * a.num_actions + a.actions[i]] =
+        rl::huber_grad(error, a.huber_delta) / a.grad_div;
+  }
+  return loss;
+}
+
+TdHuberArgs make_td_args(std::size_t batch, std::size_t num_actions) {
+  TdHuberArgs a;
+  a.batch = batch;
+  a.num_actions = num_actions;
+  a.gamma = 0.9;
+  a.reward_scale = 0.01;
+  a.grad_div = static_cast<double>(batch);
+  a.huber_delta = 1.0;
+  return a;
+}
+
+class TdHuberTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(TdHuberTest, MatchesReferenceAndAvx2BitExact) {
+  const bool double_dqn = GetParam();
+  Rng rng(16);
+  const std::size_t B = 32, A = 160;
+  const auto q = random_vec(B * A, rng);
+  // Spread Q values wide enough to exercise both Huber branches.
+  auto next_q = random_vec(B * A, rng);
+  for (double& v : next_q) v *= 40.0;
+  const auto next_q_online = random_vec(B * A, rng);
+  std::vector<std::size_t> actions(B);
+  std::vector<double> rewards(B);
+  std::vector<std::uint8_t> dones(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    actions[i] = rng.index(A);
+    rewards[i] = rng.uniform(-160.0, 0.0);
+    dones[i] = rng.bernoulli(0.2) ? 1 : 0;
+  }
+
+  TdHuberArgs args = make_td_args(B, A);
+  args.q = q.data();
+  args.next_q = next_q.data();
+  args.next_q_online = double_dqn ? next_q_online.data() : nullptr;
+  args.actions = actions.data();
+  args.rewards = rewards.data();
+  args.dones = dones.data();
+
+  std::vector<double> grad_ref;
+  const double loss_ref = td_huber_reference(args, grad_ref);
+
+  std::vector<double> grad_scalar(B * A, 0.0);
+  const double loss_scalar =
+      kern::scalar_ops().td_huber_batch(args, grad_scalar.data());
+  EXPECT_EQ(loss_scalar, loss_ref);
+  EXPECT_EQ(grad_scalar, grad_ref);
+
+  // The SIMD variants only swap in the vector max/argmax, which are
+  // bit-exact (the AVX-512 table inherits this kernel from AVX2 outright);
+  // the whole fused kernel must therefore agree to the last bit.
+  for (const KernelOps* simd : simd_levels()) {
+    SCOPED_TRACE(simd->name);
+    std::vector<double> grad_simd(B * A, 0.0);
+    const double loss_simd = simd->td_huber_batch(args, grad_simd.data());
+    EXPECT_EQ(loss_simd, loss_ref);
+    EXPECT_EQ(grad_simd, grad_ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VanillaAndDouble, TdHuberTest, ::testing::Bool());
+
+TEST(KernelParity, AdamUpdateBitExact) {
+  REQUIRE_SIMD(levels);
+  for (const KernelOps* simd : levels) {
+    SCOPED_TRACE(simd->name);
+    Rng rng(17);
+    for (std::size_t n : {1u, 3u, 4u, 45u, 1080u, 7200u + 3u}) {
+      auto p_ref = random_vec(n, rng);
+      auto m_ref = random_vec(n, rng);
+      auto v_ref = random_vec(n, rng);
+      for (double& x : v_ref) x = std::abs(x);  // second moments are >= 0
+      const auto g = random_vec(n, rng);
+      auto p_simd = p_ref, m_simd = m_ref, v_simd = v_ref;
+      const double beta1 = 0.9, beta2 = 0.999, lr = 1e-3, eps = 1e-8;
+      const double bc1 = 1.0 - std::pow(beta1, 7.0);
+      const double bc2 = 1.0 - std::pow(beta2, 7.0);
+      kern::scalar_ops().adam_update(p_ref.data(), m_ref.data(), v_ref.data(),
+                                     g.data(), n, beta1, beta2, lr, bc1, bc2,
+                                     eps);
+      simd->adam_update(p_simd.data(), m_simd.data(), v_simd.data(), g.data(),
+                        n, beta1, beta2, lr, bc1, bc2, eps);
+      EXPECT_EQ(p_ref, p_simd) << "n=" << n;
+      EXPECT_EQ(m_ref, m_simd) << "n=" << n;
+      EXPECT_EQ(v_ref, v_simd) << "n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ctj

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json perf records against schema v1 (see bench_util.hpp).
+
+Usage: validate_bench_schema.py FILE [FILE...]
+
+Stdlib only; exits non-zero and prints one line per violation when any file
+fails. Used by CI after the bench_micro smoke run so a harness regression
+that silently stops emitting (or emits malformed) perf records fails the
+build instead of going unnoticed.
+"""
+
+import json
+import numbers
+import sys
+
+SIMD_LEVELS = {"scalar", "avx2", "avx512"}
+
+
+def _is_number(value):
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def validate(doc, errors):
+    """Append one message per schema violation found in `doc` to `errors`."""
+    if not isinstance(doc, dict):
+        errors.append("top-level JSON value is not an object")
+        return
+
+    def require(key, pred, desc):
+        if key not in doc:
+            errors.append(f"missing required key '{key}'")
+        elif not pred(doc[key]):
+            errors.append(f"'{key}' is not {desc} (got {doc[key]!r})")
+
+    require("schema_version", lambda v: v == 1, "the integer 1")
+    require("bench", lambda v: isinstance(v, str) and v, "a non-empty string")
+    require("git_rev", lambda v: isinstance(v, str) and v, "a non-empty string")
+    require("simd_level", lambda v: v in SIMD_LEVELS,
+            "one of " + "/".join(sorted(SIMD_LEVELS)))
+    require("threads", lambda v: isinstance(v, int) and v > 0,
+            "a positive integer")
+    require("scale", lambda v: _is_number(v) and v > 0, "a positive number")
+    require("wall_seconds", lambda v: _is_number(v) and v >= 0,
+            "a non-negative number")
+    require("simulated_slots", lambda v: isinstance(v, int) and v >= 0,
+            "a non-negative integer")
+    require("slots_per_second", lambda v: _is_number(v) and v >= 0,
+            "a non-negative number")
+
+    # Optional sections.
+    sweeps = doc.get("sweeps")
+    if sweeps is not None:
+        if not isinstance(sweeps, dict):
+            errors.append("'sweeps' is not an object")
+        else:
+            for name, rows in sweeps.items():
+                if not isinstance(rows, list) or not all(
+                        isinstance(r, dict) for r in rows):
+                    errors.append(f"sweep '{name}' is not an array of objects")
+
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            errors.append("'metrics' is not an object")
+        else:
+            for key, value in metrics.items():
+                if not (_is_number(value) or isinstance(value, str)):
+                    errors.append(
+                        f"metric '{key}' is neither a number nor a string")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = []
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(str(exc))
+            doc = None
+        if doc is not None:
+            validate(doc, errors)
+        if errors:
+            failed = True
+            for message in errors:
+                print(f"{path}: {message}")
+        else:
+            print(f"{path}: ok (bench={doc['bench']}, "
+                  f"git_rev={doc['git_rev']}, simd={doc['simd_level']})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
