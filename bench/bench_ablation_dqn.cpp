@@ -23,7 +23,8 @@ using namespace ctj::core;
 namespace {
 
 MetricsReport run_variant(std::size_t history, std::vector<std::size_t> hidden,
-                          double deploy_epsilon, std::uint64_t seed) {
+                          double deploy_epsilon, std::uint64_t seed,
+                          const std::string& ckpt_tag = "") {
   RlExperimentConfig config;
   config.env = EnvironmentConfig::defaults();
   config.env.mode = JammerPowerMode::kMaxPower;
@@ -37,6 +38,7 @@ MetricsReport run_variant(std::size_t history, std::vector<std::size_t> hidden,
   config.scheme.seed = seed + 500;
   config.train_slots = train_slots();
   config.eval_slots = eval_slots();
+  config.checkpoint = checkpoint_options(ckpt_tag);
   return run_rl_experiment(config).metrics;
 }
 
@@ -58,7 +60,8 @@ int main() {
     const auto ms = parallel_map(
         4,
         [&](std::size_t i) {
-          return run_variant(histories[i], {32, 32}, 0.05, 11);
+          return run_variant(histories[i], {32, 32}, 0.05, 11,
+                             "ablation_hist" + std::to_string(histories[i]));
         },
         bench_threads());
     TextTable table({"I", "ST (%)", "mean reward"});
@@ -84,7 +87,8 @@ int main() {
     const auto ms = parallel_map(
         4,
         [&](std::size_t i) {
-          return run_variant(4, {widths[i], widths[i]}, 0.05, 22);
+          return run_variant(4, {widths[i], widths[i]}, 0.05, 22,
+                             "ablation_width" + std::to_string(widths[i]));
         },
         bench_threads());
     TextTable table({"width", "ST (%)", "mean reward"});
@@ -123,6 +127,7 @@ int main() {
       CompetitionEnvironment env(env_config);
       TrainerConfig trainer;
       trainer.max_slots = train_slots();
+      trainer.checkpoint = checkpoint_options("ablation_deploy_eps");
       train(scheme, env, trainer);
       scheme.set_training(false);
       report.add_slots(train_slots());
@@ -192,7 +197,7 @@ int main() {
                     ql.agent().table_size()};
           }
           if (i == 1) {
-            return {run_variant(4, {32, 32}, 0.05, 55), 0};
+            return {run_variant(4, {32, 32}, 0.05, 55, "ablation_dqn"), 0};
           }
           RlExperimentConfig config;
           config.env = EnvironmentConfig::defaults();
@@ -206,6 +211,7 @@ int main() {
           config.scheme.seed = 555;
           config.train_slots = train_slots();
           config.eval_slots = eval_slots();
+          config.checkpoint = checkpoint_options("ablation_double_dqn");
           return {run_rl_experiment(config).metrics, 0};
         },
         bench_threads());
@@ -241,7 +247,8 @@ int main() {
     const auto ms = parallel_map(
         3,
         [&](std::size_t i) {
-          return run_variant(4, variants[i].second, 0.05, 44);
+          return run_variant(4, variants[i].second, 0.05, 44,
+                             "ablation_depth" + std::to_string(i + 1));
         },
         bench_threads());
     TextTable table({"architecture", "ST (%)", "mean reward"});

@@ -44,6 +44,8 @@ EnergyPoint run_energy_point(double lp_lower) {
   CompetitionEnvironment train_env(env_config);
   TrainerConfig trainer;
   trainer.max_slots = train_slots();
+  trainer.checkpoint =
+      checkpoint_options("energy_lp" + std::to_string(static_cast<int>(lp_lower)));
   train(scheme, train_env, trainer);
   scheme.set_training(false);
   scheme.reset();

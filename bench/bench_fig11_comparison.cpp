@@ -54,6 +54,7 @@ std::unique_ptr<DqnScheme> train_rl_scheme() {
   CompetitionEnvironment env(env_config);
   TrainerConfig trainer;
   trainer.max_slots = 16000;
+  trainer.checkpoint = checkpoint_options("fig11_rl_fh");
   const auto stats = train(*scheme, env, trainer);
   std::cout << "trained RL FH: " << stats.slots_trained
             << " slots, final mean reward "

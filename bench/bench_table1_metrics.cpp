@@ -53,7 +53,13 @@ MetricsReport run_cell(std::size_t scheme_index, JammerPowerMode mode) {
     default: {
       auto env_config = EnvironmentConfig::defaults();
       env_config.mode = mode;
-      return run_rl_point(env_config, 301);
+      // One training run per jammer mode, and the cells run in parallel: the
+      // checkpoint tag must be distinct per mode or the runs would race on
+      // (and cross-resume) a single file.
+      return run_rl_point(env_config, 301,
+                          mode == JammerPowerMode::kMaxPower
+                              ? "table1_rl_max"
+                              : "table1_rl_rand");
     }
   }
 }

@@ -46,8 +46,24 @@ std::size_t train_slots() {
   return std::max<std::size_t>(1000, static_cast<std::size_t>(16000 * bench_scale()));
 }
 
+std::optional<core::CheckpointOptions> checkpoint_options(
+    const std::string& tag) {
+  const char* dir = std::getenv("CTJ_CKPT_DIR");
+  if (dir == nullptr || *dir == '\0' || tag.empty()) return std::nullopt;
+  core::CheckpointOptions options;
+  options.path = std::string(dir) + "/" + tag + ".ctjs";
+  options.every_slots = 5000;
+  if (const char* every = std::getenv("CTJ_CKPT_EVERY")) {
+    const long v = std::atol(every);
+    if (v > 0) options.every_slots = static_cast<std::size_t>(v);
+  }
+  options.resume = true;
+  return options;
+}
+
 core::MetricsReport run_rl_point(core::EnvironmentConfig env,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 const std::string& ckpt_tag) {
   core::RlExperimentConfig config;
   config.env = env;
   config.env.seed = seed;
@@ -60,6 +76,7 @@ core::MetricsReport run_rl_point(core::EnvironmentConfig env,
   config.scheme.seed = seed + 500;
   config.train_slots = train_slots();
   config.eval_slots = eval_slots();
+  config.checkpoint = checkpoint_options(ckpt_tag);
   return core::run_rl_experiment(config).metrics;
 }
 

@@ -40,9 +40,20 @@ std::size_t eval_slots();
 /// Training slots per sweep point.
 std::size_t train_slots();
 
+/// Training checkpoint options for a bench work item. When CTJ_CKPT_DIR is
+/// set (and `tag` is non-empty), training checkpoints land in
+/// <dir>/<tag>.ctjs every CTJ_CKPT_EVERY slots (default 5000) with resume
+/// enabled, so a killed bench re-run picks up where it stopped instead of
+/// retraining from scratch. Returns nullopt (checkpointing off) when the
+/// variable is unset.
+std::optional<core::CheckpointOptions> checkpoint_options(
+    const std::string& tag);
+
 /// Run one sweep point: train + evaluate a DQN on the environment config.
+/// A non-empty `ckpt_tag` opts the training phase into checkpoint_options().
 core::MetricsReport run_rl_point(core::EnvironmentConfig env,
-                                 std::uint64_t seed = 7);
+                                 std::uint64_t seed = 7,
+                                 const std::string& ckpt_tag = "");
 
 /// One x of a Figs. 6–8 sweep: the Table-I metrics under both jammer modes.
 struct ModeSweepPoint {

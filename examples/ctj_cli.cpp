@@ -8,10 +8,19 @@
 //   ./build/examples/ctj_cli --scheme=passive --field --slot-duration=3
 //   ./build/examples/ctj_cli --scheme=rl --field --signal=wifi --train=30000
 //
+// Subcommands for persistent models (CTJS checkpoints, see src/io):
+//
+//   ./build/examples/ctj_cli train --out=model.ctjs --checkpoint-every=5000
+//   ./build/examples/ctj_cli train --out=model.ctjs --resume   # pick up a
+//                                                    # killed run, bit-identical
+//   ./build/examples/ctj_cli eval --model=model.ctjs --slots=20000
+//
 // Flags: --scheme=rl|ql|oracle|passive|random  --mode=max|random
 //        --slots=N --train=N --lj=X --lh=X --cycle=N --seed=N
 //        --field --slot-duration=S --jx-slot=S --nodes=N
 //        --signal=emubee|wifi|zigbee --no-jammer
+//        train: --out=FILE --checkpoint-every=N --resume
+//        eval:  --model=FILE
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -19,6 +28,7 @@
 #include <string>
 
 #include "common/table.hpp"
+#include "core/checkpoint.hpp"
 #include "core/environment.hpp"
 #include "core/experiment.hpp"
 #include "core/field.hpp"
@@ -28,6 +38,7 @@
 #include "core/random_fh.hpp"
 #include "core/rl_fh.hpp"
 #include "core/trainer.hpp"
+#include "io/format.hpp"
 
 using namespace ctj;
 using namespace ctj::core;
@@ -143,9 +154,112 @@ channel::JammingSignalType parse_signal(const std::string& name) {
   std::exit(2);
 }
 
+EnvironmentConfig env_from_flags(const Flags& flags, JammerPowerMode mode,
+                                 std::uint64_t seed) {
+  auto env_config = EnvironmentConfig::defaults();
+  env_config.mode = mode;
+  env_config.loss_jam = flags.get_num("lj", env_config.loss_jam);
+  env_config.loss_hop = flags.get_num("lh", env_config.loss_hop);
+  if (flags.has("cycle")) {
+    env_config.channels_per_sweep = 1;
+    env_config.num_channels = static_cast<int>(flags.get_num("cycle", 4));
+  }
+  env_config.seed = seed;
+  return env_config;
+}
+
+/// `ctj_cli train`: train a DQN with periodic CTJS checkpoints. The output
+/// file doubles as the resume point (--resume) and as an eval model.
+int cmd_train(const Flags& flags) {
+  const std::string out = flags.get("out", "");
+  if (out.empty()) {
+    std::cerr << "train needs --out=FILE (the checkpoint to write)\n";
+    return 2;
+  }
+  const auto mode = flags.get("mode", "max") == "random"
+                        ? JammerPowerMode::kRandomPower
+                        : JammerPowerMode::kMaxPower;
+  const auto seed = static_cast<std::uint64_t>(flags.get_num("seed", 1));
+  const auto env_config = env_from_flags(flags, mode, seed);
+
+  DqnScheme::Config scheme_config;
+  scheme_config.num_channels = env_config.num_channels;
+  scheme_config.num_power_levels = env_config.num_power_levels();
+  scheme_config.history = 4;
+  scheme_config.hidden = {32, 32};
+  scheme_config.seed = seed + 7;
+  DqnScheme scheme(scheme_config);
+  CompetitionEnvironment env(env_config);
+
+  TrainerConfig trainer;
+  trainer.max_slots = static_cast<std::size_t>(flags.get_num("train", 16000));
+  CheckpointOptions ckpt;
+  ckpt.path = out;
+  ckpt.every_slots =
+      static_cast<std::size_t>(flags.get_num("checkpoint-every", 0));
+  ckpt.resume = flags.has("resume");
+  trainer.checkpoint = ckpt;
+
+  const auto stats = train(scheme, env, trainer);
+  std::cout << "trained " << stats.slots_trained << " slots, final mean reward "
+            << TextTable::fmt(stats.final_mean_reward, 2) << "\n"
+            << "checkpoint: " << out << "\n";
+  return 0;
+}
+
+/// `ctj_cli eval`: reconstruct the scheme a checkpoint was trained with,
+/// restore its full state, freeze and evaluate it.
+int cmd_eval(const Flags& flags) {
+  const std::string model = flags.get("model", "");
+  if (model.empty()) {
+    std::cerr << "eval needs --model=FILE (a checkpoint written by "
+                 "`ctj_cli train` or the trainer)\n";
+    return 2;
+  }
+  DqnScheme scheme(read_scheme_config(model));
+  load_scheme(scheme, model);
+  scheme.set_training(false);
+  scheme.reset();
+
+  const auto mode = flags.get("mode", "max") == "random"
+                        ? JammerPowerMode::kRandomPower
+                        : JammerPowerMode::kMaxPower;
+  const auto seed = static_cast<std::uint64_t>(flags.get_num("seed", 1));
+  const auto slots = static_cast<std::size_t>(flags.get_num("slots", 20000));
+  auto env_config = env_from_flags(flags, mode, seed + 1000);
+  CompetitionEnvironment env(env_config);
+  const auto m = evaluate(scheme, env, slots);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"model", model});
+  table.add_row({"jammer mode", std::string(to_string(mode))});
+  table.add_row({"ST (%)", TextTable::fmt(100 * m.st, 2)});
+  table.add_row({"AH (%)", TextTable::fmt(100 * m.ah, 2)});
+  table.add_row({"AP (%)", TextTable::fmt(100 * m.ap, 2)});
+  table.add_row({"mean reward", TextTable::fmt(m.mean_reward, 2)});
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A non-flag first argument selects a subcommand; the remaining arguments
+  // stay --key=value flags.
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string command = argv[1];
+    const Flags sub_flags(argc - 1, argv + 1);
+    try {
+      if (command == "train") return cmd_train(sub_flags);
+      if (command == "eval") return cmd_eval(sub_flags);
+    } catch (const io::IoError& error) {
+      std::cerr << "ctj_cli " << command << ": " << error.what() << "\n";
+      return 1;
+    }
+    std::cerr << "unknown subcommand '" << command << "' (use train|eval)\n";
+    return 2;
+  }
+
   const Flags flags(argc, argv);
   if (flags.has("help")) {
     std::cout << "see the header comment of examples/ctj_cli.cpp\n";
@@ -160,15 +274,7 @@ int main(int argc, char** argv) {
   const auto train_slots =
       static_cast<std::size_t>(flags.get_num("train", 16000));
 
-  auto env_config = EnvironmentConfig::defaults();
-  env_config.mode = mode;
-  env_config.loss_jam = flags.get_num("lj", env_config.loss_jam);
-  env_config.loss_hop = flags.get_num("lh", env_config.loss_hop);
-  if (flags.has("cycle")) {
-    env_config.channels_per_sweep = 1;
-    env_config.num_channels = static_cast<int>(flags.get_num("cycle", 4));
-  }
-  env_config.seed = seed;
+  auto env_config = env_from_flags(flags, mode, seed);
 
   auto scheme = make_scheme(flags.get("scheme", "rl"), mode, seed + 7);
   maybe_train(*scheme, env_config, train_slots);

@@ -85,6 +85,11 @@ namespace {
 
 void dump_number(std::ostream& os, double v, bool integral) {
   if (!std::isfinite(v)) {
+#ifndef NDEBUG
+    // A NaN/Inf reaching serialization is a bug upstream; surface it loudly
+    // in debug builds. Release emits valid JSON (null) instead of "nan".
+    CTJ_CHECK_MSG(false, "non-finite number in JSON output");
+#endif
     os << "null";
     return;
   }

@@ -1,8 +1,31 @@
 #include "common/rng.hpp"
 
 #include <numeric>
+#include <sstream>
 
 namespace ctj {
+
+std::string Rng::serialize_state() const {
+  // Stream serialization is the one portable, loss-free representation the
+  // standard guarantees for both the engine and the distributions
+  // ([rand.req.eng]/[rand.req.dist] equality after operator>>).
+  std::ostringstream os;
+  os << engine_ << ' ' << unit_ << ' ' << normal_;
+  CTJ_CHECK_MSG(os.good(), "RNG state serialization failed");
+  return os.str();
+}
+
+void Rng::restore_state(const std::string& state) {
+  std::mt19937_64 engine;
+  std::uniform_real_distribution<double> unit;
+  std::normal_distribution<double> normal;
+  std::istringstream is(state);
+  is >> engine >> unit >> normal;
+  CTJ_CHECK_MSG(!is.fail(), "malformed RNG state");
+  engine_ = engine;
+  unit_ = unit;
+  normal_ = normal;
+}
 
 std::size_t Rng::weighted_index(std::span<const double> weights) {
   CTJ_CHECK(!weights.empty());

@@ -87,6 +87,14 @@ class Rng {
   /// Derive an independent child generator (for per-component streams).
   Rng fork() { return Rng(engine_()); }
 
+  /// Full generator state as text: the mt19937_64 engine stream-serialized
+  /// plus both cached distributions (normal_distribution keeps a Box–Muller
+  /// spare that must survive a save/restore for draws to stay bit-identical).
+  std::string serialize_state() const;
+  /// Restore a state produced by serialize_state(); throws CheckFailure on
+  /// malformed input without touching the current state.
+  void restore_state(const std::string& state);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

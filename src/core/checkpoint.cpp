@@ -1,0 +1,39 @@
+#include "core/checkpoint.hpp"
+
+#include <map>
+
+#include "common/kernels.hpp"
+
+namespace ctj::core {
+
+void add_meta_chunk(io::ContainerWriter& out, const std::string& type) {
+  std::map<std::string, std::string> meta;
+  meta["format"] = "ctjs";
+  meta["type"] = type;
+  meta["simd_level"] = kern::simd_level_name();
+  out.add_chunk(io::tags::kMeta, io::encode_meta(meta));
+}
+
+void save_scheme(const DqnScheme& scheme, const std::string& path) {
+  io::ContainerWriter out;
+  add_meta_chunk(out, "model");
+  scheme.save_state(out);
+  out.write_file(path);
+}
+
+void load_scheme(DqnScheme& scheme, const std::string& path) {
+  const io::ContainerReader in = io::ContainerReader::from_file(path);
+  scheme.load_state(in);
+}
+
+DqnScheme::Config read_scheme_config(const std::string& path) {
+  const io::ContainerReader in = io::ContainerReader::from_file(path);
+  return DqnScheme::read_config(in);
+}
+
+void load_policy(DqnScheme& scheme, const std::string& path) {
+  const io::ContainerReader in = io::ContainerReader::from_file(path);
+  scheme.agent().load_policy(in);
+}
+
+}  // namespace ctj::core

@@ -1,0 +1,42 @@
+// Checkpoint assembly: the glue between the CTJS container (src/io) and the
+// training stack (DqnScheme + environment + trainer loop).
+//
+// A model checkpoint written by save_scheme() or by the trainer holds the
+// scheme Config (SCHMCFG), its dynamic state (SCHMST), the whole agent
+// (networks, optimizer, replay ring, RNG, counters) and a META chunk with
+// advisory provenance keys. Trainer checkpoints add ENVSTATE/OBSWIN/TRAINPRG
+// so a killed run resumes bit-identically (see trainer.hpp).
+#pragma once
+
+#include <string>
+
+#include "core/rl_fh.hpp"
+#include "io/container.hpp"
+
+namespace ctj::core {
+
+/// Append the standard META chunk: `format=ctjs`, `type=<type>` and
+/// `simd_level=<active kernel level>`. simd_level is advisory only — a
+/// checkpoint written under one SIMD level loads under any (all state is
+/// plain f64; the kernels only change how fast it is computed).
+void add_meta_chunk(io::ContainerWriter& out, const std::string& type);
+
+/// Write a standalone model checkpoint (META + full scheme state) to `path`
+/// atomically (temp file + rename).
+void save_scheme(const DqnScheme& scheme, const std::string& path);
+
+/// Restore a scheme from a checkpoint written by save_scheme() or the
+/// trainer. The stored Config must equal the scheme's (io::IoError
+/// kStateMismatch otherwise); on any failure the scheme is unchanged.
+void load_scheme(DqnScheme& scheme, const std::string& path);
+
+/// Decode the DqnScheme::Config stored in a checkpoint, so a matching
+/// scheme can be constructed from the file alone (`ctj_cli eval --model`).
+DqnScheme::Config read_scheme_config(const std::string& path);
+
+/// Load only the online network into the scheme — a frozen policy for
+/// deployment/eval; optimizer, replay and RNG state stay untouched. The
+/// target net is synced to the loaded online net.
+void load_policy(DqnScheme& scheme, const std::string& path);
+
+}  // namespace ctj::core

@@ -47,6 +47,72 @@ void CompetitionEnvironment::reset() {
   n_ = 1;
 }
 
+void CompetitionEnvironment::save_state(io::ByteWriter& out) const {
+  // Config digest first: every field that shapes the trajectory.
+  out.i32(config_.num_channels);
+  out.i32(config_.channels_per_sweep);
+  out.f64_vec(config_.tx_levels);
+  out.f64_vec(config_.jam_levels);
+  out.u8(config_.mode == JammerPowerMode::kMaxPower ? 0 : 1);
+  out.f64(config_.loss_jam);
+  out.f64(config_.loss_hop);
+  out.u64(config_.seed);
+  // Dynamic state.
+  out.str(rng_.serialize_state());
+  out.i32(channel_);
+  out.u8(static_cast<std::uint8_t>(kind_));
+  out.i32(n_);
+}
+
+void CompetitionEnvironment::load_state(io::ByteReader& in) {
+  const auto mismatch = [](const std::string& what) -> io::IoError {
+    return io::IoError(io::ErrorKind::kStateMismatch,
+                       "checkpoint EnvironmentConfig differs in " + what);
+  };
+  if (in.i32() != config_.num_channels) throw mismatch("num_channels");
+  if (in.i32() != config_.channels_per_sweep) {
+    throw mismatch("channels_per_sweep");
+  }
+  if (in.f64_vec() != config_.tx_levels) throw mismatch("tx_levels");
+  if (in.f64_vec() != config_.jam_levels) throw mismatch("jam_levels");
+  if (in.u8() != (config_.mode == JammerPowerMode::kMaxPower ? 0 : 1)) {
+    throw mismatch("mode");
+  }
+  if (in.f64() != config_.loss_jam) throw mismatch("loss_jam");
+  if (in.f64() != config_.loss_hop) throw mismatch("loss_hop");
+  if (in.u64() != config_.seed) throw mismatch("seed");
+
+  const std::string rng_text = in.str();
+  Rng rng;
+  try {
+    rng.restore_state(rng_text);
+  } catch (const CheckFailure&) {
+    throw io::IoError(io::ErrorKind::kBadPayload, "environment RNG state");
+  }
+  const int channel = in.i32();
+  if (channel < 0 || channel >= config_.num_channels) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "environment channel out of range");
+  }
+  const std::uint8_t kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(HiddenKind::kJ)) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "environment hidden kind out of range");
+  }
+  const int n = in.i32();
+  const HiddenKind hidden = static_cast<HiddenKind>(kind);
+  if (hidden == HiddenKind::kCounting &&
+      (n < 1 || n > config_.sweep_cycle() - 1)) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "environment hidden counter out of range");
+  }
+
+  rng_ = rng;
+  channel_ = channel;
+  kind_ = hidden;
+  n_ = n;
+}
+
 EnvStep CompetitionEnvironment::step(int channel, std::size_t power_index) {
   CTJ_CHECK_MSG(channel >= 0 && channel < config_.num_channels,
                 "channel " << channel << " out of range");

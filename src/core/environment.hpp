@@ -14,6 +14,7 @@
 
 #include "common/modes.hpp"
 #include "common/rng.hpp"
+#include "io/bytes.hpp"
 
 namespace ctj::core {
 
@@ -76,6 +77,14 @@ class CompetitionEnvironment {
   int hidden_n() const { return n_; }
 
   void reset();
+
+  // Checkpoint-format serialization: the RNG stream, current channel and
+  // hidden MDP state, preceded by a digest of the config so a checkpoint
+  // cannot be resumed against a differently-parameterized environment
+  // (throws io::IoError kStateMismatch; the environment is unchanged on any
+  // failed load).
+  void save_state(io::ByteWriter& out) const;
+  void load_state(io::ByteReader& in);
 
  private:
   EnvironmentConfig config_;

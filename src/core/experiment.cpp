@@ -83,6 +83,7 @@ RlExperimentResult run_rl_experiment(RlExperimentConfig config) {
 
   TrainerConfig trainer;
   trainer.max_slots = config.train_slots;
+  trainer.checkpoint = config.checkpoint;
   RlExperimentResult result;
   result.training = train(scheme, train_env, trainer);
 

@@ -45,6 +45,10 @@ struct RlExperimentConfig {
   /// engine (evaluate_batched), amortizing the network forward across them.
   std::size_t eval_replicas = 1;
 
+  /// Optional periodic checkpoint/resume for the training phase (passed
+  /// through to TrainerConfig::checkpoint — see CheckpointOptions).
+  std::optional<CheckpointOptions> checkpoint;
+
   /// Derive consistent scheme dimensions from the environment config.
   void sync_dimensions();
 };

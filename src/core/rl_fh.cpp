@@ -75,6 +75,138 @@ SchemeDecision DqnScheme::decide() {
   return decision;
 }
 
+void DqnScheme::save_state(io::ContainerWriter& out) const {
+  io::ByteWriter cfg;
+  cfg.i32(config_.num_channels);
+  cfg.u64(config_.num_power_levels);
+  cfg.u64(config_.history);
+  cfg.u8(config_.training ? 1 : 0);
+  cfg.f64(config_.deploy_epsilon);
+  cfg.f64(config_.learning_rate);
+  cfg.f64(config_.gamma);
+  cfg.f64(config_.epsilon_start);
+  cfg.f64(config_.epsilon_end);
+  cfg.u64(config_.epsilon_decay_steps);
+  cfg.u64(config_.hidden.size());
+  for (std::size_t h : config_.hidden) cfg.u64(h);
+  cfg.u8(config_.double_dqn ? 1 : 0);
+  cfg.u64(config_.seed);
+  out.add_chunk(io::tags::kSchemeCfg, cfg.take());
+
+  io::ByteWriter state;
+  state.u8(training_ ? 1 : 0);
+  state.str(deploy_rng_.serialize_state());
+  state.u64(history_.size());
+  for (const SlotRecord& rec : history_) {
+    state.f64(rec.success);
+    state.f64(rec.channel);
+    state.f64(rec.power);
+  }
+  state.u8(has_pending_ ? 1 : 0);
+  state.f64_vec(pending_state_);
+  state.u64(pending_action_);
+  out.add_chunk(io::tags::kSchemeState, state.take());
+
+  agent_.save_state(out);
+}
+
+DqnScheme::Config DqnScheme::read_config(const io::ContainerReader& in) {
+  io::ByteReader cfg(in.chunk(io::tags::kSchemeCfg));
+  Config config;
+  config.num_channels = cfg.i32();
+  config.num_power_levels = static_cast<std::size_t>(cfg.u64());
+  config.history = static_cast<std::size_t>(cfg.u64());
+  config.training = cfg.u8() != 0;
+  config.deploy_epsilon = cfg.f64();
+  config.learning_rate = cfg.f64();
+  config.gamma = cfg.f64();
+  config.epsilon_start = cfg.f64();
+  config.epsilon_end = cfg.f64();
+  config.epsilon_decay_steps = static_cast<std::size_t>(cfg.u64());
+  const std::uint64_t hidden_count = cfg.u64();
+  if (hidden_count > 1024) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "implausible hidden layer count " +
+                          std::to_string(hidden_count));
+  }
+  config.hidden.clear();
+  for (std::uint64_t i = 0; i < hidden_count; ++i) {
+    config.hidden.push_back(static_cast<std::size_t>(cfg.u64()));
+  }
+  config.double_dqn = cfg.u8() != 0;
+  config.seed = cfg.u64();
+  cfg.expect_end();
+  return config;
+}
+
+void DqnScheme::load_state(const io::ContainerReader& in) {
+  const Config stored = read_config(in);
+  // `training` is runtime state (set_training flips it after construction),
+  // restored from SCHMST below; every constructive field must match.
+  if (stored.num_channels != config_.num_channels ||
+      stored.num_power_levels != config_.num_power_levels ||
+      stored.history != config_.history ||
+      stored.deploy_epsilon != config_.deploy_epsilon ||
+      stored.learning_rate != config_.learning_rate ||
+      stored.gamma != config_.gamma ||
+      stored.epsilon_start != config_.epsilon_start ||
+      stored.epsilon_end != config_.epsilon_end ||
+      stored.epsilon_decay_steps != config_.epsilon_decay_steps ||
+      stored.hidden != config_.hidden ||
+      stored.double_dqn != config_.double_dqn ||
+      stored.seed != config_.seed) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "checkpoint DqnScheme::Config differs from this scheme");
+  }
+
+  io::ByteReader state(in.chunk(io::tags::kSchemeState));
+  const bool training = state.u8() != 0;
+  const std::string rng_text = state.str();
+  Rng deploy_rng;
+  try {
+    deploy_rng.restore_state(rng_text);
+  } catch (const CheckFailure&) {
+    throw io::IoError(io::ErrorKind::kBadPayload, "scheme RNG state");
+  }
+  const std::uint64_t records = state.u64();
+  if (records != config_.history) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "checkpoint window has " + std::to_string(records) +
+                          " records, scheme history is " +
+                          std::to_string(config_.history));
+  }
+  std::deque<SlotRecord> history;
+  for (std::uint64_t i = 0; i < records; ++i) {
+    SlotRecord rec;
+    rec.success = state.f64();
+    rec.channel = state.f64();
+    rec.power = state.f64();
+    history.push_back(rec);
+  }
+  const bool has_pending = state.u8() != 0;
+  std::vector<double> pending_state = state.f64_vec();
+  const std::uint64_t pending_action = state.u64();
+  state.expect_end();
+  if (has_pending && pending_state.size() != 3 * config_.history) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "pending state has the wrong dimension");
+  }
+  if (has_pending && pending_action >= agent_.config().num_actions) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "pending action out of range");
+  }
+
+  // The agent loader keeps the strong guarantee itself; putting it last
+  // means nothing above has mutated the scheme yet either.
+  agent_.load_state(in);
+  training_ = training;
+  deploy_rng_ = deploy_rng;
+  history_ = std::move(history);
+  pending_state_ = std::move(pending_state);
+  pending_action_ = static_cast<std::size_t>(pending_action);
+  has_pending_ = has_pending;
+}
+
 void DqnScheme::feedback(const SlotFeedback& feedback) {
   // Slide the observation window.
   history_.pop_front();

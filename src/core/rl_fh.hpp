@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "core/scheme.hpp"
+#include "io/container.hpp"
 #include "rl/dqn.hpp"
 
 namespace ctj::core {
@@ -66,6 +67,21 @@ class DqnScheme : public AntiJammingScheme {
 
   /// The current 3×I observation vector (exposed for tests).
   std::vector<double> observation() const;
+
+  /// Write the scheme's full state into a CTJS container: its Config (so a
+  /// matching scheme can be reconstructed from the file alone), the sliding
+  /// observation window + pending transition, the deploy RNG, and the whole
+  /// agent (networks, optimizer, replay, RNG, counters).
+  void save_state(io::ContainerWriter& out) const;
+
+  /// Restore a state written by save_state(). The stored Config must equal
+  /// this scheme's (throws io::IoError kStateMismatch otherwise); on any
+  /// failure the scheme is unchanged.
+  void load_state(const io::ContainerReader& in);
+
+  /// Decode the scheme Config stored in a checkpoint (to construct a
+  /// matching DqnScheme before load_state, e.g. `ctj_cli eval --model`).
+  static Config read_config(const io::ContainerReader& in);
 
  private:
   struct SlotRecord {

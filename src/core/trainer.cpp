@@ -2,12 +2,94 @@
 
 #include <chrono>
 #include <deque>
+#include <filesystem>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "core/checkpoint.hpp"
 #include "core/vector_env.hpp"
 
 namespace ctj::core {
+
+namespace {
+
+// The trainer loop's own mutable state, as stored in the TRAINPRG chunk.
+struct Progress {
+  std::uint8_t mode = 0;  // 0 = sequential train(), 1 = train_batched()
+  std::uint64_t replicas = 1;
+  std::uint64_t slots_trained = 0;
+  bool early_stopped = false;
+  // The sliding window and its running sum. The sum is serialized as the
+  // raw double (not recomputed on load): the incremental add/sub stream
+  // differs from a fresh summation in floating point, and bit-identical
+  // resume requires the exact value the uninterrupted run would carry.
+  double window_sum = 0.0;
+  std::deque<double> window;
+};
+
+void write_progress(io::ContainerWriter& out, const Progress& progress,
+                    const TrainerConfig& config) {
+  io::ByteWriter w;
+  w.u8(progress.mode);
+  w.u64(progress.replicas);
+  w.u64(progress.slots_trained);
+  w.u8(progress.early_stopped ? 1 : 0);
+  w.u64(config.reward_window);
+  w.u8(config.target_mean_reward ? 1 : 0);
+  w.f64(config.target_mean_reward.value_or(0.0));
+  w.f64(progress.window_sum);
+  w.u64(progress.window.size());
+  for (double r : progress.window) w.f64(r);
+  out.add_chunk(io::tags::kTrainProgress, w.take());
+}
+
+Progress read_progress(const io::ContainerReader& in, std::uint8_t mode,
+                       std::uint64_t replicas, const TrainerConfig& config) {
+  const auto mismatch = [](const std::string& what) -> io::IoError {
+    return io::IoError(io::ErrorKind::kStateMismatch,
+                       "checkpoint trainer state differs in " + what);
+  };
+  io::ByteReader r(in.chunk(io::tags::kTrainProgress));
+  Progress progress;
+  progress.mode = r.u8();
+  if (progress.mode != mode) throw mismatch("training mode");
+  progress.replicas = r.u64();
+  if (progress.replicas != replicas) throw mismatch("replica count");
+  progress.slots_trained = r.u64();
+  progress.early_stopped = r.u8() != 0;
+  if (r.u64() != config.reward_window) throw mismatch("reward_window");
+  const bool has_target = r.u8() != 0;
+  const double target = r.f64();
+  if (has_target != config.target_mean_reward.has_value() ||
+      (has_target && target != *config.target_mean_reward)) {
+    throw mismatch("target_mean_reward");
+  }
+  progress.window_sum = r.f64();
+  const std::uint64_t count = r.u64();
+  if (count > config.reward_window) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "reward window longer than reward_window");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) progress.window.push_back(r.f64());
+  r.expect_end();
+  return progress;
+}
+
+bool should_resume(const TrainerConfig& config) {
+  if (!config.checkpoint || !config.checkpoint->resume) return false;
+  std::error_code ec;
+  return std::filesystem::exists(config.checkpoint->path, ec);
+}
+
+// Returns the slot count at which the next periodic checkpoint is due.
+std::size_t next_checkpoint_after(std::size_t slots, std::size_t every) {
+  if (every == 0) return std::numeric_limits<std::size_t>::max();
+  return (slots / every + 1) * every;
+}
+
+}  // namespace
 
 TrainingStats train(DqnScheme& scheme, CompetitionEnvironment& env,
                     const TrainerConfig& config) {
@@ -19,33 +101,83 @@ TrainingStats train(DqnScheme& scheme, CompetitionEnvironment& env,
   TrainingStats stats;
   std::deque<double> window;
   double window_sum = 0.0;
+  std::size_t start_slot = 0;
+  bool resumed_early_stop = false;
 
-  for (std::size_t slot = 0; slot < config.max_slots; ++slot) {
-    const SchemeDecision decision = scheme.decide();
-    const EnvStep step = env.step(decision.channel, decision.power_index);
+  if (should_resume(config)) {
+    const io::ContainerReader in =
+        io::ContainerReader::from_file(config.checkpoint->path);
+    Progress progress = read_progress(in, /*mode=*/0, /*replicas=*/1, config);
+    scheme.load_state(in);
+    io::ByteReader env_in(in.chunk(io::tags::kEnvState));
+    env.load_state(env_in);
+    env_in.expect_end();
+    start_slot = static_cast<std::size_t>(progress.slots_trained);
+    stats.slots_trained = start_slot;
+    window = std::move(progress.window);
+    window_sum = progress.window_sum;
+    resumed_early_stop = progress.early_stopped;
+    stats.early_stopped = resumed_early_stop;
+  }
 
-    SlotFeedback feedback;
-    feedback.success = step.success;
-    feedback.jammed = step.outcome != SlotOutcome::kClear;
-    feedback.channel = step.channel;
-    feedback.power_index = decision.power_index;
-    feedback.reward = step.reward;
-    scheme.feedback(feedback);
+  const auto save = [&]() {
+    io::ContainerWriter out;
+    add_meta_chunk(out, "trainer");
+    Progress progress;
+    progress.mode = 0;
+    progress.replicas = 1;
+    progress.slots_trained = stats.slots_trained;
+    progress.early_stopped = stats.early_stopped;
+    progress.window_sum = window_sum;
+    progress.window = window;
+    write_progress(out, progress, config);
+    scheme.save_state(out);
+    io::ByteWriter env_out;
+    env.save_state(env_out);
+    out.add_chunk(io::tags::kEnvState, env_out.take());
+    out.write_file(config.checkpoint->path);
+  };
 
-    window.push_back(step.reward);
-    window_sum += step.reward;
-    if (window.size() > config.reward_window) {
-      window_sum -= window.front();
-      window.pop_front();
-    }
-    stats.slots_trained = slot + 1;
-    if (config.target_mean_reward && window.size() == config.reward_window &&
-        window_sum / static_cast<double>(window.size()) >=
-            *config.target_mean_reward) {
-      stats.early_stopped = true;
-      break;
+  const std::size_t every =
+      config.checkpoint ? config.checkpoint->every_slots : 0;
+  std::size_t next_save = next_checkpoint_after(start_slot, every);
+
+  if (!resumed_early_stop) {
+    for (std::size_t slot = start_slot; slot < config.max_slots; ++slot) {
+      const SchemeDecision decision = scheme.decide();
+      const EnvStep step = env.step(decision.channel, decision.power_index);
+
+      SlotFeedback feedback;
+      feedback.success = step.success;
+      feedback.jammed = step.outcome != SlotOutcome::kClear;
+      feedback.channel = step.channel;
+      feedback.power_index = decision.power_index;
+      feedback.reward = step.reward;
+      scheme.feedback(feedback);
+
+      window.push_back(step.reward);
+      window_sum += step.reward;
+      if (window.size() > config.reward_window) {
+        window_sum -= window.front();
+        window.pop_front();
+      }
+      stats.slots_trained = slot + 1;
+      if (config.on_slot) config.on_slot(slot, step.reward);
+      if (config.target_mean_reward && window.size() == config.reward_window &&
+          window_sum / static_cast<double>(window.size()) >=
+              *config.target_mean_reward) {
+        stats.early_stopped = true;
+        break;
+      }
+      if (config.checkpoint && stats.slots_trained >= next_save &&
+          stats.slots_trained < config.max_slots) {
+        save();
+        next_save = next_checkpoint_after(stats.slots_trained, every);
+      }
     }
   }
+
+  if (config.checkpoint) save();
 
   stats.final_mean_reward =
       window.empty() ? 0.0 : window_sum / static_cast<double>(window.size());
@@ -62,6 +194,11 @@ TrainingStats train_batched(DqnScheme& scheme,
   CTJ_CHECK(config.max_slots > 0);
   CTJ_CHECK(config.reward_window > 0);
   CTJ_CHECK(replicas > 0);
+  // Checkpoints cut at outer-loop boundaries (all replicas between
+  // transitions); a budget that ends mid-iteration would save a state no
+  // uninterrupted run passes through, breaking bit-identical resume.
+  CTJ_CHECK_MSG(!config.checkpoint || config.max_slots % replicas == 0,
+                "batched checkpointing needs max_slots divisible by replicas");
   const auto t0 = std::chrono::steady_clock::now();
 
   scheme.set_training(true);
@@ -79,6 +216,49 @@ TrainingStats train_batched(DqnScheme& scheme,
   TrainingStats stats;
   std::deque<double> window;
   double window_sum = 0.0;
+
+  if (should_resume(config)) {
+    const io::ContainerReader in =
+        io::ContainerReader::from_file(config.checkpoint->path);
+    const Progress progress =
+        read_progress(in, /*mode=*/1, replicas, config);
+    scheme.load_state(in);
+    io::ByteReader env_in(in.chunk(io::tags::kEnvState));
+    venv.load_state(env_in);
+    env_in.expect_end();
+    io::ByteReader win_in(in.chunk(io::tags::kObsWindows));
+    windows.load_state(win_in);
+    win_in.expect_end();
+    stats.slots_trained = static_cast<std::size_t>(progress.slots_trained);
+    stats.early_stopped = progress.early_stopped;
+    window = progress.window;
+    window_sum = progress.window_sum;
+  }
+
+  const auto save = [&]() {
+    io::ContainerWriter out;
+    add_meta_chunk(out, "trainer");
+    Progress progress;
+    progress.mode = 1;
+    progress.replicas = replicas;
+    progress.slots_trained = stats.slots_trained;
+    progress.early_stopped = stats.early_stopped;
+    progress.window_sum = window_sum;
+    progress.window = window;
+    write_progress(out, progress, config);
+    scheme.save_state(out);
+    io::ByteWriter env_out;
+    venv.save_state(env_out);
+    out.add_chunk(io::tags::kEnvState, env_out.take());
+    io::ByteWriter win_out;
+    windows.save_state(win_out);
+    out.add_chunk(io::tags::kObsWindows, win_out.take());
+    out.write_file(config.checkpoint->path);
+  };
+
+  const std::size_t every =
+      config.checkpoint ? config.checkpoint->every_slots : 0;
+  std::size_t next_save = next_checkpoint_after(stats.slots_trained, every);
 
   while (stats.slots_trained < config.max_slots && !stats.early_stopped) {
     // One batched ε-greedy forward decides for every replica. For a single
@@ -112,6 +292,9 @@ TrainingStats train_batched(DqnScheme& scheme,
         window.pop_front();
       }
       ++stats.slots_trained;
+      if (config.on_slot) {
+        config.on_slot(stats.slots_trained - 1, venv.rewards()[r]);
+      }
       if (config.target_mean_reward && window.size() == config.reward_window &&
           window_sum / static_cast<double>(window.size()) >=
               *config.target_mean_reward) {
@@ -120,7 +303,19 @@ TrainingStats train_batched(DqnScheme& scheme,
       }
       if (stats.slots_trained >= config.max_slots) break;
     }
+    // Checkpoints only at outer-loop boundaries: here every replica is
+    // between transitions, so the saved state is a clean cut for all of
+    // them. An early-stopped cut is saved too (flagged, so a resume does
+    // not train past the stop).
+    if (config.checkpoint && !stats.early_stopped &&
+        stats.slots_trained >= next_save &&
+        stats.slots_trained < config.max_slots) {
+      save();
+      next_save = next_checkpoint_after(stats.slots_trained, every);
+    }
   }
+
+  if (config.checkpoint) save();
 
   stats.final_mean_reward =
       window.empty() ? 0.0 : window_sum / static_cast<double>(window.size());

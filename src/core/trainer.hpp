@@ -7,12 +7,32 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
+#include <string>
 
 #include "core/environment.hpp"
 #include "core/rl_fh.hpp"
 
 namespace ctj::core {
+
+/// Periodic checkpointing / resume for the training loops. A checkpoint is a
+/// CTJS file holding the full scheme+agent state, the environment state
+/// (every replica's RNG and hidden MDP state) and the trainer's own loop
+/// progress, so a killed run resumed from it is bit-identical — same
+/// weights, same RNG draws, same per-slot reward stream — to one that was
+/// never interrupted.
+struct CheckpointOptions {
+  std::string path;
+  /// Write a checkpoint every this many trained slots (0 = only at the end;
+  /// the trainer always writes a final checkpoint when configured). The
+  /// batched trainer rounds up to its next outer-loop boundary, since only
+  /// there is the state between-transitions for every replica.
+  std::size_t every_slots = 0;
+  /// Resume from `path` when the file exists; start fresh when it does not
+  /// (so a supervised job can simply always pass resume=true).
+  bool resume = false;
+};
 
 struct TrainerConfig {
   std::size_t max_slots = 120000;
@@ -20,6 +40,13 @@ struct TrainerConfig {
   /// "training goal achieved in advance" of Sec. IV.B). Disabled if unset.
   std::optional<double> target_mean_reward;
   std::size_t reward_window = 2000;
+  /// Periodic checkpoint/resume; disabled if unset. On resume, the stored
+  /// reward_window and target_mean_reward must match this config (max_slots
+  /// may differ — extending a finished run's budget is the point).
+  std::optional<CheckpointOptions> checkpoint;
+  /// Called after every trained slot with (global slot index, reward). The
+  /// kill/resume tests use it to compare full reward streams.
+  std::function<void(std::size_t, double)> on_slot;
 };
 
 struct TrainingStats {

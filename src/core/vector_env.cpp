@@ -59,6 +59,25 @@ void VectorEnv::reset() {
   for (auto& env : envs_) env.reset();
 }
 
+void VectorEnv::save_state(io::ByteWriter& out) const {
+  out.u64(envs_.size());
+  for (const auto& env : envs_) env.save_state(out);
+}
+
+void VectorEnv::load_state(io::ByteReader& in) {
+  const std::uint64_t replicas = in.u64();
+  if (replicas != envs_.size()) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "checkpoint has " + std::to_string(replicas) +
+                          " environment replicas, VectorEnv has " +
+                          std::to_string(envs_.size()));
+  }
+  // Restore into a copy so a failure on any replica leaves all unchanged.
+  std::vector<CompetitionEnvironment> restored = envs_;
+  for (auto& env : restored) env.load_state(in);
+  envs_ = std::move(restored);
+}
+
 ObservationWindows::ObservationWindows(std::size_t replicas,
                                        std::size_t history, int num_channels,
                                        std::size_t num_power_levels)
@@ -98,6 +117,32 @@ void ObservationWindows::push(std::size_t r, bool success, int channel,
 std::span<const double> ObservationWindows::row(std::size_t r) const {
   CTJ_CHECK(r < replicas_);
   return {states_.data() + r * states_.cols(), states_.cols()};
+}
+
+void ObservationWindows::save_state(io::ByteWriter& out) const {
+  out.u64(replicas_);
+  out.u64(history_);
+  out.i32(num_channels_);
+  out.u64(num_power_levels_);
+  out.u64(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) out.f64(states_.data()[i]);
+}
+
+void ObservationWindows::load_state(io::ByteReader& in) {
+  const auto mismatch = [](const std::string& what) -> io::IoError {
+    return io::IoError(io::ErrorKind::kStateMismatch,
+                       "checkpoint observation windows differ in " + what);
+  };
+  if (in.u64() != replicas_) throw mismatch("replica count");
+  if (in.u64() != history_) throw mismatch("history length");
+  if (in.i32() != num_channels_) throw mismatch("channel count");
+  if (in.u64() != num_power_levels_) throw mismatch("power level count");
+  const std::uint64_t size = in.u64();
+  if (size != states_.size()) throw mismatch("window matrix size");
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(size));
+  for (std::uint64_t i = 0; i < size; ++i) values.push_back(in.f64());
+  std::copy(values.begin(), values.end(), states_.data());
 }
 
 }  // namespace ctj::core

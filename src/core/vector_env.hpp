@@ -54,6 +54,12 @@ class VectorEnv {
   /// matching CompetitionEnvironment::reset()).
   void reset();
 
+  /// Checkpoint-format serialization: replica count + every replica's full
+  /// state, in replica order. load_state throws io::IoError on a replica
+  /// count or per-replica config mismatch, leaving all replicas unchanged.
+  void save_state(io::ByteWriter& out) const;
+  void load_state(io::ByteReader& in);
+
  private:
   EnvironmentConfig config_;
   std::vector<CompetitionEnvironment> envs_;
@@ -86,6 +92,12 @@ class ObservationWindows {
 
   /// Replica r's current observation (equals DqnScheme::observation()).
   std::span<const double> row(std::size_t r) const;
+
+  /// Checkpoint-format serialization of the window matrix (+ dimension
+  /// digest); load_state throws io::IoError kStateMismatch on any
+  /// dimension difference, leaving the windows unchanged.
+  void save_state(io::ByteWriter& out) const;
+  void load_state(io::ByteReader& in);
 
  private:
   std::size_t replicas_;

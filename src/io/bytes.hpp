@@ -1,0 +1,142 @@
+// Little-endian byte-buffer codec for CTJS chunk payloads.
+//
+// ByteWriter appends primitives to an in-memory buffer; ByteReader decodes
+// the same sequence and throws a typed IoError (kBadPayload) the moment a
+// read would run past the end — a truncated or corrupted payload can never
+// yield silently wrong values. Doubles travel as their IEEE-754 bit
+// patterns, so serialization is exact: save → load → save is byte-identical
+// and restored training state is bit-identical, not merely close.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/format.hpp"
+
+namespace ctj::io {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+
+  void bytes(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  /// Length-prefixed string (u64 byte count + raw bytes).
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  /// Length-prefixed vector of doubles.
+  void f64_vec(const std::vector<double>& v) {
+    u64(v.size());
+    for (double x : v) f64(x);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(next(1)[0]); }
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(get_le<std::uint32_t>()); }
+  double f64() { return std::bit_cast<double>(get_le<std::uint64_t>()); }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    const std::string_view s = next(checked_size(n));
+    return std::string(s);
+  }
+
+  std::vector<double> f64_vec() {
+    const std::uint64_t n = u64();
+    if (n > remaining() / 8) {
+      throw IoError(ErrorKind::kBadPayload,
+                    "f64 vector of " + std::to_string(n) +
+                        " elements exceeds remaining payload " +
+                        std::to_string(remaining()));
+    }
+    std::vector<double> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
+    return v;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool at_end() const { return pos_ == bytes_.size(); }
+
+  /// Decoders call this after consuming a payload: trailing garbage means
+  /// the payload does not have the structure its tag promises.
+  void expect_end() const {
+    if (!at_end()) {
+      throw IoError(ErrorKind::kBadPayload,
+                    "trailing bytes after payload (" +
+                        std::to_string(remaining()) + " left)");
+    }
+  }
+
+ private:
+  std::string_view next(std::size_t n) {
+    if (n > remaining()) {
+      throw IoError(ErrorKind::kBadPayload,
+                    "payload ends mid-field (wanted " + std::to_string(n) +
+                        " bytes, have " + std::to_string(remaining()) + ")");
+    }
+    const std::string_view s = bytes_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// A length prefix larger than the remaining payload is corruption, not a
+  /// request to allocate petabytes.
+  std::size_t checked_size(std::uint64_t n) {
+    if (n > remaining()) {
+      throw IoError(ErrorKind::kBadPayload,
+                    "length prefix " + std::to_string(n) +
+                        " exceeds remaining payload " +
+                        std::to_string(remaining()));
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  template <typename T>
+  T get_le() {
+    const std::string_view s = next(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(s[i])) << (8 * i);
+    }
+    return v;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ctj::io

@@ -1,0 +1,33 @@
+// Named-tensor blob: the self-describing payload format used by the network
+// and optimizer chunks (NETONLN / NETTGT / ADAMOPT).
+//
+//   u32 tensor_count, then per tensor:
+//     str  name        ("layer0.w", "layer0.b.m", …)
+//     u64  rows, u64 cols
+//     rows·cols f64    (row-major, LE bit patterns)
+//
+// Self-description is what lets `ctj_ckpt` summarize shapes and diff weight
+// tensors between two checkpoints without linking the RL library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/bytes.hpp"
+
+namespace ctj::io {
+
+struct NamedTensor {
+  std::string name;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::vector<double> data;  // rows × cols, row-major
+};
+
+void write_tensors(ByteWriter& out, const std::vector<NamedTensor>& tensors);
+
+/// Decode a tensor blob; validates per-tensor element counts and that the
+/// payload is fully consumed.
+std::vector<NamedTensor> read_tensors(ByteReader& in);
+
+}  // namespace ctj::io

@@ -172,4 +172,168 @@ void DqnAgent::load_file(const std::string& path) {
   target_.copy_parameters_from(online_);
 }
 
+namespace {
+
+// The AGCNTRS chunk carries the step counters plus a digest of every
+// DqnConfig field that shapes the serialized state, so a checkpoint can
+// never be restored into an agent with a different architecture or training
+// schedule without a typed kStateMismatch.
+void write_counters(io::ByteWriter& out, const DqnConfig& config,
+                    std::size_t env_steps, std::size_t grad_steps) {
+  out.u64(env_steps);
+  out.u64(grad_steps);
+  out.u64(config.state_dim);
+  out.u64(config.num_actions);
+  out.u64(config.hidden.size());
+  for (std::size_t h : config.hidden) out.u64(h);
+  out.f64(config.learning_rate);
+  out.f64(config.gamma);
+  out.f64(config.reward_scale);
+  out.f64(config.epsilon_start);
+  out.f64(config.epsilon_end);
+  out.u64(config.epsilon_decay_steps);
+  out.u64(config.batch_size);
+  out.u64(config.replay_capacity);
+  out.u64(config.min_replay_before_training);
+  out.u64(config.target_sync_interval);
+  out.u64(config.train_every);
+  out.u8(config.double_dqn ? 1 : 0);
+  out.u64(config.seed);
+}
+
+struct Counters {
+  std::uint64_t env_steps = 0;
+  std::uint64_t grad_steps = 0;
+};
+
+Counters read_counters(io::ByteReader& in, const DqnConfig& config) {
+  Counters counters;
+  counters.env_steps = in.u64();
+  counters.grad_steps = in.u64();
+
+  const auto mismatch = [](const std::string& what) -> io::IoError {
+    return io::IoError(io::ErrorKind::kStateMismatch,
+                       "checkpoint DqnConfig differs in " + what);
+  };
+  if (in.u64() != config.state_dim) throw mismatch("state_dim");
+  if (in.u64() != config.num_actions) throw mismatch("num_actions");
+  if (in.u64() != config.hidden.size()) throw mismatch("hidden layer count");
+  for (std::size_t h : config.hidden) {
+    if (in.u64() != h) throw mismatch("hidden layer width");
+  }
+  if (in.f64() != config.learning_rate) throw mismatch("learning_rate");
+  if (in.f64() != config.gamma) throw mismatch("gamma");
+  if (in.f64() != config.reward_scale) throw mismatch("reward_scale");
+  if (in.f64() != config.epsilon_start) throw mismatch("epsilon_start");
+  if (in.f64() != config.epsilon_end) throw mismatch("epsilon_end");
+  if (in.u64() != config.epsilon_decay_steps) {
+    throw mismatch("epsilon_decay_steps");
+  }
+  if (in.u64() != config.batch_size) throw mismatch("batch_size");
+  if (in.u64() != config.replay_capacity) throw mismatch("replay_capacity");
+  if (in.u64() != config.min_replay_before_training) {
+    throw mismatch("min_replay_before_training");
+  }
+  if (in.u64() != config.target_sync_interval) {
+    throw mismatch("target_sync_interval");
+  }
+  if (in.u64() != config.train_every) throw mismatch("train_every");
+  if (in.u8() != (config.double_dqn ? 1 : 0)) throw mismatch("double_dqn");
+  if (in.u64() != config.seed) throw mismatch("seed");
+  in.expect_end();
+  return counters;
+}
+
+}  // namespace
+
+void DqnAgent::save_state(io::ContainerWriter& out) const {
+  io::ByteWriter online;
+  online_.save_state(online);
+  out.add_chunk(io::tags::kNetOnline, online.take());
+
+  io::ByteWriter target;
+  target_.save_state(target);
+  out.add_chunk(io::tags::kNetTarget, target.take());
+
+  io::ByteWriter adam;
+  optimizer_.save_state(adam);
+  out.add_chunk(io::tags::kAdam, adam.take());
+
+  io::ByteWriter replay;
+  replay_.save_state(replay);
+  out.add_chunk(io::tags::kReplay, replay.take());
+
+  io::ByteWriter rng;
+  rng.str(rng_.serialize_state());
+  out.add_chunk(io::tags::kRngAgent, rng.take());
+
+  io::ByteWriter counters;
+  write_counters(counters, config_, env_steps_, grad_steps_);
+  out.add_chunk(io::tags::kAgentCounters, counters.take());
+}
+
+void DqnAgent::load_state(const io::ContainerReader& in) {
+  // Decode + validate every chunk before mutating anything, so a corrupt or
+  // mismatched checkpoint leaves the agent exactly as it was.
+  io::ByteReader online_in(in.chunk(io::tags::kNetOnline));
+  const std::vector<io::NamedTensor> online = io::read_tensors(online_in);
+  online_in.expect_end();
+  online_.check_tensors(online);
+
+  io::ByteReader target_in(in.chunk(io::tags::kNetTarget));
+  const std::vector<io::NamedTensor> target = io::read_tensors(target_in);
+  target_in.expect_end();
+  target_.check_tensors(target);
+
+  io::ByteReader adam_in(in.chunk(io::tags::kAdam));
+  const AdamOptimizer::State adam = AdamOptimizer::decode_state(adam_in);
+  adam_in.expect_end();
+  optimizer_.check_state(adam);
+
+  io::ByteReader replay_in(in.chunk(io::tags::kReplay));
+  ReplayBuffer::State replay = ReplayBuffer::decode_state(replay_in);
+  replay_in.expect_end();
+  replay_.check_state(replay);
+  for (const Transition& t : replay.items) {
+    if (t.state.size() != config_.state_dim ||
+        t.next_state.size() != config_.state_dim ||
+        t.action >= config_.num_actions) {
+      throw io::IoError(io::ErrorKind::kStateMismatch,
+                        "replay transition does not fit the agent's "
+                        "state/action dimensions");
+    }
+  }
+
+  io::ByteReader rng_in(in.chunk(io::tags::kRngAgent));
+  const std::string rng_text = rng_in.str();
+  rng_in.expect_end();
+  Rng rng;
+  try {
+    rng.restore_state(rng_text);
+  } catch (const CheckFailure&) {
+    throw io::IoError(io::ErrorKind::kBadPayload, "agent RNG state");
+  }
+
+  io::ByteReader counters_in(in.chunk(io::tags::kAgentCounters));
+  const Counters counters = read_counters(counters_in, config_);
+
+  // Commit — nothing below throws.
+  online_.apply_tensors(online);
+  target_.apply_tensors(target);
+  optimizer_.apply_state(adam);
+  replay_.apply_state(std::move(replay));
+  rng_ = rng;
+  env_steps_ = static_cast<std::size_t>(counters.env_steps);
+  grad_steps_ = static_cast<std::size_t>(counters.grad_steps);
+}
+
+void DqnAgent::load_policy(const io::ContainerReader& in) {
+  io::ByteReader online_in(in.chunk(io::tags::kNetOnline));
+  const std::vector<io::NamedTensor> online = io::read_tensors(online_in);
+  online_in.expect_end();
+  online_.check_tensors(online);
+  online_.apply_tensors(online);
+  target_.copy_parameters_from(online_);
+}
+
 }  // namespace ctj::rl

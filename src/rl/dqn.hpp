@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "io/container.hpp"
 #include "rl/nn.hpp"
 #include "rl/replay.hpp"
 
@@ -98,6 +99,21 @@ class DqnAgent {
 
   void save_file(const std::string& path) const { online_.save_file(path); }
   void load_file(const std::string& path);
+
+  /// Write the agent's complete training state into a CTJS container:
+  /// online/target networks, Adam moments + step counter, the replay ring
+  /// and cursor, the exploration RNG stream, and the env/gradient step
+  /// counters. Restoring it resumes training bit-identically.
+  void save_state(io::ContainerWriter& out) const;
+
+  /// Restore a state written by save_state(). Strong guarantee: every chunk
+  /// is decoded and validated against this agent's configuration before any
+  /// member is touched — on any io::IoError the agent is unchanged.
+  void load_state(const io::ContainerReader& in);
+
+  /// Load only the online network weights (deployment artifact path); the
+  /// target network is synced to them. Same no-mutation-on-failure rule.
+  void load_policy(const io::ContainerReader& in);
 
  private:
   DqnConfig config_;

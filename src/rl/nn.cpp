@@ -1,5 +1,6 @@
 #include "rl/nn.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 
@@ -192,6 +193,97 @@ void Mlp::load(std::istream& is) {
   for (auto& layer : layers_) layer.load(is);
 }
 
+namespace {
+
+std::string shape_string(std::uint64_t rows, std::uint64_t cols) {
+  return std::to_string(rows) + "x" + std::to_string(cols);
+}
+
+void check_tensor_list(const std::vector<io::NamedTensor>& tensors,
+                       const std::vector<io::NamedTensor>& expected,
+                       const char* what) {
+  if (tensors.size() != expected.size()) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      std::string(what) + " has " +
+                          std::to_string(tensors.size()) + " tensors, expected " +
+                          std::to_string(expected.size()));
+  }
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    if (tensors[i].name != expected[i].name) {
+      throw io::IoError(io::ErrorKind::kStateMismatch,
+                        std::string(what) + " tensor " + std::to_string(i) +
+                            " is \"" + tensors[i].name + "\", expected \"" +
+                            expected[i].name + "\"");
+    }
+    if (tensors[i].rows != expected[i].rows ||
+        tensors[i].cols != expected[i].cols) {
+      throw io::IoError(io::ErrorKind::kStateMismatch,
+                        std::string(what) + " tensor " + tensors[i].name +
+                            " is " +
+                            shape_string(tensors[i].rows, tensors[i].cols) +
+                            ", expected " +
+                            shape_string(expected[i].rows, expected[i].cols));
+    }
+  }
+}
+
+io::NamedTensor tensor_shape_of(std::string name, const Matrix& m) {
+  io::NamedTensor t;
+  t.name = std::move(name);
+  t.rows = m.rows();
+  t.cols = m.cols();
+  return t;
+}
+
+}  // namespace
+
+std::vector<io::NamedTensor> Mlp::export_state() const {
+  std::vector<io::NamedTensor> tensors;
+  tensors.reserve(2 * layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const std::string prefix = "layer" + std::to_string(i);
+    io::NamedTensor w = tensor_shape_of(prefix + ".w", layers_[i].weights());
+    w.data.assign(layers_[i].weights().data(),
+                  layers_[i].weights().data() + layers_[i].weights().size());
+    tensors.push_back(std::move(w));
+    io::NamedTensor b = tensor_shape_of(prefix + ".b", layers_[i].bias());
+    b.data.assign(layers_[i].bias().data(),
+                  layers_[i].bias().data() + layers_[i].bias().size());
+    tensors.push_back(std::move(b));
+  }
+  return tensors;
+}
+
+void Mlp::check_tensors(const std::vector<io::NamedTensor>& tensors) const {
+  std::vector<io::NamedTensor> expected;
+  expected.reserve(2 * layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const std::string prefix = "layer" + std::to_string(i);
+    expected.push_back(tensor_shape_of(prefix + ".w", layers_[i].weights()));
+    expected.push_back(tensor_shape_of(prefix + ".b", layers_[i].bias()));
+  }
+  check_tensor_list(tensors, expected, "network");
+}
+
+void Mlp::apply_tensors(const std::vector<io::NamedTensor>& tensors) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const io::NamedTensor& w = tensors[2 * i];
+    const io::NamedTensor& b = tensors[2 * i + 1];
+    std::copy(w.data.begin(), w.data.end(), layers_[i].weights().data());
+    std::copy(b.data.begin(), b.data.end(), layers_[i].bias().data());
+  }
+}
+
+void Mlp::save_state(io::ByteWriter& out) const {
+  io::write_tensors(out, export_state());
+}
+
+void Mlp::load_state(io::ByteReader& in) {
+  const std::vector<io::NamedTensor> tensors = io::read_tensors(in);
+  check_tensors(tensors);
+  apply_tensors(tensors);
+}
+
 void Mlp::save_file(const std::string& path) const {
   std::ofstream os(path, std::ios::binary);
   CTJ_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
@@ -231,6 +323,56 @@ void AdamOptimizer::step(Mlp& net) {
     update(net.layer(i).weights(), net.layer(i).weight_grad());
     update(net.layer(i).bias(), net.layer(i).bias_grad());
   }
+}
+
+void AdamOptimizer::save_state(io::ByteWriter& out) const {
+  out.u64(t_);
+  std::vector<io::NamedTensor> tensors;
+  tensors.reserve(2 * m_.size());
+  for (std::size_t slot = 0; slot < m_.size(); ++slot) {
+    const std::string prefix = "p" + std::to_string(slot);
+    io::NamedTensor m = tensor_shape_of(prefix + ".m", m_[slot]);
+    m.data.assign(m_[slot].data(), m_[slot].data() + m_[slot].size());
+    tensors.push_back(std::move(m));
+    io::NamedTensor v = tensor_shape_of(prefix + ".v", v_[slot]);
+    v.data.assign(v_[slot].data(), v_[slot].data() + v_[slot].size());
+    tensors.push_back(std::move(v));
+  }
+  io::write_tensors(out, tensors);
+}
+
+AdamOptimizer::State AdamOptimizer::decode_state(io::ByteReader& in) {
+  State state;
+  state.step_count = in.u64();
+  state.moments = io::read_tensors(in);
+  return state;
+}
+
+void AdamOptimizer::check_state(const State& state) const {
+  std::vector<io::NamedTensor> expected;
+  expected.reserve(2 * m_.size());
+  for (std::size_t slot = 0; slot < m_.size(); ++slot) {
+    const std::string prefix = "p" + std::to_string(slot);
+    expected.push_back(tensor_shape_of(prefix + ".m", m_[slot]));
+    expected.push_back(tensor_shape_of(prefix + ".v", v_[slot]));
+  }
+  check_tensor_list(state.moments, expected, "optimizer");
+}
+
+void AdamOptimizer::apply_state(const State& state) {
+  t_ = static_cast<std::size_t>(state.step_count);
+  for (std::size_t slot = 0; slot < m_.size(); ++slot) {
+    const io::NamedTensor& m = state.moments[2 * slot];
+    const io::NamedTensor& v = state.moments[2 * slot + 1];
+    std::copy(m.data.begin(), m.data.end(), m_[slot].data());
+    std::copy(v.data.begin(), v.data.end(), v_[slot].data());
+  }
+}
+
+void AdamOptimizer::load_state(io::ByteReader& in) {
+  const State state = decode_state(in);
+  check_state(state);
+  apply_state(state);
 }
 
 void sgd_step(Mlp& net, double lr) {

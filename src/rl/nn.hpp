@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "io/tensors.hpp"
 #include "rl/matrix.hpp"
 
 namespace ctj::rl {
@@ -113,6 +114,20 @@ class Mlp {
   void save_file(const std::string& path) const;
   void load_file(const std::string& path);
 
+  // Checkpoint-format serialization (io::NamedTensor blobs, tensors named
+  // "layer<i>.w" / "layer<i>.b"). The three-step export/check/apply split
+  // lets a composite loader (DqnAgent) validate every component before
+  // mutating any of them.
+  std::vector<io::NamedTensor> export_state() const;
+  /// Throws io::IoError (kStateMismatch) unless the tensor list matches
+  /// this network's layer count, names and shapes exactly.
+  void check_tensors(const std::vector<io::NamedTensor>& tensors) const;
+  /// Copy checked tensors into the parameters (no allocation, no throwing
+  /// after check_tensors passed).
+  void apply_tensors(const std::vector<io::NamedTensor>& tensors);
+  void save_state(io::ByteWriter& out) const;
+  void load_state(io::ByteReader& in);
+
  private:
   std::vector<std::size_t> sizes_;
   std::vector<LinearLayer> layers_;
@@ -138,6 +153,22 @@ class AdamOptimizer {
   void step(Mlp& net);
 
   const Config& config() const { return config_; }
+  std::size_t step_count() const { return t_; }
+
+  // Checkpoint-format serialization: the step counter plus every moment
+  // matrix ("p<slot>.m" / "p<slot>.v"), same decode/check/apply protocol
+  // as Mlp so resumed Adam updates are bit-identical.
+  struct State {
+    std::uint64_t step_count = 0;
+    std::vector<io::NamedTensor> moments;
+  };
+  void save_state(io::ByteWriter& out) const;
+  static State decode_state(io::ByteReader& in);
+  /// Throws io::IoError (kStateMismatch) unless the moments match this
+  /// optimizer's parameter slots in count, names and shapes.
+  void check_state(const State& state) const;
+  void apply_state(const State& state);
+  void load_state(io::ByteReader& in);
 
  private:
   Config config_;

@@ -1,5 +1,7 @@
 #include "rl/replay.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace ctj::rl {
@@ -37,6 +39,78 @@ const Transition& ReplayBuffer::at(std::size_t i) const {
 void ReplayBuffer::clear() {
   buffer_.clear();
   next_ = 0;
+}
+
+void ReplayBuffer::save_state(io::ByteWriter& out) const {
+  out.u64(capacity_);
+  out.u64(next_);
+  out.u64(buffer_.size());
+  for (const Transition& t : buffer_) {
+    out.f64_vec(t.state);
+    out.u64(t.action);
+    out.f64(t.reward);
+    out.f64_vec(t.next_state);
+    out.u8(t.done ? 1 : 0);
+  }
+}
+
+ReplayBuffer::State ReplayBuffer::decode_state(io::ByteReader& in) {
+  State state;
+  state.capacity = in.u64();
+  state.cursor = in.u64();
+  const std::uint64_t count = in.u64();
+  state.items.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, in.remaining() / 8)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Transition t;
+    t.state = in.f64_vec();
+    t.action = static_cast<std::size_t>(in.u64());
+    t.reward = in.f64();
+    t.next_state = in.f64_vec();
+    const std::uint8_t done = in.u8();
+    if (done > 1) {
+      throw io::IoError(io::ErrorKind::kBadPayload,
+                        "replay transition done flag is " +
+                            std::to_string(done));
+    }
+    t.done = done != 0;
+    state.items.push_back(std::move(t));
+  }
+  return state;
+}
+
+void ReplayBuffer::check_state(const State& state) const {
+  if (state.capacity != capacity_) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "replay capacity " + std::to_string(state.capacity) +
+                          " != configured " + std::to_string(capacity_));
+  }
+  if (state.items.size() > capacity_) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "replay holds " + std::to_string(state.items.size()) +
+                          " transitions over capacity " +
+                          std::to_string(capacity_));
+  }
+  // The cursor only advances once the ring is full; while filling it is 0.
+  if (state.items.size() < capacity_ ? state.cursor != 0
+                                     : state.cursor >= capacity_) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "replay cursor " + std::to_string(state.cursor) +
+                          " inconsistent with " +
+                          std::to_string(state.items.size()) + "/" +
+                          std::to_string(capacity_) + " fill");
+  }
+}
+
+void ReplayBuffer::apply_state(State&& state) {
+  buffer_ = std::move(state.items);
+  next_ = static_cast<std::size_t>(state.cursor);
+}
+
+void ReplayBuffer::load_state(io::ByteReader& in) {
+  State state = decode_state(in);
+  check_state(state);
+  apply_state(std::move(state));
 }
 
 }  // namespace ctj::rl

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "io/bytes.hpp"
 
 namespace ctj::rl {
 
@@ -33,6 +34,27 @@ class ReplayBuffer {
 
   const Transition& at(std::size_t i) const;
   void clear();
+
+  /// Ring write cursor: the slot the next push() overwrites once the buffer
+  /// is full (0 while still filling). Persisted so a restored buffer
+  /// continues overwriting exactly where the saved one would have.
+  std::size_t cursor() const { return next_; }
+
+  // Checkpoint-format serialization of the full ring (contents + cursor),
+  // decode/check/apply split so composite loaders can validate every
+  // component before mutating any (see DqnAgent::load_state).
+  struct State {
+    std::uint64_t capacity = 0;
+    std::uint64_t cursor = 0;
+    std::vector<Transition> items;
+  };
+  void save_state(io::ByteWriter& out) const;
+  static State decode_state(io::ByteReader& in);
+  /// Throws io::IoError (kStateMismatch) unless the state fits this
+  /// buffer's capacity and its cursor/size invariants hold.
+  void check_state(const State& state) const;
+  void apply_state(State&& state);
+  void load_state(io::ByteReader& in);
 
  private:
   std::size_t capacity_;

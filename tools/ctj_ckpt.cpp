@@ -1,0 +1,210 @@
+// ctj_ckpt — inspect, validate and diff CTJS checkpoint files.
+//
+//   ctj_ckpt info   <file>          chunk table, META keys, tensor shapes
+//   ctj_ckpt verify <file>...       full structural + CRC validation;
+//                                   exit 1 on the first invalid file
+//   ctj_ckpt diff   <a> <b>         chunk-level comparison; weight tensors
+//                                   are compared element-wise (max |Δ|)
+//
+// The tool links only the container layer (ctj_io): tensor chunks are
+// self-describing (io/tensors.hpp), so shapes and diffs need no knowledge
+// of the network that wrote them.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "io/container.hpp"
+#include "io/tensors.hpp"
+
+namespace {
+
+using ctj::io::ByteReader;
+using ctj::io::ChunkInfo;
+using ctj::io::ContainerReader;
+using ctj::io::IoError;
+using ctj::io::NamedTensor;
+
+// Chunks whose payload is (or ends in) a named-tensor blob.
+bool is_tensor_chunk(const std::string& tag) {
+  return tag == "NETONLN" || tag == "NETTGT" || tag == "ADAMOPT";
+}
+
+// Decode the tensor blob of a chunk; ADAMOPT carries a u64 step count first.
+std::vector<NamedTensor> tensors_of(const ContainerReader& in,
+                                    const std::string& tag,
+                                    std::uint64_t* adam_step = nullptr) {
+  ByteReader r(in.chunk(tag.c_str()));
+  if (tag == "ADAMOPT") {
+    const std::uint64_t step = r.u64();
+    if (adam_step) *adam_step = step;
+  }
+  std::vector<NamedTensor> tensors = ctj::io::read_tensors(r);
+  r.expect_end();
+  return tensors;
+}
+
+int cmd_info(const std::string& path) {
+  const ContainerReader in = ContainerReader::from_file(path);
+  std::printf("%s: CTJS v%u, %zu chunks\n", path.c_str(),
+              static_cast<unsigned>(in.format_version()), in.chunks().size());
+  std::printf("  %-8s %12s %10s  %s\n", "tag", "bytes", "crc32", "offset");
+  for (const ChunkInfo& chunk : in.chunks()) {
+    std::printf("  %-8s %12llu 0x%08x  %llu\n", chunk.tag.c_str(),
+                static_cast<unsigned long long>(chunk.size), chunk.crc32,
+                static_cast<unsigned long long>(chunk.offset));
+  }
+  if (in.has_chunk("META")) {
+    std::printf("META:\n");
+    for (const auto& [key, value] : ctj::io::decode_meta(in.chunk("META"))) {
+      std::printf("  %s = %s\n", key.c_str(), value.c_str());
+    }
+  }
+  for (const ChunkInfo& chunk : in.chunks()) {
+    if (!is_tensor_chunk(chunk.tag)) continue;
+    std::uint64_t adam_step = 0;
+    const std::vector<NamedTensor> tensors =
+        tensors_of(in, chunk.tag, &adam_step);
+    std::printf("%s:", chunk.tag.c_str());
+    if (chunk.tag == "ADAMOPT") {
+      std::printf(" step=%llu", static_cast<unsigned long long>(adam_step));
+    }
+    std::printf(" %zu tensors\n", tensors.size());
+    for (const NamedTensor& tensor : tensors) {
+      std::printf("  %-12s f64[%llu x %llu]\n", tensor.name.c_str(),
+                  static_cast<unsigned long long>(tensor.rows),
+                  static_cast<unsigned long long>(tensor.cols));
+    }
+  }
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    // from_file re-checks everything: magic, header CRC, version, declared
+    // file size, chunk bounds and every chunk's CRC over tag + payload. Any
+    // single flipped byte lands in one of those checks.
+    const ContainerReader in = ContainerReader::from_file(path);
+    std::printf("%s: OK (v%u, %zu chunks)\n", path.c_str(),
+                static_cast<unsigned>(in.format_version()), in.chunks().size());
+  }
+  return 0;
+}
+
+const ChunkInfo* find_chunk(const ContainerReader& in, const std::string& tag) {
+  for (const ChunkInfo& chunk : in.chunks()) {
+    if (chunk.tag == tag) return &chunk;
+  }
+  return nullptr;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  const ContainerReader a = ContainerReader::from_file(path_a);
+  const ContainerReader b = ContainerReader::from_file(path_b);
+  bool differ = false;
+
+  std::set<std::string> tags;
+  for (const ChunkInfo& chunk : a.chunks()) tags.insert(chunk.tag);
+  for (const ChunkInfo& chunk : b.chunks()) tags.insert(chunk.tag);
+
+  for (const std::string& tag : tags) {
+    const ChunkInfo* in_a = find_chunk(a, tag);
+    const ChunkInfo* in_b = find_chunk(b, tag);
+    if (!in_a || !in_b) {
+      std::printf("%-8s only in %s\n", tag.c_str(),
+                  (in_a ? path_a : path_b).c_str());
+      differ = true;
+      continue;
+    }
+    if (in_a->crc32 == in_b->crc32 && in_a->size == in_b->size) {
+      std::printf("%-8s identical (%llu bytes)\n", tag.c_str(),
+                  static_cast<unsigned long long>(in_a->size));
+      continue;
+    }
+    differ = true;
+    if (!is_tensor_chunk(tag)) {
+      std::printf("%-8s differs (%llu vs %llu bytes)\n", tag.c_str(),
+                  static_cast<unsigned long long>(in_a->size),
+                  static_cast<unsigned long long>(in_b->size));
+      continue;
+    }
+    // Element-wise tensor comparison.
+    const std::vector<NamedTensor> ta = tensors_of(a, tag);
+    const std::vector<NamedTensor> tb = tensors_of(b, tag);
+    std::map<std::string, const NamedTensor*> by_name;
+    for (const NamedTensor& tensor : tb) by_name[tensor.name] = &tensor;
+    std::printf("%-8s differs:\n", tag.c_str());
+    for (const NamedTensor& ours : ta) {
+      const auto it = by_name.find(ours.name);
+      if (it == by_name.end()) {
+        std::printf("  %-12s only in %s\n", ours.name.c_str(), path_a.c_str());
+        continue;
+      }
+      const NamedTensor& theirs = *it->second;
+      by_name.erase(it);
+      if (ours.rows != theirs.rows || ours.cols != theirs.cols) {
+        std::printf("  %-12s shape [%llu x %llu] vs [%llu x %llu]\n",
+                    ours.name.c_str(),
+                    static_cast<unsigned long long>(ours.rows),
+                    static_cast<unsigned long long>(ours.cols),
+                    static_cast<unsigned long long>(theirs.rows),
+                    static_cast<unsigned long long>(theirs.cols));
+        continue;
+      }
+      double max_abs = 0.0;
+      std::size_t at = 0;
+      for (std::size_t i = 0; i < ours.data.size(); ++i) {
+        const double d = std::fabs(ours.data[i] - theirs.data[i]);
+        if (d > max_abs) {
+          max_abs = d;
+          at = i;
+        }
+      }
+      if (max_abs == 0.0) {
+        std::printf("  %-12s equal\n", ours.name.c_str());
+      } else {
+        std::printf("  %-12s max |delta| = %.17g at [%zu, %zu]\n",
+                    ours.name.c_str(), max_abs, at / ours.cols,
+                    at % ours.cols);
+      }
+    }
+    for (const auto& [name, tensor] : by_name) {
+      (void)tensor;
+      std::printf("  %-12s only in %s\n", name.c_str(), path_b.c_str());
+    }
+  }
+  return differ ? 2 : 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ctj_ckpt info <file>\n"
+               "       ctj_ckpt verify <file>...\n"
+               "       ctj_ckpt diff <a> <b>\n"
+               "\n"
+               "exit: 0 ok / identical, 1 invalid file or usage error,\n"
+               "      2 files differ (diff)\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "info" && argc == 3) return cmd_info(argv[2]);
+    if (command == "verify" && argc >= 3) {
+      return cmd_verify(std::vector<std::string>(argv + 2, argv + argc));
+    }
+    if (command == "diff" && argc == 4) return cmd_diff(argv[2], argv[3]);
+  } catch (const IoError& error) {
+    std::fprintf(stderr, "ctj_ckpt: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
