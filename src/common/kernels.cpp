@@ -98,6 +98,62 @@ void adam_update_scalar(double* p, double* m, double* v, const double* g,
   }
 }
 
+void viterbi_acs_hard_scalar(const std::int32_t* metric,
+                             const std::int32_t* cost0,
+                             const std::int32_t* cost1, std::int32_t* next,
+                             std::uint64_t* chosen) {
+  std::uint64_t bits = 0;
+  for (unsigned ns = 0; ns < 64; ++ns) {
+    const unsigned j = ns & 31;
+    const std::int32_t v0 = metric[2 * j] + cost0[ns];
+    const std::int32_t v1 = metric[2 * j + 1] + cost1[ns];
+    const bool odd = v1 < v0;
+    next[ns] = odd ? v1 : v0;
+    bits |= static_cast<std::uint64_t>(odd) << ns;
+  }
+  *chosen = bits;
+}
+
+void viterbi_acs_soft_scalar(const double* metric, const double* cost0,
+                             const double* cost1, double* next,
+                             std::uint64_t* chosen) {
+  std::uint64_t bits = 0;
+  for (unsigned ns = 0; ns < 64; ++ns) {
+    const unsigned j = ns & 31;
+    const double v0 = metric[2 * j] + cost0[ns];
+    const double v1 = metric[2 * j + 1] + cost1[ns];
+    const bool odd = v1 < v0;
+    next[ns] = odd ? v1 : v0;
+    bits |= static_cast<std::uint64_t>(odd) << ns;
+  }
+  *chosen = bits;
+}
+
+// The reference arithmetic mirrors the Qam64::quantize path exactly:
+// x·(1/(α·norm)) onto the slot grid via std::round((x+7)/2) clamped to
+// [0, 7], back through level = −7 + 2·slot, (level·norm)·α, and a
+// left-to-right err += dre² + dim² fold — so the scalar kernel is
+// bit-identical to the pre-kernel quantization_error loop.
+double qam64_error_scalar(const double* iq, std::size_t n, double alpha,
+                          double norm) {
+  const double scale = 1.0 / (alpha * norm);
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = iq[2 * i];
+    const double im = iq[2 * i + 1];
+    double si = std::round((re * scale + 7.0) / 2.0);
+    if (si < 0.0) si = 0.0;
+    if (si > 7.0) si = 7.0;
+    double sq = std::round((im * scale + 7.0) / 2.0);
+    if (sq < 0.0) sq = 0.0;
+    if (sq > 7.0) sq = 7.0;
+    const double dre = ((-7.0 + 2.0 * si) * norm) * alpha - re;
+    const double dim = ((-7.0 + 2.0 * sq) * norm) * alpha - im;
+    err += dre * dre + dim * dim;
+  }
+  return err;
+}
+
 }  // namespace
 
 const KernelOps& scalar_ops() {
@@ -105,6 +161,7 @@ const KernelOps& scalar_ops() {
       "scalar",         matmul_acc_scalar, saxpy_scalar,
       bias_act_scalar,  row_max_scalar,    row_argmax_scalar,
       td_huber_batch_scalar, adam_update_scalar,
+      viterbi_acs_hard_scalar, viterbi_acs_soft_scalar, qam64_error_scalar,
   };
   return kOps;
 }

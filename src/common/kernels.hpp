@@ -82,6 +82,36 @@ struct KernelOps {
   void (*adam_update)(double* p, double* m, double* v, const double* g,
                       std::size_t n, double beta1, double beta2, double lr,
                       double bc1, double bc2, double epsilon);
+
+  /// One hard-decision add-compare-select step over the 64-state K=7
+  /// convolutional trellis in butterfly order. For next state ns the two
+  /// predecessors are 2·(ns & 31) and 2·(ns & 31)+1, so
+  ///   next[ns] = min(metric[2j] + cost0[ns], metric[2j+1] + cost1[ns])
+  /// with ties to the even predecessor; bit ns of *chosen is set when the
+  /// odd predecessor wins strictly. cost0/cost1 are 64-entry per-next-state
+  /// branch-cost tables the caller precomputes from the received pair.
+  /// Integer adds, so every level is bit-exact with the scalar reference.
+  void (*viterbi_acs_hard)(const std::int32_t* metric,
+                           const std::int32_t* cost0,
+                           const std::int32_t* cost1, std::int32_t* next,
+                           std::uint64_t* chosen);
+
+  /// Soft-metric (double) flavor of the same butterfly step. One correctly
+  /// rounded add per candidate and a min — no reductions, no FMA — so every
+  /// level is bit-exact with the scalar reference.
+  void (*viterbi_acs_soft)(const double* metric, const double* cost0,
+                           const double* cost1, double* next,
+                           std::uint64_t* chosen);
+
+  /// Σ_i |α·Q(z_i) − z_i|² where Q snaps each component of z_i/(α·norm) to
+  /// the nearest odd level in {±1,±3,±5,±7} and scales back by norm·α — the
+  /// 64-QAM nearest-point error of Eq. (1). `iq` holds n interleaved
+  /// (re, im) pairs. The scalar level reproduces the Qam64::quantize-based
+  /// loop bit for bit (left-to-right accumulation, std::round snapping);
+  /// SIMD levels reassociate the sum across lanes and are tolerance-bound
+  /// only, like matmul.
+  double (*qam64_error)(const double* iq, std::size_t n, double alpha,
+                        double norm);
 };
 
 /// The portable reference kernels (always available).

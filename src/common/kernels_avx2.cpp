@@ -284,6 +284,119 @@ void adam_update_avx2(double* p, double* m, double* v, const double* g,
   }
 }
 
+// 64-state butterfly ACS, 8 next states per ymm. The 64 predecessors split
+// into four 16-metric ranges; each range is deinterleaved once into an
+// even/odd pair (permutevar + permute2x128) and reused by the two 8-state
+// blocks that draw on it (ns and ns+32 share j = ns & 31). Integer adds and
+// min_epi32 only, so the result is bit-exact with the scalar reference; the
+// odd-wins mask comes from cmpgt(v0, v1), which matches the scalar strict
+// `v1 < v0` tie-break.
+void viterbi_acs_hard_avx2(const std::int32_t* metric,
+                           const std::int32_t* cost0,
+                           const std::int32_t* cost1, std::int32_t* next,
+                           std::uint64_t* chosen) {
+  const __m256i deint = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+  __m256i even[4];
+  __m256i odd[4];
+  for (int k = 0; k < 4; ++k) {
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(metric + 16 * k));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(metric + 16 * k + 8));
+    const __m256i pa = _mm256_permutevar8x32_epi32(a, deint);
+    const __m256i pb = _mm256_permutevar8x32_epi32(b, deint);
+    even[k] = _mm256_permute2x128_si256(pa, pb, 0x20);
+    odd[k] = _mm256_permute2x128_si256(pa, pb, 0x31);
+  }
+  std::uint64_t bits = 0;
+  for (int b = 0; b < 8; ++b) {
+    const __m256i v0 = _mm256_add_epi32(
+        even[b & 3],
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cost0 + 8 * b)));
+    const __m256i v1 = _mm256_add_epi32(
+        odd[b & 3],
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cost1 + 8 * b)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(next + 8 * b),
+                        _mm256_min_epi32(v0, v1));
+    const unsigned mask = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(v0, v1))));
+    bits |= static_cast<std::uint64_t>(mask) << (8 * b);
+  }
+  *chosen = bits;
+}
+
+// Double-metric flavor, 4 next states per ymm: deinterleave each 8-metric
+// predecessor range via permute2f128 + unpack, plain adds and min_pd.
+// min_pd(v1, v0) returns v0 on ties, matching the scalar even-wins rule,
+// and _CMP_LT_OQ(v1, v0) is exactly the scalar `v1 < v0` chosen bit.
+void viterbi_acs_soft_avx2(const double* metric, const double* cost0,
+                           const double* cost1, double* next,
+                           std::uint64_t* chosen) {
+  __m256d even[8];
+  __m256d odd[8];
+  for (int k = 0; k < 8; ++k) {
+    const __m256d a = _mm256_loadu_pd(metric + 8 * k);
+    const __m256d b = _mm256_loadu_pd(metric + 8 * k + 4);
+    const __m256d t0 = _mm256_permute2f128_pd(a, b, 0x20);
+    const __m256d t1 = _mm256_permute2f128_pd(a, b, 0x31);
+    even[k] = _mm256_unpacklo_pd(t0, t1);
+    odd[k] = _mm256_unpackhi_pd(t0, t1);
+  }
+  std::uint64_t bits = 0;
+  for (int b = 0; b < 16; ++b) {
+    const __m256d v0 = _mm256_add_pd(even[b & 7], _mm256_loadu_pd(cost0 + 4 * b));
+    const __m256d v1 = _mm256_add_pd(odd[b & 7], _mm256_loadu_pd(cost1 + 4 * b));
+    _mm256_storeu_pd(next + 4 * b, _mm256_min_pd(v1, v0));
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(v1, v0, _CMP_LT_OQ)));
+    bits |= static_cast<std::uint64_t>(mask) << (4 * b);
+  }
+  *chosen = bits;
+}
+
+// Four components (two complex points) per iteration; re and im go through
+// the identical snap, so no deinterleave is needed. floor(v + 0.5) replaces
+// round-half-away (equal for the clamped v ≥ 0 range except exact-boundary
+// ULP cases) and the four-lane accumulator reassociates the sum, so this
+// level is tolerance-bound against the scalar reference, like matmul.
+double qam64_error_avx2(const double* iq, std::size_t n, double alpha,
+                        double norm) {
+  const double scale = 1.0 / (alpha * norm);
+  const std::size_t total = 2 * n;
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d vseven = _mm256_set1_pd(7.0);
+  const __m256d vhalf = _mm256_set1_pd(0.5);
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vtwo = _mm256_set1_pd(2.0);
+  const __m256d vnorm_alpha = _mm256_set1_pd(norm * alpha);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= total; j += 4) {
+    const __m256d v = _mm256_loadu_pd(iq + j);
+    const __m256d x =
+        _mm256_mul_pd(_mm256_add_pd(_mm256_mul_pd(v, vscale), vseven), vhalf);
+    __m256d slot = _mm256_floor_pd(_mm256_add_pd(x, vhalf));
+    slot = _mm256_min_pd(_mm256_max_pd(slot, vzero), vseven);
+    const __m256d level = _mm256_sub_pd(_mm256_mul_pd(slot, vtwo), vseven);
+    const __m256d d = _mm256_sub_pd(_mm256_mul_pd(level, vnorm_alpha), v);
+    acc = _mm256_fmadd_pd(d, d, acc);
+  }
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  __m128d sum2 = _mm_add_pd(lo, hi);
+  sum2 = _mm_add_sd(sum2, _mm_unpackhi_pd(sum2, sum2));
+  double err = _mm_cvtsd_f64(sum2);
+  for (; j < total; ++j) {
+    const double x = (iq[j] * scale + 7.0) * 0.5;
+    double slot = __builtin_floor(x + 0.5);
+    if (slot < 0.0) slot = 0.0;
+    if (slot > 7.0) slot = 7.0;
+    const double d = (slot * 2.0 - 7.0) * (norm * alpha) - iq[j];
+    err += d * d;
+  }
+  return err;
+}
+
 }  // namespace
 
 const KernelOps* avx2_ops() {
@@ -291,6 +404,7 @@ const KernelOps* avx2_ops() {
       "avx2",        matmul_acc_avx2, saxpy_avx2,
       bias_act_avx2, row_max_avx2,    row_argmax_avx2,
       td_huber_batch_avx2, adam_update_avx2,
+      viterbi_acs_hard_avx2, viterbi_acs_soft_avx2, qam64_error_avx2,
   };
   return &kOps;
 }

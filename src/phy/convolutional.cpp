@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/kernels.hpp"
 
 namespace ctj::phy {
 namespace {
@@ -37,6 +39,163 @@ std::vector<bool> keep_mask(CodeRate rate) {
   }
   CTJ_CHECK_MSG(false, "unreachable");
   return {};
+}
+
+// Precomputed K=7 trellis in butterfly (next-state) order. Next state
+// ns = ((in << 6) | s) >> 1, so ns determines the consumed input bit
+// (in = ns >> 5) and its two predecessors 2·(ns & 31) and 2·(ns & 31)+1 —
+// exactly the (metric[2j], metric[2j+1]) layout the kernel ACS expects.
+// pair0/pair1 hold the expected output pair (e0 << 1) | e1 of the even/odd
+// predecessor transition; the hard-decision branch costs are fully
+// enumerable over the 9 received classes (r0, r1) ∈ {0, 1, erasure}² and
+// are baked into per-class 64-entry cost tables once per process.
+struct Trellis {
+  std::array<std::uint8_t, 64> pair0;
+  std::array<std::uint8_t, 64> pair1;
+  alignas(64) std::int32_t hard_cost0[9][64];
+  alignas(64) std::int32_t hard_cost1[9][64];
+};
+
+const Trellis& trellis() {
+  static const Trellis table = [] {
+    Trellis tr{};
+    for (unsigned ns = 0; ns < 64; ++ns) {
+      const unsigned in = ns >> 5;
+      for (unsigned half = 0; half < 2; ++half) {
+        const unsigned s = 2 * (ns & 31) + half;
+        const unsigned reg = (in << 6) | s;
+        const unsigned e0 =
+            static_cast<unsigned>(parity(reg & ConvolutionalCode::kG0));
+        const unsigned e1 =
+            static_cast<unsigned>(parity(reg & ConvolutionalCode::kG1));
+        (half ? tr.pair1 : tr.pair0)[ns] =
+            static_cast<std::uint8_t>((e0 << 1) | e1);
+      }
+    }
+    for (unsigned r0 = 0; r0 < 3; ++r0) {
+      for (unsigned r1 = 0; r1 < 3; ++r1) {
+        const unsigned cls = r0 * 3 + r1;
+        for (unsigned ns = 0; ns < 64; ++ns) {
+          const auto cost_of = [&](unsigned pair) {
+            std::int32_t c = 0;
+            if (r0 <= 1) c += ((pair >> 1) != r0);
+            if (r1 <= 1) c += ((pair & 1) != r1);
+            return c;
+          };
+          tr.hard_cost0[cls][ns] = cost_of(tr.pair0[ns]);
+          tr.hard_cost1[cls][ns] = cost_of(tr.pair1[ns]);
+        }
+      }
+    }
+    return tr;
+  }();
+  return table;
+}
+
+// Shared traceback: chosen[t] bit ns set means the odd predecessor of ns won
+// step t. Unreachable states keep ~kInf metrics through the recursion, so
+// they can never be the final argmin nor sit on the winning path — the
+// decoded bits match the reachability-pruned reference decoder exactly.
+void traceback(const std::vector<std::uint64_t>& chosen, unsigned state,
+               Bits& info) {
+  const std::size_t steps = chosen.size();
+  info.resize(steps);
+  for (std::size_t t = steps; t-- > 0;) {
+    const unsigned bit = static_cast<unsigned>((chosen[t] >> state) & 1U);
+    info[t] = static_cast<std::uint8_t>(state >> 5);
+    state = 2 * (state & 31) + bit;
+  }
+}
+
+// Hard-decision Viterbi over the (possibly erasure-marked) mother stream.
+// Values > 1 are erasures with zero branch cost, as before.
+void decode_mother_hard(std::span<const std::uint8_t> mother, Bits& info) {
+  CTJ_CHECK(mother.size() % 2 == 0);
+  const std::size_t steps = mother.size() / 2;
+  const Trellis& tr = trellis();
+  const kern::KernelOps& ops = kern::ops();
+
+  constexpr std::int32_t kInf = std::numeric_limits<int>::max() / 4;
+  alignas(64) std::int32_t metric[2][64];
+  std::fill(std::begin(metric[0]), std::end(metric[0]), kInf);
+  metric[0][0] = 0;  // encoder starts in the zero state
+  static thread_local std::vector<std::uint64_t> chosen;
+  chosen.resize(steps);
+
+  int cur = 0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    const unsigned r0 = std::min<unsigned>(mother[2 * t], 2);
+    const unsigned r1 = std::min<unsigned>(mother[2 * t + 1], 2);
+    const unsigned cls = r0 * 3 + r1;
+    ops.viterbi_acs_hard(metric[cur], tr.hard_cost0[cls], tr.hard_cost1[cls],
+                         metric[cur ^ 1], &chosen[t]);
+    cur ^= 1;
+  }
+
+  unsigned best = 0;
+  for (unsigned s = 1; s < 64; ++s) {
+    if (metric[cur][s] < metric[cur][best]) best = s;
+  }
+  traceback(chosen, best, info);
+}
+
+// Soft-decision Viterbi over mother-grid LLRs (0.0 = erasure / punctured:
+// zero cost on both branches). Branch cost is the correlation distance of
+// the reference decoder, assembled in the same a + b addition order.
+void decode_mother_soft(std::span<const double> llrs, Bits& info) {
+  CTJ_CHECK(llrs.size() % 2 == 0);
+  const std::size_t steps = llrs.size() / 2;
+  const Trellis& tr = trellis();
+  const kern::KernelOps& ops = kern::ops();
+
+  constexpr double kInf = 1e300;
+  alignas(64) double metric[2][64];
+  std::fill(std::begin(metric[0]), std::end(metric[0]), kInf);
+  metric[0][0] = 0.0;
+  alignas(64) double cost0[64];
+  alignas(64) double cost1[64];
+  static thread_local std::vector<std::uint64_t> chosen;
+  chosen.resize(steps);
+
+  int cur = 0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    const double l0 = llrs[2 * t];
+    const double l1 = llrs[2 * t + 1];
+    // An expected 1 disagrees with a negative LLR; an expected 0 with a
+    // positive one. bm[(e0 << 1) | e1] = a[e0] + b[e1].
+    const double a[2] = {std::max(0.0, l0), std::max(0.0, -l0)};
+    const double b[2] = {std::max(0.0, l1), std::max(0.0, -l1)};
+    const double bm[4] = {a[0] + b[0], a[0] + b[1], a[1] + b[0], a[1] + b[1]};
+    for (unsigned ns = 0; ns < 64; ++ns) {
+      cost0[ns] = bm[tr.pair0[ns]];
+      cost1[ns] = bm[tr.pair1[ns]];
+    }
+    ops.viterbi_acs_soft(metric[cur], cost0, cost1, metric[cur ^ 1],
+                         &chosen[t]);
+    cur ^= 1;
+  }
+
+  unsigned best = 0;
+  for (unsigned s = 1; s < 64; ++s) {
+    if (metric[cur][s] < metric[cur][best]) best = s;
+  }
+  traceback(chosen, best, info);
+}
+
+// Expand punctured LLRs to the mother grid; erased positions get LLR 0.
+std::vector<double> depuncture_llrs(std::span<const double> llrs,
+                                    CodeRate rate) {
+  const auto mask = keep_mask(rate);
+  const std::size_t kept_per_period =
+      static_cast<std::size_t>(std::count(mask.begin(), mask.end(), true));
+  CTJ_CHECK(llrs.size() % kept_per_period == 0);
+  const std::size_t periods = llrs.size() / kept_per_period;
+  std::vector<double> mother(periods * mask.size(), 0.0);
+  std::size_t src = 0;
+  for (std::size_t i = 0; i < mother.size(); ++i) {
+    if (mask[i % mask.size()]) mother[i] = llrs[src++];
+  }
+  return mother;
 }
 
 }  // namespace
@@ -90,122 +249,50 @@ Bits ConvolutionalCode::depuncture(std::span<const std::uint8_t> coded,
   return mother;
 }
 
-Bits ConvolutionalCode::decode_soft(std::span<const double> llrs) {
-  CTJ_CHECK(llrs.size() % 2 == 0);
-  const std::size_t steps = llrs.size() / 2;
-
-  constexpr double kInf = 1e300;
-  std::vector<double> metric(kStates, kInf);
-  metric[0] = 0.0;
-  std::vector<std::vector<std::uint16_t>> survivor(
-      steps, std::vector<std::uint16_t>(kStates, 0));
-
-  std::array<std::array<std::uint8_t, 2>, kStates * 2> expected{};
-  for (unsigned s = 0; s < kStates; ++s) {
-    for (unsigned in = 0; in < 2; ++in) {
-      const unsigned reg = (in << 6) | s;
-      expected[s * 2 + in] = {static_cast<std::uint8_t>(parity(reg & kG0)),
-                              static_cast<std::uint8_t>(parity(reg & kG1))};
-    }
-  }
-
-  std::vector<double> next_metric(kStates);
-  for (std::size_t t = 0; t < steps; ++t) {
-    std::fill(next_metric.begin(), next_metric.end(), kInf);
-    const double l0 = llrs[2 * t];
-    const double l1 = llrs[2 * t + 1];
-    for (unsigned s = 0; s < kStates; ++s) {
-      if (metric[s] >= kInf) continue;
-      for (unsigned in = 0; in < 2; ++in) {
-        const auto& exp = expected[s * 2 + in];
-        // Branch cost: correlation distance. An expected 1 disagrees with a
-        // negative LLR; an expected 0 with a positive one.
-        double cost = 0.0;
-        cost += exp[0] ? std::max(0.0, -l0) : std::max(0.0, l0);
-        cost += exp[1] ? std::max(0.0, -l1) : std::max(0.0, l1);
-        const unsigned ns = (((in << 6) | s) >> 1);
-        const double m = metric[s] + cost;
-        if (m < next_metric[ns]) {
-          next_metric[ns] = m;
-          survivor[t][ns] = static_cast<std::uint16_t>((s << 1) | in);
-        }
-      }
-    }
-    metric.swap(next_metric);
-  }
-
-  unsigned state = static_cast<unsigned>(
-      std::min_element(metric.begin(), metric.end()) - metric.begin());
-  Bits info(steps);
-  for (std::size_t t = steps; t-- > 0;) {
-    const std::uint16_t sv = survivor[t][state];
-    info[t] = static_cast<std::uint8_t>(sv & 1U);
-    state = sv >> 1;
+Bits ConvolutionalCode::decode(std::span<const std::uint8_t> coded,
+                               CodeRate rate) {
+  Bits info;
+  if (rate == CodeRate::kRate1of2) {
+    decode_mother_hard(coded, info);
+  } else {
+    const Bits mother = depuncture(coded, rate);
+    decode_mother_hard(mother, info);
   }
   return info;
 }
 
-Bits ConvolutionalCode::decode(std::span<const std::uint8_t> coded,
-                               CodeRate rate) {
-  Bits mother;
+Bits ConvolutionalCode::decode_soft(std::span<const double> llrs,
+                                    CodeRate rate) {
+  Bits info;
   if (rate == CodeRate::kRate1of2) {
-    mother.assign(coded.begin(), coded.end());
+    decode_mother_soft(llrs, info);
   } else {
-    mother = depuncture(coded, rate);
-  }
-  CTJ_CHECK(mother.size() % 2 == 0);
-  const std::size_t steps = mother.size() / 2;
-
-  constexpr auto kInf = std::numeric_limits<int>::max() / 4;
-  std::vector<int> metric(kStates, kInf);
-  metric[0] = 0;  // encoder starts in the zero state
-  // survivor[t][s] = (previous state << 1) | input bit
-  std::vector<std::vector<std::uint16_t>> survivor(
-      steps, std::vector<std::uint16_t>(kStates, 0));
-
-  // Precompute expected output pair per (state, input).
-  std::array<std::array<std::uint8_t, 2>, kStates * 2> expected{};
-  for (unsigned s = 0; s < kStates; ++s) {
-    for (unsigned in = 0; in < 2; ++in) {
-      const unsigned reg = (in << 6) | s;
-      expected[s * 2 + in] = {static_cast<std::uint8_t>(parity(reg & kG0)),
-                              static_cast<std::uint8_t>(parity(reg & kG1))};
-    }
-  }
-
-  std::vector<int> next_metric(kStates);
-  for (std::size_t t = 0; t < steps; ++t) {
-    std::fill(next_metric.begin(), next_metric.end(), kInf);
-    const std::uint8_t r0 = mother[2 * t];
-    const std::uint8_t r1 = mother[2 * t + 1];
-    for (unsigned s = 0; s < kStates; ++s) {
-      if (metric[s] >= kInf) continue;
-      for (unsigned in = 0; in < 2; ++in) {
-        const auto& exp = expected[s * 2 + in];
-        int cost = 0;
-        if (r0 <= 1) cost += (exp[0] != r0);
-        if (r1 <= 1) cost += (exp[1] != r1);
-        const unsigned ns = (((in << 6) | s) >> 1);
-        const int m = metric[s] + cost;
-        if (m < next_metric[ns]) {
-          next_metric[ns] = m;
-          survivor[t][ns] = static_cast<std::uint16_t>((s << 1) | in);
-        }
-      }
-    }
-    metric.swap(next_metric);
-  }
-
-  // Trace back from the best final state.
-  unsigned state = static_cast<unsigned>(
-      std::min_element(metric.begin(), metric.end()) - metric.begin());
-  Bits info(steps);
-  for (std::size_t t = steps; t-- > 0;) {
-    const std::uint16_t sv = survivor[t][state];
-    info[t] = static_cast<std::uint8_t>(sv & 1U);
-    state = sv >> 1;
+    const std::vector<double> mother = depuncture_llrs(llrs, rate);
+    decode_mother_soft(mother, info);
   }
   return info;
+}
+
+Bits ConvolutionalCode::decode_batch(std::span<const std::uint8_t> coded,
+                                     std::size_t count, CodeRate rate) {
+  CTJ_CHECK(count > 0);
+  CTJ_CHECK(coded.size() % count == 0);
+  const std::size_t per_symbol = coded.size() / count;
+  Bits out;
+  Bits symbol_info;
+  Bits mother;  // depuncture scratch, reused across symbols
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto symbol = coded.subspan(i * per_symbol, per_symbol);
+    if (rate == CodeRate::kRate1of2) {
+      decode_mother_hard(symbol, symbol_info);
+    } else {
+      mother = depuncture(symbol, rate);
+      decode_mother_hard(mother, symbol_info);
+    }
+    if (i == 0) out.reserve(symbol_info.size() * count);
+    out.insert(out.end(), symbol_info.begin(), symbol_info.end());
+  }
+  return out;
 }
 
 }  // namespace ctj::phy

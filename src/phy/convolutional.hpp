@@ -1,10 +1,16 @@
 // IEEE 802.11 convolutional code: K = 7, rate 1/2, generators 133/171 (octal),
-// with the standard puncturing patterns for rates 2/3 and 3/4, and a
-// hard-decision Viterbi decoder.
+// with the standard puncturing patterns for rates 2/3 and 3/4, and
+// hard/soft-decision Viterbi decoders.
 //
 // The emulation chain needs *both* directions: Viterbi decoding maps a desired
 // (quantized) waveform back to an information bit sequence, and re-encoding
 // that sequence yields the waveform a real Wi-Fi card would actually emit.
+//
+// The decoders run the 64-state add-compare-select step through the
+// runtime-dispatched kernel layer (common/kernels): branch costs come from
+// per-received-class tables built once per process, and the ACS over all
+// states is one kernel call per step (scalar/AVX2/AVX-512, CTJ_SIMD
+// respected). Decoded bits are identical at every dispatch level.
 #pragma once
 
 #include <array>
@@ -37,10 +43,21 @@ class ConvolutionalCode {
   static Bits decode(std::span<const std::uint8_t> coded, CodeRate rate = CodeRate::kRate1of2);
 
   /// Soft-decision Viterbi over log-likelihood ratios (positive = bit 1
-  /// more likely; magnitude = confidence). Only the mother rate 1/2 is
-  /// supported (the emulation chain runs unpunctured). Gains ~2 dB over
-  /// hard decisions in AWGN — relevant when decoding noisy EmuBee captures.
-  static Bits decode_soft(std::span<const double> llrs);
+  /// more likely; magnitude = confidence). Punctured rates expand onto the
+  /// mother grid with LLR 0 (zero cost on both branches) at erased
+  /// positions. Gains ~2 dB over hard decisions in AWGN — relevant when
+  /// decoding noisy EmuBee captures.
+  static Bits decode_soft(std::span<const double> llrs,
+                          CodeRate rate = CodeRate::kRate1of2);
+
+  /// Decode `count` equal-length, independently encoded symbols laid out
+  /// back to back in `coded` (the per-symbol encoder restarts in the zero
+  /// state, as WifiPhy does), amortizing trellis setup and scratch across
+  /// the batch. Returns the concatenated info bits; identical to decoding
+  /// each symbol separately.
+  static Bits decode_batch(std::span<const std::uint8_t> coded,
+                           std::size_t count,
+                           CodeRate rate = CodeRate::kRate1of2);
 
  private:
   static Bits puncture(const Bits& coded, CodeRate rate);

@@ -1,34 +1,43 @@
 #include "phy/emulation.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/kernels.hpp"
 #include "common/math_util.hpp"
 #include "phy/ofdm.hpp"
 #include "phy/qam.hpp"
 #include "phy/scrambler.hpp"
 
 namespace ctj::phy {
+namespace {
+
+double resolve_alpha_max(std::span<const Cplx> targets, double alpha_max) {
+  if (alpha_max > 0.0) return alpha_max;
+  double max_mag = 0.0;
+  for (const Cplx& t : targets) max_mag = std::max(max_mag, std::abs(t));
+  // The smallest grid magnitude is sqrt(2)/sqrt(42) ≈ 0.218; α beyond
+  // max|P_j| / 0.218 cannot reduce the error further.
+  return std::max(max_mag * 5.0, 1e-6);
+}
+
+}  // namespace
 
 double quantization_error(std::span<const Cplx> targets, double alpha) {
   CTJ_CHECK(alpha > 0.0);
-  double err = 0.0;
-  for (const Cplx& t : targets) {
-    err += std::norm(Qam64::quantize(t, alpha) - t);
-  }
-  return err;
+  // std::complex<double> is array-oriented-access compatible: a span of
+  // targets is a flat (re, im) stream for the kernel. The scalar kernel
+  // level reproduces the old Qam64::quantize-based loop bit for bit.
+  const auto* iq = reinterpret_cast<const double*>(targets.data());
+  return kern::ops().qam64_error(iq, targets.size(), alpha,
+                                 Qam64::normalization());
 }
 
 double optimal_alpha(std::span<const Cplx> targets, double alpha_max) {
   CTJ_CHECK(!targets.empty());
-  if (alpha_max <= 0.0) {
-    double max_mag = 0.0;
-    for (const Cplx& t : targets) max_mag = std::max(max_mag, std::abs(t));
-    // The smallest grid magnitude is sqrt(2)/sqrt(42) ≈ 0.218; α beyond
-    // max|P_j| / 0.218 cannot reduce the error further.
-    alpha_max = std::max(max_mag * 5.0, 1e-6);
-  }
+  alpha_max = resolve_alpha_max(targets, alpha_max);
   // E(α) is piecewise quadratic in α and only near-unimodal (the nearest-
   // point assignment switches at cell boundaries), so a dense scan first
   // locates candidate basins, then golden-section search refines the best
@@ -68,6 +77,81 @@ double optimal_alpha(std::span<const Cplx> targets, double alpha_max) {
   return best_alpha;
 }
 
+double AlphaSearch::solve(std::span<const Cplx> targets, double alpha_max) {
+  CTJ_CHECK(!targets.empty());
+  const double amax = resolve_alpha_max(targets, alpha_max);
+  const auto cold = [&] {
+    ++cold_solves_;
+    last_alpha_ = optimal_alpha(targets, alpha_max);
+    has_last_ = true;
+    return last_alpha_;
+  };
+  if (!has_last_ || last_alpha_ <= 0.0 || last_alpha_ > amax) return cold();
+
+  // Warm path: descend the same 512-point grid the cold scan uses, starting
+  // from the previous optimum instead of evaluating all of it.
+  constexpr std::size_t kScanPoints = 512;
+  constexpr std::size_t kMaxSlides = 48;
+  const auto grid = linspace(amax / static_cast<double>(kScanPoints), amax,
+                             kScanPoints);
+  const auto eval = [&](double a) { return quantization_error(targets, a); };
+  std::size_t idx = 0;
+  {
+    // Nearest grid index to the seed (grid spacing is amax / kScanPoints).
+    const double step = amax / static_cast<double>(kScanPoints);
+    const double pos = last_alpha_ / step - 1.0;  // grid[i] ≈ (i + 1)·step
+    const double snapped = std::round(pos);
+    idx = snapped <= 0.0 ? 0
+                         : std::min(kScanPoints - 1,
+                                    static_cast<std::size_t>(snapped));
+  }
+  double e_cur = eval(grid[idx]);
+  std::size_t slides = 0;
+  for (;;) {
+    if (slides >= kMaxSlides) return cold();  // basin moved far: rescan
+    if (idx > 0) {
+      const double left = eval(grid[idx - 1]);
+      if (left < e_cur) {
+        --idx;
+        e_cur = left;
+        ++slides;
+        continue;
+      }
+    }
+    if (idx + 1 < grid.size()) {
+      const double right = eval(grid[idx + 1]);
+      if (right < e_cur) {
+        ++idx;
+        e_cur = right;
+        ++slides;
+        continue;
+      }
+    }
+    break;
+  }
+  // Same bracket conventions and tolerance as the cold scan's refinement.
+  const double lo = idx == 0 ? grid[0] / 2.0 : grid[idx - 1];
+  const double hi = idx + 1 == grid.size() ? grid[idx] : grid[idx + 1];
+  double best_alpha = grid[idx];
+  double best_err = e_cur;
+  const double refined = minimize_unimodal(eval, lo, hi, amax * 1e-8);
+  const double refined_err = eval(refined);
+  if (refined_err < best_err) {
+    best_alpha = refined;
+    best_err = refined_err;
+  }
+  // Cross-check against a 16x-coarser sweep: a deeper basin anywhere else
+  // means the landscape changed qualitatively — fall back to the full scan.
+  constexpr std::size_t kCheckPoints = 32;
+  for (std::size_t i = 0; i < kCheckPoints; ++i) {
+    const double a = amax * static_cast<double>(i + 1) /
+                     static_cast<double>(kCheckPoints);
+    if (eval(a) < best_err) return cold();
+  }
+  last_alpha_ = best_alpha;
+  return best_alpha;
+}
+
 EmuBeeEmulator::EmuBeeEmulator(Config config)
     : config_(config), wifi_(config.rate, config.scrambler_seed) {}
 
@@ -85,40 +169,46 @@ EmulationResult EmuBeeEmulator::emulate(
   }
   const std::size_t blocks = result.designed.size() / Ofdm::kFftSize;
 
-  // Per-block spectra, and the joint set of data-subcarrier targets that
-  // Eq. (1) sums over.
-  std::vector<IqBuffer> spectra(blocks);
+  // The joint set of data-subcarrier targets Eq. (1) sums over, gathered
+  // through one cached 64-point plan and a reused spectrum scratch (the
+  // targets themselves are all the quantizer needs — full spectra are not
+  // kept around).
+  static const auto data_bins = [] {
+    std::array<std::size_t, Ofdm::kDataSubcarriers> bins{};
+    const auto& dsc = Ofdm::data_subcarriers();
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+      bins[i] = Ofdm::bin_of(dsc[i]);
+    }
+    return bins;
+  }();
+  IqBuffer spectrum;
   IqBuffer targets;
   targets.reserve(blocks * Ofdm::kDataSubcarriers);
-  const auto& dsc = Ofdm::data_subcarriers();
   for (std::size_t b = 0; b < blocks; ++b) {
-    spectra[b] = Ofdm::symbol_spectrum(std::span<const Cplx>(
-        result.designed.data() + b * Ofdm::kFftSize, Ofdm::kFftSize));
-    for (int k : dsc) targets.push_back(spectra[b][Ofdm::bin_of(k)]);
+    Ofdm::symbol_spectrum_into(
+        std::span<const Cplx>(result.designed.data() + b * Ofdm::kFftSize,
+                              Ofdm::kFftSize),
+        spectrum);
+    for (std::size_t bin : data_bins) targets.push_back(spectrum[bin]);
   }
 
-  result.alpha = config_.optimize_alpha ? optimal_alpha(targets)
-                                        : config_.fixed_alpha;
+  result.alpha = !config_.optimize_alpha ? config_.fixed_alpha
+                 : config_.warm_start_alpha ? alpha_search_.solve(targets)
+                                            : optimal_alpha(targets);
   CTJ_CHECK(result.alpha > 0.0);
   result.quantization_error = quantization_error(targets, result.alpha);
 
   // Inverse chain (Fig. 1): quantize → demap → deinterleave → Viterbi →
-  // descramble, one OFDM symbol at a time with a running scrambler state.
-  Scrambler descrambler(config_.scrambler_seed);
-  const Interleaver interleaver(WifiPhy::kCodedBitsPerSymbol,
-                                Qam64::kBitsPerSymbol);
-  result.payload_bits.reserve(blocks * wifi_.info_bits_per_symbol());
-  for (std::size_t b = 0; b < blocks; ++b) {
-    IqBuffer quantized(Ofdm::kDataSubcarriers);
-    for (std::size_t i = 0; i < Ofdm::kDataSubcarriers; ++i) {
-      quantized[i] = Qam64::quantize(spectra[b][Ofdm::bin_of(dsc[i])],
-                                     result.alpha) /
-                     result.alpha;  // back on the unit grid for demapping
-    }
-    const Bits bits = wifi_.decode_symbol_points(quantized, descrambler);
-    result.payload_bits.insert(result.payload_bits.end(), bits.begin(),
-                               bits.end());
+  // descramble. The quantized targets for the whole packet go through one
+  // batched decode_payload_points call (identical to the old per-symbol
+  // loop, which re-derived these spectra points per block).
+  IqBuffer quantized(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    quantized[i] = Qam64::quantize(targets[i], result.alpha) /
+                   result.alpha;  // back on the unit grid for demapping
   }
+  Scrambler descrambler(config_.scrambler_seed);
+  result.payload_bits = wifi_.decode_payload_points(quantized, descrambler);
 
   // Forward chain: what the Wi-Fi card actually emits for that payload.
   const IqBuffer tx = wifi_.transmit(result.payload_bits);

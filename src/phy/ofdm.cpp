@@ -74,4 +74,13 @@ IqBuffer Ofdm::symbol_spectrum(std::span<const Cplx> symbol) {
   return fft(std::move(time));
 }
 
+void Ofdm::symbol_spectrum_into(std::span<const Cplx> symbol, IqBuffer& out) {
+  CTJ_CHECK_MSG(symbol.size() == kSymbolLength || symbol.size() == kFftSize,
+                "expected " << kSymbolLength << " (with CP) or " << kFftSize
+                            << " samples, got " << symbol.size());
+  const std::size_t skip = symbol.size() == kSymbolLength ? kCpLength : 0;
+  out.assign(symbol.begin() + static_cast<long>(skip), symbol.end());
+  FftPlan::for_size(kFftSize).forward(out);
+}
+
 }  // namespace ctj::phy

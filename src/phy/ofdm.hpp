@@ -37,6 +37,12 @@ class Ofdm {
   /// Extract all 64 frequency bins of a symbol (used by the emulation
   /// quantizer, which also needs pilot/guard bins).
   static IqBuffer symbol_spectrum(std::span<const Cplx> symbol);
+
+  /// Allocation-free variant for packet-batched callers: writes the 64 bins
+  /// into `out` (resized to kFftSize, reusable across symbols) through the
+  /// per-thread cached FftPlan. Bit-identical to symbol_spectrum().
+  static void symbol_spectrum_into(std::span<const Cplx> symbol,
+                                   IqBuffer& out);
 };
 
 }  // namespace ctj::phy

@@ -86,17 +86,10 @@ std::size_t Qam64::nearest_index(Cplx target, double alpha) {
   const double scale = 1.0 / (alpha * normalization());
   const int i_slot = level_slot(target.real() * scale);
   const int q_slot = level_slot(target.imag() * scale);
-  // Reconstruct the index whose point() has those axis levels.
-  auto slot_to_hi3 = [](int slot) -> std::size_t {
-    // point() uses kLevelOf[idx]; find idx with kLevelOf[idx] == level(slot).
-    const double level = -7.0 + 2.0 * slot;
-    for (std::size_t idx = 0; idx < 8; ++idx) {
-      if (kLevelOf[idx] == level) return idx;
-    }
-    CTJ_CHECK_MSG(false, "unreachable");
-    return 0;
-  };
-  return (slot_to_hi3(i_slot) << 3) | slot_to_hi3(q_slot);
+  // Reconstruct the index whose point() has those axis levels:
+  // kHi3OfSlot[s] is the idx with kLevelOf[idx] == -7 + 2·s.
+  static constexpr std::size_t kHi3OfSlot[8] = {0, 1, 3, 2, 6, 7, 5, 4};
+  return (kHi3OfSlot[i_slot] << 3) | kHi3OfSlot[q_slot];
 }
 
 Cplx Qam64::quantize(Cplx target, double alpha) {

@@ -46,6 +46,25 @@ Bits WifiPhy::decode_symbol_points(std::span<const Cplx> points,
   return descrambler.process(decoded);
 }
 
+Bits WifiPhy::decode_payload_points(std::span<const Cplx> points,
+                                    Scrambler& descrambler) const {
+  CTJ_CHECK(points.size() % Ofdm::kDataSubcarriers == 0);
+  const std::size_t symbols = points.size() / Ofdm::kDataSubcarriers;
+  CTJ_CHECK(symbols > 0);
+  Bits coded_all;
+  coded_all.reserve(symbols * kCodedBitsPerSymbol);
+  for (std::size_t s = 0; s < symbols; ++s) {
+    const Bits hard = Qam64::demap_all(
+        points.subspan(s * Ofdm::kDataSubcarriers, Ofdm::kDataSubcarriers));
+    const Bits deinterleaved = interleaver_.deinterleave(hard);
+    coded_all.insert(coded_all.end(), deinterleaved.begin(),
+                     deinterleaved.end());
+  }
+  const Bits decoded = ConvolutionalCode::decode_batch(coded_all, symbols, rate_);
+  CTJ_CHECK(decoded.size() == symbols * info_bits_per_symbol_);
+  return descrambler.process(decoded);
+}
+
 IqBuffer WifiPhy::transmit(std::span<const std::uint8_t> info_bits) const {
   CTJ_CHECK_MSG(info_bits.size() % info_bits_per_symbol_ == 0,
                 "info length " << info_bits.size()

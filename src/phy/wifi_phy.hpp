@@ -50,6 +50,16 @@ class WifiPhy {
   Bits decode_symbol_points(std::span<const Cplx> points,
                             Scrambler& descrambler) const;
 
+  /// Batched inverse chain over a whole payload: `points` holds a multiple
+  /// of 48 QAM points (one group per OFDM symbol). Demaps and deinterleaves
+  /// per symbol, Viterbi-decodes the batch in one decode_batch call, and
+  /// descrambles the concatenated info bits in one streaming pass — bit-
+  /// identical to calling decode_symbol_points symbol by symbol (the
+  /// scrambler LFSR is a stream cipher, so one pass over the concatenation
+  /// equals per-symbol passes with carried state).
+  Bits decode_payload_points(std::span<const Cplx> points,
+                             Scrambler& descrambler) const;
+
  private:
   CodeRate rate_;
   std::uint8_t scrambler_seed_;

@@ -40,12 +40,47 @@ def validate(doc, errors):
     require("threads", lambda v: isinstance(v, int) and v > 0,
             "a positive integer")
     require("scale", lambda v: _is_number(v) and v > 0, "a positive number")
-    require("wall_seconds", lambda v: _is_number(v) and v >= 0,
-            "a non-negative number")
+    # Every bench binary runs for at least milliseconds; a sub-millisecond
+    # wall clock means the report was constructed right before being written
+    # instead of at program start (the bug the pre-overhaul micro record
+    # shipped with: wall_seconds ≈ 3e-5).
+    require("wall_seconds", lambda v: _is_number(v) and v >= 1e-3,
+            "a number >= 1e-3 (whole-binary wall clock)")
     require("simulated_slots", lambda v: isinstance(v, int) and v >= 0,
             "a non-negative integer")
     require("slots_per_second", lambda v: _is_number(v) and v >= 0,
             "a non-negative number")
+
+    # Cross-field consistency: slots_per_second is defined as
+    # simulated_slots / wall_seconds, so the three must agree; zero
+    # throughput with nonzero slots (or vice versa) means the counters were
+    # never wired up.
+    wall = doc.get("wall_seconds")
+    slots = doc.get("simulated_slots")
+    sps = doc.get("slots_per_second")
+    if _is_number(wall) and wall > 0 and isinstance(slots, int) \
+            and _is_number(sps):
+        if (slots > 0) != (sps > 0):
+            errors.append(
+                f"simulated_slots={slots} but slots_per_second={sps}: "
+                "one is zero and the other is not")
+        elif slots > 0:
+            expected = slots / wall
+            if abs(sps - expected) > 0.05 * expected:
+                errors.append(
+                    f"slots_per_second={sps} inconsistent with "
+                    f"simulated_slots/wall_seconds={expected:.6g}")
+
+    # The micro record drives the environment in several benches; a full
+    # (unfiltered) run must therefore report simulated slots. Filtered smoke
+    # runs that skip the env benches simply lack the metric and stay exempt.
+    metrics_obj = doc.get("metrics")
+    if doc.get("bench") == "micro" and isinstance(metrics_obj, dict) \
+            and "BM_EnvironmentStep_ns" in metrics_obj \
+            and isinstance(slots, int) and slots == 0:
+        errors.append(
+            "micro record measured BM_EnvironmentStep but reports "
+            "simulated_slots=0 (slot counting is broken)")
 
     # Optional sections.
     sweeps = doc.get("sweeps")
