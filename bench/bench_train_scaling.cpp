@@ -1,0 +1,183 @@
+// Parallel-trainer scaling bench: train-slots/sec of the actor-learner
+// trainer (core/train_parallel) across worker thread counts, against the
+// single-threaded batched trainer as baseline, plus the equal-reuse
+// learner-batching comparison (large minibatch at a proportionally lower
+// step cadence — same sample-reuse ratio, fewer kernel launches).
+//
+// Writes BENCH_train.json. The thread-scaling rows are honest wall-clock
+// measurements on whatever machine runs the bench: "host_cpus" records the
+// hardware concurrency so a reader can tell a 1-core container (where
+// threads > 1 cannot speed anything up) from a real multicore run. The
+// deterministic schedule produces identical output at every thread count,
+// so the rows measure the same computation throughout.
+#include <cstddef>
+#include <cstdint>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "core/rl_fh.hpp"
+#include "core/train_parallel.hpp"
+#include "core/trainer.hpp"
+
+namespace {
+
+using namespace ctj;
+using namespace ctj::core;
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  std::size_t slots = 0;
+  double slots_per_sec = 0.0;
+};
+
+DqnScheme::Config scheme_config() {
+  DqnScheme::Config config;  // paper-sized network: 24 → 45 → 45 → 160
+  config.seed = 23;
+  return config;
+}
+
+EnvironmentConfig env_config() {
+  auto config = EnvironmentConfig::defaults();
+  config.seed = 7;
+  return config;
+}
+
+RunResult run_parallel(std::size_t slots, const ParallelTrainerConfig& p) {
+  DqnScheme scheme(scheme_config());
+  TrainerConfig config;
+  config.max_slots = slots;
+  config.reward_window = 2000;
+  const auto stats = train_parallel(scheme, env_config(), config, p);
+  RunResult r;
+  r.wall_seconds = stats.wall_seconds;
+  r.slots = stats.slots_trained;
+  r.slots_per_sec = stats.wall_seconds > 0.0
+                        ? static_cast<double>(stats.slots_trained) /
+                              stats.wall_seconds
+                        : 0.0;
+  return r;
+}
+
+RunResult run_batched_baseline(std::size_t slots, std::size_t replicas) {
+  DqnScheme scheme(scheme_config());
+  TrainerConfig config;
+  config.max_slots = slots;
+  config.reward_window = 2000;
+  const auto stats = train_batched(scheme, env_config(), config, replicas);
+  RunResult r;
+  r.wall_seconds = stats.wall_seconds;
+  r.slots = stats.slots_trained;
+  r.slots_per_sec = stats.wall_seconds > 0.0
+                        ? static_cast<double>(stats.slots_trained) /
+                              stats.wall_seconds
+                        : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport report("train");
+  const std::size_t host_cpus = std::thread::hardware_concurrency();
+
+  ParallelTrainerConfig base;
+  base.actors = 8;
+  base.replicas_per_actor = 4;
+  base.sync_every_rounds = 16;
+  const std::size_t group = base.actors * base.replicas_per_actor;
+  // Budget per configuration, rounded to the deterministic schedule's
+  // round granularity.
+  std::size_t slots = static_cast<std::size_t>(16000 * bench::bench_scale());
+  slots = std::max<std::size_t>(group, slots / group * group);
+
+  std::cout << "train-slots/sec scaling (" << slots << " slots per run, "
+            << base.actors << " actors x " << base.replicas_per_actor
+            << " replicas, host_cpus " << host_cpus << ")\n\n";
+
+  // Baseline: the PR-6 batched trainer, one thread, same replica count.
+  const RunResult batched = run_batched_baseline(slots, group);
+  std::cout << "  train_batched (1 thread):  " << batched.slots_per_sec
+            << " slots/s\n";
+  report.add_slots(batched.slots);
+
+  // Thread-scaling curve over the deterministic actor-learner schedule.
+  JsonValue scaling = JsonValue::array();
+  double base_rate = 0.0;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    ParallelTrainerConfig p = base;
+    p.threads = threads;
+    const RunResult r = run_parallel(slots, p);
+    if (threads == 1) base_rate = r.slots_per_sec;
+    const double speedup = base_rate > 0.0 ? r.slots_per_sec / base_rate : 0.0;
+    std::cout << "  train_parallel " << threads
+              << (threads == 1 ? " thread:  " : " threads: ")
+              << r.slots_per_sec << " slots/s  (x" << speedup << " vs 1)\n";
+    JsonValue row = JsonValue::object();
+    row["threads"] = threads;
+    row["slots"] = r.slots;
+    row["wall_seconds"] = r.wall_seconds;
+    row["slots_per_sec"] = r.slots_per_sec;
+    row["speedup_vs_1t"] = speedup;
+    scaling.push_back(std::move(row));
+    report.add_slots(r.slots);
+    if (threads == 8) {
+      report.set_metric("train_slots_per_sec_8t", r.slots_per_sec);
+      report.set_metric("thread_scaling_8t", speedup);
+    }
+  }
+  report.add_sweep("thread_scaling", std::move(scaling));
+  report.set_metric("train_slots_per_sec_1t", base_rate);
+  report.set_metric("train_slots_per_sec_batched", batched.slots_per_sec);
+
+  // Throughput mode at the full thread count (no deterministic gating).
+  {
+    ParallelTrainerConfig p = base;
+    p.threads = 8;
+    p.deterministic = false;
+    const RunResult r = run_parallel(slots, p);
+    std::cout << "  throughput mode 8 threads: " << r.slots_per_sec
+              << " slots/s\n";
+    report.set_metric("train_slots_per_sec_throughput_8t", r.slots_per_sec);
+    report.add_slots(r.slots);
+  }
+
+  // Learner batching at equal sample reuse: batch 256 every 8 slots has the
+  // same reuse ratio as batch 32 every slot, but 8x fewer forward/backward
+  // launches over 8x taller (more SIMD-friendly) matrices. This is the
+  // single-core learner-efficiency win, independent of thread scaling.
+  JsonValue batching = JsonValue::array();
+  double small_rate = 0.0;
+  for (const auto& [batch, every] :
+       {std::pair<std::size_t, std::size_t>{32, 1},
+        std::pair<std::size_t, std::size_t>{256, 8}}) {
+    ParallelTrainerConfig p = base;
+    p.threads = 1;
+    p.learner_batch = batch;
+    p.train_every_slots = every;
+    const RunResult r = run_parallel(slots, p);
+    if (small_rate == 0.0) small_rate = r.slots_per_sec;
+    std::cout << "  learner batch " << batch << " / every " << every
+              << ":   " << r.slots_per_sec << " slots/s\n";
+    JsonValue row = JsonValue::object();
+    row["learner_batch"] = batch;
+    row["train_every_slots"] = every;
+    row["slots_per_sec"] = r.slots_per_sec;
+    batching.push_back(std::move(row));
+    report.add_slots(r.slots);
+    if (batch == 256) {
+      report.set_metric("bigbatch_equal_reuse_speedup",
+                        small_rate > 0.0 ? r.slots_per_sec / small_rate : 0.0);
+    }
+  }
+  report.add_sweep("learner_batching", std::move(batching));
+
+  report.set_metric("host_cpus", host_cpus);
+  report.write();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "core/checkpoint.hpp"
 
+#include <filesystem>
+#include <limits>
 #include <map>
 
 #include "common/kernels.hpp"
@@ -34,6 +36,67 @@ DqnScheme::Config read_scheme_config(const std::string& path) {
 void load_policy(DqnScheme& scheme, const std::string& path) {
   const io::ContainerReader in = io::ContainerReader::from_file(path);
   scheme.agent().load_policy(in);
+}
+
+void write_train_progress(io::ContainerWriter& out,
+                          const TrainProgress& progress,
+                          const TrainerConfig& config) {
+  io::ByteWriter w;
+  w.u8(progress.mode);
+  w.u64(progress.replicas);
+  w.u64(progress.slots_trained);
+  w.u8(progress.early_stopped ? 1 : 0);
+  w.u64(config.reward_window);
+  w.u8(config.target_mean_reward ? 1 : 0);
+  w.f64(config.target_mean_reward.value_or(0.0));
+  w.f64(progress.window_sum);
+  w.u64(progress.window.size());
+  for (double r : progress.window) w.f64(r);
+  out.add_chunk(io::tags::kTrainProgress, w.take());
+}
+
+TrainProgress read_train_progress(const io::ContainerReader& in,
+                                  std::uint8_t mode, std::uint64_t replicas,
+                                  const TrainerConfig& config) {
+  const auto mismatch = [](const std::string& what) -> io::IoError {
+    return io::IoError(io::ErrorKind::kStateMismatch,
+                       "checkpoint trainer state differs in " + what);
+  };
+  io::ByteReader r(in.chunk(io::tags::kTrainProgress));
+  TrainProgress progress;
+  progress.mode = r.u8();
+  if (progress.mode != mode) throw mismatch("training mode");
+  progress.replicas = r.u64();
+  if (progress.replicas != replicas) throw mismatch("replica count");
+  progress.slots_trained = r.u64();
+  progress.early_stopped = r.u8() != 0;
+  if (r.u64() != config.reward_window) throw mismatch("reward_window");
+  const bool has_target = r.u8() != 0;
+  const double target = r.f64();
+  if (has_target != config.target_mean_reward.has_value() ||
+      (has_target && target != *config.target_mean_reward)) {
+    throw mismatch("target_mean_reward");
+  }
+  progress.window_sum = r.f64();
+  const std::uint64_t count = r.u64();
+  if (count > config.reward_window) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "reward window longer than reward_window");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) progress.window.push_back(r.f64());
+  r.expect_end();
+  return progress;
+}
+
+bool should_resume_checkpoint(const TrainerConfig& config) {
+  if (!config.checkpoint || !config.checkpoint->resume) return false;
+  std::error_code ec;
+  return std::filesystem::exists(config.checkpoint->path, ec);
+}
+
+std::size_t next_checkpoint_after(std::size_t slots, std::size_t every) {
+  if (every == 0) return std::numeric_limits<std::size_t>::max();
+  return (slots / every + 1) * every;
 }
 
 }  // namespace ctj::core

@@ -8,9 +8,12 @@
 // so a killed run resumes bit-identically (see trainer.hpp).
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <string>
 
 #include "core/rl_fh.hpp"
+#include "core/trainer.hpp"
 #include "io/container.hpp"
 
 namespace ctj::core {
@@ -38,5 +41,41 @@ DqnScheme::Config read_scheme_config(const std::string& path);
 /// deployment/eval; optimizer, replay and RNG state stay untouched. The
 /// target net is synced to the loaded online net.
 void load_policy(DqnScheme& scheme, const std::string& path);
+
+/// The training loop's own mutable state, as stored in the TRAINPRG chunk.
+/// Shared by every trainer flavor: mode 0 = sequential train(), 1 =
+/// train_batched(), 2 = train_parallel().
+struct TrainProgress {
+  std::uint8_t mode = 0;
+  std::uint64_t replicas = 1;
+  std::uint64_t slots_trained = 0;
+  bool early_stopped = false;
+  // The sliding window and its running sum. The sum is serialized as the
+  // raw double (not recomputed on load): the incremental add/sub stream
+  // differs from a fresh summation in floating point, and bit-identical
+  // resume requires the exact value the uninterrupted run would carry.
+  double window_sum = 0.0;
+  std::deque<double> window;
+};
+
+/// Append the TRAINPRG chunk (progress + the config fields a resume must
+/// match: reward_window and target_mean_reward).
+void write_train_progress(io::ContainerWriter& out,
+                          const TrainProgress& progress,
+                          const TrainerConfig& config);
+
+/// Decode and validate the TRAINPRG chunk: mode, replica count,
+/// reward_window and target_mean_reward must all match (io::IoError
+/// kStateMismatch otherwise).
+TrainProgress read_train_progress(const io::ContainerReader& in,
+                                  std::uint8_t mode, std::uint64_t replicas,
+                                  const TrainerConfig& config);
+
+/// True when the config asks for resume and the checkpoint file exists.
+bool should_resume_checkpoint(const TrainerConfig& config);
+
+/// The slot count at which the next periodic checkpoint is due (SIZE_MAX
+/// when periodic checkpointing is off).
+std::size_t next_checkpoint_after(std::size_t slots, std::size_t every);
 
 }  // namespace ctj::core

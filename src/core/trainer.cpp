@@ -13,83 +13,8 @@
 
 namespace ctj::core {
 
-namespace {
-
-// The trainer loop's own mutable state, as stored in the TRAINPRG chunk.
-struct Progress {
-  std::uint8_t mode = 0;  // 0 = sequential train(), 1 = train_batched()
-  std::uint64_t replicas = 1;
-  std::uint64_t slots_trained = 0;
-  bool early_stopped = false;
-  // The sliding window and its running sum. The sum is serialized as the
-  // raw double (not recomputed on load): the incremental add/sub stream
-  // differs from a fresh summation in floating point, and bit-identical
-  // resume requires the exact value the uninterrupted run would carry.
-  double window_sum = 0.0;
-  std::deque<double> window;
-};
-
-void write_progress(io::ContainerWriter& out, const Progress& progress,
-                    const TrainerConfig& config) {
-  io::ByteWriter w;
-  w.u8(progress.mode);
-  w.u64(progress.replicas);
-  w.u64(progress.slots_trained);
-  w.u8(progress.early_stopped ? 1 : 0);
-  w.u64(config.reward_window);
-  w.u8(config.target_mean_reward ? 1 : 0);
-  w.f64(config.target_mean_reward.value_or(0.0));
-  w.f64(progress.window_sum);
-  w.u64(progress.window.size());
-  for (double r : progress.window) w.f64(r);
-  out.add_chunk(io::tags::kTrainProgress, w.take());
-}
-
-Progress read_progress(const io::ContainerReader& in, std::uint8_t mode,
-                       std::uint64_t replicas, const TrainerConfig& config) {
-  const auto mismatch = [](const std::string& what) -> io::IoError {
-    return io::IoError(io::ErrorKind::kStateMismatch,
-                       "checkpoint trainer state differs in " + what);
-  };
-  io::ByteReader r(in.chunk(io::tags::kTrainProgress));
-  Progress progress;
-  progress.mode = r.u8();
-  if (progress.mode != mode) throw mismatch("training mode");
-  progress.replicas = r.u64();
-  if (progress.replicas != replicas) throw mismatch("replica count");
-  progress.slots_trained = r.u64();
-  progress.early_stopped = r.u8() != 0;
-  if (r.u64() != config.reward_window) throw mismatch("reward_window");
-  const bool has_target = r.u8() != 0;
-  const double target = r.f64();
-  if (has_target != config.target_mean_reward.has_value() ||
-      (has_target && target != *config.target_mean_reward)) {
-    throw mismatch("target_mean_reward");
-  }
-  progress.window_sum = r.f64();
-  const std::uint64_t count = r.u64();
-  if (count > config.reward_window) {
-    throw io::IoError(io::ErrorKind::kBadPayload,
-                      "reward window longer than reward_window");
-  }
-  for (std::uint64_t i = 0; i < count; ++i) progress.window.push_back(r.f64());
-  r.expect_end();
-  return progress;
-}
-
-bool should_resume(const TrainerConfig& config) {
-  if (!config.checkpoint || !config.checkpoint->resume) return false;
-  std::error_code ec;
-  return std::filesystem::exists(config.checkpoint->path, ec);
-}
-
-// Returns the slot count at which the next periodic checkpoint is due.
-std::size_t next_checkpoint_after(std::size_t slots, std::size_t every) {
-  if (every == 0) return std::numeric_limits<std::size_t>::max();
-  return (slots / every + 1) * every;
-}
-
-}  // namespace
+// TrainProgress (the TRAINPRG chunk) and the resume/cadence helpers live in
+// core/checkpoint.{hpp,cpp}, shared with train_parallel().
 
 TrainingStats train(DqnScheme& scheme, CompetitionEnvironment& env,
                     const TrainerConfig& config) {
@@ -104,10 +29,10 @@ TrainingStats train(DqnScheme& scheme, CompetitionEnvironment& env,
   std::size_t start_slot = 0;
   bool resumed_early_stop = false;
 
-  if (should_resume(config)) {
+  if (should_resume_checkpoint(config)) {
     const io::ContainerReader in =
         io::ContainerReader::from_file(config.checkpoint->path);
-    Progress progress = read_progress(in, /*mode=*/0, /*replicas=*/1, config);
+    TrainProgress progress = read_train_progress(in, /*mode=*/0, /*replicas=*/1, config);
     scheme.load_state(in);
     io::ByteReader env_in(in.chunk(io::tags::kEnvState));
     env.load_state(env_in);
@@ -123,14 +48,14 @@ TrainingStats train(DqnScheme& scheme, CompetitionEnvironment& env,
   const auto save = [&]() {
     io::ContainerWriter out;
     add_meta_chunk(out, "trainer");
-    Progress progress;
+    TrainProgress progress;
     progress.mode = 0;
     progress.replicas = 1;
     progress.slots_trained = stats.slots_trained;
     progress.early_stopped = stats.early_stopped;
     progress.window_sum = window_sum;
     progress.window = window;
-    write_progress(out, progress, config);
+    write_train_progress(out, progress, config);
     scheme.save_state(out);
     io::ByteWriter env_out;
     env.save_state(env_out);
@@ -217,11 +142,11 @@ TrainingStats train_batched(DqnScheme& scheme,
   std::deque<double> window;
   double window_sum = 0.0;
 
-  if (should_resume(config)) {
+  if (should_resume_checkpoint(config)) {
     const io::ContainerReader in =
         io::ContainerReader::from_file(config.checkpoint->path);
-    const Progress progress =
-        read_progress(in, /*mode=*/1, replicas, config);
+    const TrainProgress progress =
+        read_train_progress(in, /*mode=*/1, replicas, config);
     scheme.load_state(in);
     io::ByteReader env_in(in.chunk(io::tags::kEnvState));
     venv.load_state(env_in);
@@ -238,14 +163,14 @@ TrainingStats train_batched(DqnScheme& scheme,
   const auto save = [&]() {
     io::ContainerWriter out;
     add_meta_chunk(out, "trainer");
-    Progress progress;
+    TrainProgress progress;
     progress.mode = 1;
     progress.replicas = replicas;
     progress.slots_trained = stats.slots_trained;
     progress.early_stopped = stats.early_stopped;
     progress.window_sum = window_sum;
     progress.window = window;
-    write_progress(out, progress, config);
+    write_train_progress(out, progress, config);
     scheme.save_state(out);
     io::ByteWriter env_out;
     venv.save_state(env_out);

@@ -81,6 +81,9 @@ inline constexpr char kAgentCounters[] = "AGCNTRS ";  // env/grad steps + cfg
 inline constexpr char kEnvState[] = "ENVSTATE";   // environment replicas
 inline constexpr char kObsWindows[] = "OBSWIN  ";  // batched rollout windows
 inline constexpr char kTrainProgress[] = "TRAINPRG";  // trainer loop state
+inline constexpr char kParallelTrain[] = "PARTRNST";  // parallel trainer state
+inline constexpr char kShardReplay[] = "SHRDRPLY";    // sharded replay rings
+inline constexpr char kActorShards[] = "ACTSHRDS";    // per-actor env/rng state
 }  // namespace tags
 
 }  // namespace ctj::io

@@ -36,14 +36,16 @@ DqnAgent::DqnAgent(DqnConfig config)
   target_.copy_parameters_from(online_);
 }
 
-double DqnAgent::epsilon() const {
-  if (config_.epsilon_decay_steps == 0) return config_.epsilon_end;
+double DqnAgent::epsilon_for(const DqnConfig& config, std::size_t env_steps) {
+  if (config.epsilon_decay_steps == 0) return config.epsilon_end;
   const double frac =
-      std::min(1.0, static_cast<double>(env_steps_) /
-                        static_cast<double>(config_.epsilon_decay_steps));
-  return config_.epsilon_start +
-         frac * (config_.epsilon_end - config_.epsilon_start);
+      std::min(1.0, static_cast<double>(env_steps) /
+                        static_cast<double>(config.epsilon_decay_steps));
+  return config.epsilon_start +
+         frac * (config.epsilon_end - config.epsilon_start);
 }
+
+double DqnAgent::epsilon() const { return epsilon_for(config_, env_steps_); }
 
 std::vector<double> DqnAgent::q_values(std::span<const double> state) const {
   CTJ_CHECK_MSG(state.size() == config_.state_dim,
@@ -133,10 +135,25 @@ std::optional<double> DqnAgent::train_step() {
     dones_scratch_[i] = batch[i]->done ? 1 : 0;
   }
 
-  target_.forward_eval(next_states_, next_q_);
+  return train_on_batch(states_, next_states_, actions_scratch_,
+                        rewards_scratch_, dones_scratch_);
+}
+
+double DqnAgent::train_on_batch(const Matrix& states, const Matrix& next_states,
+                                std::span<const std::size_t> actions,
+                                std::span<const double> rewards,
+                                std::span<const std::uint8_t> dones) {
+  const std::size_t B = states.rows();
+  CTJ_CHECK(B > 0);
+  CTJ_CHECK(states.cols() == config_.state_dim);
+  CTJ_CHECK(next_states.rows() == B &&
+            next_states.cols() == config_.state_dim);
+  CTJ_CHECK(actions.size() == B && rewards.size() == B && dones.size() == B);
+
+  target_.forward_eval(next_states, next_q_);
   // For Double DQN the bootstrap action comes from the online network.
-  if (config_.double_dqn) online_.forward_eval(next_states_, next_q_online_);
-  const Matrix& q = online_.forward_cached(states_);
+  if (config_.double_dqn) online_.forward_eval(next_states, next_q_online_);
+  const Matrix& q = online_.forward_cached(states);
 
   // Fused batched TD-target + Huber kernel: row-max/argmax bootstrap, TD
   // error only on the taken actions, Huber-clipped gradient; the reported
@@ -146,9 +163,9 @@ std::optional<double> DqnAgent::train_step() {
   td.q = q.data();
   td.next_q = next_q_.data();
   td.next_q_online = config_.double_dqn ? next_q_online_.data() : nullptr;
-  td.actions = actions_scratch_.data();
-  td.rewards = rewards_scratch_.data();
-  td.dones = dones_scratch_.data();
+  td.actions = actions.data();
+  td.rewards = rewards.data();
+  td.dones = dones.data();
   td.gamma = config_.gamma;
   td.reward_scale = config_.reward_scale;
   td.grad_div = static_cast<double>(B);

@@ -185,6 +185,34 @@ void Mlp::copy_parameters_from(const Mlp& other) {
   }
 }
 
+void Mlp::copy_flat_to(std::span<double> out) const {
+  CTJ_CHECK_MSG(out.size() == param_count(),
+                "flat buffer holds " << out.size() << " doubles, network has "
+                                     << param_count());
+  double* dst = out.data();
+  for (const auto& layer : layers_) {
+    const Matrix& w = layer.weights();
+    const Matrix& b = layer.bias();
+    dst = std::copy(w.data(), w.data() + w.size(), dst);
+    dst = std::copy(b.data(), b.data() + b.size(), dst);
+  }
+}
+
+void Mlp::copy_flat_from(std::span<const double> in) {
+  CTJ_CHECK_MSG(in.size() == param_count(),
+                "flat buffer holds " << in.size() << " doubles, network has "
+                                     << param_count());
+  const double* src = in.data();
+  for (auto& layer : layers_) {
+    Matrix& w = layer.weights();
+    Matrix& b = layer.bias();
+    std::copy(src, src + w.size(), w.data());
+    src += w.size();
+    std::copy(src, src + b.size(), b.data());
+    src += b.size();
+  }
+}
+
 void Mlp::save(std::ostream& os) const {
   for (const auto& layer : layers_) layer.save(os);
 }

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,13 @@ class Mlp {
   /// Copy all parameters from another identically-shaped network
   /// (target-network sync).
   void copy_parameters_from(const Mlp& other);
+
+  /// Flatten all parameters into a caller-sized buffer of param_count()
+  /// doubles (layer order, weights then bias per layer) — the wire format
+  /// of the parallel trainer's policy snapshot bus.
+  void copy_flat_to(std::span<double> out) const;
+  /// Inverse of copy_flat_to(): overwrite all parameters from a flat buffer.
+  void copy_flat_from(std::span<const double> in);
 
   /// Binary (de)serialization of the full parameter set.
   void save(std::ostream& os) const;

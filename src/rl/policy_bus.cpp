@@ -1,0 +1,74 @@
+#include "rl/policy_bus.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ctj::rl {
+
+PolicyBus::PolicyBus(std::size_t param_count)
+    : param_count_(param_count), weights_(param_count, 0.0) {
+  CTJ_CHECK(param_count > 0);
+}
+
+void PolicyBus::publish(std::span<const double> weights, double epsilon,
+                        std::uint64_t version) {
+  CTJ_CHECK(weights.size() == param_count_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CTJ_CHECK_MSG(version > version_,
+                  "bus versions must be strictly increasing (have "
+                      << version_ << ", got " << version << ")");
+    std::copy(weights.begin(), weights.end(), weights_.begin());
+    epsilon_ = epsilon;
+    version_ = version;
+    version_hint_.store(version, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+bool PolicyBus::fetch_if_newer(std::uint64_t& last_seen,
+                               std::vector<double>& weights,
+                               double& epsilon) const {
+  if (version_hint_.load(std::memory_order_acquire) <= last_seen) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version_ <= last_seen) return false;
+  weights.assign(weights_.begin(), weights_.end());
+  epsilon = epsilon_;
+  last_seen = version_;
+  return true;
+}
+
+bool PolicyBus::wait_version(std::uint64_t min_version,
+                             std::vector<double>& weights,
+                             double& epsilon) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (version_ < min_version && !stop_) {
+    ++waiters_;
+    waiter_cv_.notify_all();
+    cv_.wait(lock);
+    --waiters_;
+  }
+  if (version_ < min_version) return false;  // released by stop()
+  weights.assign(weights_.begin(), weights_.end());
+  epsilon = epsilon_;
+  return true;
+}
+
+bool PolicyBus::wait_waiters(std::size_t count) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (waiters_ < count && !stop_) waiter_cv_.wait(lock);
+  return waiters_ >= count;
+}
+
+void PolicyBus::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    stop_hint_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  waiter_cv_.notify_all();
+}
+
+}  // namespace ctj::rl

@@ -1,0 +1,85 @@
+// Policy snapshot bus: the one-writer/many-reader channel through which the
+// parallel trainer's learner publishes refreshed policy weights to the actor
+// shards.
+//
+// The learner flattens the online network (Mlp::copy_flat_to) plus the
+// current exploration rate into the bus under a mutex and bumps a
+// monotonically increasing version; actors either poll (fetch_if_newer —
+// throughput mode, one relaxed atomic load on the no-news path) or block
+// (wait_version — deterministic mode's epoch gate). Versions are absolute
+// epoch numbers supplied by the publisher, so a resumed run's gates line up
+// with the original run's without the bus having to know about checkpoints.
+//
+// The bus also carries the trainer's quiesce handshake: wait_version
+// maintains a count of blocked waiters, and wait_waiters() lets the learner
+// block until every worker thread is parked at a gate — the point where all
+// actor-owned state is quiescent and safe to serialize from the learner
+// thread (the mutex hand-off orders those writes before the learner's
+// reads).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace ctj::rl {
+
+class PolicyBus {
+ public:
+  /// A bus for snapshots of `param_count` flat weights.
+  explicit PolicyBus(std::size_t param_count);
+
+  std::size_t param_count() const { return param_count_; }
+
+  /// Publish a new snapshot under `version`. Versions must be strictly
+  /// increasing; version 0 means "nothing published yet".
+  void publish(std::span<const double> weights, double epsilon,
+               std::uint64_t version);
+
+  /// Latest published version (0 before the first publish).
+  std::uint64_t version() const {
+    return version_hint_.load(std::memory_order_acquire);
+  }
+
+  /// Copy the snapshot out iff one newer than `last_seen` exists, updating
+  /// `last_seen`. The stale path is a single atomic load — cheap enough for
+  /// once-per-round polling from every actor.
+  bool fetch_if_newer(std::uint64_t& last_seen, std::vector<double>& weights,
+                      double& epsilon) const;
+
+  /// Block until a snapshot with version >= `min_version` is published,
+  /// then copy it out (returns true), or until stop() (returns false,
+  /// outputs untouched). The deterministic mode's epoch gate.
+  bool wait_version(std::uint64_t min_version, std::vector<double>& weights,
+                    double& epsilon) const;
+
+  /// Block until `count` threads are parked inside wait_version — the
+  /// quiesce handshake for checkpointing (returns false if stop() was
+  /// called first). While this holds and no publish intervenes, those
+  /// threads stay parked.
+  bool wait_waiters(std::size_t count) const;
+
+  /// Release every current and future wait (threads return false).
+  void stop();
+  bool stopped() const { return stop_hint_.load(std::memory_order_acquire); }
+
+ private:
+  const std::size_t param_count_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;          // signaled on publish/stop
+  mutable std::condition_variable waiter_cv_;   // signaled on waiter arrival
+  std::vector<double> weights_;  // guarded by mutex_
+  double epsilon_ = 0.0;         // guarded by mutex_
+  std::uint64_t version_ = 0;    // guarded by mutex_
+  bool stop_ = false;            // guarded by mutex_
+  mutable std::size_t waiters_ = 0;  // guarded by mutex_
+  // Lock-free hints for the fast no-news/stop checks; the mutex-guarded
+  // fields stay authoritative.
+  std::atomic<std::uint64_t> version_hint_{0};
+  std::atomic<bool> stop_hint_{false};
+};
+
+}  // namespace ctj::rl

@@ -1,0 +1,126 @@
+// Allocation-free transition plumbing for the parallel actor-learner
+// trainer: a flat SPSC transition queue (one per actor shard) and the
+// sharded structure-of-arrays replay buffer the learner drains them into.
+//
+// Every transition travels as one fixed-stride row of doubles
+//
+//   [action, reward, done, state(0..dim), next_state(0..dim)]
+//
+// so an actor writes its record straight into the ring slot (two-phase
+// acquire/commit — no Transition object, no per-slot heap traffic) and the
+// learner copies the row once into its shard. ShardedReplay keeps one
+// ring per actor in SoA form and samples uniformly over the union of all
+// shards, landing the minibatch directly in the learner's batch matrices —
+// the layout DqnAgent::train_on_batch consumes without a gather.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/spsc_queue.hpp"
+#include "io/bytes.hpp"
+#include "rl/matrix.hpp"
+
+namespace ctj::rl {
+
+/// Number of doubles in one queue/replay record for a given state dimension.
+constexpr std::size_t transition_stride(std::size_t state_dim) {
+  return 3 + 2 * state_dim;
+}
+
+// Field offsets within a record.
+inline constexpr std::size_t kTransAction = 0;
+inline constexpr std::size_t kTransReward = 1;
+inline constexpr std::size_t kTransDone = 2;
+inline constexpr std::size_t kTransState = 3;
+
+/// Bounded SPSC ring of flat transition records (see file comment for the
+/// layout). One producer (an actor thread) and one consumer (the learner).
+class TransitionQueue {
+ public:
+  /// `capacity` records (rounded up to a power of two) of `state_dim`-sized
+  /// transitions.
+  TransitionQueue(std::size_t capacity, std::size_t state_dim);
+
+  std::size_t capacity() const { return index_.capacity(); }
+  std::size_t state_dim() const { return state_dim_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t size_approx() const { return index_.size_approx(); }
+
+  /// Producer: pointer to the next record to fill, nullptr when full. The
+  /// record is not visible to the consumer until commit().
+  double* try_acquire() {
+    std::size_t pos;
+    if (!index_.try_acquire(pos)) return nullptr;
+    return buf_.data() + pos * stride_;
+  }
+  void commit() { index_.commit(); }
+
+  /// Consumer: oldest committed record, nullptr when empty. Valid until
+  /// pop().
+  const double* try_front() const {
+    std::size_t pos;
+    if (!index_.try_front(pos)) return nullptr;
+    return buf_.data() + pos * stride_;
+  }
+  void pop() { index_.release(); }
+
+ private:
+  std::size_t state_dim_;
+  std::size_t stride_;
+  SpscIndex index_;
+  std::vector<double> buf_;
+};
+
+/// Sharded uniform replay: one SoA ring per actor shard, sampled uniformly
+/// with replacement over the union of all shards. Single-threaded by
+/// design — only the learner touches it (actors reach it through their
+/// TransitionQueue), so there is no lock to contend on.
+class ShardedReplay {
+ public:
+  ShardedReplay(std::size_t shards, std::size_t capacity_per_shard,
+                std::size_t state_dim);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_capacity() const { return capacity_; }
+  std::size_t state_dim() const { return state_dim_; }
+  /// Transitions currently held, summed over shards.
+  std::size_t size() const { return total_size_; }
+
+  /// Append one flat record (TransitionQueue layout) to `shard`,
+  /// overwriting the oldest entry once the shard ring is full.
+  void append(std::size_t shard, const double* record);
+
+  /// Sample `batch` transitions uniformly with replacement across all
+  /// shards, filling the caller's batch buffers (resized as needed) in the
+  /// layout DqnAgent::train_on_batch consumes. RNG draws: exactly one
+  /// index(size()) per sampled row, so given the same Rng stream the
+  /// minibatch sequence is deterministic.
+  void sample_into(std::size_t batch, Rng& rng, Matrix& states,
+                   Matrix& next_states, std::vector<std::size_t>& actions,
+                   std::vector<double>& rewards,
+                   std::vector<std::uint8_t>& dones) const;
+
+  /// Checkpoint-format serialization of every shard ring (contents +
+  /// cursor). load_state throws io::IoError and leaves the buffer
+  /// unchanged when the stored topology (shards, capacity, state_dim)
+  /// differs or the payload is malformed.
+  void save_state(io::ByteWriter& out) const;
+  void load_state(io::ByteReader& in);
+
+ private:
+  struct Shard {
+    std::size_t size = 0;    // filled entries
+    std::size_t cursor = 0;  // ring write position once full
+    std::vector<double> records;  // [capacity × stride], flat
+  };
+
+  std::size_t capacity_;
+  std::size_t state_dim_;
+  std::size_t stride_;
+  std::size_t total_size_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ctj::rl

@@ -126,6 +126,15 @@ def main(argv):
         else:
             print(f"{path}: ok (bench={doc['bench']}, "
                   f"git_rev={doc['git_rev']}, simd={doc['simd_level']})")
+            # A committed perf record should come from a clean tree — a
+            # "-dirty" rev measured something no commit corresponds to.
+            # Warning only: local iteration legitimately produces dirty
+            # records, they just should not be checked in.
+            rev = doc.get("git_rev")
+            if isinstance(rev, str) and rev.endswith("-dirty"):
+                print(f"{path}: WARNING git_rev '{rev}' is from a dirty "
+                      "tree; regenerate from a clean checkout before "
+                      "committing this record")
     return 1 if failed else 0
 
 
