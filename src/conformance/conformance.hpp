@@ -35,6 +35,7 @@
 #include "common/json.hpp"
 #include "common/modes.hpp"
 #include "core/environment.hpp"
+#include "jammer/registry.hpp"
 #include "jammer/sweep_jammer.hpp"
 #include "mdp/antijam_mdp.hpp"
 #include "mdp/value_iteration.hpp"
@@ -117,6 +118,42 @@ KernelCheckResult check_sweep_jammer(const jammer::SweepJammerConfig& config,
                                      double loss_jam, double loss_hop,
                                      const KernelCheckOptions& options,
                                      const std::string& label);
+
+/// The same estimator generalized to an externally-built behavioural jammer:
+/// any archetype whose sense/lock dynamics reduce to the sweep model (the
+/// registry's "sweep" itself, "adaptive" with exploit_probability = 0,
+/// "duty_cycle" with emit_cost = 0, "colluding" with one colluder) must
+/// match the AntijamMdp built from `jam_levels`/`mode` and the losses.
+/// Channel geometry comes from the jammer itself. check_sweep_jammer() is
+/// this with a freshly-constructed SweepJammer.
+KernelCheckResult check_sweep_kernel(jammer::Jammer& jam,
+                                     const std::vector<double>& jam_levels,
+                                     JammerPowerMode mode,
+                                     const std::vector<double>& tx_levels,
+                                     double loss_jam, double loss_hop,
+                                     const KernelCheckOptions& options,
+                                     const std::string& label);
+
+/// Archetype-agnostic behavioural invariants, checked per slot over a
+/// scripted victim plus two whole-run equivalence probes.
+struct JammerCheckResult {
+  std::string config;  // label of the spec under test
+  std::vector<Divergence> divergences;
+  std::size_t slots = 0;
+
+  bool ok() const { return divergences.empty(); }
+};
+
+/// Drive the spec's jammer against a random-hopping victim and check, every
+/// slot: the jammed group is a real m-aligned group; a hit implies the
+/// victim was covered and the jammer was emitting; a hit's power is one of
+/// the configured levels (the max level in max-power mode). Also proves
+/// same-seed determinism (a twin instance reports identically) and mid-run
+/// save/restore continuation bit-identity (a copy restored from
+/// save_state() at the halfway slot finishes the run identically).
+JammerCheckResult check_jammer_invariants(const jammer::JammerSpec& spec,
+                                          const KernelCheckOptions& options,
+                                          const std::string& label);
 
 struct StructureCheckOptions {
   std::vector<double> lj_grid;  // L_J sweep (n* must be non-increasing)

@@ -1,0 +1,166 @@
+// Archetype-agnostic jammer invariants (check_jammer_invariants).
+//
+// The kernel estimator (kernel_check.cpp) proves that sweep-reducible
+// configurations match the analytic MDP; this file checks the contracts
+// every archetype must honour regardless of its dynamics:
+//
+//  · geometry: the reported jammed group start is a real m-aligned group
+//    inside [0, K);
+//  · honesty: hit ⇒ the victim's channel was inside the jammed group, and
+//    hit ⇒ emitting (a jammer cannot hit silently);
+//  · power: a hit's power is one of the configured levels, and exactly the
+//    max level in max-power mode;
+//  · determinism: a second instance built from the same (spec, seed)
+//    reports identically on the same victim script;
+//  · checkpointing: a copy restored from save_state() taken at the halfway
+//    slot finishes the run bit-identically to the original.
+//
+// The victim plays a seeded random-hopping script, so every archetype sees
+// stays, hops, escapes and re-acquisitions.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "conformance/conformance.hpp"
+#include "jammer/jammer.hpp"
+#include "jammer/registry.hpp"
+
+namespace ctj::conformance {
+
+namespace {
+
+std::string format_slot(std::size_t slot) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "slot=%zu", slot);
+  return buffer;
+}
+
+Divergence make_divergence(const std::string& label, std::size_t slot,
+                           const std::string& metric, double observed,
+                           double expected) {
+  Divergence d;
+  d.source = "jammer-invariants";
+  d.config = label;
+  d.state = format_slot(slot);
+  d.action = "step";
+  d.metric = metric;
+  d.observed = observed;
+  d.expected = expected;
+  d.bound = 0.0;
+  d.samples = 1;
+  return d;
+}
+
+bool reports_equal(const jammer::JammerSlotReport& a,
+                   const jammer::JammerSlotReport& b) {
+  return a.hit == b.hit && a.power == b.power &&
+         a.jammed_group_start == b.jammed_group_start &&
+         a.emitting == b.emitting;
+}
+
+}  // namespace
+
+JammerCheckResult check_jammer_invariants(const jammer::JammerSpec& spec,
+                                          const KernelCheckOptions& options,
+                                          const std::string& label) {
+  JammerCheckResult result;
+  result.config = label;
+  result.slots = options.slots;
+
+  const std::uint64_t jam_seed = options.seed * 0x9e3779b9ULL + 17;
+  std::unique_ptr<jammer::Jammer> jam = jammer::make_jammer(spec, jam_seed);
+  std::unique_ptr<jammer::Jammer> twin = jammer::make_jammer(spec, jam_seed);
+  std::unique_ptr<jammer::Jammer> resumed;  // built at the halfway slot
+
+  const int K = jam->num_channels();
+  const int m = jam->channels_per_sweep();
+  const int groups = spec.sweep_cycle();
+  CTJ_CHECK(K == spec.num_channels && m == spec.channels_per_sweep);
+
+  double max_level = 0.0;
+  for (double level : spec.power_levels) max_level = std::max(max_level, level);
+
+  // Victim script: stay by default, hop to a uniformly-random channel with
+  // probability hop_prob. Seeded independently of the jammer streams.
+  Rng rng(options.seed + 1);
+  int channel = 0;
+
+  const std::size_t half = options.slots / 2;
+  // Cap per-run divergence records: one broken invariant usually trips on
+  // every subsequent slot, and the first few occurrences are what triage
+  // needs.
+  const std::size_t max_divergences = 32;
+
+  for (std::size_t slot = 0; slot < options.slots; ++slot) {
+    if (slot == half) {
+      // Serialize the live jammer and restore into a fresh instance; from
+      // here both must agree on every report.
+      io::ByteWriter out;
+      jam->save_state(out);
+      const std::string payload = out.take();
+      io::ByteReader in(payload);
+      resumed = jammer::make_jammer(spec, jam_seed + 999);  // wrong-seed shell
+      resumed->load_state(in);
+      in.expect_end();
+    }
+
+    if (rng.bernoulli(options.hop_prob)) channel = rng.index(K);
+
+    const jammer::JammerSlotReport report = jam->step(channel);
+    const jammer::JammerSlotReport twin_report = twin->step(channel);
+    if (result.divergences.size() >= max_divergences) continue;
+
+    const int group_start = report.jammed_group_start;
+    if (group_start % m != 0 || group_start < 0 || group_start / m >= groups) {
+      result.divergences.push_back(make_divergence(
+          label, slot, "jammed_group_start alignment", group_start, 0.0));
+    }
+    if (report.hit) {
+      const bool covered =
+          channel >= group_start && channel < group_start + m;
+      if (!covered) {
+        result.divergences.push_back(make_divergence(
+            label, slot, "hit without coverage", group_start, channel));
+      }
+      if (!report.emitting) {
+        result.divergences.push_back(
+            make_divergence(label, slot, "hit while not emitting", 0.0, 1.0));
+      }
+      bool known_level = false;
+      for (double level : spec.power_levels) {
+        if (report.power == level) known_level = true;
+      }
+      if (!known_level) {
+        result.divergences.push_back(make_divergence(
+            label, slot, "hit power not a configured level", report.power,
+            spec.power_levels.empty() ? 0.0 : spec.power_levels.front()));
+      }
+      if (spec.mode == JammerPowerMode::kMaxPower &&
+          report.power != max_level) {
+        result.divergences.push_back(make_divergence(
+            label, slot, "max-power mode hit below max", report.power,
+            max_level));
+      }
+    }
+    if (!reports_equal(report, twin_report)) {
+      result.divergences.push_back(make_divergence(
+          label, slot, "same-seed twin diverged", report.hit ? 1.0 : 0.0,
+          twin_report.hit ? 1.0 : 0.0));
+    }
+    if (resumed) {
+      const jammer::JammerSlotReport resumed_report = resumed->step(channel);
+      if (!reports_equal(report, resumed_report)) {
+        result.divergences.push_back(make_divergence(
+            label, slot, "save/restore continuation diverged",
+            report.hit ? 1.0 : 0.0, resumed_report.hit ? 1.0 : 0.0));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ctj::conformance

@@ -225,21 +225,28 @@ KernelCheckResult check_environment(const core::EnvironmentConfig& config,
   return compare(oracle, acc, options, "environment", label, options.slots);
 }
 
-KernelCheckResult check_sweep_jammer(const jammer::SweepJammerConfig& config,
-                                     const std::vector<double>& tx_levels,
-                                     double loss_jam, double loss_hop,
-                                     const KernelCheckOptions& options,
-                                     const std::string& label) {
+namespace {
+
+/// Shared estimator body: drive `jam` (any behavioural jammer whose
+/// dynamics claim to reduce to the sweep model) and bin against the oracle.
+KernelCheckResult check_sweep_kernel_impl(jammer::Jammer& jam,
+                                          const std::vector<double>& jam_levels,
+                                          JammerPowerMode mode,
+                                          const std::vector<double>& tx_levels,
+                                          double loss_jam, double loss_hop,
+                                          const KernelCheckOptions& options,
+                                          const std::string& label,
+                                          const char* source) {
   CTJ_CHECK(!tx_levels.empty());
-  const mdp::AntijamMdp oracle(
-      oracle_params(config.sweep_cycle(), tx_levels, config.power_levels,
-                    config.mode, loss_jam, loss_hop));
-  jammer::SweepJammer jam(config, options.seed * 0x9e3779b9ULL + 17);
+  const int N = (jam.num_channels() + jam.channels_per_sweep() - 1) /
+                jam.channels_per_sweep();
+  const mdp::AntijamMdp oracle(oracle_params(N, tx_levels, jam_levels, mode,
+                                             loss_jam, loss_hop));
   Rng rng(options.seed + 1);
   KernelAccumulator acc(oracle.num_states(), oracle.num_actions());
 
-  const int N = config.sweep_cycle();
-  const int m = config.channels_per_sweep;
+  const int num_channels = jam.num_channels();
+  const int m = jam.channels_per_sweep();
   const std::size_t P = tx_levels.size();
 
   // Alignment argument. The MDP state n asserts "the jammer has ruled out
@@ -271,7 +278,7 @@ KernelCheckResult check_sweep_jammer(const jammer::SweepJammerConfig& config,
     const bool counting = kind == Kind::kCounting;
     const bool may_act = aligned || !counting;
     const bool hop = may_act && rng.bernoulli(options.hop_prob);
-    if (hop) channel = hop_channel(rng, channel / m, N, m, config.num_channels);
+    if (hop) channel = hop_channel(rng, channel / m, N, m, num_channels);
 
     const auto report = jam.step(channel);
     Kind next_kind;
@@ -323,7 +330,31 @@ KernelCheckResult check_sweep_jammer(const jammer::SweepJammerConfig& config,
       aligned = false;
     }
   }
-  return compare(oracle, acc, options, "sweep-jammer", label, options.slots);
+  return compare(oracle, acc, options, source, label, options.slots);
+}
+
+}  // namespace
+
+KernelCheckResult check_sweep_kernel(jammer::Jammer& jam,
+                                     const std::vector<double>& jam_levels,
+                                     JammerPowerMode mode,
+                                     const std::vector<double>& tx_levels,
+                                     double loss_jam, double loss_hop,
+                                     const KernelCheckOptions& options,
+                                     const std::string& label) {
+  return check_sweep_kernel_impl(jam, jam_levels, mode, tx_levels, loss_jam,
+                                 loss_hop, options, label, "sweep-kernel");
+}
+
+KernelCheckResult check_sweep_jammer(const jammer::SweepJammerConfig& config,
+                                     const std::vector<double>& tx_levels,
+                                     double loss_jam, double loss_hop,
+                                     const KernelCheckOptions& options,
+                                     const std::string& label) {
+  jammer::SweepJammer jam(config, options.seed * 0x9e3779b9ULL + 17);
+  return check_sweep_kernel_impl(jam, config.power_levels, config.mode,
+                                 tx_levels, loss_jam, loss_hop, options, label,
+                                 "sweep-jammer");
 }
 
 }  // namespace ctj::conformance

@@ -88,6 +88,43 @@ TrainProgress read_train_progress(const io::ContainerReader& in,
   return progress;
 }
 
+void write_jammer_config(io::ContainerWriter& out,
+                         const jammer::JammerSpec& spec) {
+  if (spec.is_kernel()) return;
+  io::ByteWriter w;
+  spec.encode(w);
+  out.add_chunk(io::tags::kJammerCfg, w.take());
+}
+
+void check_jammer_config(const io::ContainerReader& in,
+                         const jammer::JammerSpec& spec) {
+  const auto mismatch = [](const std::string& what) -> io::IoError {
+    return io::IoError(io::ErrorKind::kStateMismatch,
+                       "checkpoint adversary differs: " + what);
+  };
+  if (spec.is_kernel()) {
+    if (in.has_chunk(io::tags::kJammerCfg)) {
+      throw mismatch(
+          "checkpoint was trained against a behavioural jammer, the live "
+          "environment samples the closed-form kernel");
+    }
+    return;
+  }
+  if (!in.has_chunk(io::tags::kJammerCfg)) {
+    throw mismatch(
+        "checkpoint has no JAMRCFG chunk, the live environment runs \"" +
+        spec.archetype + "\"");
+  }
+  io::ByteReader r(in.chunk(io::tags::kJammerCfg));
+  const jammer::JammerSpec stored = jammer::JammerSpec::decode(r);
+  r.expect_end();
+  if (stored != spec) {
+    throw mismatch("checkpoint ran \"" + stored.archetype +
+                   "\", the live environment runs \"" + spec.archetype +
+                   "\" (or the tunables differ)");
+  }
+}
+
 bool should_resume_checkpoint(const TrainerConfig& config) {
   if (!config.checkpoint || !config.checkpoint->resume) return false;
   std::error_code ec;

@@ -15,6 +15,7 @@
 #include "core/rl_fh.hpp"
 #include "core/trainer.hpp"
 #include "io/container.hpp"
+#include "jammer/registry.hpp"
 
 namespace ctj::core {
 
@@ -70,6 +71,20 @@ void write_train_progress(io::ContainerWriter& out,
 TrainProgress read_train_progress(const io::ContainerReader& in,
                                   std::uint8_t mode, std::uint64_t replicas,
                                   const TrainerConfig& config);
+
+/// Append the JAMRCFG chunk naming the adversary the environment competes
+/// against. No-op for the closed-form "kernel" sentinel, so kernel-mode
+/// checkpoints keep their pre-zoo chunk layout.
+void write_jammer_config(io::ContainerWriter& out,
+                         const jammer::JammerSpec& spec);
+
+/// Validate a checkpoint's adversary against the live environment's spec:
+/// the JAMRCFG chunk must be present exactly when the spec is behavioural,
+/// and must decode equal to it — resuming a run against a different
+/// adversary is a state mismatch, not a silent behaviour change (throws
+/// io::IoError kStateMismatch).
+void check_jammer_config(const io::ContainerReader& in,
+                         const jammer::JammerSpec& spec);
 
 /// True when the config asks for resume and the checkpoint file exists.
 bool should_resume_checkpoint(const TrainerConfig& config);

@@ -6,6 +6,15 @@
 
 namespace ctj::core {
 
+namespace {
+
+/// Seed salt for the behavioural jammer's stream: a fixed constant (not an
+/// rng_ fork) so adding the jammer leaves the environment's own draw
+/// sequence untouched.
+constexpr std::uint64_t kJammerSeedSalt = 0x4A414D52ULL;  // "JAMR"
+
+}  // namespace
+
 EnvironmentConfig EnvironmentConfig::defaults() {
   EnvironmentConfig c;
   for (int v = 6; v <= 15; ++v) c.tx_levels.push_back(v);
@@ -34,17 +43,54 @@ const char* to_string(SlotOutcome outcome) {
 
 CompetitionEnvironment::CompetitionEnvironment(EnvironmentConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
-  CTJ_CHECK_MSG(config_.sweep_cycle() >= 2,
-                "sweep cycle must be >= 2 (got " << config_.sweep_cycle() << ")");
   CTJ_CHECK(!config_.tx_levels.empty());
   CTJ_CHECK(!config_.jam_levels.empty());
+  if (config_.jammer.is_kernel()) {
+    // The closed-form hazard 1/(N − n) needs at least two groups; a
+    // single-group network is only meaningful against a behavioural jammer
+    // (whose boundary handling the zoo tests pin down).
+    CTJ_CHECK_MSG(config_.sweep_cycle() >= 2,
+                  "sweep cycle must be >= 2 (got " << config_.sweep_cycle()
+                                                   << ")");
+  } else {
+    // Sync the adversary spec to the environment's geometry and power model
+    // so one source of truth (this config) shapes both sides of the duel.
+    config_.jammer.num_channels = config_.num_channels;
+    config_.jammer.channels_per_sweep = config_.channels_per_sweep;
+    config_.jammer.power_levels = config_.jam_levels;
+    config_.jammer.mode = config_.mode;
+    jam_ = jammer::make_jammer(config_.jammer, config_.seed ^ kJammerSeedSalt);
+  }
   reset();
+}
+
+CompetitionEnvironment::CompetitionEnvironment(
+    const CompetitionEnvironment& other)
+    : config_(other.config_),
+      rng_(other.rng_),
+      channel_(other.channel_),
+      kind_(other.kind_),
+      n_(other.n_),
+      jam_(other.jam_ ? other.jam_->clone() : nullptr) {}
+
+CompetitionEnvironment& CompetitionEnvironment::operator=(
+    const CompetitionEnvironment& other) {
+  if (this != &other) {
+    config_ = other.config_;
+    rng_ = other.rng_;
+    channel_ = other.channel_;
+    kind_ = other.kind_;
+    n_ = other.n_;
+    jam_ = other.jam_ ? other.jam_->clone() : nullptr;
+  }
+  return *this;
 }
 
 void CompetitionEnvironment::reset() {
   channel_ = 0;
   kind_ = HiddenKind::kCounting;
   n_ = 1;
+  if (jam_) jam_->reset();
 }
 
 void CompetitionEnvironment::save_state(io::ByteWriter& out) const {
@@ -57,11 +103,13 @@ void CompetitionEnvironment::save_state(io::ByteWriter& out) const {
   out.f64(config_.loss_jam);
   out.f64(config_.loss_hop);
   out.u64(config_.seed);
+  config_.jammer.encode(out);
   // Dynamic state.
   out.str(rng_.serialize_state());
   out.i32(channel_);
   out.u8(static_cast<std::uint8_t>(kind_));
   out.i32(n_);
+  if (jam_) jam_->save_state(out);
 }
 
 void CompetitionEnvironment::load_state(io::ByteReader& in) {
@@ -81,6 +129,9 @@ void CompetitionEnvironment::load_state(io::ByteReader& in) {
   if (in.f64() != config_.loss_jam) throw mismatch("loss_jam");
   if (in.f64() != config_.loss_hop) throw mismatch("loss_hop");
   if (in.u64() != config_.seed) throw mismatch("seed");
+  if (jammer::JammerSpec::decode(in) != config_.jammer) {
+    throw mismatch("jammer");
+  }
 
   const std::string rng_text = in.str();
   Rng rng;
@@ -101,16 +152,22 @@ void CompetitionEnvironment::load_state(io::ByteReader& in) {
   }
   const int n = in.i32();
   const HiddenKind hidden = static_cast<HiddenKind>(kind);
-  if (hidden == HiddenKind::kCounting &&
-      (n < 1 || n > config_.sweep_cycle() - 1)) {
+  const int max_n = std::max(config_.sweep_cycle() - 1, 1);
+  if (hidden == HiddenKind::kCounting && (n < 1 || n > max_n)) {
     throw io::IoError(io::ErrorKind::kBadPayload,
                       "environment hidden counter out of range");
+  }
+  std::unique_ptr<jammer::Jammer> jam;
+  if (jam_) {
+    jam = jam_->clone();
+    jam->load_state(in);
   }
 
   rng_ = rng;
   channel_ = channel;
   kind_ = hidden;
   n_ = n;
+  if (jam) jam_ = std::move(jam);
 }
 
 EnvStep CompetitionEnvironment::step(int channel, std::size_t power_index) {
@@ -125,13 +182,28 @@ EnvStep CompetitionEnvironment::step(int channel, std::size_t power_index) {
   const bool effective_hop =
       channel / config_.channels_per_sweep !=
       channel_ / config_.channels_per_sweep;
-  const double q = config_.success_prob(power_index);
   const int N = config_.sweep_cycle();
 
-  // Sample the next hidden state from the MDP kernel of Eqs. (6)–(14).
   HiddenKind next_kind = HiddenKind::kCounting;
   int next_n = 1;
-  if (kind_ == HiddenKind::kCounting) {
+  if (jam_) {
+    // Behavioural mode: the live adversary senses/emits for real and the
+    // outcome is the actual power duel against its reported emission. The
+    // hidden n is bookkeeping only (consecutive unjammed slots, capped at
+    // the kernel's N − 1 range) so hidden-state inspection stays meaningful.
+    const jammer::JammerSlotReport report = jam_->step(channel);
+    if (report.hit) {
+      next_kind = config_.tx_levels[power_index] >= report.power
+                      ? HiddenKind::kTj
+                      : HiddenKind::kJ;
+    } else {
+      next_kind = HiddenKind::kCounting;
+      next_n = kind_ == HiddenKind::kCounting
+                   ? std::min(n_ + 1, std::max(N - 1, 1))
+                   : 1;
+    }
+  } else if (kind_ == HiddenKind::kCounting) {
+    const double q = config_.success_prob(power_index);
     if (!effective_hop) {
       // Cases 1–2: the sweeping jammer finds the victim with hazard
       // 1/(N − n); survival of the attempt depends on the power duel.
@@ -156,6 +228,7 @@ EnvStep CompetitionEnvironment::step(int channel, std::size_t power_index) {
       }
     }
   } else {
+    const double q = config_.success_prob(power_index);
     if (!effective_hop) {
       // Case 5: the jammer dwells; only the power duel decides.
       next_kind = rng_.bernoulli(q) ? HiddenKind::kTj : HiddenKind::kJ;

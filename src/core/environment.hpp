@@ -7,14 +7,25 @@
 // see the hidden state — as the paper notes, the victim cannot synchronize
 // with the jammer — it only observes each slot's outcome, channel and power,
 // which is what the DQN's 3×I history input encodes.
+//
+// Adversary selection: by default (`config.jammer` == the "kernel" sentinel)
+// the environment samples the closed-form kernel above — bit-identical to
+// the pre-registry behaviour. Setting `config.jammer.archetype` to any
+// registered key instead drives a live behavioural jammer from the adversary
+// zoo (jammer/registry.hpp) slot by slot: each slot's outcome comes from the
+// jammer's actual sense/emit decisions and the power duel against its
+// reported emission, which is how the non-sweep archetypes (reactive,
+// duty-cycle, colluding, ...) are trained and evaluated against.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/modes.hpp"
 #include "common/rng.hpp"
 #include "io/bytes.hpp"
+#include "jammer/registry.hpp"
 
 namespace ctj::core {
 
@@ -29,6 +40,13 @@ struct EnvironmentConfig {
   double loss_jam = 100.0;  // L_J
   double loss_hop = 50.0;   // L_H
   std::uint64_t seed = 5;
+  /// Which adversary the victim competes against. The "kernel" sentinel
+  /// samples the closed-form MDP kernel (the paper's sweep jammer in
+  /// distribution); any registered archetype drives that behavioural jammer
+  /// instead. The spec's channel geometry / power levels / mode are synced
+  /// from the fields above at construction, so only `archetype` and the
+  /// archetype-specific tunables need setting.
+  jammer::JammerSpec jammer = jammer::JammerSpec::kernel();
 
   static EnvironmentConfig defaults();
 
@@ -60,6 +78,13 @@ class CompetitionEnvironment {
  public:
   explicit CompetitionEnvironment(EnvironmentConfig config);
 
+  // Copyable (VectorEnv restores by copying replicas); the behavioural
+  // jammer, when present, is deep-cloned with its RNG stream.
+  CompetitionEnvironment(const CompetitionEnvironment& other);
+  CompetitionEnvironment& operator=(const CompetitionEnvironment& other);
+  CompetitionEnvironment(CompetitionEnvironment&&) = default;
+  CompetitionEnvironment& operator=(CompetitionEnvironment&&) = default;
+
   /// Execute one slot: the victim transmits on `channel` at power level
   /// `power_index`. Choosing a channel different from current_channel()
   /// is a frequency hop (and pays L_H); only hops that leave the current
@@ -70,6 +95,12 @@ class CompetitionEnvironment {
   int current_channel() const { return channel_; }
   const EnvironmentConfig& config() const { return config_; }
 
+  /// True when sampling the closed-form kernel ("kernel" sentinel); false
+  /// when a behavioural jammer from the registry drives the outcomes.
+  bool kernel_mode() const { return jam_ == nullptr; }
+  /// The live behavioural jammer, or nullptr in kernel mode.
+  const jammer::Jammer* behavioural_jammer() const { return jam_.get(); }
+
   /// Hidden state inspection for tests/oracles: n in [1, N−1], or N−1+1 →
   /// T_J, J encodings mirroring mdp::AntijamMdp indices.
   enum class HiddenKind { kCounting, kTj, kJ };
@@ -79,10 +110,11 @@ class CompetitionEnvironment {
   void reset();
 
   // Checkpoint-format serialization: the RNG stream, current channel and
-  // hidden MDP state, preceded by a digest of the config so a checkpoint
-  // cannot be resumed against a differently-parameterized environment
-  // (throws io::IoError kStateMismatch; the environment is unchanged on any
-  // failed load).
+  // hidden MDP state (plus the behavioural jammer's full state when one is
+  // configured), preceded by a digest of the config so a checkpoint cannot
+  // be resumed against a differently-parameterized environment (throws
+  // io::IoError kStateMismatch; the environment is unchanged on any failed
+  // load).
   void save_state(io::ByteWriter& out) const;
   void load_state(io::ByteReader& in);
 
@@ -92,6 +124,7 @@ class CompetitionEnvironment {
   int channel_ = 0;
   HiddenKind kind_ = HiddenKind::kCounting;
   int n_ = 1;  // valid when kind_ == kCounting
+  std::unique_ptr<jammer::Jammer> jam_;  // null in kernel mode
 };
 
 }  // namespace ctj::core

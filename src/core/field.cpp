@@ -8,7 +8,7 @@ namespace ctj::core {
 
 FieldConfig FieldConfig::defaults() {
   FieldConfig c;
-  c.jammer = jammer::SweepJammerConfig::defaults();
+  c.jammer = jammer::JammerSpec::defaults();
   for (int v = 6; v <= 15; ++v) c.tx_levels.push_back(v);
   return c;
 }
@@ -16,7 +16,7 @@ FieldConfig FieldConfig::defaults() {
 FieldExperiment::FieldExperiment(FieldConfig config, AntiJammingScheme& scheme)
     : config_(std::move(config)),
       network_(config_.network),
-      jammer_(config_.jammer, config_.seed),
+      jammer_(jammer::make_jammer(config_.jammer, config_.seed)),
       scheme_(scheme) {
   CTJ_CHECK(!config_.tx_levels.empty());
   CTJ_CHECK(config_.jammer_slot_s > 0.0);
@@ -32,7 +32,7 @@ std::pair<double, double> FieldExperiment::advance_jammer(int victim_channel) {
   const int m = config_.jammer.channels_per_sweep;
   while (t < t_end) {
     if (!report_valid_ || jammer_slot_end_s_ <= t) {
-      current_report_ = jammer_.step(victim_channel);
+      current_report_ = jammer_->step(victim_channel);
       report_valid_ = true;
       // Align the jammer slot grid: start a fresh jammer slot at t.
       jammer_slot_end_s_ =

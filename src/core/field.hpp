@@ -9,18 +9,22 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/metrics.hpp"
 #include "core/scheme.hpp"
-#include "jammer/sweep_jammer.hpp"
+#include "jammer/registry.hpp"
 #include "net/star_network.hpp"
 
 namespace ctj::core {
 
 struct FieldConfig {
   net::StarNetworkConfig network;
-  jammer::SweepJammerConfig jammer;
+  /// Adversary spec resolved through the jammer registry; any registered
+  /// archetype runs the full stack (the field always needs a behavioural
+  /// jammer, so the "kernel" sentinel is rejected at construction).
+  jammer::JammerSpec jammer;
   bool jammer_enabled = true;
   /// The jammer's own slot duration; mismatches with the victim's slot
   /// duration produce the degradation of Fig. 11(b).
@@ -58,7 +62,7 @@ class FieldExperiment {
 
   const FieldConfig& config() const { return config_; }
   net::StarNetwork& network() { return network_; }
-  jammer::SweepJammer& jammer() { return jammer_; }
+  jammer::Jammer& jammer() { return *jammer_; }
 
  private:
   /// Advance the jammer clock across one victim slot; returns the fraction
@@ -68,7 +72,7 @@ class FieldExperiment {
 
   FieldConfig config_;
   net::StarNetwork network_;
-  jammer::SweepJammer jammer_;
+  std::unique_ptr<jammer::Jammer> jammer_;
   MetricsAccumulator metrics_;
   AntiJammingScheme& scheme_;
   int previous_channel_ = 0;

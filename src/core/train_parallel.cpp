@@ -539,6 +539,7 @@ class ParallelRun {
     progress.window_sum = window_sum_;
     progress.window = window_;
     write_train_progress(out, progress, config_);
+    write_jammer_config(out, shards_.front()->env.env(0).config().jammer);
     scheme_.save_state(out);
 
     io::ByteWriter pw;
@@ -578,6 +579,7 @@ class ParallelRun {
         io::ContainerReader::from_file(config_.checkpoint->path);
     TrainProgress progress =
         read_train_progress(in, /*mode=*/2, r_.total_replicas(), config_);
+    check_jammer_config(in, shards_.front()->env.env(0).config().jammer);
     stats_.slots_trained =
         static_cast<std::size_t>(progress.slots_trained);
     stats_.early_stopped = progress.early_stopped;

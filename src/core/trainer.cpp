@@ -33,6 +33,7 @@ TrainingStats train(DqnScheme& scheme, CompetitionEnvironment& env,
     const io::ContainerReader in =
         io::ContainerReader::from_file(config.checkpoint->path);
     TrainProgress progress = read_train_progress(in, /*mode=*/0, /*replicas=*/1, config);
+    check_jammer_config(in, env.config().jammer);
     scheme.load_state(in);
     io::ByteReader env_in(in.chunk(io::tags::kEnvState));
     env.load_state(env_in);
@@ -56,6 +57,7 @@ TrainingStats train(DqnScheme& scheme, CompetitionEnvironment& env,
     progress.window_sum = window_sum;
     progress.window = window;
     write_train_progress(out, progress, config);
+    write_jammer_config(out, env.config().jammer);
     scheme.save_state(out);
     io::ByteWriter env_out;
     env.save_state(env_out);
@@ -147,6 +149,7 @@ TrainingStats train_batched(DqnScheme& scheme,
         io::ContainerReader::from_file(config.checkpoint->path);
     const TrainProgress progress =
         read_train_progress(in, /*mode=*/1, replicas, config);
+    check_jammer_config(in, venv.env(0).config().jammer);
     scheme.load_state(in);
     io::ByteReader env_in(in.chunk(io::tags::kEnvState));
     venv.load_state(env_in);
@@ -171,6 +174,7 @@ TrainingStats train_batched(DqnScheme& scheme,
     progress.window_sum = window_sum;
     progress.window = window;
     write_train_progress(out, progress, config);
+    write_jammer_config(out, venv.env(0).config().jammer);
     scheme.save_state(out);
     io::ByteWriter env_out;
     venv.save_state(env_out);

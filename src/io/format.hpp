@@ -79,6 +79,7 @@ inline constexpr char kReplay[] = "REPLAY  ";     // replay ring + cursor
 inline constexpr char kRngAgent[] = "RNGAGNT ";   // mt19937_64 text state
 inline constexpr char kAgentCounters[] = "AGCNTRS ";  // env/grad steps + cfg
 inline constexpr char kEnvState[] = "ENVSTATE";   // environment replicas
+inline constexpr char kJammerCfg[] = "JAMRCFG ";  // adversary JammerSpec
 inline constexpr char kObsWindows[] = "OBSWIN  ";  // batched rollout windows
 inline constexpr char kTrainProgress[] = "TRAINPRG";  // trainer loop state
 inline constexpr char kParallelTrain[] = "PARTRNST";  // parallel trainer state

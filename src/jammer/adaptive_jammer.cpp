@@ -1,6 +1,7 @@
 #include "jammer/adaptive_jammer.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
@@ -72,6 +73,7 @@ JammerSlotReport AdaptiveJammer::step(int victim_channel) {
     report.jammed_group_start = group * config_.channels_per_sweep;
     if (group == group_of(victim_channel)) {
       report.hit = true;
+      report.emitting = true;
       report.power = pick_power();
     }
   } else {
@@ -84,6 +86,39 @@ JammerSlotReport AdaptiveJammer::step(int victim_channel) {
   for (double& v : visits_) v *= config_.decay;
   visits_[static_cast<std::size_t>(group_of(victim_channel))] += 1.0;
   return report;
+}
+
+std::unique_ptr<Jammer> AdaptiveJammer::clone() const {
+  return std::make_unique<AdaptiveJammer>(*this);
+}
+
+void AdaptiveJammer::save_state(io::ByteWriter& out) const {
+  out.str(rng_.serialize_state());
+  sweeper_.save_state(out);
+  out.f64_vec(visits_);
+}
+
+void AdaptiveJammer::load_state(io::ByteReader& in) {
+  const std::string rng_state = in.str();
+  SweepJammer sweeper = sweeper_;
+  sweeper.load_state(in);
+  std::vector<double> visits = in.f64_vec();
+  if (visits.size() != visits_.size()) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "adaptive jammer histogram has " +
+                          std::to_string(visits.size()) + " groups, expected " +
+                          std::to_string(visits_.size()));
+  }
+  Rng rng = rng_;
+  try {
+    rng.restore_state(rng_state);
+  } catch (const CheckFailure& e) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      std::string("adaptive jammer rng state: ") + e.what());
+  }
+  rng_ = rng;
+  sweeper_ = std::move(sweeper);
+  visits_ = std::move(visits);
 }
 
 }  // namespace ctj::jammer

@@ -31,19 +31,30 @@ struct AdaptiveJammerConfig {
   static AdaptiveJammerConfig defaults();
 };
 
-class AdaptiveJammer {
+class AdaptiveJammer : public Jammer {
  public:
   explicit AdaptiveJammer(AdaptiveJammerConfig config, std::uint64_t seed = 17);
 
   /// One slot: senses/attacks and learns from the victim's position.
-  JammerSlotReport step(int victim_channel);
+  JammerSlotReport step(int victim_channel) override;
 
   /// Histogram mass of the group currently believed most popular.
   double top_group_weight() const;
   int most_visited_group() const;
 
   const AdaptiveJammerConfig& config() const { return config_; }
-  void reset();
+  void reset() override;
+
+  std::string archetype() const override { return "adaptive"; }
+  int num_channels() const override { return config_.num_channels; }
+  int channels_per_sweep() const override { return config_.channels_per_sweep; }
+  bool locked() const override { return sweeper_.locked(); }
+  std::unique_ptr<Jammer> clone() const override;
+  /// Serializes the exploration/exploitation RNG, the nested sweeper state
+  /// (its RNG included) and the visit histogram — everything a mid-run
+  /// resume needs to continue bit-identically.
+  void save_state(io::ByteWriter& out) const override;
+  void load_state(io::ByteReader& in) override;
 
  private:
   int group_of(int channel) const { return channel / config_.channels_per_sweep; }

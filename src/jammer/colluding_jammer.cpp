@@ -1,0 +1,198 @@
+#include "jammer/colluding_jammer.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace ctj::jammer {
+
+ColludingJammerConfig ColludingJammerConfig::defaults() {
+  ColludingJammerConfig c;
+  c.sweep = SweepJammerConfig::defaults();
+  return c;
+}
+
+namespace {
+
+/// Number of groups in colluder `which`'s stripe: |{g < groups : g mod k == which}|.
+int stripe_size(int groups, int k, int which) {
+  return (groups - which + k - 1) / k;
+}
+
+}  // namespace
+
+ColludingJammer::ColludingJammer(ColludingJammerConfig config,
+                                 std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  CTJ_CHECK(config_.sweep.num_channels > 0);
+  CTJ_CHECK(config_.sweep.channels_per_sweep > 0 &&
+            config_.sweep.channels_per_sweep <= config_.sweep.num_channels);
+  CTJ_CHECK_MSG(!config_.sweep.power_levels.empty(),
+                "jammer needs power levels");
+  CTJ_CHECK_MSG(config_.num_colluders >= 1, "team needs at least one jammer");
+  const int groups = config_.sweep.sweep_cycle();
+  const int k = std::min(config_.num_colluders, groups);
+  colluders_.resize(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) refill(colluders_[static_cast<std::size_t>(j)], j, -1);
+}
+
+void ColludingJammer::reset() {
+  for (std::size_t j = 0; j < colluders_.size(); ++j) {
+    colluders_[j].locked_channel = -1;
+    colluders_[j].pending.clear();
+    refill(colluders_[j], static_cast<int>(j), -1);
+  }
+}
+
+bool ColludingJammer::locked() const {
+  for (const Colluder& c : colluders_) {
+    if (c.locked_channel >= 0) return true;
+  }
+  return false;
+}
+
+double ColludingJammer::pick_power() {
+  if (config_.sweep.mode == JammerPowerMode::kMaxPower) {
+    return *std::max_element(config_.sweep.power_levels.begin(),
+                             config_.sweep.power_levels.end());
+  }
+  return rng_.choice(config_.sweep.power_levels);
+}
+
+void ColludingJammer::refill(Colluder& colluder, int which,
+                             int excluded_group) {
+  const int groups = config_.sweep.sweep_cycle();
+  const int k = static_cast<int>(colluders_.empty() ? 1 : colluders_.size());
+  colluder.pending.clear();
+  for (int g = which; g < groups; g += k) {
+    if (g != excluded_group) colluder.pending.push_back(g);
+  }
+  rng_.shuffle(colluder.pending);
+}
+
+JammerSlotReport ColludingJammer::step_colluder(Colluder& colluder, int which,
+                                                int victim_channel) {
+  const int m = config_.sweep.channels_per_sweep;
+  JammerSlotReport report;
+
+  // Locked: same verify-or-discover-loss slot structure as SweepJammer,
+  // with the vacated-group exclusion applied within this colluder's stripe
+  // (and the same clamp when the stripe has a single group).
+  if (colluder.locked_channel >= 0) {
+    const int vacated_group = group_of(colluder.locked_channel);
+    if (vacated_group == group_of(victim_channel)) {
+      colluder.locked_channel = victim_channel;
+      report.hit = true;
+      report.emitting = true;
+      report.power = pick_power();
+      report.jammed_group_start = vacated_group * m;
+      return report;
+    }
+    colluder.locked_channel = -1;
+    const int groups = config_.sweep.sweep_cycle();
+    const int k = static_cast<int>(colluders_.size());
+    const int exclude =
+        stripe_size(groups, k, which) == 1 ? -1 : vacated_group;
+    refill(colluder, which, exclude);
+    report.jammed_group_start = vacated_group * m;
+    return report;
+  }
+
+  // Sweeping this colluder's stripe.
+  if (colluder.pending.empty()) refill(colluder, which, -1);
+  const int group = colluder.pending.back();
+  colluder.pending.pop_back();
+  report.jammed_group_start = group * m;
+  if (group == group_of(victim_channel)) {
+    colluder.locked_channel = victim_channel;
+    report.hit = true;
+    report.emitting = true;
+    report.power = pick_power();
+  }
+  return report;
+}
+
+JammerSlotReport ColludingJammer::step(int victim_channel) {
+  CTJ_CHECK_MSG(victim_channel >= 0 &&
+                    victim_channel < config_.sweep.num_channels,
+                "victim channel " << victim_channel << " out of range");
+  // Every colluder advances each slot, in fixed order so the shared RNG
+  // stream is deterministic. The victim sits in exactly one group and the
+  // stripes are disjoint, so at most one colluder can hit.
+  JammerSlotReport primary;
+  JammerSlotReport hit_report;
+  bool any_hit = false;
+  for (std::size_t j = 0; j < colluders_.size(); ++j) {
+    const JammerSlotReport r =
+        step_colluder(colluders_[j], static_cast<int>(j), victim_channel);
+    if (j == 0) primary = r;
+    if (r.hit) {
+      hit_report = r;
+      any_hit = true;
+    }
+  }
+  return any_hit ? hit_report : primary;
+}
+
+std::unique_ptr<Jammer> ColludingJammer::clone() const {
+  return std::make_unique<ColludingJammer>(*this);
+}
+
+void ColludingJammer::save_state(io::ByteWriter& out) const {
+  out.str(rng_.serialize_state());
+  out.u64(colluders_.size());
+  for (const Colluder& c : colluders_) {
+    out.i32(c.locked_channel);
+    out.u64(c.pending.size());
+    for (int g : c.pending) out.i32(g);
+  }
+}
+
+void ColludingJammer::load_state(io::ByteReader& in) {
+  const std::string rng_state = in.str();
+  const std::uint64_t count = in.u64();
+  if (count != colluders_.size()) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "colluding jammer team size " + std::to_string(count) +
+                          " does not match configured " +
+                          std::to_string(colluders_.size()));
+  }
+  const int groups = config_.sweep.sweep_cycle();
+  std::vector<Colluder> colluders;
+  colluders.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t j = 0; j < count; ++j) {
+    Colluder c;
+    c.locked_channel = in.i32();
+    if (c.locked_channel < -1 ||
+        c.locked_channel >= config_.sweep.num_channels) {
+      throw io::IoError(io::ErrorKind::kBadPayload,
+                        "colluding jammer locked channel out of range");
+    }
+    const std::uint64_t pending = in.u64();
+    if (pending > static_cast<std::uint64_t>(groups)) {
+      throw io::IoError(io::ErrorKind::kBadPayload,
+                        "colluding jammer pending list longer than the cycle");
+    }
+    for (std::uint64_t i = 0; i < pending; ++i) {
+      const int g = in.i32();
+      if (g < 0 || g >= groups) {
+        throw io::IoError(io::ErrorKind::kBadPayload,
+                          "colluding jammer pending group out of range");
+      }
+      c.pending.push_back(g);
+    }
+    colluders.push_back(std::move(c));
+  }
+  Rng rng = rng_;
+  try {
+    rng.restore_state(rng_state);
+  } catch (const CheckFailure& e) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      std::string("colluding jammer rng state: ") + e.what());
+  }
+  rng_ = rng;
+  colluders_ = std::move(colluders);
+}
+
+}  // namespace ctj::jammer

@@ -1,0 +1,77 @@
+// Colluding multi-jammer (registry key "colluding").
+//
+// A coordinated team of `num_colluders` sweep jammers that has partitioned
+// the ⌈K/m⌉ channel groups into disjoint stripes (colluder j owns the
+// groups g with g mod k == j) and shares sensing reports over a side
+// channel. Each slot every colluder advances its own sweep/lock state over
+// its stripe, so a stationary victim is found roughly k times faster than
+// by a lone sweeper; once any colluder locks on, the team lets it prosecute
+// the victim while the others keep sweeping their stripes to catch the next
+// escape quickly. The lock-loss bookkeeping mirrors the single sweep jammer
+// per stripe, vacated-group exclusion included (with the same single-group
+// clamp). With k = 1 the team degenerates to exactly the sweep strategy,
+// which is what the kernel-conformance smoke exercises.
+#pragma once
+
+#include <vector>
+
+#include "common/modes.hpp"
+#include "common/rng.hpp"
+#include "jammer/jammer.hpp"
+#include "jammer/sweep_jammer.hpp"
+
+namespace ctj::jammer {
+
+struct ColludingJammerConfig {
+  SweepJammerConfig sweep;  // per-colluder sweep strategy + K/m/powers
+  /// Team size; clamped to [1, ⌈K/m⌉] (more colluders than groups would
+  /// leave some with empty stripes).
+  int num_colluders = 2;
+
+  static ColludingJammerConfig defaults();
+};
+
+class ColludingJammer : public Jammer {
+ public:
+  explicit ColludingJammer(ColludingJammerConfig config,
+                           std::uint64_t seed = 37);
+
+  JammerSlotReport step(int victim_channel) override;
+  void reset() override;
+
+  std::string archetype() const override { return "colluding"; }
+  int num_channels() const override { return config_.sweep.num_channels; }
+  int channels_per_sweep() const override {
+    return config_.sweep.channels_per_sweep;
+  }
+  bool locked() const override;
+  /// Effective team size after clamping.
+  int num_colluders() const { return static_cast<int>(colluders_.size()); }
+  const ColludingJammerConfig& config() const { return config_; }
+
+  std::unique_ptr<Jammer> clone() const override;
+  void save_state(io::ByteWriter& out) const override;
+  void load_state(io::ByteReader& in) override;
+
+ private:
+  /// Per-colluder sweep/lock state over its stripe of groups.
+  struct Colluder {
+    int locked_channel = -1;
+    std::vector<int> pending;  // stripe groups not yet visited this cycle
+  };
+
+  int group_of(int channel) const {
+    return channel / config_.sweep.channels_per_sweep;
+  }
+  double pick_power();
+  void refill(Colluder& colluder, int which, int excluded_group);
+  /// One colluder's slot, mirroring SweepJammer::step over its stripe.
+  JammerSlotReport step_colluder(Colluder& colluder, int which,
+                                 int victim_channel);
+
+  ColludingJammerConfig config_;
+  Rng rng_;  // shared team RNG, drawn in fixed colluder order
+  std::vector<Colluder> colluders_;
+};
+
+}  // namespace ctj::jammer

@@ -1,0 +1,66 @@
+#include "jammer/duty_cycle_jammer.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace ctj::jammer {
+
+DutyCycleJammerConfig DutyCycleJammerConfig::defaults() {
+  DutyCycleJammerConfig c;
+  c.sweep = SweepJammerConfig::defaults();
+  return c;
+}
+
+DutyCycleJammer::DutyCycleJammer(DutyCycleJammerConfig config,
+                                 std::uint64_t seed)
+    : config_(std::move(config)),
+      core_(config_.sweep, seed),
+      energy_(config_.energy_capacity) {
+  CTJ_CHECK_MSG(config_.energy_capacity >= config_.emit_cost,
+                "battery cannot even hold one emission");
+  CTJ_CHECK(config_.emit_cost >= 0.0);
+  CTJ_CHECK(config_.recharge_per_slot > 0.0);
+}
+
+void DutyCycleJammer::reset() {
+  core_.reset();
+  energy_ = config_.energy_capacity;
+}
+
+JammerSlotReport DutyCycleJammer::step(int victim_channel) {
+  energy_ = std::min(config_.energy_capacity,
+                     energy_ + config_.recharge_per_slot);
+  // Radio off while the battery cannot afford an emission: no sensing, no
+  // sweeping — the sweep clock freezes until the jammer can act on a find.
+  if (energy_ < config_.emit_cost) {
+    return JammerSlotReport{};
+  }
+  JammerSlotReport report = core_.step(victim_channel);
+  if (report.hit) energy_ -= config_.emit_cost;
+  return report;
+}
+
+std::unique_ptr<Jammer> DutyCycleJammer::clone() const {
+  return std::make_unique<DutyCycleJammer>(*this);
+}
+
+void DutyCycleJammer::save_state(io::ByteWriter& out) const {
+  core_.save_state(out);
+  out.f64(energy_);
+}
+
+void DutyCycleJammer::load_state(io::ByteReader& in) {
+  SweepJammer core = core_;
+  core.load_state(in);
+  const double energy = in.f64();
+  if (!(energy >= 0.0 && energy <= config_.energy_capacity)) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "duty-cycle jammer energy out of range");
+  }
+  core_ = std::move(core);
+  energy_ = energy;
+}
+
+}  // namespace ctj::jammer

@@ -1,0 +1,55 @@
+// Energy-budgeted duty-cycle jammer (registry key "duty_cycle").
+//
+// An energy-harvesting-constrained adversary (cf. arXiv:2512.15558): the
+// jammer runs the same sweep/lock strategy as the paper's attacker but off
+// a battery that recharges `recharge_per_slot` units per slot up to
+// `energy_capacity`, with every jamming emission costing `emit_cost`. When
+// the battery cannot afford an emission the radio powers down for the slot
+// — the sweep clock freezes, the victim transmits unopposed — and the
+// jammer wakes once it has recharged. With the defaults (capacity 12,
+// cost 3, recharge 1) a locked-on jammer settles into roughly a one-third
+// duty cycle. `emit_cost = 0` removes the constraint entirely, reducing the
+// archetype to the plain sweep jammer (used by the conformance smoke).
+#pragma once
+
+#include "jammer/sweep_jammer.hpp"
+
+namespace ctj::jammer {
+
+struct DutyCycleJammerConfig {
+  SweepJammerConfig sweep;          // the underlying sweep strategy
+  double energy_capacity = 12.0;    // battery size (abstract energy units)
+  double emit_cost = 3.0;           // energy per jamming emission
+  double recharge_per_slot = 1.0;   // harvested energy per slot
+
+  static DutyCycleJammerConfig defaults();
+};
+
+class DutyCycleJammer : public Jammer {
+ public:
+  explicit DutyCycleJammer(DutyCycleJammerConfig config,
+                           std::uint64_t seed = 29);
+
+  JammerSlotReport step(int victim_channel) override;
+  void reset() override;
+
+  std::string archetype() const override { return "duty_cycle"; }
+  int num_channels() const override { return config_.sweep.num_channels; }
+  int channels_per_sweep() const override {
+    return config_.sweep.channels_per_sweep;
+  }
+  bool locked() const override { return core_.locked(); }
+  double energy() const { return energy_; }
+  const DutyCycleJammerConfig& config() const { return config_; }
+
+  std::unique_ptr<Jammer> clone() const override;
+  void save_state(io::ByteWriter& out) const override;
+  void load_state(io::ByteReader& in) override;
+
+ private:
+  DutyCycleJammerConfig config_;
+  SweepJammer core_;   // the sweep strategy the battery throttles
+  double energy_;
+};
+
+}  // namespace ctj::jammer

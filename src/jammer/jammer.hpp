@@ -1,0 +1,75 @@
+// The plug-in adversary interface.
+//
+// Every jammer archetype — the paper's sweeping cross-technology jammer, the
+// pattern-tracking adaptive jammer, and the zoo of related-work adversaries
+// (reactive ACK-triggered, energy-budgeted duty-cycle, colluding
+// multi-jammer) — implements this interface, so the competition environment,
+// the field experiment and the conformance/bench harnesses can drive any of
+// them without knowing the concrete type. Instances are created by archetype
+// name through the string-keyed registry (jammer/registry.hpp).
+//
+// Contract:
+//  · step() advances exactly one victim slot and reports what the jammer
+//    did; `hit` is true iff the jammer transmitted on the victim's m-channel
+//    group that slot (the cross-technology emission blankets the group).
+//  · All randomness comes from the seed passed at construction, so two
+//    same-seed instances produce identical report streams.
+//  · save_state()/load_state() round-trip the FULL dynamic state including
+//    every RNG stream, so a mid-run suspend/resume continues bit-identically
+//    (the CTJS checkpoint guarantee; see core/checkpoint.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/bytes.hpp"
+
+namespace ctj::jammer {
+
+/// What the jammer did in one slot.
+struct JammerSlotReport {
+  /// True if the jammer transmitted on the victim's channel this slot.
+  bool hit = false;
+  /// Power level used when hit (one of power_levels).
+  double power = 0.0;
+  /// First channel of the group the jammer occupied this slot.
+  int jammed_group_start = 0;
+  /// True when the jammer radiated at all this slot — hits, but also
+  /// off-victim emissions (a reactive jammer dwelling on a vacated group).
+  /// Silent sensing/sleep slots leave it false.
+  bool emitting = false;
+};
+
+class Jammer {
+ public:
+  virtual ~Jammer() = default;
+
+  /// Advance one slot. `victim_channel` is the channel the victim transmits
+  /// on this slot (0-based); the jammer only learns it by sensing the group
+  /// that covers it or by already tracking the victim.
+  virtual JammerSlotReport step(int victim_channel) = 0;
+
+  /// Restart from the initial state (the RNG stream keeps running).
+  virtual void reset() = 0;
+
+  /// Registry key of this archetype ("sweep", "adaptive", ...).
+  virtual std::string archetype() const = 0;
+
+  virtual int num_channels() const = 0;
+  virtual int channels_per_sweep() const = 0;
+
+  /// True while the jammer is tracking (camping on) a found victim.
+  virtual bool locked() const = 0;
+
+  /// Deep copy preserving all dynamic state including RNG streams.
+  virtual std::unique_ptr<Jammer> clone() const = 0;
+
+  /// Checkpoint-format serialization of the full dynamic state (RNG streams
+  /// included). load_state throws io::IoError kBadPayload on malformed
+  /// input, leaving the jammer unchanged.
+  virtual void save_state(io::ByteWriter& out) const = 0;
+  virtual void load_state(io::ByteReader& in) = 0;
+};
+
+}  // namespace ctj::jammer

@@ -1,0 +1,124 @@
+#include "jammer/reactive_jammer.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace ctj::jammer {
+
+ReactiveJammerConfig ReactiveJammerConfig::defaults() {
+  ReactiveJammerConfig c;
+  for (int v = 11; v <= 20; ++v) c.power_levels.push_back(v);
+  return c;
+}
+
+int ReactiveJammerConfig::sweep_cycle() const {
+  CTJ_CHECK(num_channels > 0 && channels_per_sweep > 0);
+  return (num_channels + channels_per_sweep - 1) / channels_per_sweep;
+}
+
+ReactiveJammer::ReactiveJammer(ReactiveJammerConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  CTJ_CHECK(config_.num_channels > 0);
+  CTJ_CHECK(config_.channels_per_sweep > 0 &&
+            config_.channels_per_sweep <= config_.num_channels);
+  CTJ_CHECK_MSG(!config_.power_levels.empty(), "jammer needs power levels");
+  CTJ_CHECK_MSG(config_.dwell_slots >= 1, "dwell must last at least one slot");
+}
+
+void ReactiveJammer::reset() {
+  listen_cursor_ = 0;
+  target_group_ = -1;
+  dwell_left_ = 0;
+}
+
+double ReactiveJammer::pick_power() {
+  if (config_.mode == JammerPowerMode::kMaxPower) {
+    return *std::max_element(config_.power_levels.begin(),
+                             config_.power_levels.end());
+  }
+  return rng_.choice(config_.power_levels);
+}
+
+JammerSlotReport ReactiveJammer::step(int victim_channel) {
+  CTJ_CHECK_MSG(victim_channel >= 0 && victim_channel < config_.num_channels,
+                "victim channel " << victim_channel << " out of range");
+  JammerSlotReport report;
+
+  // Dwelling: blanket the triggered group. ACK silence is ambiguous (escape
+  // or backoff), so the blanket only lifts after dwell_slots consecutive
+  // victim-free slots; every overheard transmission refreshes it.
+  if (dwell_left_ > 0) {
+    report.jammed_group_start = target_group_ * config_.channels_per_sweep;
+    report.emitting = true;
+    if (target_group_ == group_of(victim_channel)) {
+      report.hit = true;
+      report.power = pick_power();
+      dwell_left_ = config_.dwell_slots;
+    } else {
+      --dwell_left_;
+      if (dwell_left_ == 0) target_group_ = -1;
+    }
+    return report;
+  }
+
+  // Listening: receiver only, cycling deterministically over the groups.
+  const int listened = listen_cursor_;
+  listen_cursor_ = (listen_cursor_ + 1) % config_.sweep_cycle();
+  report.jammed_group_start = listened * config_.channels_per_sweep;
+  if (listened == group_of(victim_channel)) {
+    // Overheard the victim mid-slot: jam the rest of the slot and dwell.
+    target_group_ = listened;
+    dwell_left_ = config_.dwell_slots;
+    report.hit = true;
+    report.emitting = true;
+    report.power = pick_power();
+  }
+  return report;
+}
+
+std::unique_ptr<Jammer> ReactiveJammer::clone() const {
+  return std::make_unique<ReactiveJammer>(*this);
+}
+
+void ReactiveJammer::save_state(io::ByteWriter& out) const {
+  out.str(rng_.serialize_state());
+  out.i32(listen_cursor_);
+  out.i32(target_group_);
+  out.i32(dwell_left_);
+}
+
+void ReactiveJammer::load_state(io::ByteReader& in) {
+  const std::string rng_state = in.str();
+  const int listen_cursor = in.i32();
+  const int target_group = in.i32();
+  const int dwell_left = in.i32();
+  const int groups = config_.sweep_cycle();
+  if (listen_cursor < 0 || listen_cursor >= groups) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "reactive jammer listen cursor out of range");
+  }
+  if (target_group < -1 || target_group >= groups ||
+      (dwell_left > 0) != (target_group >= 0)) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "reactive jammer dwell state inconsistent");
+  }
+  if (dwell_left < 0 || dwell_left > config_.dwell_slots) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "reactive jammer dwell counter out of range");
+  }
+  Rng rng = rng_;
+  try {
+    rng.restore_state(rng_state);
+  } catch (const CheckFailure& e) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      std::string("reactive jammer rng state: ") + e.what());
+  }
+  rng_ = rng;
+  listen_cursor_ = listen_cursor;
+  target_group_ = target_group;
+  dwell_left_ = dwell_left;
+}
+
+}  // namespace ctj::jammer

@@ -1,0 +1,68 @@
+// Reactive ACK-triggered jammer (registry key "reactive").
+//
+// The classic energy-stealthy adversary from the reactive-jamming
+// literature (the attacker "Borrowing Arrows with Thatched Boats",
+// arXiv:1912.11170, is built to deceive): instead of sweeping with its
+// transmitter on, it listens silently, cycling its receiver over the
+// ⌈K/m⌉ channel groups one per slot. The moment it overhears the victim's
+// traffic (data + link-layer ACKs) in the listened group it opens fire on
+// that group and dwells there, refreshing the dwell as long as the victim
+// keeps showing up. When the victim escapes, the jammer cannot tell
+// immediately — ACK silence could be a backoff — so it keeps blanketing the
+// vacated group until `dwell_slots` slots pass without a hit, then goes
+// back to silent listening. Power is drawn (and the power RNG advanced)
+// only on actual hits, keeping the emission pattern stealthy.
+#pragma once
+
+#include <vector>
+
+#include "common/modes.hpp"
+#include "common/rng.hpp"
+#include "jammer/jammer.hpp"
+
+namespace ctj::jammer {
+
+struct ReactiveJammerConfig {
+  int num_channels = 16;
+  int channels_per_sweep = 4;
+  std::vector<double> power_levels;
+  JammerPowerMode mode = JammerPowerMode::kMaxPower;
+  /// Slots the jammer keeps blanketing a triggered group after the last
+  /// overheard victim transmission before falling back to listening.
+  int dwell_slots = 4;
+
+  static ReactiveJammerConfig defaults();
+
+  int sweep_cycle() const;  // ⌈K/m⌉
+};
+
+class ReactiveJammer : public Jammer {
+ public:
+  explicit ReactiveJammer(ReactiveJammerConfig config, std::uint64_t seed = 23);
+
+  JammerSlotReport step(int victim_channel) override;
+  void reset() override;
+
+  std::string archetype() const override { return "reactive"; }
+  int num_channels() const override { return config_.num_channels; }
+  int channels_per_sweep() const override { return config_.channels_per_sweep; }
+  /// Locked while dwelling on a triggered group.
+  bool locked() const override { return dwell_left_ > 0; }
+  const ReactiveJammerConfig& config() const { return config_; }
+
+  std::unique_ptr<Jammer> clone() const override;
+  void save_state(io::ByteWriter& out) const override;
+  void load_state(io::ByteReader& in) override;
+
+ private:
+  int group_of(int channel) const { return channel / config_.channels_per_sweep; }
+  double pick_power();
+
+  ReactiveJammerConfig config_;
+  Rng rng_;
+  int listen_cursor_ = 0;   // group the receiver parks on next listen slot
+  int target_group_ = -1;   // group being blanketed while dwelling
+  int dwell_left_ = 0;      // remaining blanket slots (0 = listening)
+};
+
+}  // namespace ctj::jammer

@@ -1,0 +1,185 @@
+#include "jammer/registry.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "jammer/adaptive_jammer.hpp"
+#include "jammer/colluding_jammer.hpp"
+#include "jammer/duty_cycle_jammer.hpp"
+#include "jammer/reactive_jammer.hpp"
+#include "jammer/sweep_jammer.hpp"
+
+namespace ctj::jammer {
+
+namespace {
+
+constexpr std::uint8_t kSpecVersion = 1;
+
+SweepJammerConfig sweep_config_of(const JammerSpec& spec) {
+  SweepJammerConfig c;
+  c.num_channels = spec.num_channels;
+  c.channels_per_sweep = spec.channels_per_sweep;
+  c.power_levels = spec.power_levels;
+  c.mode = spec.mode;
+  return c;
+}
+
+std::map<std::string, JammerFactory>& registry() {
+  // The built-ins live in a function-local static so the registry is ready
+  // before any static initializer in client code can call make_jammer().
+  static std::map<std::string, JammerFactory> jammers = [] {
+    std::map<std::string, JammerFactory> m;
+    m["sweep"] = [](const JammerSpec& spec, std::uint64_t seed) {
+      // Must construct exactly SweepJammer(config, seed): the bit-identity
+      // guarantee of the refactor rests on this.
+      return std::unique_ptr<Jammer>(
+          new SweepJammer(sweep_config_of(spec), seed));
+    };
+    m["adaptive"] = [](const JammerSpec& spec, std::uint64_t seed) {
+      AdaptiveJammerConfig c;
+      c.num_channels = spec.num_channels;
+      c.channels_per_sweep = spec.channels_per_sweep;
+      c.power_levels = spec.power_levels;
+      c.mode = spec.mode;
+      c.exploit_probability = spec.exploit_probability;
+      c.decay = spec.decay;
+      return std::unique_ptr<Jammer>(new AdaptiveJammer(std::move(c), seed));
+    };
+    m["reactive"] = [](const JammerSpec& spec, std::uint64_t seed) {
+      ReactiveJammerConfig c;
+      c.num_channels = spec.num_channels;
+      c.channels_per_sweep = spec.channels_per_sweep;
+      c.power_levels = spec.power_levels;
+      c.mode = spec.mode;
+      c.dwell_slots = spec.dwell_slots;
+      return std::unique_ptr<Jammer>(new ReactiveJammer(std::move(c), seed));
+    };
+    m["duty_cycle"] = [](const JammerSpec& spec, std::uint64_t seed) {
+      DutyCycleJammerConfig c;
+      c.sweep = sweep_config_of(spec);
+      c.energy_capacity = spec.energy_capacity;
+      c.emit_cost = spec.emit_cost;
+      c.recharge_per_slot = spec.recharge_per_slot;
+      return std::unique_ptr<Jammer>(new DutyCycleJammer(std::move(c), seed));
+    };
+    m["colluding"] = [](const JammerSpec& spec, std::uint64_t seed) {
+      ColludingJammerConfig c;
+      c.sweep = sweep_config_of(spec);
+      c.num_colluders = spec.num_colluders;
+      return std::unique_ptr<Jammer>(new ColludingJammer(std::move(c), seed));
+    };
+    return m;
+  }();
+  return jammers;
+}
+
+}  // namespace
+
+JammerSpec JammerSpec::defaults(const std::string& archetype) {
+  JammerSpec spec;
+  spec.archetype = archetype;
+  for (int v = 11; v <= 20; ++v) spec.power_levels.push_back(v);
+  return spec;
+}
+
+JammerSpec JammerSpec::kernel() { return defaults("kernel"); }
+
+int JammerSpec::sweep_cycle() const {
+  CTJ_CHECK(num_channels > 0 && channels_per_sweep > 0);
+  return (num_channels + channels_per_sweep - 1) / channels_per_sweep;
+}
+
+void JammerSpec::encode(io::ByteWriter& out) const {
+  out.u8(kSpecVersion);
+  out.str(archetype);
+  out.i32(num_channels);
+  out.i32(channels_per_sweep);
+  out.f64_vec(power_levels);
+  out.u8(mode == JammerPowerMode::kMaxPower ? 0 : 1);
+  out.f64(exploit_probability);
+  out.f64(decay);
+  out.i32(dwell_slots);
+  out.f64(energy_capacity);
+  out.f64(emit_cost);
+  out.f64(recharge_per_slot);
+  out.i32(num_colluders);
+}
+
+JammerSpec JammerSpec::decode(io::ByteReader& in) {
+  const std::uint8_t version = in.u8();
+  if (version != kSpecVersion) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "jammer spec version " + std::to_string(version) +
+                          " not understood");
+  }
+  JammerSpec spec;
+  spec.archetype = in.str();
+  spec.num_channels = in.i32();
+  spec.channels_per_sweep = in.i32();
+  spec.power_levels = in.f64_vec();
+  const std::uint8_t mode = in.u8();
+  if (mode > 1) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "jammer spec power mode " + std::to_string(mode) +
+                          " not understood");
+  }
+  spec.mode = mode == 0 ? JammerPowerMode::kMaxPower
+                        : JammerPowerMode::kRandomPower;
+  spec.exploit_probability = in.f64();
+  spec.decay = in.f64();
+  spec.dwell_slots = in.i32();
+  spec.energy_capacity = in.f64();
+  spec.emit_cost = in.f64();
+  spec.recharge_per_slot = in.f64();
+  spec.num_colluders = in.i32();
+  if (spec.num_channels <= 0 || spec.channels_per_sweep <= 0 ||
+      spec.channels_per_sweep > spec.num_channels) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "jammer spec channel geometry invalid (K=" +
+                          std::to_string(spec.num_channels) + ", m=" +
+                          std::to_string(spec.channels_per_sweep) + ")");
+  }
+  return spec;
+}
+
+std::unique_ptr<Jammer> make_jammer(const JammerSpec& spec,
+                                    std::uint64_t seed) {
+  const auto& jammers = registry();
+  const auto it = jammers.find(spec.archetype);
+  if (it == jammers.end()) {
+    std::ostringstream os;
+    os << "unknown jammer archetype \"" << spec.archetype << '"';
+    if (spec.is_kernel()) {
+      os << " (the closed-form kernel sentinel has no behavioural jammer)";
+    }
+    os << "; registered:";
+    for (const auto& [key, factory] : jammers) os << ' ' << key;
+    throw RegistryError(os.str());
+  }
+  return it->second(spec, seed);
+}
+
+bool is_registered(const std::string& archetype) {
+  return registry().count(archetype) > 0;
+}
+
+std::vector<std::string> registered_archetypes() {
+  std::vector<std::string> keys;
+  for (const auto& [key, factory] : registry()) keys.push_back(key);
+  return keys;  // std::map iterates sorted
+}
+
+void register_jammer(const std::string& archetype, JammerFactory factory) {
+  if (archetype == "kernel") {
+    throw RegistryError(
+        "\"kernel\" is the closed-form sentinel, not an archetype");
+  }
+  if (archetype.empty()) {
+    throw RegistryError("archetype key must be non-empty");
+  }
+  registry()[archetype] = std::move(factory);
+}
+
+}  // namespace ctj::jammer

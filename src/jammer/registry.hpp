@@ -1,0 +1,102 @@
+// String-keyed jammer registry: the one place that maps adversary archetype
+// names to behavioural jammer implementations.
+//
+// A JammerSpec is the flat, serializable description of an adversary — the
+// archetype key plus the union of every archetype's tunables (fields an
+// archetype does not use are carried but ignored, so one spec type can
+// travel through configs, CTJS checkpoints and the bench matrix without a
+// per-archetype variant). make_jammer() turns a spec into a live Jammer.
+//
+// Built-in archetypes:
+//   "sweep"      — the paper's sweeping jammer (SweepJammer)
+//   "adaptive"   — pattern-tracking histogram camper (AdaptiveJammer)
+//   "reactive"   — ACK-triggered listen/dwell attacker (ReactiveJammer)
+//   "duty_cycle" — energy-budgeted sweeper (DutyCycleJammer)
+//   "colluding"  — coordinated disjoint-stripe team (ColludingJammer)
+//
+// The sentinel archetype "kernel" is NOT in the registry: it tells
+// CompetitionEnvironment to sample the closed-form MDP transition kernel
+// directly (the pre-zoo default) instead of driving a behavioural jammer.
+// make_jammer("kernel") therefore throws like any unknown key.
+//
+// New archetypes register themselves with register_jammer() (e.g. from a
+// static initializer in their .cpp); the registry is process-global and not
+// thread-safe for concurrent registration, which is expected to happen at
+// startup only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/modes.hpp"
+#include "io/bytes.hpp"
+#include "jammer/jammer.hpp"
+
+namespace ctj::jammer {
+
+/// Flat, serializable adversary description (see file comment).
+struct JammerSpec {
+  std::string archetype = "sweep";
+
+  // Shared by every archetype.
+  int num_channels = 16;       // K
+  int channels_per_sweep = 4;  // m
+  std::vector<double> power_levels;
+  JammerPowerMode mode = JammerPowerMode::kMaxPower;
+
+  // "adaptive"
+  double exploit_probability = 0.6;
+  double decay = 0.995;
+
+  // "reactive"
+  int dwell_slots = 4;
+
+  // "duty_cycle"
+  double energy_capacity = 12.0;
+  double emit_cost = 3.0;
+  double recharge_per_slot = 1.0;
+
+  // "colluding"
+  int num_colluders = 2;
+
+  /// Paper-default tunables (power levels 11..20) for the given archetype.
+  static JammerSpec defaults(const std::string& archetype = "sweep");
+  /// The closed-form-kernel sentinel (no behavioural jammer).
+  static JammerSpec kernel();
+
+  bool is_kernel() const { return archetype == "kernel"; }
+  int sweep_cycle() const;  // ⌈K/m⌉
+
+  bool operator==(const JammerSpec&) const = default;
+
+  /// CTJS payload codec (versioned). decode throws io::IoError kBadPayload
+  /// on malformed input.
+  void encode(io::ByteWriter& out) const;
+  static JammerSpec decode(io::ByteReader& in);
+};
+
+/// Thrown for unknown archetype keys (including the "kernel" sentinel,
+/// which has no behavioural implementation to construct).
+class RegistryError : public std::runtime_error {
+ public:
+  explicit RegistryError(const std::string& what) : std::runtime_error(what) {}
+};
+
+using JammerFactory =
+    std::function<std::unique_ptr<Jammer>(const JammerSpec&, std::uint64_t)>;
+
+/// Construct a live jammer for the spec. Throws RegistryError (listing the
+/// registered keys) when the archetype is unknown or the "kernel" sentinel.
+std::unique_ptr<Jammer> make_jammer(const JammerSpec& spec,
+                                    std::uint64_t seed);
+
+bool is_registered(const std::string& archetype);
+/// Registered archetype keys, sorted.
+std::vector<std::string> registered_archetypes();
+/// Add (or replace) an archetype. "kernel" is reserved and rejected.
+void register_jammer(const std::string& archetype, JammerFactory factory);
+
+}  // namespace ctj::jammer

@@ -1,6 +1,7 @@
 #include "jammer/sweep_jammer.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/check.hpp"
 
@@ -69,12 +70,20 @@ JammerSlotReport SweepJammer::step(int victim_channel) {
     if (vacated_group == group_of(victim_channel)) {
       locked_channel_ = victim_channel;
       report.hit = true;
+      report.emitting = true;
       report.power = pick_power();
       report.jammed_group_start = vacated_group * config_.channels_per_sweep;
       return report;
     }
     locked_channel_ = -1;
-    refill_sweep_order(vacated_group);
+    // Single-group network (⌈K/m⌉ = 1, i.e. K ≤ m): the 1/(⌈K/m⌉ − 1)
+    // exclusion hazard is ill-defined — the vacated group IS the whole
+    // spectrum, and excluding it would leave the jammer with nothing to
+    // sweep forever. The victim cannot actually leave the group, so refill
+    // with the full cycle; the next slot re-finds it with certainty.
+    const int exclude =
+        config_.sweep_cycle() == 1 ? -1 : vacated_group;
+    refill_sweep_order(exclude);
     report.jammed_group_start = vacated_group * config_.channels_per_sweep;
     return report;
   }
@@ -89,9 +98,58 @@ JammerSlotReport SweepJammer::step(int victim_channel) {
     // Found the victim: jam immediately and lock on.
     locked_channel_ = victim_channel;
     report.hit = true;
+    report.emitting = true;
     report.power = pick_power();
   }
   return report;
+}
+
+std::unique_ptr<Jammer> SweepJammer::clone() const {
+  return std::make_unique<SweepJammer>(*this);
+}
+
+void SweepJammer::save_state(io::ByteWriter& out) const {
+  out.str(rng_.serialize_state());
+  out.i32(locked_channel_);
+  out.u64(pending_groups_.size());
+  for (int g : pending_groups_) out.i32(g);
+}
+
+void SweepJammer::load_state(io::ByteReader& in) {
+  const std::string rng_state = in.str();
+  const int locked_channel = in.i32();
+  const std::uint64_t pending = in.u64();
+  const int groups = config_.sweep_cycle();
+  if (locked_channel < -1 || locked_channel >= config_.num_channels) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "sweep jammer locked channel " +
+                          std::to_string(locked_channel) + " out of range");
+  }
+  if (pending > static_cast<std::uint64_t>(groups)) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "sweep jammer pending list longer than the cycle");
+  }
+  std::vector<int> pending_groups;
+  pending_groups.reserve(static_cast<std::size_t>(pending));
+  for (std::uint64_t i = 0; i < pending; ++i) {
+    const int g = in.i32();
+    if (g < 0 || g >= groups) {
+      throw io::IoError(io::ErrorKind::kBadPayload,
+                        "sweep jammer pending group " + std::to_string(g) +
+                            " out of range");
+    }
+    pending_groups.push_back(g);
+  }
+  Rng rng = rng_;
+  try {
+    rng.restore_state(rng_state);
+  } catch (const CheckFailure& e) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      std::string("sweep jammer rng state: ") + e.what());
+  }
+  rng_ = rng;
+  locked_channel_ = locked_channel;
+  pending_groups_ = std::move(pending_groups);
 }
 
 }  // namespace ctj::jammer

@@ -11,13 +11,16 @@
 // hops away, the jammer spends that slot discovering the loss (the escape
 // slot is always safe — Case 6 of the MDP) and then resumes sweeping over
 // the ⌈K/m⌉ − 1 groups it has not just ruled out, so the first post-escape
-// hazard is 1/(⌈K/m⌉ − 1), exactly the MDP's state-n = 1 hazard.
+// hazard is 1/(⌈K/m⌉ − 1), exactly the MDP's state-n = 1 hazard. On a
+// single-group network (⌈K/m⌉ = 1) there is no other group to rule out, so
+// the post-escape refill degenerates to the full (one-group) cycle instead.
 #pragma once
 
 #include <vector>
 
 #include "common/modes.hpp"
 #include "common/rng.hpp"
+#include "jammer/jammer.hpp"
 
 namespace ctj::jammer {
 
@@ -34,31 +37,28 @@ struct SweepJammerConfig {
   int sweep_cycle() const;  // ⌈K/m⌉
 };
 
-/// What the jammer did in one slot.
-struct JammerSlotReport {
-  /// True if the jammer transmitted on the victim's channel this slot.
-  bool hit = false;
-  /// Power level used when hit (one of power_levels).
-  double power = 0.0;
-  /// First channel of the group the jammer occupied this slot.
-  int jammed_group_start = 0;
-};
-
-class SweepJammer {
+class SweepJammer : public Jammer {
  public:
   explicit SweepJammer(SweepJammerConfig config, std::uint64_t seed = 7);
 
   /// Advance one slot. `victim_channel` is the channel the victim transmits
   /// on this slot (0-based index); the jammer only learns it by sweeping
   /// over it or by already being locked onto it.
-  JammerSlotReport step(int victim_channel);
+  JammerSlotReport step(int victim_channel) override;
 
-  bool locked() const { return locked_channel_ >= 0; }
+  bool locked() const override { return locked_channel_ >= 0; }
   int locked_channel() const { return locked_channel_; }
   const SweepJammerConfig& config() const { return config_; }
 
   /// Restart the sweep from scratch (e.g. when the jammer reboots).
-  void reset();
+  void reset() override;
+
+  std::string archetype() const override { return "sweep"; }
+  int num_channels() const override { return config_.num_channels; }
+  int channels_per_sweep() const override { return config_.channels_per_sweep; }
+  std::unique_ptr<Jammer> clone() const override;
+  void save_state(io::ByteWriter& out) const override;
+  void load_state(io::ByteReader& in) override;
 
  private:
   int group_of(int channel) const { return channel / config_.channels_per_sweep; }

@@ -330,6 +330,77 @@ TEST(TrainerCheckpoint, KillResumeIsBitIdenticalSequential) {
   std::filesystem::remove(path);
 }
 
+TEST(TrainerCheckpoint, KillResumeIsBitIdenticalAdaptiveJammer) {
+  // Same kill/resume discipline against the behavioural adaptive jammer:
+  // its checkpoint payload must carry BOTH of its RNG streams (own + nested
+  // sweeper) and the visit histogram, or the resumed run diverges from the
+  // reference within a few slots.
+  const std::string path = temp_path("ctj_resume_adaptive.ctjs");
+  std::filesystem::remove(path);
+
+  EnvironmentConfig env_config = small_env_config();
+  env_config.jammer = jammer::JammerSpec::defaults("adaptive");
+
+  TrainerConfig config;
+  config.max_slots = 400;
+  config.reward_window = 50;
+
+  std::vector<double> ref_rewards;
+  config.on_slot = [&](std::size_t, double r) { ref_rewards.push_back(r); };
+  DqnScheme ref(small_scheme_config());
+  CompetitionEnvironment ref_env(env_config);
+  const auto ref_stats = train(ref, ref_env, config);
+  ASSERT_EQ(ref_rewards.size(), 400u);
+
+  std::vector<double> rewards;
+  config.on_slot = [&](std::size_t, double r) { rewards.push_back(r); };
+  config.checkpoint = CheckpointOptions{path, 100, true};
+  {
+    TrainerConfig phase1 = config;
+    phase1.max_slots = 250;
+    DqnScheme scheme(small_scheme_config());
+    CompetitionEnvironment env(env_config);
+    train(scheme, env, phase1);
+  }
+  DqnScheme resumed(small_scheme_config());
+  CompetitionEnvironment env(env_config);
+  const auto stats = train(resumed, env, config);
+
+  EXPECT_EQ(stats.slots_trained, 400u);
+  EXPECT_EQ(stats.final_mean_reward, ref_stats.final_mean_reward);
+  EXPECT_EQ(rewards, ref_rewards);
+  EXPECT_EQ(scheme_bytes(resumed), scheme_bytes(ref));
+  std::filesystem::remove(path);
+}
+
+TEST(TrainerCheckpoint, ResumeRejectsDifferentJammerSpec) {
+  // A checkpoint written against one adversary must not resume against
+  // another: the JAMRCFG chunk check throws kStateMismatch.
+  const std::string path = temp_path("ctj_resume_wrong_jammer.ctjs");
+  std::filesystem::remove(path);
+
+  EnvironmentConfig env_config = small_env_config();
+  env_config.jammer = jammer::JammerSpec::defaults("reactive");
+
+  TrainerConfig config;
+  config.max_slots = 150;
+  config.reward_window = 50;
+  config.checkpoint = CheckpointOptions{path, 100, true};
+  {
+    DqnScheme scheme(small_scheme_config());
+    CompetitionEnvironment env(env_config);
+    train(scheme, env, config);
+  }
+
+  EnvironmentConfig other = small_env_config();
+  other.jammer = jammer::JammerSpec::defaults("sweep");
+  DqnScheme resumed(small_scheme_config());
+  CompetitionEnvironment env(other);
+  config.max_slots = 400;
+  EXPECT_THROW(train(resumed, env, config), io::IoError);
+  std::filesystem::remove(path);
+}
+
 TEST(TrainerCheckpoint, KillResumeIsBitIdenticalBatched) {
   const std::string path = temp_path("ctj_resume_batched.ctjs");
   std::filesystem::remove(path);

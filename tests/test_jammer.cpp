@@ -151,6 +151,48 @@ TEST(SweepJammer, RejectsBadConfig) {
   EXPECT_THROW(SweepJammer(config, 1), CheckFailure);
 }
 
+TEST(SweepJammer, SingleGroupNetworkIsAlwaysCovered) {
+  // K == m boundary: one group covers the whole spectrum, so the
+  // 1/(⌈K/m⌉ − 1) vacated-group-exclusion hazard would be ill-defined. The
+  // jammer must keep sweeping the single group (never exclude it) and a
+  // victim can never escape.
+  SweepJammerConfig config = SweepJammerConfig::defaults();
+  config.num_channels = 4;
+  config.channels_per_sweep = 4;
+  ASSERT_EQ(config.sweep_cycle(), 1);
+  SweepJammer jammer(config, 11);
+  EXPECT_TRUE(jammer.step(2).hit);  // the first slot finds it with certainty
+  EXPECT_TRUE(jammer.locked());
+  for (int ch = 0; ch < 4; ++ch) {
+    EXPECT_TRUE(jammer.step(ch).hit);  // in-group hops cannot escape
+    EXPECT_TRUE(jammer.locked());
+  }
+  jammer.reset();
+  EXPECT_TRUE(jammer.step(0).hit);  // the refilled cycle is the only group
+}
+
+TEST(SweepJammer, TwoGroupEscapeRefindsWithCertainty) {
+  // K == m + 1 boundary: two groups, the second holding a single channel.
+  // After an escape the vacated group is excluded, so the post-escape
+  // hazard is 1/(N − 1) = 1 — the next slot must re-find the victim, in
+  // both escape directions, for every seed.
+  SweepJammerConfig config = SweepJammerConfig::defaults();
+  config.num_channels = 5;
+  config.channels_per_sweep = 4;
+  ASSERT_EQ(config.sweep_cycle(), 2);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SweepJammer jammer(config, seed);
+    while (!jammer.step(1).hit) {
+    }
+    EXPECT_TRUE(jammer.locked()) << "seed " << seed;
+    EXPECT_FALSE(jammer.step(4).hit) << "seed " << seed;  // escape slot safe
+    EXPECT_FALSE(jammer.locked()) << "seed " << seed;
+    EXPECT_TRUE(jammer.step(4).hit) << "seed " << seed;  // certain re-find
+    EXPECT_FALSE(jammer.step(0).hit) << "seed " << seed;  // escape back
+    EXPECT_TRUE(jammer.step(0).hit) << "seed " << seed;
+  }
+}
+
 TEST(SweepJammer, RejectsOutOfRangeVictimChannel) {
   SweepJammer jammer(SweepJammerConfig::defaults(), 9);
   EXPECT_THROW(jammer.step(16), CheckFailure);

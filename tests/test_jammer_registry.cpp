@@ -1,0 +1,369 @@
+// Tests for the adversary-zoo registry (jammer/registry.hpp): spec codec,
+// typed errors, registry/direct bit-identity, archetype behaviour units,
+// the archetype-agnostic invariants checker and the kernel-conformance
+// smoke for the sweep-reducible configurations, plus the behavioural
+// environment mode end to end (save/load round-trip and spec mismatch).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "conformance/conformance.hpp"
+#include "core/environment.hpp"
+#include "jammer/adaptive_jammer.hpp"
+#include "jammer/colluding_jammer.hpp"
+#include "jammer/duty_cycle_jammer.hpp"
+#include "jammer/reactive_jammer.hpp"
+#include "jammer/registry.hpp"
+#include "jammer/sweep_jammer.hpp"
+
+namespace ctj::jammer {
+namespace {
+
+const std::vector<std::string> kBuiltins = {"adaptive", "colluding",
+                                            "duty_cycle", "reactive", "sweep"};
+
+void expect_same_reports(Jammer& a, Jammer& b, const std::vector<int>& script) {
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const JammerSlotReport ra = a.step(script[i]);
+    const JammerSlotReport rb = b.step(script[i]);
+    ASSERT_EQ(ra.hit, rb.hit) << "slot " << i;
+    ASSERT_EQ(ra.power, rb.power) << "slot " << i;
+    ASSERT_EQ(ra.jammed_group_start, rb.jammed_group_start) << "slot " << i;
+    ASSERT_EQ(ra.emitting, rb.emitting) << "slot " << i;
+  }
+}
+
+std::vector<int> victim_script(int num_channels, std::size_t slots,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> script;
+  int channel = 0;
+  for (std::size_t i = 0; i < slots; ++i) {
+    if (rng.bernoulli(0.3)) channel = static_cast<int>(rng.index(
+        static_cast<std::size_t>(num_channels)));
+    script.push_back(channel);
+  }
+  return script;
+}
+
+// --------------------------------------------------------------- registry ----
+
+TEST(JammerRegistry, ListsBuiltinArchetypes) {
+  const auto keys = registered_archetypes();
+  EXPECT_EQ(keys, kBuiltins);  // sorted
+  for (const auto& key : kBuiltins) EXPECT_TRUE(is_registered(key));
+  EXPECT_FALSE(is_registered("kernel"));
+}
+
+TEST(JammerRegistry, UnknownArchetypeThrowsTypedError) {
+  JammerSpec spec = JammerSpec::defaults("barrage");
+  EXPECT_THROW(make_jammer(spec, 1), RegistryError);
+  try {
+    make_jammer(spec, 1);
+  } catch (const RegistryError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("barrage"), std::string::npos);
+    EXPECT_NE(what.find("sweep"), std::string::npos);  // lists registered keys
+  }
+}
+
+TEST(JammerRegistry, KernelSentinelIsNotConstructible) {
+  EXPECT_THROW(make_jammer(JammerSpec::kernel(), 1), RegistryError);
+}
+
+TEST(JammerRegistry, KernelKeyIsReserved) {
+  EXPECT_THROW(register_jammer("kernel",
+                               [](const JammerSpec&, std::uint64_t) {
+                                 return std::unique_ptr<Jammer>();
+                               }),
+               RegistryError);
+}
+
+TEST(JammerRegistry, MakeJammerReportsRequestedArchetype) {
+  for (const auto& key : kBuiltins) {
+    const auto jam = make_jammer(JammerSpec::defaults(key), 3);
+    EXPECT_EQ(jam->archetype(), key);
+    EXPECT_EQ(jam->num_channels(), 16);
+    EXPECT_EQ(jam->channels_per_sweep(), 4);
+  }
+}
+
+// ------------------------------------------------------------- spec codec ----
+
+TEST(JammerSpec, RoundTripsEveryArchetype) {
+  for (const auto& key : kBuiltins) {
+    JammerSpec spec = JammerSpec::defaults(key);
+    spec.num_channels = 8;
+    spec.channels_per_sweep = 2;
+    spec.mode = JammerPowerMode::kRandomPower;
+    spec.exploit_probability = 0.4;
+    spec.decay = 0.9;
+    spec.dwell_slots = 7;
+    spec.energy_capacity = 20.0;
+    spec.emit_cost = 5.0;
+    spec.recharge_per_slot = 2.0;
+    spec.num_colluders = 3;
+
+    io::ByteWriter out;
+    spec.encode(out);
+    const std::string payload = out.take();
+    io::ByteReader in(payload);
+    const JammerSpec decoded = JammerSpec::decode(in);
+    in.expect_end();
+    EXPECT_EQ(decoded, spec) << key;
+  }
+}
+
+TEST(JammerSpec, DecodeRejectsBadGeometry) {
+  JammerSpec spec = JammerSpec::defaults();
+  spec.channels_per_sweep = 32;  // m > K
+  io::ByteWriter out;
+  spec.encode(out);
+  const std::string payload = out.take();
+  io::ByteReader in(payload);
+  EXPECT_THROW(JammerSpec::decode(in), io::IoError);
+}
+
+// ----------------------------------------------- registry vs direct types ----
+
+TEST(JammerRegistry, SweepFactoryMatchesDirectConstruction) {
+  SweepJammer direct(SweepJammerConfig::defaults(), 42);
+  const auto via_registry = make_jammer(JammerSpec::defaults("sweep"), 42);
+  expect_same_reports(direct, *via_registry, victim_script(16, 500, 9));
+}
+
+TEST(JammerRegistry, AdaptiveFactoryMatchesDirectConstruction) {
+  AdaptiveJammer direct(AdaptiveJammerConfig::defaults(), 42);
+  const auto via_registry = make_jammer(JammerSpec::defaults("adaptive"), 42);
+  expect_same_reports(direct, *via_registry, victim_script(16, 500, 10));
+}
+
+TEST(JammerRegistry, ColludingTeamOfOneMatchesSweep) {
+  // k = 1 degenerates to exactly the sweep strategy (same RNG draws).
+  JammerSpec spec = JammerSpec::defaults("colluding");
+  spec.num_colluders = 1;
+  const auto team = make_jammer(spec, 42);
+  SweepJammer lone(SweepJammerConfig::defaults(), 42);
+  expect_same_reports(lone, *team, victim_script(16, 500, 11));
+}
+
+// ------------------------------------------------------ archetype behaviour ----
+
+TEST(ReactiveJammerBehaviour, ListensSilentlyUntilTriggeredThenDwells) {
+  ReactiveJammerConfig config = ReactiveJammerConfig::defaults();
+  config.dwell_slots = 3;
+  ReactiveJammer jam(config, 5);
+  // Until the listen cursor reaches the victim's group nothing is emitted.
+  int silent_slots = 0;
+  JammerSlotReport report;
+  for (int i = 0; i < 4; ++i) {
+    report = jam.step(9);
+    if (report.hit) break;
+    EXPECT_FALSE(report.emitting);  // listening is silent
+    ++silent_slots;
+  }
+  ASSERT_TRUE(report.hit);  // cyclic listen over 4 groups must trigger
+  EXPECT_LT(silent_slots, 4);
+  EXPECT_TRUE(jam.locked());
+  // Victim stays: the dwell refreshes and every slot hits.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(jam.step(9).hit);
+  // Victim escapes: the jammer keeps blanketing the vacated group for
+  // dwell_slots slots (emitting but not hitting), then falls back to
+  // listening.
+  for (int i = 0; i < 3; ++i) {
+    report = jam.step(0);
+    EXPECT_FALSE(report.hit);
+    EXPECT_TRUE(report.emitting);
+    EXPECT_EQ(report.jammed_group_start, 8);
+  }
+  EXPECT_FALSE(jam.locked());
+}
+
+TEST(DutyCycleJammerBehaviour, BatteryThrottlesLockOnDuty) {
+  DutyCycleJammerConfig config = DutyCycleJammerConfig::defaults();
+  DutyCycleJammer jam(config, 6);
+  // Lock onto a stationary victim, then count emissions over a long camp.
+  while (!jam.step(9).hit) {
+  }
+  int hits = 0;
+  const int slots = 300;
+  for (int i = 0; i < slots; ++i) {
+    if (jam.step(9).hit) ++hits;
+  }
+  // recharge 1 / cost 3: the steady-state duty cycle is ~1/3, never full.
+  EXPECT_GT(hits, slots / 5);
+  EXPECT_LT(hits, slots / 2);
+  EXPECT_LE(jam.energy(), config.energy_capacity);
+}
+
+TEST(DutyCycleJammerBehaviour, ZeroCostReducesToSweep) {
+  DutyCycleJammerConfig config = DutyCycleJammerConfig::defaults();
+  config.emit_cost = 0.0;
+  DutyCycleJammer free_jam(config, 42);
+  SweepJammer sweep(config.sweep, 42);
+  expect_same_reports(sweep, free_jam, victim_script(16, 500, 12));
+}
+
+TEST(ColludingJammerBehaviour, TeamFindsVictimFasterThanLoneSweeper) {
+  // With k = 2 colluders over 4 groups a stationary victim must be found
+  // within ⌈N/k⌉ = 2 slots; a lone sweeper needs up to 4.
+  JammerSpec spec = JammerSpec::defaults("colluding");
+  spec.num_colluders = 2;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto team = make_jammer(spec, seed);
+    int found_at = 0;
+    for (int slot = 1; slot <= 4; ++slot) {
+      if (team->step(9).hit) {
+        found_at = slot;
+        break;
+      }
+    }
+    EXPECT_GE(found_at, 1) << "seed " << seed;
+    EXPECT_LE(found_at, 2) << "seed " << seed;
+  }
+}
+
+TEST(ColludingJammerBehaviour, ClampsTeamToGroupCount) {
+  JammerSpec spec = JammerSpec::defaults("colluding");
+  spec.num_colluders = 99;  // > ⌈16/4⌉ groups
+  const auto team = make_jammer(spec, 2);
+  const auto* colluding = dynamic_cast<const ColludingJammer*>(team.get());
+  ASSERT_NE(colluding, nullptr);
+  EXPECT_EQ(colluding->num_colluders(), 4);
+}
+
+// ------------------------------------------------- invariants + conformance ----
+
+conformance::KernelCheckOptions smoke_options(std::uint64_t seed,
+                                              std::size_t slots) {
+  conformance::KernelCheckOptions options;
+  options.slots = slots;
+  options.seed = seed;
+  return options;
+}
+
+TEST(JammerInvariants, EveryArchetypeHonoursTheContract) {
+  for (const auto& key : kBuiltins) {
+    const auto result = conformance::check_jammer_invariants(
+        JammerSpec::defaults(key), smoke_options(21, 20000), key);
+    for (const auto& d : result.divergences) ADD_FAILURE() << d.describe();
+  }
+}
+
+TEST(JammerInvariants, RandomPowerModeToo) {
+  for (const auto& key : kBuiltins) {
+    JammerSpec spec = JammerSpec::defaults(key);
+    spec.mode = JammerPowerMode::kRandomPower;
+    const auto result = conformance::check_jammer_invariants(
+        spec, smoke_options(22, 20000), key + "_random");
+    for (const auto& d : result.divergences) ADD_FAILURE() << d.describe();
+  }
+}
+
+TEST(JammerConformance, SweepReducibleConfigsMatchKernel) {
+  // The four registry configurations whose dynamics reduce to the sweep
+  // model, each smoke-checked against the analytic MDP at a reduced slot
+  // budget (the deep sweep lives in bench_conformance).
+  struct ReducibleCase {
+    std::string label;
+    JammerSpec spec;
+  };
+  std::vector<ReducibleCase> cases;
+  cases.push_back({"sweep", JammerSpec::defaults("sweep")});
+  {
+    JammerSpec spec = JammerSpec::defaults("adaptive");
+    spec.exploit_probability = 0.0;  // never exploits → pure sweeper
+    cases.push_back({"adaptive_explore_only", spec});
+  }
+  {
+    JammerSpec spec = JammerSpec::defaults("duty_cycle");
+    spec.emit_cost = 0.0;  // free emissions → unthrottled sweeper
+    cases.push_back({"duty_cycle_free", spec});
+  }
+  {
+    JammerSpec spec = JammerSpec::defaults("colluding");
+    spec.num_colluders = 1;  // team of one → lone sweeper
+    cases.push_back({"colluding_solo", spec});
+  }
+
+  std::vector<double> tx_levels;
+  for (int v = 6; v <= 15; ++v) tx_levels.push_back(v);
+  for (auto& c : cases) {
+    const auto options = smoke_options(31, 60000);
+    auto jam = make_jammer(c.spec, options.seed * 0x9e3779b9ULL + 17);
+    const auto result = conformance::check_sweep_kernel(
+        *jam, c.spec.power_levels, c.spec.mode, tx_levels,
+        /*loss_jam=*/100.0, /*loss_hop=*/50.0, options, c.label);
+    EXPECT_GT(result.cells_checked, 0u) << c.label;
+    for (const auto& d : result.divergences) ADD_FAILURE() << d.describe();
+  }
+}
+
+// ------------------------------------------------- behavioural environment ----
+
+TEST(BehaviouralEnvironment, SaveLoadRoundTripContinuesBitIdentically) {
+  core::EnvironmentConfig config = core::EnvironmentConfig::defaults();
+  config.jammer = JammerSpec::defaults("reactive");
+  core::CompetitionEnvironment env(config);
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    env.step(static_cast<int>(rng.index(16)), rng.index(10));
+  }
+
+  io::ByteWriter out;
+  env.save_state(out);
+  const std::string payload = out.take();
+  core::CompetitionEnvironment restored(config);
+  io::ByteReader in(payload);
+  restored.load_state(in);
+  in.expect_end();
+
+  for (int i = 0; i < 500; ++i) {
+    const int channel = static_cast<int>(rng.index(16));
+    const std::size_t power = rng.index(10);
+    const auto a = env.step(channel, power);
+    const auto b = restored.step(channel, power);
+    ASSERT_EQ(a.outcome, b.outcome) << "slot " << i;
+    ASSERT_EQ(a.reward, b.reward) << "slot " << i;
+  }
+}
+
+TEST(BehaviouralEnvironment, RejectsCheckpointFromDifferentJammerSpec) {
+  core::EnvironmentConfig config = core::EnvironmentConfig::defaults();
+  config.jammer = JammerSpec::defaults("reactive");
+  core::CompetitionEnvironment env(config);
+  env.step(3, 2);
+  io::ByteWriter out;
+  env.save_state(out);
+  const std::string payload = out.take();
+
+  core::EnvironmentConfig other = config;
+  other.jammer = JammerSpec::defaults("duty_cycle");
+  core::CompetitionEnvironment victim(other);
+  io::ByteReader in(payload);
+  EXPECT_THROW(victim.load_state(in), io::IoError);
+}
+
+TEST(BehaviouralEnvironment, EveryArchetypeRunsAgainstTheEnvironment) {
+  for (const auto& key : kBuiltins) {
+    core::EnvironmentConfig config = core::EnvironmentConfig::defaults();
+    config.jammer = JammerSpec::defaults(key);
+    config.seed = 91;
+    core::CompetitionEnvironment env(config);
+    EXPECT_FALSE(env.kernel_mode());
+    ASSERT_NE(env.behavioural_jammer(), nullptr);
+    EXPECT_EQ(env.behavioural_jammer()->archetype(), key);
+    Rng rng(13);
+    int jammed = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const auto step = env.step(static_cast<int>(rng.index(16)), 0);
+      if (step.outcome != core::SlotOutcome::kClear) ++jammed;
+    }
+    EXPECT_GT(jammed, 0) << key;  // every archetype actually attacks
+  }
+}
+
+}  // namespace
+}  // namespace ctj::jammer

@@ -20,6 +20,7 @@
 
 #include "io/container.hpp"
 #include "io/tensors.hpp"
+#include "jammer/registry.hpp"
 
 namespace {
 
@@ -62,6 +63,29 @@ int cmd_info(const std::string& path) {
     std::printf("META:\n");
     for (const auto& [key, value] : ctj::io::decode_meta(in.chunk("META"))) {
       std::printf("  %s = %s\n", key.c_str(), value.c_str());
+    }
+  }
+  if (in.has_chunk("JAMRCFG ")) {
+    ByteReader r(in.chunk("JAMRCFG "));
+    const ctj::jammer::JammerSpec spec = ctj::jammer::JammerSpec::decode(r);
+    r.expect_end();
+    std::printf("JAMRCFG:\n");
+    std::printf("  archetype = %s\n", spec.archetype.c_str());
+    std::printf("  K = %d, m = %d, %zu power levels, mode = %s\n",
+                spec.num_channels, spec.channels_per_sweep,
+                spec.power_levels.size(), ctj::to_string(spec.mode));
+    if (spec.archetype == "adaptive") {
+      std::printf("  exploit_probability = %g, decay = %g\n",
+                  spec.exploit_probability, spec.decay);
+    } else if (spec.archetype == "reactive") {
+      std::printf("  dwell_slots = %d\n", spec.dwell_slots);
+    } else if (spec.archetype == "duty_cycle") {
+      std::printf("  energy_capacity = %g, emit_cost = %g, "
+                  "recharge_per_slot = %g\n",
+                  spec.energy_capacity, spec.emit_cost,
+                  spec.recharge_per_slot);
+    } else if (spec.archetype == "colluding") {
+      std::printf("  num_colluders = %d\n", spec.num_colluders);
     }
   }
   for (const ChunkInfo& chunk : in.chunks()) {
