@@ -22,9 +22,9 @@ using namespace ctj::bench;
 using namespace ctj::net;
 
 int main() {
+  BenchReport report("fig9_time_consumption");
   TimingModel timing;
   Rng rng(99);
-  BenchReport report("fig9_time_consumption");
 
   std::cout << "Fig. 9(a) reproduction: time consumption of typical "
                "functions (100 trials each)\n"

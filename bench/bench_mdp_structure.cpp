@@ -24,9 +24,9 @@ AntijamParams base_params() {
 }  // namespace
 
 int main() {
+  BenchReport report("mdp_structure");
   std::cout << "MDP structure (Sec. III.B): Q-curve monotonicity and the "
                "threshold policy\n";
-  BenchReport report("mdp_structure");
 
   {
     const AntijamParams params = base_params();
@@ -57,12 +57,14 @@ int main() {
               << "; threshold form (Thm. III.4): "
               << (policy_has_threshold_form(model, sol) ? "holds" : "VIOLATED")
               << "; n* = " << threshold_n_star(model, sol) << "\n";
+    // 0/1 rather than bool: schema v1 metrics are numbers or strings, and
+    // booleans serialize as neither.
     report.set_metric("stay_curve_decreasing",
-                      JsonValue(stay_curve_decreasing(curves)));
+                      JsonValue(stay_curve_decreasing(curves) ? 1 : 0));
     report.set_metric("hop_curve_increasing",
-                      JsonValue(hop_curve_increasing(curves)));
+                      JsonValue(hop_curve_increasing(curves) ? 1 : 0));
     report.set_metric("policy_has_threshold_form",
-                      JsonValue(policy_has_threshold_form(model, sol)));
+                      JsonValue(policy_has_threshold_form(model, sol) ? 1 : 0));
     report.set_metric("n_star", JsonValue(threshold_n_star(model, sol)));
   }
 

@@ -1,0 +1,258 @@
+// Fleet-scale serving throughput (src/serve): how many concurrent tenant
+// simulations one ServeEngine sustains, and what the multiplexing costs
+// relative to running the same tenants back to back.
+//
+// Scenarios (tenant budgets scale with CTJ_BENCH_SCALE; tenant counts are
+// fixed so the concurrency level is what the record says it is):
+//
+//   dqn_100   100 concurrent DQN tenants, residency capped at 64 so the
+//             evict/revive path runs at full scale (smoke tenants finish
+//             inside one quantum and never get evicted)
+//   dqn_1k    1000 concurrent DQN tenants, residency capped at 128
+//             (bounded memory is the point) — skipped below scale 0.5
+//   mixed_4k  4000 QL/passive/random tenants — skipped below scale 0.5
+//
+// Headline metrics: serve_tenants_per_sec_* (completed tenants per wall
+// second), serve_steady_slots_per_sec_* (aggregate slot rate sampled in the
+// 25%..75% slice of the run, excluding ramp-up/drain), and
+// serve_mux_efficiency_* = steady slots/sec ÷ (sequential single-tenant
+// slots/sec × workers) — 1.0 would mean multiplexing is free.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "serve/engine.hpp"
+
+using namespace ctj;
+using bench::BenchReport;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One (time, slots) observation of the engine's global slot counter.
+struct Sample {
+  double t = 0.0;
+  std::uint64_t slots = 0;
+};
+
+serve::JobSpec dqn_spec(std::uint64_t seed, double scale) {
+  serve::JobSpec spec;
+  spec.scheme = "dqn";
+  spec.seed = seed;
+  spec.replicas = 4;
+  spec.history = 4;
+  spec.hidden = {24, 24};
+  spec.reward_window = 256;
+  const auto rounds = static_cast<std::uint64_t>(512.0 * scale / 4.0);
+  spec.slots = std::max<std::uint64_t>(1, rounds) * 4;
+  return spec;
+}
+
+serve::JobSpec slot_spec(const char* scheme, std::uint64_t seed,
+                         double scale) {
+  serve::JobSpec spec;
+  spec.scheme = scheme;
+  spec.seed = seed;
+  spec.reward_window = 64;
+  spec.slots = std::max<std::uint64_t>(8, static_cast<std::uint64_t>(128.0 * scale));
+  return spec;
+}
+
+struct ScenarioResult {
+  double wall_seconds = 0.0;
+  double tenants_per_sec = 0.0;
+  double steady_slots_per_sec = 0.0;
+  std::uint64_t slots_total = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t revivals = 0;
+};
+
+/// Run one fleet through a fresh engine, sampling the global slot counter so
+/// the steady-state rate can be read off the middle of the run.
+ScenarioResult run_scenario(const std::vector<serve::JobSpec>& jobs,
+                            std::size_t workers, std::size_t max_resident,
+                            const std::string& spool) {
+  serve::ServeConfig config;
+  config.workers = workers;
+  config.max_resident = max_resident;
+  config.quantum_slots = 128;
+  config.spool_dir = spool;
+  config.queue_capacity = 8192;
+
+  ScenarioResult out;
+  const double t0 = now_seconds();
+  {
+    serve::ServeEngine engine(config);
+    std::atomic<bool> running{true};
+    std::vector<Sample> samples;
+    std::thread sampler([&] {
+      while (running.load(std::memory_order_acquire)) {
+        samples.push_back({now_seconds(), engine.slots_total()});
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+    for (const auto& spec : jobs) engine.submit(spec);
+    engine.wait_all();
+    running.store(false, std::memory_order_release);
+    sampler.join();
+
+    const auto stats = engine.stats();
+    out.slots_total = stats.slots_total;
+    out.evictions = stats.evictions;
+    out.revivals = stats.revivals;
+    out.wall_seconds = now_seconds() - t0;
+    out.tenants_per_sec =
+        static_cast<double>(jobs.size()) / out.wall_seconds;
+
+    // Steady-state rate: slope of the slot counter between 25% and 75% of
+    // the total, so ramp-up and drain (when few tenants remain and workers
+    // idle) don't flatter or penalize the figure.
+    const auto lo = static_cast<std::uint64_t>(0.25 * static_cast<double>(out.slots_total));
+    const auto hi = static_cast<std::uint64_t>(0.75 * static_cast<double>(out.slots_total));
+    const Sample* first = nullptr;
+    const Sample* last = nullptr;
+    for (const auto& s : samples) {
+      if (first == nullptr && s.slots >= lo) first = &s;
+      if (s.slots <= hi) last = &s;
+    }
+    if (first != nullptr && last != nullptr && last->t > first->t &&
+        last->slots > first->slots) {
+      out.steady_slots_per_sec =
+          static_cast<double>(last->slots - first->slots) /
+          (last->t - first->t);
+    } else {
+      // Run too short to sample a middle slice — fall back to the average.
+      out.steady_slots_per_sec =
+          static_cast<double>(out.slots_total) / out.wall_seconds;
+    }
+  }
+  std::filesystem::remove_all(spool);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  BenchReport report("serve");
+  const double scale = bench::bench_scale();
+  const std::size_t workers = bench::bench_threads();
+  report.set_metric(
+      "host_cpus",
+      JsonValue(static_cast<std::size_t>(std::thread::hardware_concurrency())));
+  report.set_metric("workers", JsonValue(workers));
+
+  const std::string spool_root =
+      (std::filesystem::temp_directory_path() /
+       ("ctj_bench_serve_" + std::to_string(::getpid())))
+          .string();
+
+  bench::print_header(
+      "Fleet-scale serving (sharded multi-tenant ctj_serve engine)",
+      "tenants/sec and aggregate slots/sec at 100/1k/4k concurrent tenants");
+
+  // Baseline: the same DQN tenant run sequentially, no engine in the way.
+  // Eight runs amortize construction; per-core multiplexing efficiency is
+  // measured against this.
+  double single_run_slots_per_sec = 0.0;
+  {
+    const double t0 = now_seconds();
+    std::uint64_t slots = 0;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      auto runner = serve::TenantRunner::create(dqn_spec(9000 + i, scale));
+      runner->run(1u << 30);
+      slots += runner->slots_done();
+    }
+    single_run_slots_per_sec =
+        static_cast<double>(slots) / (now_seconds() - t0);
+    report.add_slots(static_cast<std::size_t>(slots));
+  }
+  report.set_metric("serve_single_run_slots_per_sec",
+                    JsonValue(single_run_slots_per_sec));
+  std::printf("sequential single-tenant baseline: %.0f slots/sec\n\n",
+              single_run_slots_per_sec);
+
+  TextTable table({"scenario", "tenants", "wall s", "tenants/s",
+                   "steady slots/s", "mux eff", "evictions"});
+  JsonValue rows = JsonValue::array();
+
+  const auto record = [&](const std::string& tag, std::size_t tenants,
+                          const ScenarioResult& r) {
+    const double mux =
+        r.steady_slots_per_sec /
+        (single_run_slots_per_sec * static_cast<double>(workers));
+    report.add_slots(static_cast<std::size_t>(r.slots_total));
+    report.set_metric("serve_tenants_per_sec_" + tag,
+                      JsonValue(r.tenants_per_sec));
+    report.set_metric("serve_steady_slots_per_sec_" + tag,
+                      JsonValue(r.steady_slots_per_sec));
+    report.set_metric("serve_mux_efficiency_" + tag, JsonValue(mux));
+    report.set_metric("serve_evictions_" + tag,
+                      JsonValue(static_cast<std::size_t>(r.evictions)));
+    JsonValue row = JsonValue::object();
+    row["scenario"] = JsonValue(tag);
+    row["tenants"] = JsonValue(tenants);
+    row["wall_seconds"] = JsonValue(r.wall_seconds);
+    row["tenants_per_sec"] = JsonValue(r.tenants_per_sec);
+    row["steady_slots_per_sec"] = JsonValue(r.steady_slots_per_sec);
+    row["mux_efficiency"] = JsonValue(mux);
+    row["slots_total"] = JsonValue(static_cast<std::size_t>(r.slots_total));
+    row["evictions"] = JsonValue(static_cast<std::size_t>(r.evictions));
+    row["revivals"] = JsonValue(static_cast<std::size_t>(r.revivals));
+    rows.push_back(std::move(row));
+    table.add_row({tag, TextTable::fmt(static_cast<double>(tenants), 0),
+                   TextTable::fmt(r.wall_seconds, 2),
+                   TextTable::fmt(r.tenants_per_sec, 1),
+                   TextTable::fmt(r.steady_slots_per_sec, 0),
+                   TextTable::fmt(mux, 2),
+                   TextTable::fmt(static_cast<double>(r.evictions), 0)});
+  };
+
+  {
+    std::vector<serve::JobSpec> jobs;
+    for (std::uint64_t i = 0; i < 100; ++i) jobs.push_back(dqn_spec(100 + i, scale));
+    // Cap below the tenant count so full-scale runs exercise eviction
+    // (smoke tenants finish inside one quantum, so residency never builds).
+    record("100", jobs.size(),
+           run_scenario(jobs, workers, 64, spool_root + "/dqn100"));
+  }
+
+  if (scale >= 0.5) {
+    std::vector<serve::JobSpec> jobs;
+    for (std::uint64_t i = 0; i < 1000; ++i) jobs.push_back(dqn_spec(2000 + i, scale));
+    record("1k", jobs.size(),
+           run_scenario(jobs, workers, 128, spool_root + "/dqn1k"));
+  } else {
+    std::printf("skipping dqn_1k (scale %.2f < 0.5)\n", scale);
+  }
+
+  if (scale >= 0.5) {
+    std::vector<serve::JobSpec> jobs;
+    const char* schemes[] = {"ql", "passive", "random"};
+    for (std::uint64_t i = 0; i < 4000; ++i) {
+      jobs.push_back(slot_spec(schemes[i % 3], 40000 + i, scale));
+    }
+    record("4k", jobs.size(),
+           run_scenario(jobs, workers, 512, spool_root + "/mixed4k"));
+  } else {
+    std::printf("skipping mixed_4k (scale %.2f < 0.5)\n", scale);
+  }
+
+  table.print(std::cout);
+  report.add_sweep("serve_scenarios", std::move(rows));
+  report.write();
+  return 0;
+}

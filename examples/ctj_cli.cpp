@@ -15,12 +15,29 @@
 //                                                    # killed run, bit-identical
 //   ./build/examples/ctj_cli eval --model=model.ctjs --slots=20000
 //
+// Subcommands for the fleet-scale serve daemon (src/serve, ctj_serve):
+//
+//   ./build/examples/ctj_cli serve --socket=/tmp/ctj.sock --workers=4
+//   ./build/examples/ctj_cli submit --socket=/tmp/ctj.sock --scheme=ql
+//       --archetype=sweep --slots=4000 --wait
+//   ./build/examples/ctj_cli status --socket=/tmp/ctj.sock --id=3
+//   ./build/examples/ctj_cli results --socket=/tmp/ctj.sock --id=3 --wait
+//   ./build/examples/ctj_cli stats --socket=/tmp/ctj.sock
+//   ./build/examples/ctj_cli shutdown --socket=/tmp/ctj.sock
+//
 // Flags: --scheme=rl|ql|oracle|passive|random  --mode=max|random
 //        --slots=N --train=N --lj=X --lh=X --cycle=N --seed=N
 //        --field --slot-duration=S --jx-slot=S --nodes=N
 //        --signal=emubee|wifi|zigbee --no-jammer
 //        train: --out=FILE --checkpoint-every=N --resume
 //        eval:  --model=FILE
+//        serve: --socket=PATH --workers=N --max-resident=N --quantum=N
+//               --spool=DIR
+//        submit: --socket=PATH --scheme=... --archetype=NAME|kernel
+//                --channels=K --sweep=m --mode=max|random --seed=N
+//                --slots=N --replicas=N --window=N --history=N
+//                --record-rewards --wait
+//        status/results: --socket=PATH --id=N (--wait blocks for results)
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -39,6 +56,8 @@
 #include "core/rl_fh.hpp"
 #include "core/trainer.hpp"
 #include "io/format.hpp"
+#include "serve/engine.hpp"
+#include "serve/wire.hpp"
 
 using namespace ctj;
 using namespace ctj::core;
@@ -241,6 +260,139 @@ int cmd_eval(const Flags& flags) {
   return 0;
 }
 
+/// `ctj_cli serve`: host a ServeEngine on a unix socket in-process (same
+/// loop as the ctj_serve daemon) until a client sends shutdown.
+int cmd_serve(const Flags& flags) {
+  serve::ServeConfig config;
+  config.workers = static_cast<std::size_t>(flags.get_num("workers", 1));
+  config.max_resident =
+      static_cast<std::size_t>(flags.get_num("max-resident", 256));
+  config.quantum_slots =
+      static_cast<std::size_t>(flags.get_num("quantum", 256));
+  config.spool_dir = flags.get("spool", ".ctj_serve_spool");
+  const std::string socket_path = flags.get("socket", "/tmp/ctj_serve.sock");
+  serve::ServeEngine engine(config);
+  std::cout << "serving on " << socket_path << " with " << config.workers
+            << " workers\n";
+  serve::run_server(engine, socket_path);
+  return 0;
+}
+
+serve::JobSpec spec_from_flags(const Flags& flags) {
+  serve::JobSpec spec;
+  std::string scheme = flags.get("scheme", "dqn");
+  if (scheme == "rl") scheme = "dqn";  // accept the classic ctj_cli name
+  spec.scheme = scheme;
+  const std::string archetype = flags.get("archetype", "kernel");
+  if (archetype == "kernel") {
+    spec.jammer = jammer::JammerSpec::kernel();
+  } else {
+    spec.jammer = jammer::JammerSpec::defaults(archetype);
+  }
+  spec.num_channels = static_cast<int>(flags.get_num("channels", 16));
+  spec.channels_per_sweep = static_cast<int>(flags.get_num("sweep", 4));
+  spec.mode = flags.get("mode", "max") == "random"
+                  ? JammerPowerMode::kRandomPower
+                  : JammerPowerMode::kMaxPower;
+  spec.loss_jam = flags.get_num("lj", spec.loss_jam);
+  spec.loss_hop = flags.get_num("lh", spec.loss_hop);
+  spec.seed = static_cast<std::uint64_t>(flags.get_num("seed", 1));
+  spec.slots = static_cast<std::uint64_t>(flags.get_num("slots", 4000));
+  spec.replicas = static_cast<std::uint64_t>(flags.get_num("replicas", 1));
+  spec.reward_window =
+      static_cast<std::uint64_t>(flags.get_num("window", 2000));
+  spec.history = static_cast<std::uint64_t>(flags.get_num("history", 4));
+  spec.record_rewards = flags.has("record-rewards");
+  // Keep the jammer geometry in sync with the environment's (the env would
+  // override it anyway; syncing here keeps JAMRCFG checks transparent).
+  spec.jammer.num_channels = spec.num_channels;
+  spec.jammer.channels_per_sweep = spec.channels_per_sweep;
+  spec.jammer.mode = spec.mode;
+  return spec;
+}
+
+void print_result(std::uint64_t id, const serve::JobResult& result) {
+  TextTable table({"metric", "value"});
+  table.add_row({"job", TextTable::fmt(static_cast<double>(id), 0)});
+  table.add_row(
+      {"slots", TextTable::fmt(static_cast<double>(result.slots_run), 0)});
+  table.add_row({"final mean reward",
+                 TextTable::fmt(result.final_mean_reward, 2)});
+  table.add_row({"success rate (%)",
+                 TextTable::fmt(100.0 * static_cast<double>(result.successes) /
+                                    static_cast<double>(result.slots_run),
+                                2)});
+  table.add_row(
+      {"hops", TextTable::fmt(static_cast<double>(result.hops), 0)});
+  table.add_row({"evictions",
+                 TextTable::fmt(static_cast<double>(result.evictions), 0)});
+  table.add_row({"reward crc", std::to_string(result.reward_crc)});
+  table.add_row({"state crc", std::to_string(result.state_crc)});
+  table.print(std::cout);
+}
+
+/// `ctj_cli submit`: send a JobSpec to a running daemon; --wait blocks for
+/// and prints the result.
+int cmd_submit(const Flags& flags) {
+  serve::ServeClient client(flags.get("socket", "/tmp/ctj_serve.sock"));
+  const serve::JobSpec spec = spec_from_flags(flags);
+  const std::uint64_t id = client.submit(spec);
+  std::cout << "job " << id << " submitted\n";
+  if (flags.has("wait")) {
+    const auto result = client.result(id, /*wait=*/true);
+    print_result(id, *result);
+  }
+  return 0;
+}
+
+int cmd_status(const Flags& flags) {
+  serve::ServeClient client(flags.get("socket", "/tmp/ctj_serve.sock"));
+  const auto id = static_cast<std::uint64_t>(flags.get_num("id", 0));
+  const serve::JobStatus status = client.status(id);
+  std::cout << "job " << id << ": " << to_string(status.state) << " "
+            << status.slots_done << "/" << status.slots_total << " slots, "
+            << status.evictions << " evictions, "
+            << (status.resident ? "resident" : "not resident") << "\n";
+  return 0;
+}
+
+int cmd_results(const Flags& flags) {
+  serve::ServeClient client(flags.get("socket", "/tmp/ctj_serve.sock"));
+  const auto id = static_cast<std::uint64_t>(flags.get_num("id", 0));
+  const auto result = client.result(id, flags.has("wait"));
+  if (!result.has_value()) {
+    std::cout << "job " << id << " still running\n";
+    return 3;
+  }
+  print_result(id, *result);
+  return 0;
+}
+
+int cmd_stats(const Flags& flags) {
+  serve::ServeClient client(flags.get("socket", "/tmp/ctj_serve.sock"));
+  const serve::EngineStats stats = client.stats();
+  TextTable table({"metric", "value"});
+  const auto row = [&](const char* name, std::uint64_t v) {
+    table.add_row({name, TextTable::fmt(static_cast<double>(v), 0)});
+  };
+  row("submitted", stats.submitted);
+  row("completed", stats.completed);
+  row("failed", stats.failed);
+  row("resident", stats.resident);
+  row("evictions", stats.evictions);
+  row("revivals", stats.revivals);
+  row("slots total", stats.slots_total);
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_shutdown(const Flags& flags) {
+  serve::ServeClient client(flags.get("socket", "/tmp/ctj_serve.sock"));
+  client.shutdown();
+  std::cout << "shutdown requested\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -252,11 +404,22 @@ int main(int argc, char** argv) {
     try {
       if (command == "train") return cmd_train(sub_flags);
       if (command == "eval") return cmd_eval(sub_flags);
+      if (command == "serve") return cmd_serve(sub_flags);
+      if (command == "submit") return cmd_submit(sub_flags);
+      if (command == "status") return cmd_status(sub_flags);
+      if (command == "results") return cmd_results(sub_flags);
+      if (command == "stats") return cmd_stats(sub_flags);
+      if (command == "shutdown") return cmd_shutdown(sub_flags);
     } catch (const io::IoError& error) {
       std::cerr << "ctj_cli " << command << ": " << error.what() << "\n";
       return 1;
+    } catch (const std::exception& error) {
+      std::cerr << "ctj_cli " << command << ": " << error.what() << "\n";
+      return 1;
     }
-    std::cerr << "unknown subcommand '" << command << "' (use train|eval)\n";
+    std::cerr << "unknown subcommand '" << command
+              << "' (use train|eval|serve|submit|status|results|stats|"
+                 "shutdown)\n";
     return 2;
   }
 

@@ -1,0 +1,98 @@
+// ctj_serve — the fleet-scale simulation daemon.
+//
+// Hosts a ServeEngine behind a unix-domain socket and serves tenant jobs
+// until a client requests shutdown:
+//
+//   ./build/examples/ctj_serve --socket=/tmp/ctj.sock --workers=4 &
+//   ./build/examples/ctj_cli submit --socket=/tmp/ctj.sock --scheme=ql
+//       --archetype=sweep --slots=4000 --wait
+//   ./build/examples/ctj_cli shutdown --socket=/tmp/ctj.sock
+//
+// Flags: --socket=PATH       (default /tmp/ctj_serve.sock)
+//        --workers=N         (default hardware concurrency)
+//        --max-resident=N    (default 256 tenant runners in memory)
+//        --quantum=N         (default 256 slots per scheduling turn)
+//        --spool=DIR         (default .ctj_serve_spool)
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "serve/engine.hpp"
+#include "serve/wire.hpp"
+
+using namespace ctj;
+
+namespace {
+
+/// Minimal --key=value parser (same shape as ctj_cli's).
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::cerr << "unknown argument: " << arg << "\n";
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "1";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get_num(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::cout << "see the header comment of examples/ctj_serve.cpp\n";
+    return 0;
+  }
+
+  serve::ServeConfig config;
+  const unsigned hw = std::thread::hardware_concurrency();
+  config.workers = static_cast<std::size_t>(
+      flags.get_num("workers", hw > 0 ? hw : 1));
+  config.max_resident =
+      static_cast<std::size_t>(flags.get_num("max-resident", 256));
+  config.quantum_slots = static_cast<std::size_t>(flags.get_num("quantum", 256));
+  config.spool_dir = flags.get("spool", ".ctj_serve_spool");
+  const std::string socket_path = flags.get("socket", "/tmp/ctj_serve.sock");
+
+  try {
+    serve::ServeEngine engine(config);
+    std::cout << "ctj_serve: " << config.workers << " workers, max "
+              << config.max_resident << " resident, quantum "
+              << config.quantum_slots << " slots, socket " << socket_path
+              << "\n";
+    serve::run_server(engine, socket_path);
+    const auto stats = engine.stats();
+    std::cout << "ctj_serve: shutting down (" << stats.completed << "/"
+              << stats.submitted << " jobs completed, " << stats.slots_total
+              << " slots, " << stats.evictions << " evictions)\n";
+  } catch (const std::exception& e) {
+    std::cerr << "ctj_serve: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -48,4 +48,71 @@ void PassiveFhScheme::feedback(const SlotFeedback& feedback) {
   }
 }
 
+void PassiveFhScheme::save_state(io::ByteWriter& out) const {
+  out.i32(config_.num_channels);
+  out.u64(config_.num_power_levels);
+  out.u64(config_.base_power_index);
+  out.u64(config_.detector_window);
+  out.f64(config_.detector_threshold);
+  out.u64(config_.escalate_after_failed_hops);
+  out.u64(config_.seed);
+
+  out.str(rng_.serialize_state());
+  detector_.save_state(out);
+  out.i32(channel_);
+  out.u64(power_index_);
+  out.u64(consecutive_failed_hops_);
+  out.u8(last_was_hop_ ? 1 : 0);
+}
+
+void PassiveFhScheme::load_state(io::ByteReader& in) {
+  const auto num_channels = in.i32();
+  const auto num_power_levels = static_cast<std::size_t>(in.u64());
+  const auto base_power = static_cast<std::size_t>(in.u64());
+  const auto det_window = static_cast<std::size_t>(in.u64());
+  const double det_threshold = in.f64();
+  const auto escalate = static_cast<std::size_t>(in.u64());
+  const std::uint64_t seed = in.u64();
+  if (num_channels != config_.num_channels ||
+      num_power_levels != config_.num_power_levels ||
+      base_power != config_.base_power_index ||
+      det_window != config_.detector_window ||
+      det_threshold != config_.detector_threshold ||
+      escalate != config_.escalate_after_failed_hops ||
+      seed != config_.seed) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "stored PassiveFhScheme::Config differs from this "
+                      "scheme");
+  }
+
+  const std::string rng_text = in.str();
+  Rng rng;
+  try {
+    rng.restore_state(rng_text);
+  } catch (const CheckFailure&) {
+    throw io::IoError(io::ErrorKind::kBadPayload, "passive FH RNG state");
+  }
+  // The detector keeps the strong guarantee itself; decode it into a copy
+  // and commit everything together below.
+  jammer::ErrorRateDetector detector(config_.detector_window,
+                                     config_.detector_threshold);
+  detector.load_state(in);
+  const int channel = in.i32();
+  const auto power_index = static_cast<std::size_t>(in.u64());
+  const auto failed_hops = static_cast<std::size_t>(in.u64());
+  const bool last_was_hop = in.u8() != 0;
+  if (channel < 0 || channel >= config_.num_channels ||
+      power_index >= config_.num_power_levels) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "passive FH channel/power out of range");
+  }
+
+  rng_ = rng;
+  detector_ = std::move(detector);
+  channel_ = channel;
+  power_index_ = power_index;
+  consecutive_failed_hops_ = failed_hops;
+  last_was_hop_ = last_was_hop;
+}
+
 }  // namespace ctj::core

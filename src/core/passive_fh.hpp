@@ -35,6 +35,13 @@ class PassiveFhScheme : public AntiJammingScheme {
   std::string name() const override { return "PSV FH"; }
   void reset() override;
 
+  /// Checkpoint-format serialization (the serve layer's FHSTATE payload):
+  /// Config digest, RNG stream, detector window and hop/power state.
+  /// load_state throws io::IoError on a digest mismatch or malformed
+  /// payload, leaving the scheme unchanged.
+  void save_state(io::ByteWriter& out) const;
+  void load_state(io::ByteReader& in);
+
  private:
   Config config_;
   Rng rng_;

@@ -68,6 +68,104 @@ SchemeDecision QLearningScheme::decide() {
   return decision;
 }
 
+void QLearningScheme::save_state(io::ByteWriter& out) const {
+  out.i32(config_.num_channels);
+  out.u64(config_.num_power_levels);
+  out.u64(config_.history);
+  out.u64(config_.bins_per_dim);
+  out.f64(config_.learning_rate);
+  out.f64(config_.gamma);
+  out.f64(config_.epsilon_start);
+  out.f64(config_.epsilon_end);
+  out.u64(config_.epsilon_decay_steps);
+  out.f64(config_.deploy_epsilon);
+  out.u64(config_.seed);
+
+  out.u8(training_ ? 1 : 0);
+  out.str(deploy_rng_.serialize_state());
+  out.u64(history_.size());
+  for (const SlotRecord& rec : history_) {
+    out.f64(rec.success);
+    out.f64(rec.channel);
+    out.f64(rec.power);
+  }
+  out.u8(has_pending_ ? 1 : 0);
+  out.f64_vec(pending_state_);
+  out.u64(pending_action_);
+
+  agent_.save_state(out);
+}
+
+void QLearningScheme::load_state(io::ByteReader& in) {
+  const auto num_channels = in.i32();
+  const auto num_power_levels = static_cast<std::size_t>(in.u64());
+  const auto history_len = static_cast<std::size_t>(in.u64());
+  const auto bins = static_cast<std::size_t>(in.u64());
+  const double lr = in.f64();
+  const double gamma = in.f64();
+  const double eps_start = in.f64();
+  const double eps_end = in.f64();
+  const auto decay = static_cast<std::size_t>(in.u64());
+  const double deploy_eps = in.f64();
+  const std::uint64_t seed = in.u64();
+  if (num_channels != config_.num_channels ||
+      num_power_levels != config_.num_power_levels ||
+      history_len != config_.history || bins != config_.bins_per_dim ||
+      lr != config_.learning_rate || gamma != config_.gamma ||
+      eps_start != config_.epsilon_start || eps_end != config_.epsilon_end ||
+      decay != config_.epsilon_decay_steps ||
+      deploy_eps != config_.deploy_epsilon || seed != config_.seed) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "stored QLearningScheme::Config differs from this "
+                      "scheme");
+  }
+
+  const bool training = in.u8() != 0;
+  const std::string rng_text = in.str();
+  Rng deploy_rng;
+  try {
+    deploy_rng.restore_state(rng_text);
+  } catch (const CheckFailure&) {
+    throw io::IoError(io::ErrorKind::kBadPayload, "QL scheme RNG state");
+  }
+  const std::uint64_t records = in.u64();
+  if (records != config_.history) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "stored window has " + std::to_string(records) +
+                          " records, scheme history is " +
+                          std::to_string(config_.history));
+  }
+  std::deque<SlotRecord> history;
+  for (std::uint64_t i = 0; i < records; ++i) {
+    SlotRecord rec;
+    rec.success = in.f64();
+    rec.channel = in.f64();
+    rec.power = in.f64();
+    history.push_back(rec);
+  }
+  const bool has_pending = in.u8() != 0;
+  std::vector<double> pending_state = in.f64_vec();
+  const std::uint64_t pending_action = in.u64();
+  if (has_pending && pending_state.size() != 3 * config_.history) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "pending state has the wrong dimension");
+  }
+  if (has_pending && pending_action >= agent_.config().num_actions) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "pending action out of range");
+  }
+
+  // The agent loader keeps the strong guarantee itself; loading it first
+  // means nothing above has mutated the scheme when it throws.
+  agent_.load_state(in);
+  training_ = training;
+  deploy_rng_ = deploy_rng;
+  history_ = std::move(history);
+  pending_state_ = std::move(pending_state);
+  pending_action_ = static_cast<std::size_t>(pending_action);
+  has_pending_ = has_pending;
+}
+
 void QLearningScheme::feedback(const SlotFeedback& feedback) {
   history_.pop_front();
   SlotRecord rec;

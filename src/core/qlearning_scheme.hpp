@@ -39,6 +39,15 @@ class QLearningScheme : public AntiJammingScheme {
   void set_training(bool training) { training_ = training; }
   rl::QLearningAgent& agent() { return agent_; }
 
+  /// Checkpoint-format serialization (the serve layer's QLSTATE payload): a
+  /// digest of the Config, the deploy RNG, the observation window, the
+  /// pending transition and the whole agent (RNG, steps, sorted Q table).
+  /// load_state rejects a payload whose Config digest differs from this
+  /// scheme's (io::IoError kStateMismatch); the scheme is unchanged on any
+  /// failure.
+  void save_state(io::ByteWriter& out) const;
+  void load_state(io::ByteReader& in);
+
  private:
   struct SlotRecord {
     double success = 0.0;

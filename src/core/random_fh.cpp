@@ -33,4 +33,48 @@ void RandomFhScheme::feedback(const SlotFeedback& /*feedback*/) {
   // Memoryless by design.
 }
 
+void RandomFhScheme::save_state(io::ByteWriter& out) const {
+  out.i32(config_.num_channels);
+  out.u64(config_.num_power_levels);
+  out.f64(config_.hop_probability);
+  out.u64(config_.seed);
+
+  out.str(rng_.serialize_state());
+  out.i32(channel_);
+  out.u64(power_index_);
+}
+
+void RandomFhScheme::load_state(io::ByteReader& in) {
+  const auto num_channels = in.i32();
+  const auto num_power_levels = static_cast<std::size_t>(in.u64());
+  const double hop_probability = in.f64();
+  const std::uint64_t seed = in.u64();
+  if (num_channels != config_.num_channels ||
+      num_power_levels != config_.num_power_levels ||
+      hop_probability != config_.hop_probability || seed != config_.seed) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "stored RandomFhScheme::Config differs from this "
+                      "scheme");
+  }
+
+  const std::string rng_text = in.str();
+  Rng rng;
+  try {
+    rng.restore_state(rng_text);
+  } catch (const CheckFailure&) {
+    throw io::IoError(io::ErrorKind::kBadPayload, "random FH RNG state");
+  }
+  const int channel = in.i32();
+  const auto power_index = static_cast<std::size_t>(in.u64());
+  if (channel < 0 || channel >= config_.num_channels ||
+      power_index >= config_.num_power_levels) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "random FH channel/power out of range");
+  }
+
+  rng_ = rng;
+  channel_ = channel;
+  power_index_ = power_index;
+}
+
 }  // namespace ctj::core

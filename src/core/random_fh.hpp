@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "core/scheme.hpp"
+#include "io/bytes.hpp"
 
 namespace ctj::core {
 
@@ -24,6 +25,13 @@ class RandomFhScheme : public AntiJammingScheme {
   void feedback(const SlotFeedback& feedback) override;
   std::string name() const override { return "Rand FH"; }
   void reset() override;
+
+  /// Checkpoint-format serialization (the serve layer's FHSTATE payload):
+  /// Config digest, RNG stream and the hop/power state. load_state throws
+  /// io::IoError on a digest mismatch or malformed payload, leaving the
+  /// scheme unchanged.
+  void save_state(io::ByteWriter& out) const;
+  void load_state(io::ByteReader& in);
 
  private:
   Config config_;

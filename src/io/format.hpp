@@ -85,6 +85,10 @@ inline constexpr char kTrainProgress[] = "TRAINPRG";  // trainer loop state
 inline constexpr char kParallelTrain[] = "PARTRNST";  // parallel trainer state
 inline constexpr char kShardReplay[] = "SHRDRPLY";    // sharded replay rings
 inline constexpr char kActorShards[] = "ACTSHRDS";    // per-actor env/rng state
+inline constexpr char kServeJob[] = "SRVJOB  ";       // serve tenant JobSpec
+inline constexpr char kServeProgress[] = "SRVPRG  ";  // serve tenant progress
+inline constexpr char kQlState[] = "QLSTATE ";        // tabular QL scheme state
+inline constexpr char kFhState[] = "FHSTATE ";        // FH baseline scheme state
 }  // namespace tags
 
 }  // namespace ctj::io

@@ -33,4 +33,27 @@ void ErrorRateDetector::reset() {
   failures_ = 0;
 }
 
+void ErrorRateDetector::save_state(io::ByteWriter& out) const {
+  out.u64(history_.size());
+  for (bool failed : history_) out.u8(failed ? 1 : 0);
+}
+
+void ErrorRateDetector::load_state(io::ByteReader& in) {
+  const std::uint64_t count = in.u64();
+  if (count > window_) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "detector history of " + std::to_string(count) +
+                          " slots exceeds window " + std::to_string(window_));
+  }
+  std::deque<bool> history;
+  std::size_t failures = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const bool failed = in.u8() != 0;
+    history.push_back(failed);
+    if (failed) ++failures;
+  }
+  history_ = std::move(history);
+  failures_ = failures;
+}
+
 }  // namespace ctj::jammer

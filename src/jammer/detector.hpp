@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <deque>
 
+#include "io/bytes.hpp"
+
 namespace ctj::jammer {
 
 class ErrorRateDetector {
@@ -28,6 +30,14 @@ class ErrorRateDetector {
   void reset();
 
   std::size_t window() const { return window_; }
+
+  /// Checkpoint-format serialization of the sliding outcome window (the
+  /// window size and threshold are constructor parameters and travel in the
+  /// owning scheme's config digest). load_state throws io::IoError
+  /// kStateMismatch when the stored history exceeds this detector's window,
+  /// leaving the detector unchanged.
+  void save_state(io::ByteWriter& out) const;
+  void load_state(io::ByteReader& in);
 
  private:
   std::size_t window_;

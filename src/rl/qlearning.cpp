@@ -68,6 +68,51 @@ std::size_t QLearningAgent::act(std::span<const double> state) {
   return other;
 }
 
+void QLearningAgent::save_state(io::ByteWriter& out) const {
+  out.str(rng_.serialize_state());
+  out.u64(steps_);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(table_.size());
+  for (const auto& [key, row] : table_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  out.u64(keys.size());
+  for (std::uint64_t key : keys) {
+    out.u64(key);
+    out.f64_vec(table_.at(key));
+  }
+}
+
+void QLearningAgent::load_state(io::ByteReader& in) {
+  const std::string rng_text = in.str();
+  Rng rng;
+  try {
+    rng.restore_state(rng_text);
+  } catch (const CheckFailure&) {
+    throw io::IoError(io::ErrorKind::kBadPayload, "QL agent RNG state");
+  }
+  const std::uint64_t steps = in.u64();
+  const std::uint64_t entries = in.u64();
+  std::unordered_map<std::uint64_t, std::vector<double>> table;
+  table.reserve(static_cast<std::size_t>(entries));
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    const std::uint64_t key = in.u64();
+    std::vector<double> row = in.f64_vec();
+    if (row.size() != config_.num_actions) {
+      throw io::IoError(io::ErrorKind::kStateMismatch,
+                        "Q row has " + std::to_string(row.size()) +
+                            " actions, agent expects " +
+                            std::to_string(config_.num_actions));
+    }
+    if (!table.emplace(key, std::move(row)).second) {
+      throw io::IoError(io::ErrorKind::kBadPayload,
+                        "duplicate Q-table key in payload");
+    }
+  }
+  rng_ = rng;
+  steps_ = static_cast<std::size_t>(steps);
+  table_ = std::move(table);
+}
+
 void QLearningAgent::update(std::span<const double> state, std::size_t action,
                             double reward,
                             std::span<const double> next_state) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "io/bytes.hpp"
 
 namespace ctj::rl {
 
@@ -49,6 +50,14 @@ class QLearningAgent {
   std::size_t table_size() const { return table_.size(); }
 
   const QLearningConfig& config() const { return config_; }
+
+  /// Checkpoint-format serialization: the RNG stream, step counter and the
+  /// whole Q table with its keys sorted, so identical agent state always
+  /// yields identical bytes regardless of hash-map iteration order.
+  /// load_state throws io::IoError (kBadPayload / kStateMismatch) on
+  /// malformed or incompatible input, leaving the agent unchanged.
+  void save_state(io::ByteWriter& out) const;
+  void load_state(io::ByteReader& in);
 
  private:
   /// Discretize an observation into a table key.

@@ -1,0 +1,156 @@
+// The fleet-scale serve engine: a fixed worker pool multiplexing an
+// unbounded set of tenant simulations.
+//
+// Jobs are submitted as JobSpecs and flow through a lock-free MPMC ring
+// (common/mpmc_queue.hpp): submitters push tenant ids, workers pop one id
+// at a time, advance that tenant by one quantum (TenantRunner::run), and
+// push it back until its budget is spent — cooperative round-robin over
+// however many tenants are in flight, with one OS thread per configured
+// worker.
+//
+// Bounded residency: at most `max_resident` tenant runners are held in
+// memory. When the cap is exceeded the least-recently-run idle tenant is
+// evicted — its full state saved to a CTJS spool file — and revived
+// transparently the next time a worker pops it. Because suspend/resume is
+// bit-identical (tenant.hpp), eviction is invisible in the results: the
+// serve tests compare full reward streams and final scheme state across
+// max_resident = 2 vs unbounded, and across worker counts 1/2/4, bitwise.
+//
+// Determinism: every tenant's trajectory depends only on its JobSpec (all
+// state is tenant-local; workers never share RNG or model state), so
+// scheduling order, worker placement, quantum size and eviction cannot
+// change any result — only wall-clock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+#include "serve/job.hpp"
+#include "serve/tenant.hpp"
+
+namespace ctj::serve {
+
+struct ServeConfig {
+  /// Worker threads (one runner stepped per worker at a time).
+  std::size_t workers = 1;
+  /// Maximum tenant runners resident in memory; beyond this the
+  /// least-recently-run idle tenant is evicted to its spool file.
+  std::size_t max_resident = 256;
+  /// Slots a worker advances a tenant per scheduling turn (DQN tenants
+  /// round down to whole replica rounds).
+  std::size_t quantum_slots = 256;
+  /// Directory for eviction spool files (created on demand).
+  std::string spool_dir = ".ctj_serve_spool";
+  /// Submission/ready ring capacity (rounded up to a power of two). Pushes
+  /// beyond it spin-yield, so this only needs to cover the common case.
+  std::size_t queue_capacity = 4096;
+};
+
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  // done + failed
+  std::uint64_t failed = 0;
+  std::uint64_t resident = 0;   // runners currently in memory
+  std::uint64_t evictions = 0;
+  std::uint64_t revivals = 0;
+  std::uint64_t slots_total = 0;  // slots stepped across all tenants
+
+  void encode(io::ByteWriter& out) const;
+  static EngineStats decode(io::ByteReader& in);
+};
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(const ServeConfig& config);
+  /// Stops the workers (in-flight quanta finish; queued work is dropped).
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  const ServeConfig& config() const { return config_; }
+
+  /// Validate and enqueue a job; returns its id. Throws
+  /// std::invalid_argument when the spec is not runnable.
+  std::uint64_t submit(const JobSpec& spec);
+
+  /// Throws std::out_of_range for an unknown id.
+  JobStatus status(std::uint64_t id) const;
+
+  /// The result when the job is done; nullopt while it is still running.
+  /// Throws std::out_of_range for an unknown id, std::runtime_error (with
+  /// the stored error) for a failed job.
+  std::optional<JobResult> try_result(std::uint64_t id) const;
+
+  /// Block until the job completes, then return its result (throws like
+  /// try_result).
+  JobResult wait(std::uint64_t id);
+
+  /// Block until every submitted job has completed or failed.
+  void wait_all();
+
+  EngineStats stats() const;
+
+  /// Lock-free view of total slots stepped (for throughput sampling).
+  std::uint64_t slots_total() const {
+    return slots_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Tenant {
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    /// A worker is stepping, creating, evicting or reviving this tenant;
+    /// other workers must not touch it (they re-push the id and move on).
+    bool busy = false;
+    bool spooled = false;  // a spool file holds the current state
+    std::unique_ptr<TenantRunner> runner;  // null when evicted/finished
+    std::uint64_t slots_done = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t last_run_stamp = 0;
+    std::optional<JobResult> result;
+    std::string error;
+  };
+
+  void worker_loop();
+  bool pop_ready(std::uint64_t& id);
+  void push_ready(std::uint64_t id);
+  /// Pick the least-recently-run evictable tenant while over the residency
+  /// cap; marks it busy. Caller (worker) performs the save outside the lock.
+  Tenant* pick_eviction_victim_locked();
+  std::string spool_path(std::uint64_t id) const;
+
+  const ServeConfig config_;
+
+  mutable std::mutex mutex_;  // tenant table + counters
+  std::condition_variable done_cv_;
+  std::map<std::uint64_t, std::unique_ptr<Tenant>> tenants_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t clock_ = 0;  // logical last-run stamps for LRU
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t resident_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t revivals_ = 0;
+
+  MpmcQueue<std::uint64_t> ready_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> slots_total_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ctj::serve

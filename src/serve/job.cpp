@@ -1,0 +1,203 @@
+#include "serve/job.hpp"
+
+#include <stdexcept>
+
+namespace ctj::serve {
+
+namespace {
+
+constexpr std::uint8_t kSpecVersion = 1;
+constexpr std::uint8_t kResultVersion = 1;
+
+bool known_scheme(const std::string& scheme) {
+  return scheme == "dqn" || scheme == "ql" || scheme == "passive" ||
+         scheme == "random";
+}
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+void JobSpec::validate() const {
+  if (!known_scheme(scheme)) {
+    throw std::invalid_argument("unknown scheme '" + scheme +
+                                "' (use dqn|ql|passive|random)");
+  }
+  if (!jammer.is_kernel() && !jammer::is_registered(jammer.archetype)) {
+    throw std::invalid_argument("unknown jammer archetype '" +
+                                jammer.archetype + "'");
+  }
+  if (num_channels < 2) throw std::invalid_argument("num_channels must be >= 2");
+  if (channels_per_sweep < 1 || channels_per_sweep > num_channels) {
+    throw std::invalid_argument("channels_per_sweep out of range");
+  }
+  if (slots == 0) throw std::invalid_argument("slot budget must be > 0");
+  if (reward_window == 0) throw std::invalid_argument("reward_window must be > 0");
+  if (scheme == "dqn") {
+    if (replicas == 0) throw std::invalid_argument("replicas must be >= 1");
+    // Quanta and evictions cut only at outer-loop boundaries (all replicas
+    // between transitions); a budget ending mid-round would need a state no
+    // uninterrupted run passes through.
+    if (slots % replicas != 0) {
+      throw std::invalid_argument("dqn slot budget must be divisible by "
+                                  "replicas");
+    }
+    if (history == 0) throw std::invalid_argument("history must be > 0");
+    if (hidden.empty()) throw std::invalid_argument("hidden layers missing");
+  }
+}
+
+core::EnvironmentConfig JobSpec::env_config() const {
+  auto env = core::EnvironmentConfig::defaults();
+  env.num_channels = num_channels;
+  env.channels_per_sweep = channels_per_sweep;
+  env.mode = mode;
+  env.loss_jam = loss_jam;
+  env.loss_hop = loss_hop;
+  env.seed = seed;
+  env.jammer = jammer;
+  return env;
+}
+
+core::DqnScheme::Config JobSpec::dqn_config() const {
+  core::DqnScheme::Config config;
+  config.num_channels = num_channels;
+  config.num_power_levels = env_config().num_power_levels();
+  config.history = static_cast<std::size_t>(history);
+  config.hidden.clear();
+  for (std::uint64_t h : hidden) {
+    config.hidden.push_back(static_cast<std::size_t>(h));
+  }
+  config.seed = seed + 7;
+  return config;
+}
+
+core::QLearningScheme::Config JobSpec::ql_config() const {
+  core::QLearningScheme::Config config;
+  config.num_channels = num_channels;
+  config.num_power_levels = env_config().num_power_levels();
+  config.seed = seed + 7;
+  return config;
+}
+
+void JobSpec::encode(io::ByteWriter& out) const {
+  out.u8(kSpecVersion);
+  out.str(scheme);
+  jammer.encode(out);
+  out.i32(num_channels);
+  out.i32(channels_per_sweep);
+  out.u8(mode == JammerPowerMode::kRandomPower ? 1 : 0);
+  out.f64(loss_jam);
+  out.f64(loss_hop);
+  out.u64(seed);
+  out.u64(slots);
+  out.u64(replicas);
+  out.u64(reward_window);
+  out.u64(history);
+  out.u64(hidden.size());
+  for (std::uint64_t h : hidden) out.u64(h);
+  out.u8(record_rewards ? 1 : 0);
+}
+
+JobSpec JobSpec::decode(io::ByteReader& in) {
+  const std::uint8_t version = in.u8();
+  if (version != kSpecVersion) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "unknown JobSpec version " + std::to_string(version));
+  }
+  JobSpec spec;
+  spec.scheme = in.str();
+  spec.jammer = jammer::JammerSpec::decode(in);
+  spec.num_channels = in.i32();
+  spec.channels_per_sweep = in.i32();
+  spec.mode = in.u8() != 0 ? JammerPowerMode::kRandomPower
+                           : JammerPowerMode::kMaxPower;
+  spec.loss_jam = in.f64();
+  spec.loss_hop = in.f64();
+  spec.seed = in.u64();
+  spec.slots = in.u64();
+  spec.replicas = in.u64();
+  spec.reward_window = in.u64();
+  spec.history = in.u64();
+  const std::uint64_t hidden_count = in.u64();
+  if (hidden_count > 1024) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "implausible hidden layer count " +
+                          std::to_string(hidden_count));
+  }
+  spec.hidden.clear();
+  for (std::uint64_t i = 0; i < hidden_count; ++i) spec.hidden.push_back(in.u64());
+  spec.record_rewards = in.u8() != 0;
+  if (!known_scheme(spec.scheme)) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "unknown scheme '" + spec.scheme + "' in JobSpec");
+  }
+  return spec;
+}
+
+void JobStatus::encode(io::ByteWriter& out) const {
+  out.u8(static_cast<std::uint8_t>(state));
+  out.u64(slots_done);
+  out.u64(slots_total);
+  out.u64(evictions);
+  out.u8(resident ? 1 : 0);
+}
+
+JobStatus JobStatus::decode(io::ByteReader& in) {
+  JobStatus status;
+  const std::uint8_t state = in.u8();
+  if (state > static_cast<std::uint8_t>(JobState::kFailed)) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "unknown JobState " + std::to_string(state));
+  }
+  status.state = static_cast<JobState>(state);
+  status.slots_done = in.u64();
+  status.slots_total = in.u64();
+  status.evictions = in.u64();
+  status.resident = in.u8() != 0;
+  return status;
+}
+
+void JobResult::encode(io::ByteWriter& out) const {
+  out.u8(kResultVersion);
+  out.u64(slots_run);
+  out.f64(final_mean_reward);
+  out.f64(reward_sum);
+  out.u64(successes);
+  out.u64(jammed_slots);
+  out.u64(hops);
+  out.u32(reward_crc);
+  out.u32(state_crc);
+  out.u64(evictions);
+  out.f64_vec(rewards);
+}
+
+JobResult JobResult::decode(io::ByteReader& in) {
+  const std::uint8_t version = in.u8();
+  if (version != kResultVersion) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "unknown JobResult version " + std::to_string(version));
+  }
+  JobResult result;
+  result.slots_run = in.u64();
+  result.final_mean_reward = in.f64();
+  result.reward_sum = in.f64();
+  result.successes = in.u64();
+  result.jammed_slots = in.u64();
+  result.hops = in.u64();
+  result.reward_crc = in.u32();
+  result.state_crc = in.u32();
+  result.evictions = in.u64();
+  result.rewards = in.f64_vec();
+  return result;
+}
+
+}  // namespace ctj::serve

@@ -1,0 +1,125 @@
+// Tenant job description and result for the fleet-scale serve engine.
+//
+// A JobSpec is the complete, self-contained description of one tenant
+// simulation: which anti-jamming scheme to run, which adversary (a
+// JammerSpec from the zoo), the channel geometry, the slot budget and the
+// seed. Everything a runner needs is derived deterministically from the
+// spec — environment seed = spec.seed, scheme seed = spec.seed + 7 (the
+// `ctj_cli train` convention) — so the same spec produces a bit-identical
+// result no matter which worker runs it, how it is interleaved with other
+// tenants, or how many times it is evicted to a CTJS checkpoint and revived
+// (engine.hpp's determinism guarantee rests on this).
+//
+// The spec travels on the wire (ctj_cli submit → ctj_serve) and inside every
+// tenant checkpoint (the SRVJOB chunk), in the same ByteWriter codec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "core/qlearning_scheme.hpp"
+#include "core/rl_fh.hpp"
+#include "io/bytes.hpp"
+#include "jammer/registry.hpp"
+
+namespace ctj::serve {
+
+struct JobSpec {
+  /// "dqn" | "ql" | "passive" | "random".
+  std::string scheme = "dqn";
+  /// Adversary; the kernel sentinel samples the closed-form MDP kernel.
+  jammer::JammerSpec jammer = jammer::JammerSpec::kernel();
+  int num_channels = 16;       // K
+  int channels_per_sweep = 4;  // m
+  JammerPowerMode mode = JammerPowerMode::kMaxPower;
+  double loss_jam = 100.0;  // L_J
+  double loss_hop = 50.0;   // L_H
+  std::uint64_t seed = 1;
+  /// Slot budget. For "dqn" this counts transitions summed over replicas
+  /// (like train_batched) and must be divisible by `replicas`.
+  std::uint64_t slots = 4000;
+  /// VectorEnv batch width for "dqn" tenants (ignored otherwise).
+  std::uint64_t replicas = 1;
+  /// Sliding window for the final mean reward.
+  std::uint64_t reward_window = 2000;
+  // DQN sizing knobs (ignored for the other schemes).
+  std::uint64_t history = 4;
+  std::vector<std::uint64_t> hidden = {32, 32};
+  /// Keep the full per-slot reward stream in the result (and in eviction
+  /// checkpoints). Meant for tests and small budgets — it grows with slots.
+  bool record_rewards = false;
+
+  bool operator==(const JobSpec&) const = default;
+
+  /// Throws std::invalid_argument with a reason when the spec is not
+  /// runnable (unknown scheme/archetype, zero budget, dqn budget not a
+  /// multiple of replicas, ...).
+  void validate() const;
+
+  /// The tenant's environment config: defaults() power levels with the
+  /// spec's geometry, mode, losses, seed and adversary applied.
+  core::EnvironmentConfig env_config() const;
+
+  /// The derived scheme configs (seeded spec.seed + 7), so external drivers
+  /// (tests, train_batched comparisons) construct byte-identical schemes.
+  core::DqnScheme::Config dqn_config() const;
+  core::QLearningScheme::Config ql_config() const;
+
+  /// CTJS/wire payload codec (versioned). decode throws io::IoError
+  /// kBadPayload on malformed input.
+  void encode(io::ByteWriter& out) const;
+  static JobSpec decode(io::ByteReader& in);
+};
+
+/// Lifecycle of a submitted job inside the engine.
+enum class JobState : std::uint8_t {
+  kQueued = 0,   // waiting for a worker (resident or evicted)
+  kRunning = 1,  // a worker is stepping (or evicting/reviving) it right now
+  kDone = 2,
+  kFailed = 3,
+};
+
+const char* to_string(JobState state);
+
+struct JobStatus {
+  JobState state = JobState::kQueued;
+  std::uint64_t slots_done = 0;
+  std::uint64_t slots_total = 0;
+  std::uint64_t evictions = 0;
+  /// Runner currently in memory (false = evicted to its CTJS spool file,
+  /// not yet started, or finished).
+  bool resident = false;
+
+  void encode(io::ByteWriter& out) const;
+  static JobStatus decode(io::ByteReader& in);
+};
+
+/// Final outcome of a tenant run. Every field except `evictions` depends
+/// only on the JobSpec — the determinism tests compare results bitwise
+/// across worker counts and evict/revive cycles.
+struct JobResult {
+  std::uint64_t slots_run = 0;
+  double final_mean_reward = 0.0;
+  double reward_sum = 0.0;
+  std::uint64_t successes = 0;
+  std::uint64_t jammed_slots = 0;
+  std::uint64_t hops = 0;
+  /// CRC32 over the per-slot rewards as little-endian IEEE-754 bytes — a
+  /// compact bit-identity witness for the whole reward stream.
+  std::uint32_t reward_crc = 0;
+  /// CRC32 of the final serialized scheme state (weights/table/RNG) — the
+  /// "final weights are bit-identical" witness.
+  std::uint32_t state_crc = 0;
+  /// How often this tenant was evicted to its spool file (engine-side;
+  /// scheduling-dependent, excluded from determinism comparisons).
+  std::uint64_t evictions = 0;
+  /// Per-slot rewards; only populated when the spec set record_rewards.
+  std::vector<double> rewards;
+
+  void encode(io::ByteWriter& out) const;
+  static JobResult decode(io::ByteReader& in);
+};
+
+}  // namespace ctj::serve

@@ -1,0 +1,359 @@
+#include "serve/tenant.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/checkpoint.hpp"
+#include "core/passive_fh.hpp"
+#include "core/random_fh.hpp"
+#include "core/vector_env.hpp"
+#include "io/crc32.hpp"
+#include "io/format.hpp"
+#include "rl/dqn.hpp"
+
+namespace ctj::serve {
+
+namespace {
+
+/// DQN tenant: VectorEnv lockstep rollout sharing one agent — the exact
+/// inner loop of core::train_batched, so a serve tenant's trajectory equals
+/// the standalone trainer's stream for stream (test-asserted).
+class DqnTenant final : public TenantRunner {
+ public:
+  explicit DqnTenant(const JobSpec& spec)
+      : TenantRunner(spec),
+        scheme_(spec.dqn_config()),
+        venv_(spec.env_config(), static_cast<std::size_t>(spec.replicas)),
+        windows_(static_cast<std::size_t>(spec.replicas),
+                 scheme_.config().history, scheme_.config().num_channels,
+                 scheme_.config().num_power_levels),
+        actions_(venv_.size()),
+        channels_(venv_.size()),
+        powers_(venv_.size()),
+        pre_states_(venv_.size()) {
+    scheme_.set_training(true);
+  }
+
+  std::size_t round_slots() const override { return venv_.size(); }
+
+  void step_slots(std::size_t slots) override {
+    rl::DqnAgent& agent = scheme_.agent();
+    const std::size_t pl = scheme_.config().num_power_levels;
+    const std::size_t replicas = venv_.size();
+    for (std::size_t s = 0; s < slots; s += replicas) {
+      agent.act_batch(windows_.states(), actions_);
+      for (std::size_t r = 0; r < replicas; ++r) {
+        channels_[r] = static_cast<int>(actions_[r] / pl);
+        powers_[r] = actions_[r] % pl;
+        const auto row = windows_.row(r);
+        pre_states_[r].assign(row.begin(), row.end());
+      }
+      venv_.step(channels_, powers_);
+      for (std::size_t r = 0; r < replicas; ++r) {
+        const bool success = venv_.successes()[r] != 0;
+        windows_.push(r, success, venv_.channels()[r], powers_[r]);
+
+        rl::Transition transition;
+        transition.state = std::move(pre_states_[r]);
+        transition.action = actions_[r];
+        transition.reward = venv_.rewards()[r];
+        const auto next_row = windows_.row(r);
+        transition.next_state.assign(next_row.begin(), next_row.end());
+        transition.done = false;  // continuing competition
+        agent.observe(std::move(transition));
+
+        record_slot(venv_.rewards()[r], success, venv_.jammed()[r] != 0,
+                    venv_.hopped()[r] != 0);
+      }
+    }
+  }
+
+  void save_state_chunks(io::ContainerWriter& out) const override {
+    scheme_.save_state(out);
+    io::ByteWriter env_out;
+    venv_.save_state(env_out);
+    out.add_chunk(io::tags::kEnvState, env_out.take());
+    io::ByteWriter win_out;
+    windows_.save_state(win_out);
+    out.add_chunk(io::tags::kObsWindows, win_out.take());
+  }
+
+  void load_state_chunks(const io::ContainerReader& in) override {
+    scheme_.load_state(in);
+    io::ByteReader env_in(in.chunk(io::tags::kEnvState));
+    venv_.load_state(env_in);
+    env_in.expect_end();
+    io::ByteReader win_in(in.chunk(io::tags::kObsWindows));
+    windows_.load_state(win_in);
+    win_in.expect_end();
+  }
+
+  const jammer::JammerSpec& live_jammer_spec() const override {
+    return venv_.env(0).config().jammer;
+  }
+
+  std::string scheme_state_bytes() const override {
+    io::ContainerWriter out;
+    scheme_.save_state(out);
+    return out.to_bytes();
+  }
+
+ private:
+  core::DqnScheme scheme_;
+  core::VectorEnv venv_;
+  core::ObservationWindows windows_;
+  std::vector<std::size_t> actions_;
+  std::vector<int> channels_;
+  std::vector<std::size_t> powers_;
+  std::vector<std::vector<double>> pre_states_;
+};
+
+/// Per-slot tenant for the classic schemes (QL and the FH baselines): one
+/// decide/step/feedback cycle per slot against a single environment.
+class SlotTenant final : public TenantRunner {
+ public:
+  explicit SlotTenant(const JobSpec& spec)
+      : TenantRunner(spec), env_(spec.env_config()) {
+    if (spec.scheme == "ql") {
+      auto ql = std::make_unique<core::QLearningScheme>(spec.ql_config());
+      ql->set_training(true);
+      ql_ = ql.get();
+      scheme_ = std::move(ql);
+    } else if (spec.scheme == "passive") {
+      core::PassiveFhScheme::Config config;
+      config.num_channels = spec.num_channels;
+      config.num_power_levels = env_.config().num_power_levels();
+      config.seed = spec.seed + 7;
+      auto passive = std::make_unique<core::PassiveFhScheme>(config);
+      passive_ = passive.get();
+      scheme_ = std::move(passive);
+    } else {
+      CTJ_CHECK(spec.scheme == "random");
+      core::RandomFhScheme::Config config;
+      config.num_channels = spec.num_channels;
+      config.num_power_levels = env_.config().num_power_levels();
+      config.seed = spec.seed + 7;
+      auto random = std::make_unique<core::RandomFhScheme>(config);
+      random_ = random.get();
+      scheme_ = std::move(random);
+    }
+  }
+
+  void step_slots(std::size_t slots) override {
+    for (std::size_t s = 0; s < slots; ++s) {
+      const core::SchemeDecision decision = scheme_->decide();
+      const core::EnvStep step = env_.step(decision.channel,
+                                           decision.power_index);
+      core::SlotFeedback feedback;
+      feedback.success = step.success;
+      feedback.jammed = step.outcome != core::SlotOutcome::kClear;
+      feedback.channel = step.channel;
+      feedback.power_index = decision.power_index;
+      feedback.reward = step.reward;
+      scheme_->feedback(feedback);
+
+      record_slot(step.reward, step.success,
+                  step.outcome != core::SlotOutcome::kClear, step.hopped);
+    }
+  }
+
+  void save_state_chunks(io::ContainerWriter& out) const override {
+    io::ByteWriter scheme_out;
+    write_scheme(scheme_out);
+    out.add_chunk(ql_ != nullptr ? io::tags::kQlState : io::tags::kFhState,
+                  scheme_out.take());
+    io::ByteWriter env_out;
+    env_.save_state(env_out);
+    out.add_chunk(io::tags::kEnvState, env_out.take());
+  }
+
+  void load_state_chunks(const io::ContainerReader& in) override {
+    const char* tag =
+        ql_ != nullptr ? io::tags::kQlState : io::tags::kFhState;
+    io::ByteReader scheme_in(in.chunk(tag));
+    if (ql_ != nullptr) {
+      ql_->load_state(scheme_in);
+    } else if (passive_ != nullptr) {
+      passive_->load_state(scheme_in);
+    } else {
+      random_->load_state(scheme_in);
+    }
+    scheme_in.expect_end();
+    io::ByteReader env_in(in.chunk(io::tags::kEnvState));
+    env_.load_state(env_in);
+    env_in.expect_end();
+  }
+
+  const jammer::JammerSpec& live_jammer_spec() const override {
+    return env_.config().jammer;
+  }
+
+  std::string scheme_state_bytes() const override {
+    io::ByteWriter out;
+    write_scheme(out);
+    return out.buffer();
+  }
+
+ private:
+  void write_scheme(io::ByteWriter& out) const {
+    if (ql_ != nullptr) {
+      ql_->save_state(out);
+    } else if (passive_ != nullptr) {
+      passive_->save_state(out);
+    } else {
+      random_->save_state(out);
+    }
+  }
+
+  core::CompetitionEnvironment env_;
+  std::unique_ptr<core::AntiJammingScheme> scheme_;
+  // Typed views into scheme_ (exactly one non-null).
+  core::QLearningScheme* ql_ = nullptr;
+  core::PassiveFhScheme* passive_ = nullptr;
+  core::RandomFhScheme* random_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<TenantRunner> TenantRunner::create(const JobSpec& spec) {
+  spec.validate();
+  if (spec.scheme == "dqn") return std::make_unique<DqnTenant>(spec);
+  return std::make_unique<SlotTenant>(spec);
+}
+
+std::size_t TenantRunner::run(std::size_t max_slots) {
+  if (done() || max_slots == 0) return 0;
+  const std::size_t round = round_slots();
+  const auto remaining = static_cast<std::size_t>(spec_.slots - slots_done_);
+  // Round down to whole rounds (minimum one) so every cut is an outer-loop
+  // boundary; the budget itself is a multiple of the round size.
+  std::size_t slots = std::max(round, max_slots - max_slots % round);
+  slots = std::min(slots, remaining);
+  step_slots(slots);
+  CTJ_CHECK(slots_done_ <= spec_.slots);
+  return slots;
+}
+
+void TenantRunner::record_slot(double reward, bool success, bool jammed,
+                               bool hopped) {
+  window_.push_back(reward);
+  window_sum_ += reward;
+  if (window_.size() > spec_.reward_window) {
+    window_sum_ -= window_.front();
+    window_.pop_front();
+  }
+  ++slots_done_;
+  reward_sum_ += reward;
+  unsigned char le[8];
+  const auto bits = std::bit_cast<std::uint64_t>(reward);
+  for (std::size_t i = 0; i < 8; ++i) {
+    le[i] = static_cast<unsigned char>((bits >> (8 * i)) & 0xFFu);
+  }
+  reward_crc_ = io::crc32_update(reward_crc_, le, sizeof(le));
+  if (success) ++successes_;
+  if (jammed) ++jammed_slots_;
+  if (hopped) ++hops_;
+  if (spec_.record_rewards) rewards_.push_back(reward);
+}
+
+JobResult TenantRunner::result() const {
+  JobResult result;
+  result.slots_run = slots_done_;
+  result.final_mean_reward =
+      window_.empty() ? 0.0
+                      : window_sum_ / static_cast<double>(window_.size());
+  result.reward_sum = reward_sum_;
+  result.successes = successes_;
+  result.jammed_slots = jammed_slots_;
+  result.hops = hops_;
+  result.reward_crc = reward_crc_;
+  result.state_crc = io::crc32(scheme_state_bytes());
+  result.rewards = rewards_;
+  return result;
+}
+
+void TenantRunner::save_progress(io::ContainerWriter& out) const {
+  io::ByteWriter progress;
+  progress.u64(slots_done_);
+  progress.f64(window_sum_);
+  progress.u64(window_.size());
+  for (double r : window_) progress.f64(r);
+  progress.f64(reward_sum_);
+  progress.u64(successes_);
+  progress.u64(jammed_slots_);
+  progress.u64(hops_);
+  progress.u32(reward_crc_);
+  progress.f64_vec(rewards_);
+  out.add_chunk(io::tags::kServeProgress, progress.take());
+}
+
+void TenantRunner::load_progress(const io::ContainerReader& in) {
+  io::ByteReader progress(in.chunk(io::tags::kServeProgress));
+  const std::uint64_t slots_done = progress.u64();
+  const double window_sum = progress.f64();
+  const std::uint64_t window_len = progress.u64();
+  if (slots_done > spec_.slots || window_len > spec_.reward_window ||
+      window_len > slots_done) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "tenant progress exceeds the job's budget/window");
+  }
+  std::deque<double> window;
+  for (std::uint64_t i = 0; i < window_len; ++i) window.push_back(progress.f64());
+  const double reward_sum = progress.f64();
+  const std::uint64_t successes = progress.u64();
+  const std::uint64_t jammed = progress.u64();
+  const std::uint64_t hops = progress.u64();
+  const std::uint32_t reward_crc = progress.u32();
+  std::vector<double> rewards = progress.f64_vec();
+  progress.expect_end();
+  if (spec_.record_rewards ? rewards.size() != slots_done : !rewards.empty()) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "recorded reward stream does not match slots_done");
+  }
+
+  slots_done_ = slots_done;
+  window_sum_ = window_sum;
+  window_ = std::move(window);
+  reward_sum_ = reward_sum;
+  successes_ = successes;
+  jammed_slots_ = jammed;
+  hops_ = hops;
+  reward_crc_ = reward_crc;
+  rewards_ = std::move(rewards);
+}
+
+void TenantRunner::save(const std::string& path) const {
+  io::ContainerWriter out;
+  core::add_meta_chunk(out, "serve-tenant");
+  io::ByteWriter job;
+  spec_.encode(job);
+  out.add_chunk(io::tags::kServeJob, job.take());
+  core::write_jammer_config(out, live_jammer_spec());
+  save_progress(out);
+  save_state_chunks(out);
+  out.write_file(path);
+}
+
+std::unique_ptr<TenantRunner> TenantRunner::load(const std::string& path,
+                                                 const JobSpec& expect) {
+  const io::ContainerReader in = io::ContainerReader::from_file(path);
+  io::ByteReader job(in.chunk(io::tags::kServeJob));
+  const JobSpec stored = JobSpec::decode(job);
+  job.expect_end();
+  if (stored != expect) {
+    throw io::IoError(io::ErrorKind::kStateMismatch,
+                      "checkpoint JobSpec differs from the submitted job — "
+                      "refusing to revive a different tenant");
+  }
+  std::unique_ptr<TenantRunner> runner = create(stored);
+  // The adversary gate: JAMRCFG must be present exactly when the spec is
+  // behavioural and must decode equal to the live environment's spec.
+  core::check_jammer_config(in, runner->live_jammer_spec());
+  runner->load_state_chunks(in);
+  runner->load_progress(in);
+  return runner;
+}
+
+}  // namespace ctj::serve

@@ -1,0 +1,331 @@
+#include "serve/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "io/bytes.hpp"
+
+namespace ctj::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns bytes read (short only at EOF).
+std::size_t read_all(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    if (n == 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+std::string error_reply(const std::string& message) {
+  io::ByteWriter out;
+  out.u8(wire::kError);
+  out.str(message);
+  return out.take();
+}
+
+/// Decode-and-dispatch for one request frame. Never throws for request
+/// problems — they become kError replies; engine waits happen inline (the
+/// caller runs on a per-connection thread).
+std::string handle_request(std::string_view payload, ServeEngine& engine,
+                           std::atomic<bool>& shutdown_requested) {
+  try {
+    io::ByteReader in(payload);
+    const std::uint8_t op = in.u8();
+    io::ByteWriter out;
+    switch (op) {
+      case wire::kSubmit: {
+        const JobSpec spec = JobSpec::decode(in);
+        in.expect_end();
+        const std::uint64_t id = engine.submit(spec);
+        out.u8(wire::kOkId);
+        out.u64(id);
+        return out.take();
+      }
+      case wire::kStatus: {
+        const std::uint64_t id = in.u64();
+        in.expect_end();
+        const JobStatus status = engine.status(id);
+        out.u8(wire::kStatusReply);
+        status.encode(out);
+        return out.take();
+      }
+      case wire::kResult: {
+        const std::uint64_t id = in.u64();
+        const bool wait = in.u8() != 0;
+        in.expect_end();
+        if (wait) {
+          const JobResult result = engine.wait(id);
+          out.u8(wire::kResultReply);
+          result.encode(out);
+          return out.take();
+        }
+        const std::optional<JobResult> result = engine.try_result(id);
+        if (!result.has_value()) {
+          out.u8(wire::kPending);
+          return out.take();
+        }
+        out.u8(wire::kResultReply);
+        result->encode(out);
+        return out.take();
+      }
+      case wire::kStats: {
+        in.expect_end();
+        const EngineStats stats = engine.stats();
+        out.u8(wire::kStatsReply);
+        stats.encode(out);
+        return out.take();
+      }
+      case wire::kShutdown: {
+        in.expect_end();
+        shutdown_requested.store(true, std::memory_order_release);
+        out.u8(wire::kOk);
+        return out.take();
+      }
+      default:
+        return error_reply("unknown opcode " + std::to_string(op));
+    }
+  } catch (const std::exception& e) {
+    return error_reply(e.what());
+  }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload) {
+  char header[4];
+  const std::size_t got = read_all(fd, header, sizeof(header));
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof(header)) {
+    throw std::runtime_error("connection closed mid-frame header");
+  }
+  std::uint32_t len = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(header[i]))
+           << (8 * i);
+  }
+  if (len == 0 || len > wire::kMaxFrame) {
+    throw std::runtime_error("implausible frame length " +
+                             std::to_string(len));
+  }
+  payload.resize(len);
+  if (read_all(fd, payload.data(), len) < len) {
+    throw std::runtime_error("connection closed mid-frame payload");
+  }
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  if (payload.empty() || payload.size() > wire::kMaxFrame) {
+    throw std::runtime_error("refusing to send frame of " +
+                             std::to_string(payload.size()) + " bytes");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char header[4];
+  for (std::size_t i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((len >> (8 * i)) & 0xFFu);
+  }
+  write_all(fd, header, sizeof(header));
+  write_all(fd, payload.data(), payload.size());
+}
+
+void serve_connection(int fd, ServeEngine& engine,
+                      std::atomic<bool>& shutdown_requested) {
+  std::string payload;
+  while (read_frame(fd, payload)) {
+    const std::string reply =
+        handle_request(payload, engine, shutdown_requested);
+    write_frame(fd, reply);
+    if (shutdown_requested.load(std::memory_order_acquire)) break;
+  }
+}
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind " + path);
+  }
+  if (::listen(fd, 64) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("listen " + path);
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect " + path);
+  }
+  return fd;
+}
+
+void run_server(ServeEngine& engine, const std::string& socket_path) {
+  const int listen_fd = listen_unix(socket_path);
+  std::atomic<bool> shutdown_requested{false};
+  std::vector<std::thread> connections;
+  while (!shutdown_requested.load(std::memory_order_acquire)) {
+    // A 250 ms accept timeout bounds how long we keep accepting after a
+    // client on another connection requested shutdown.
+    timeval tv{};
+    tv.tv_usec = 250 * 1000;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
+    connections.emplace_back([client, &engine, &shutdown_requested] {
+      try {
+        serve_connection(client, engine, shutdown_requested);
+      } catch (const std::exception&) {
+        // A broken client connection must not take the daemon down.
+      }
+      ::close(client);
+    });
+  }
+  for (std::thread& t : connections) t.join();
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+}
+
+ServeClient::ServeClient(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)) {}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string ServeClient::request(std::string_view payload) {
+  write_frame(fd_, payload);
+  std::string reply;
+  if (!read_frame(fd_, reply)) {
+    throw std::runtime_error("server closed the connection");
+  }
+  return reply;
+}
+
+std::uint64_t ServeClient::submit(const JobSpec& spec) {
+  io::ByteWriter out;
+  out.u8(wire::kSubmit);
+  spec.encode(out);
+  const std::string reply = request(out.buffer());
+  io::ByteReader in(reply);
+  const std::uint8_t op = in.u8();
+  if (op == wire::kError) throw std::runtime_error(in.str());
+  if (op != wire::kOkId) {
+    throw std::runtime_error("unexpected reply opcode " + std::to_string(op));
+  }
+  return in.u64();
+}
+
+JobStatus ServeClient::status(std::uint64_t id) {
+  io::ByteWriter out;
+  out.u8(wire::kStatus);
+  out.u64(id);
+  const std::string reply = request(out.buffer());
+  io::ByteReader in(reply);
+  const std::uint8_t op = in.u8();
+  if (op == wire::kError) throw std::runtime_error(in.str());
+  if (op != wire::kStatusReply) {
+    throw std::runtime_error("unexpected reply opcode " + std::to_string(op));
+  }
+  return JobStatus::decode(in);
+}
+
+std::optional<JobResult> ServeClient::result(std::uint64_t id, bool wait) {
+  io::ByteWriter out;
+  out.u8(wire::kResult);
+  out.u64(id);
+  out.u8(wait ? 1 : 0);
+  const std::string reply = request(out.buffer());
+  io::ByteReader in(reply);
+  const std::uint8_t op = in.u8();
+  if (op == wire::kError) throw std::runtime_error(in.str());
+  if (op == wire::kPending) return std::nullopt;
+  if (op != wire::kResultReply) {
+    throw std::runtime_error("unexpected reply opcode " + std::to_string(op));
+  }
+  return JobResult::decode(in);
+}
+
+EngineStats ServeClient::stats() {
+  io::ByteWriter out;
+  out.u8(wire::kStats);
+  const std::string reply = request(out.buffer());
+  io::ByteReader in(reply);
+  const std::uint8_t op = in.u8();
+  if (op == wire::kError) throw std::runtime_error(in.str());
+  if (op != wire::kStatsReply) {
+    throw std::runtime_error("unexpected reply opcode " + std::to_string(op));
+  }
+  return EngineStats::decode(in);
+}
+
+void ServeClient::shutdown() {
+  io::ByteWriter out;
+  out.u8(wire::kShutdown);
+  const std::string reply = request(out.buffer());
+  io::ByteReader in(reply);
+  const std::uint8_t op = in.u8();
+  if (op == wire::kError) throw std::runtime_error(in.str());
+}
+
+}  // namespace ctj::serve

@@ -1,0 +1,104 @@
+// Dependency-free local wire protocol for the serve engine.
+//
+// Transport: a unix-domain stream socket carrying length-prefixed frames —
+// u32 LE payload length, then the payload, whose first byte is the opcode.
+// Payloads reuse the io::ByteWriter/ByteReader codec (bytes.hpp), so every
+// message inherits the same hostile-length guards as the CTJS chunks; a
+// malformed frame produces an Error reply, never a crash.
+//
+// Request opcodes:           Reply opcodes:
+//   kSubmit   JobSpec          kOkId        u64 job id
+//   kStatus   u64 id           kStatusReply JobStatus
+//   kResult   u64 id, u8 wait  kResultReply JobResult
+//   kStats    (empty)          kPending     (result not ready, wait=0)
+//   kShutdown (empty)          kStatsReply  EngineStats
+//                              kOk          (shutdown ack)
+//                              kError       str message
+//
+// serve_connection() drives one connection and is transport-agnostic (any
+// fd, e.g. a socketpair in tests). run_server() is the daemon loop: accept
+// on a listening unix socket, one thread per connection, until a client
+// sends kShutdown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace ctj::serve {
+
+namespace wire {
+inline constexpr std::uint8_t kSubmit = 1;
+inline constexpr std::uint8_t kStatus = 2;
+inline constexpr std::uint8_t kResult = 3;
+inline constexpr std::uint8_t kStats = 4;
+inline constexpr std::uint8_t kShutdown = 5;
+
+inline constexpr std::uint8_t kOkId = 128;
+inline constexpr std::uint8_t kStatusReply = 129;
+inline constexpr std::uint8_t kResultReply = 130;
+inline constexpr std::uint8_t kPending = 131;
+inline constexpr std::uint8_t kStatsReply = 132;
+inline constexpr std::uint8_t kOk = 133;
+inline constexpr std::uint8_t kError = 255;
+
+/// Frames beyond this are rejected as corrupt (64 MiB covers any recorded
+/// reward stream by orders of magnitude).
+inline constexpr std::uint32_t kMaxFrame = 1u << 26;
+}  // namespace wire
+
+/// Read one frame from fd into `payload`. Returns false on clean EOF before
+/// the length prefix; throws std::runtime_error on I/O errors, truncation
+/// mid-frame, or an oversized length.
+bool read_frame(int fd, std::string& payload);
+
+/// Write one length-prefixed frame; throws std::runtime_error on failure.
+void write_frame(int fd, std::string_view payload);
+
+/// Serve requests on `fd` until EOF or a kShutdown request. Sets
+/// `shutdown_requested` (used by run_server to stop accepting) when the
+/// client asks for shutdown. Per-request failures become kError replies;
+/// only transport failures propagate (as std::runtime_error).
+void serve_connection(int fd, ServeEngine& engine,
+                      std::atomic<bool>& shutdown_requested);
+
+/// Create, bind and listen on a unix socket at `path` (an existing socket
+/// file is replaced). Throws std::runtime_error on failure.
+int listen_unix(const std::string& path);
+
+/// Connect to the unix socket at `path`; throws std::runtime_error.
+int connect_unix(const std::string& path);
+
+/// Daemon accept loop: serve connections (thread per client) until one of
+/// them requests shutdown, then join and unlink the socket.
+void run_server(ServeEngine& engine, const std::string& socket_path);
+
+/// Client for the wire protocol; one connection per instance.
+class ServeClient {
+ public:
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  std::uint64_t submit(const JobSpec& spec);
+  JobStatus status(std::uint64_t id);
+  /// wait=true blocks server-side until the job completes; wait=false
+  /// returns nullopt while it is still running. A failed job surfaces as
+  /// std::runtime_error (the server relays the stored error).
+  std::optional<JobResult> result(std::uint64_t id, bool wait);
+  EngineStats stats();
+  void shutdown();
+
+ private:
+  std::string request(std::string_view payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace ctj::serve

@@ -1,0 +1,586 @@
+// Tests for the fleet-scale serve subsystem (src/serve): the MPMC ready
+// ring, the JobSpec/JobResult codecs, tenant-runner determinism against the
+// standalone trainer, bit-identical evict/revive on a different thread,
+// wrong-spec revival rejection, engine determinism across worker counts and
+// under forced eviction, and the unix-socket wire protocol end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/mpmc_queue.hpp"
+#include "core/checkpoint.hpp"
+#include "core/trainer.hpp"
+#include "io/container.hpp"
+#include "io/crc32.hpp"
+#include "io/format.hpp"
+#include "serve/engine.hpp"
+#include "serve/job.hpp"
+#include "serve/tenant.hpp"
+#include "serve/wire.hpp"
+
+using namespace ctj;
+
+namespace {
+
+/// Fresh per-test scratch directory (spool files, checkpoints, sockets).
+std::string scratch_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("ctj_serve_test_" + name + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+serve::JobSpec small_spec(const std::string& scheme, std::uint64_t seed) {
+  serve::JobSpec spec;
+  spec.scheme = scheme;
+  spec.seed = seed;
+  spec.reward_window = 128;
+  spec.record_rewards = true;
+  if (scheme == "dqn") {
+    spec.slots = 512;
+    spec.replicas = 4;
+    spec.history = 4;
+    spec.hidden = {16, 16};
+  } else {
+    spec.slots = 600;
+  }
+  return spec;
+}
+
+/// Every determinism-relevant field of a JobResult (everything except the
+/// scheduling-dependent eviction count).
+void expect_results_identical(const serve::JobResult& a,
+                              const serve::JobResult& b) {
+  EXPECT_EQ(a.slots_run, b.slots_run);
+  EXPECT_EQ(a.reward_crc, b.reward_crc);
+  EXPECT_EQ(a.state_crc, b.state_crc);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.jammed_slots, b.jammed_slots);
+  EXPECT_EQ(a.hops, b.hops);
+  // Exact FP equality is intended: same spec must mean same bits.
+  EXPECT_EQ(a.final_mean_reward, b.final_mean_reward);
+  EXPECT_EQ(a.reward_sum, b.reward_sum);
+  ASSERT_EQ(a.rewards.size(), b.rewards.size());
+  for (std::size_t i = 0; i < a.rewards.size(); ++i) {
+    EXPECT_EQ(a.rewards[i], b.rewards[i]) << "slot " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MPMC ready ring
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<std::uint64_t> q(4);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(q.try_pop(v));
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo) {
+  MpmcQueue<int> q(5);  // rounds to 8
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(8));
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  MpmcQueue<std::uint64_t> q(256);
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        std::uint64_t v = static_cast<std::uint64_t>(p) * kPerProducer + i + 1;
+        while (!q.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::uint64_t v = 0;
+      while (popped.load() < kProducers * kPerProducer) {
+        if (q.try_pop(v)) {
+          sum.fetch_add(v);
+          popped.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);  // values were 1..n exactly once
+}
+
+// ---------------------------------------------------------------------------
+// Job codecs
+
+TEST(JobCodec, SpecRoundTrip) {
+  serve::JobSpec spec;
+  spec.scheme = "dqn";
+  spec.jammer = jammer::JammerSpec::defaults("adaptive");
+  spec.num_channels = 12;
+  spec.channels_per_sweep = 3;
+  spec.mode = JammerPowerMode::kRandomPower;
+  spec.loss_jam = 80.0;
+  spec.loss_hop = 40.0;
+  spec.seed = 42;
+  spec.slots = 1024;
+  spec.replicas = 8;
+  spec.reward_window = 500;
+  spec.history = 6;
+  spec.hidden = {24, 24, 12};
+  spec.record_rewards = true;
+
+  io::ByteWriter out;
+  spec.encode(out);
+  io::ByteReader in(out.buffer());
+  const serve::JobSpec back = serve::JobSpec::decode(in);
+  in.expect_end();
+  EXPECT_EQ(back, spec);
+}
+
+TEST(JobCodec, SpecRejectsTruncationAndBadVersion) {
+  serve::JobSpec spec;
+  io::ByteWriter out;
+  spec.encode(out);
+  const std::string bytes = out.buffer();
+  // Truncation at every prefix length must throw, never misdecode.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    io::ByteReader in(std::string_view(bytes).substr(0, len));
+    EXPECT_THROW(
+        {
+          serve::JobSpec::decode(in);
+          in.expect_end();
+        },
+        io::IoError)
+        << "prefix " << len;
+  }
+  std::string versioned = bytes;
+  versioned[0] = 99;
+  io::ByteReader in(versioned);
+  EXPECT_THROW(serve::JobSpec::decode(in), io::IoError);
+}
+
+TEST(JobCodec, ResultAndStatusRoundTrip) {
+  serve::JobResult result;
+  result.slots_run = 4000;
+  result.final_mean_reward = -12.5;
+  result.reward_sum = -50000.25;
+  result.successes = 3000;
+  result.jammed_slots = 700;
+  result.hops = 300;
+  result.reward_crc = 0xDEADBEEF;
+  result.state_crc = 0xCAFEF00D;
+  result.evictions = 3;
+  result.rewards = {1.0, -100.0, 0.5};
+  io::ByteWriter out;
+  result.encode(out);
+  io::ByteReader in(out.buffer());
+  const serve::JobResult back = serve::JobResult::decode(in);
+  in.expect_end();
+  EXPECT_EQ(back.slots_run, result.slots_run);
+  EXPECT_EQ(back.reward_crc, result.reward_crc);
+  EXPECT_EQ(back.state_crc, result.state_crc);
+  EXPECT_EQ(back.evictions, result.evictions);
+  EXPECT_EQ(back.rewards, result.rewards);
+
+  serve::JobStatus status;
+  status.state = serve::JobState::kRunning;
+  status.slots_done = 128;
+  status.slots_total = 4000;
+  status.evictions = 2;
+  status.resident = true;
+  io::ByteWriter sout;
+  status.encode(sout);
+  io::ByteReader sin(sout.buffer());
+  const serve::JobStatus sback = serve::JobStatus::decode(sin);
+  sin.expect_end();
+  EXPECT_EQ(sback.state, status.state);
+  EXPECT_EQ(sback.slots_done, status.slots_done);
+  EXPECT_TRUE(sback.resident);
+}
+
+TEST(JobCodec, ValidateRejectsBadSpecs) {
+  serve::JobSpec spec;
+  spec.scheme = "nope";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = serve::JobSpec{};
+  spec.jammer.archetype = "unregistered_archetype";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = serve::JobSpec{};
+  spec.slots = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = serve::JobSpec{};
+  spec.scheme = "dqn";
+  spec.slots = 1001;
+  spec.replicas = 4;  // 1001 % 4 != 0
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = serve::JobSpec{};
+  spec.channels_per_sweep = 99;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Tenant determinism against the standalone trainer
+
+TEST(TenantRunner, DqnTenantMatchesTrainBatched) {
+  const serve::JobSpec spec = small_spec("dqn", 11);
+
+  auto runner = serve::TenantRunner::create(spec);
+  ASSERT_EQ(runner->run(1u << 30), spec.slots);
+  EXPECT_TRUE(runner->done());
+  const serve::JobResult result = runner->result();
+
+  // The reference: core::train_batched on an identically constructed scheme.
+  core::DqnScheme scheme(spec.dqn_config());
+  std::vector<double> reference;
+  core::TrainerConfig trainer;
+  trainer.max_slots = static_cast<std::size_t>(spec.slots);
+  trainer.reward_window = static_cast<std::size_t>(spec.reward_window);
+  trainer.on_slot = [&](std::size_t, double reward) {
+    reference.push_back(reward);
+  };
+  const auto stats = core::train_batched(
+      scheme, spec.env_config(), trainer,
+      static_cast<std::size_t>(spec.replicas));
+
+  ASSERT_EQ(result.rewards.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(result.rewards[i], reference[i]) << "slot " << i;
+  }
+  EXPECT_EQ(result.final_mean_reward, stats.final_mean_reward);
+
+  // Final weights bit-identical: the serialized scheme state must hash the
+  // same as the tenant's state_crc.
+  io::ContainerWriter out;
+  scheme.save_state(out);
+  EXPECT_EQ(result.state_crc, io::crc32(out.to_bytes()));
+}
+
+TEST(TenantRunner, QuantumSizeIsInvisible) {
+  for (const char* scheme : {"dqn", "ql", "passive", "random"}) {
+    const serve::JobSpec spec = small_spec(scheme, 21);
+    auto one_shot = serve::TenantRunner::create(spec);
+    one_shot->run(1u << 30);
+    auto chunked = serve::TenantRunner::create(spec);
+    while (!chunked->done()) chunked->run(16);
+    auto odd = serve::TenantRunner::create(spec);
+    while (!odd->done()) odd->run(77);
+    expect_results_identical(one_shot->result(), chunked->result());
+    expect_results_identical(one_shot->result(), odd->result());
+  }
+}
+
+TEST(TenantRunner, EvictReviveOnAnotherThreadIsBitIdentical) {
+  const std::string dir = scratch_dir("revive");
+  for (const char* scheme : {"dqn", "ql", "passive", "random"}) {
+    serve::JobSpec spec = small_spec(scheme, 33);
+    spec.jammer = jammer::JammerSpec::defaults("sweep");
+
+    auto uninterrupted = serve::TenantRunner::create(spec);
+    uninterrupted->run(1u << 30);
+
+    auto first_half = serve::TenantRunner::create(spec);
+    first_half->run(static_cast<std::size_t>(spec.slots) / 2);
+    const std::string path = dir + "/" + scheme + ".ctjs";
+    first_half->save(path);
+    first_half.reset();  // evicted
+
+    // Revive and finish on a different thread (the engine's "different
+    // worker" case) — thread identity must not matter.
+    serve::JobResult revived_result;
+    std::thread other([&] {
+      auto revived = serve::TenantRunner::load(path, spec);
+      EXPECT_EQ(revived->slots_done(), spec.slots / 2);
+      revived->run(1u << 30);
+      revived_result = revived->result();
+    });
+    other.join();
+
+    expect_results_identical(uninterrupted->result(), revived_result);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TenantRunner, LoadRejectsDifferentSpec) {
+  const std::string dir = scratch_dir("reject");
+  serve::JobSpec spec = small_spec("ql", 5);
+  spec.jammer = jammer::JammerSpec::defaults("sweep");
+  auto runner = serve::TenantRunner::create(spec);
+  runner->run(64);
+  const std::string path = dir + "/tenant.ctjs";
+  runner->save(path);
+
+  // A different seed is a different tenant.
+  serve::JobSpec other = spec;
+  other.seed += 1;
+  try {
+    serve::TenantRunner::load(path, other);
+    FAIL() << "expected kStateMismatch";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.kind(), io::ErrorKind::kStateMismatch);
+  }
+
+  // A different adversary archetype is too.
+  serve::JobSpec adversary = spec;
+  adversary.jammer = jammer::JammerSpec::defaults("reactive");
+  try {
+    serve::TenantRunner::load(path, adversary);
+    FAIL() << "expected kStateMismatch";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.kind(), io::ErrorKind::kStateMismatch);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TenantRunner, LoadRejectsTamperedJammerConfig) {
+  const std::string dir = scratch_dir("tamper");
+  serve::JobSpec spec = small_spec("ql", 6);
+  spec.jammer = jammer::JammerSpec::defaults("sweep");
+  auto runner = serve::TenantRunner::create(spec);
+  runner->run(64);
+  const std::string path = dir + "/tenant.ctjs";
+  runner->save(path);
+
+  // Rebuild the container with every chunk intact except JAMRCFG, which now
+  // claims a different adversary — the revival gate must catch it even
+  // though the stored JobSpec still matches.
+  const auto in = io::ContainerReader::from_file(path);
+  io::ContainerWriter tampered;
+  bool replaced = false;
+  for (const auto& info : in.chunks()) {
+    if (info.tag == "JAMRCFG") {
+      core::write_jammer_config(tampered,
+                                jammer::JammerSpec::defaults("reactive"));
+      replaced = true;
+    } else {
+      tampered.add_chunk(info.tag, std::string(in.chunk(info.tag)));
+    }
+  }
+  ASSERT_TRUE(replaced) << "checkpoint unexpectedly had no JAMRCFG chunk";
+  const std::string tampered_path = dir + "/tampered.ctjs";
+  tampered.write_file(tampered_path);
+  try {
+    serve::TenantRunner::load(tampered_path, spec);
+    FAIL() << "expected kStateMismatch";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.kind(), io::ErrorKind::kStateMismatch);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+std::vector<serve::JobSpec> mixed_fleet() {
+  std::vector<serve::JobSpec> jobs;
+  const char* schemes[] = {"ql", "passive", "random", "dqn"};
+  for (int i = 0; i < 12; ++i) {
+    serve::JobSpec spec = small_spec(schemes[i % 4], 200 + i);
+    if (i % 3 == 0) spec.jammer = jammer::JammerSpec::defaults("sweep");
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+std::vector<serve::JobResult> run_fleet(std::size_t workers,
+                                        std::size_t max_resident,
+                                        const std::string& spool,
+                                        serve::EngineStats* stats_out) {
+  serve::ServeConfig config;
+  config.workers = workers;
+  config.max_resident = max_resident;
+  config.quantum_slots = 64;
+  config.spool_dir = spool;
+  serve::ServeEngine engine(config);
+  std::vector<std::uint64_t> ids;
+  for (const auto& spec : mixed_fleet()) ids.push_back(engine.submit(spec));
+  engine.wait_all();
+  std::vector<serve::JobResult> results;
+  for (std::uint64_t id : ids) results.push_back(*engine.try_result(id));
+  if (stats_out != nullptr) *stats_out = engine.stats();
+  return results;
+}
+
+TEST(ServeEngine, BitIdenticalAcrossWorkerCounts) {
+  const std::string dir = scratch_dir("workers");
+  const auto one = run_fleet(1, 1024, dir + "/w1", nullptr);
+  const auto two = run_fleet(2, 1024, dir + "/w2", nullptr);
+  const auto four = run_fleet(4, 1024, dir + "/w4", nullptr);
+  ASSERT_EQ(one.size(), two.size());
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    expect_results_identical(one[i], two[i]);
+    expect_results_identical(one[i], four[i]);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeEngine, EvictionIsInvisibleInResults) {
+  const std::string dir = scratch_dir("evict");
+  serve::EngineStats capped_stats;
+  const auto unbounded = run_fleet(2, 1024, dir + "/free", nullptr);
+  const auto capped = run_fleet(2, 2, dir + "/capped", &capped_stats);
+  // 12 tenants through 2 resident slots: eviction must actually happen.
+  EXPECT_GT(capped_stats.evictions, 0u);
+  EXPECT_GT(capped_stats.revivals, 0u);
+  ASSERT_EQ(unbounded.size(), capped.size());
+  std::uint64_t evictions_reported = 0;
+  for (std::size_t i = 0; i < unbounded.size(); ++i) {
+    expect_results_identical(unbounded[i], capped[i]);
+    evictions_reported += capped[i].evictions;
+  }
+  EXPECT_EQ(evictions_reported, capped_stats.evictions);
+  EXPECT_EQ(capped_stats.resident, 0u);  // everything finished and released
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeEngine, RejectsInvalidSpecAndUnknownIds) {
+  serve::ServeConfig config;
+  config.spool_dir = scratch_dir("invalid");
+  serve::ServeEngine engine(config);
+  serve::JobSpec bad;
+  bad.scheme = "nope";
+  EXPECT_THROW(engine.submit(bad), std::invalid_argument);
+  EXPECT_THROW(engine.status(1234), std::out_of_range);
+  EXPECT_THROW(engine.try_result(1234), std::out_of_range);
+  EXPECT_EQ(engine.stats().submitted, 0u);
+  std::filesystem::remove_all(config.spool_dir);
+}
+
+TEST(ServeEngine, StatusTracksCompletion) {
+  serve::ServeConfig config;
+  config.spool_dir = scratch_dir("status");
+  serve::ServeEngine engine(config);
+  const serve::JobSpec spec = small_spec("passive", 3);
+  const auto id = engine.submit(spec);
+  const serve::JobResult result = engine.wait(id);
+  EXPECT_EQ(result.slots_run, spec.slots);
+  const serve::JobStatus status = engine.status(id);
+  EXPECT_EQ(status.state, serve::JobState::kDone);
+  EXPECT_EQ(status.slots_done, status.slots_total);
+  EXPECT_FALSE(status.resident);
+  std::filesystem::remove_all(config.spool_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+TEST(Wire, EndToEndOverUnixSocket) {
+  const std::string dir = scratch_dir("wire");
+  const std::string socket_path = "/tmp/ctj_wire_" +
+                                  std::to_string(::getpid()) + ".sock";
+  serve::ServeConfig config;
+  config.workers = 2;
+  config.spool_dir = dir + "/spool";
+  serve::ServeEngine engine(config);
+  std::thread server([&] { serve::run_server(engine, socket_path); });
+  // Wait for the socket to appear.
+  for (int i = 0; i < 500 && !std::filesystem::exists(socket_path); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  {
+    serve::ServeClient client(socket_path);
+    const serve::JobSpec spec = small_spec("ql", 77);
+    const std::uint64_t id = client.submit(spec);
+    EXPECT_GE(id, 1u);
+
+    const auto result = client.result(id, /*wait=*/true);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->slots_run, spec.slots);
+
+    // The wire result must equal the in-process result bit for bit.
+    auto reference = serve::TenantRunner::create(spec);
+    reference->run(1u << 30);
+    expect_results_identical(*result, reference->result());
+
+    const serve::JobStatus status = client.status(id);
+    EXPECT_EQ(status.state, serve::JobState::kDone);
+
+    const serve::EngineStats stats = client.stats();
+    EXPECT_EQ(stats.submitted, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+
+    // Unknown id → server relays the error as an exception.
+    EXPECT_THROW(client.status(999), std::runtime_error);
+
+    client.shutdown();
+  }
+  server.join();
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Wire, MalformedFramesGetErrorReplies) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  serve::ServeConfig config;
+  config.spool_dir = scratch_dir("malformed");
+  serve::ServeEngine engine(config);
+  std::atomic<bool> shutdown_requested{false};
+  std::thread server([&] {
+    serve::serve_connection(fds[0], engine, shutdown_requested);
+    ::close(fds[0]);
+  });
+
+  const auto expect_error = [&](std::string_view payload) {
+    serve::write_frame(fds[1], payload);
+    std::string reply;
+    ASSERT_TRUE(serve::read_frame(fds[1], reply));
+    ASSERT_FALSE(reply.empty());
+    EXPECT_EQ(static_cast<std::uint8_t>(reply[0]), serve::wire::kError);
+  };
+
+  expect_error("\x63");             // unknown opcode 99
+  expect_error(std::string(1, 1));  // kSubmit with no spec payload
+  {
+    // kSubmit with a corrupt spec (bad version byte).
+    io::ByteWriter out;
+    out.u8(serve::wire::kSubmit);
+    out.u8(250);
+    expect_error(out.buffer());
+  }
+  {
+    // kStatus for an id that does not exist.
+    io::ByteWriter out;
+    out.u8(serve::wire::kStatus);
+    out.u64(4242);
+    expect_error(out.buffer());
+  }
+  // The connection must still be healthy: a valid request now succeeds.
+  {
+    io::ByteWriter out;
+    out.u8(serve::wire::kStats);
+    serve::write_frame(fds[1], out.buffer());
+    std::string reply;
+    ASSERT_TRUE(serve::read_frame(fds[1], reply));
+    EXPECT_EQ(static_cast<std::uint8_t>(reply[0]), serve::wire::kStatsReply);
+  }
+  ::close(fds[1]);  // EOF ends serve_connection
+  server.join();
+  std::filesystem::remove_all(config.spool_dir);
+}
+
+}  // namespace

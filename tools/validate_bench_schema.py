@@ -82,6 +82,19 @@ def validate(doc, errors):
             "micro record measured BM_EnvironmentStep but reports "
             "simulated_slots=0 (slot counting is broken)")
 
+    # The train and serve records scale their headline throughput with the
+    # host's core count, so a record without host_cpus cannot be compared
+    # across machines; require it where it matters instead of schema-wide so
+    # older single-threaded bench records stay valid.
+    if doc.get("bench") in ("train", "serve"):
+        host_cpus = metrics_obj.get("host_cpus") \
+            if isinstance(metrics_obj, dict) else None
+        if not (isinstance(host_cpus, int)
+                and not isinstance(host_cpus, bool) and host_cpus > 0):
+            errors.append(
+                f"bench {doc.get('bench')!r} requires a positive integer "
+                f"'metrics.host_cpus' (got {host_cpus!r})")
+
     # Optional sections.
     sweeps = doc.get("sweeps")
     if sweeps is not None:
