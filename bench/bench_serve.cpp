@@ -8,8 +8,9 @@
 //   dqn_100   100 concurrent DQN tenants, residency capped at 64 so the
 //             evict/revive path runs at full scale (smoke tenants finish
 //             inside one quantum and never get evicted)
-//   dqn_1k    1000 concurrent DQN tenants, residency capped at 128
-//             (bounded memory is the point) — skipped below scale 0.5
+//   dqn_1k    1000 concurrent DQN tenants, residency capped at 64
+//             (bounded memory is the point; a tight cap also keeps the
+//             resident working set cache-friendly) — skipped below scale 0.5
 //   mixed_4k  4000 QL/passive/random tenants — skipped below scale 0.5
 //
 // Headline metrics: serve_tenants_per_sec_* (completed tenants per wall
@@ -89,7 +90,7 @@ ScenarioResult run_scenario(const std::vector<serve::JobSpec>& jobs,
   serve::ServeConfig config;
   config.workers = workers;
   config.max_resident = max_resident;
-  config.quantum_slots = 128;
+  config.quantum_slots = 256;
   config.spool_dir = spool;
   config.queue_capacity = 8192;
 
@@ -169,6 +170,9 @@ int main() {
   // measured against this.
   double single_run_slots_per_sec = 0.0;
   {
+    // Warm-up run outside the timed window: first-touch page faults and
+    // frequency ramp-up otherwise land entirely on the baseline.
+    serve::TenantRunner::create(dqn_spec(8999, scale))->run(1u << 30);
     const double t0 = now_seconds();
     std::uint64_t slots = 0;
     for (std::uint64_t i = 0; i < 8; ++i) {
@@ -234,7 +238,7 @@ int main() {
     std::vector<serve::JobSpec> jobs;
     for (std::uint64_t i = 0; i < 1000; ++i) jobs.push_back(dqn_spec(2000 + i, scale));
     record("1k", jobs.size(),
-           run_scenario(jobs, workers, 128, spool_root + "/dqn1k"));
+           run_scenario(jobs, workers, 64, spool_root + "/dqn1k"));
   } else {
     std::printf("skipping dqn_1k (scale %.2f < 0.5)\n", scale);
   }
