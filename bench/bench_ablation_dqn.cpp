@@ -237,6 +237,65 @@ int main() {
   }
 
   {
+    print_header("target network update rule",
+                 "the paper hard-copies the target every 250 gradient steps; "
+                 "syncing every step removes the stale-target stabilizer, a "
+                 "Polyak soft update (tau = 0.01) tracks continuously, and "
+                 "Double DQN decouples action selection from evaluation on "
+                 "top of it");
+    struct TargetVariant {
+      const char* name;
+      std::size_t sync_interval;
+      double tau;
+      bool double_dqn;
+    };
+    const TargetVariant variants[] = {
+        {"hard sync / 250 (paper)", 250, 0.0, false},
+        {"hard sync / 1 (no frozen target)", 1, 0.0, false},
+        {"soft tau = 0.01", 0, 0.01, false},
+        {"double DQN + soft tau = 0.01", 0, 0.01, true},
+    };
+    const auto ms = parallel_map(
+        4,
+        [&](std::size_t i) {
+          RlExperimentConfig config;
+          config.env = EnvironmentConfig::defaults();
+          config.env.mode = JammerPowerMode::kMaxPower;
+          config.env.seed = 66;
+          config.eval_seed = 67;
+          config.scheme.history = 4;
+          config.scheme.hidden = {32, 32};
+          config.scheme.epsilon_decay_steps = train_slots() / 4;
+          config.scheme.target_sync_interval = variants[i].sync_interval;
+          config.scheme.target_tau = variants[i].tau;
+          config.scheme.double_dqn = variants[i].double_dqn;
+          config.scheme.seed = 660 + i;
+          config.train_slots = train_slots();
+          config.eval_slots = eval_slots();
+          config.checkpoint =
+              checkpoint_options("ablation_target" + std::to_string(i));
+          return run_rl_experiment(config).metrics;
+        },
+        bench_threads());
+    TextTable table({"update rule", "ST (%)", "mean reward"});
+    JsonValue rows = JsonValue::array();
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      table.add_row({variants[i].name, TextTable::fmt(100.0 * ms[i].st, 2),
+                     TextTable::fmt(ms[i].mean_reward, 2)});
+      JsonValue row = JsonValue::object();
+      row["update_rule"] = variants[i].name;
+      row["target_sync_interval"] = variants[i].sync_interval;
+      row["target_tau"] = variants[i].tau;
+      row["double_dqn"] = variants[i].double_dqn;
+      row["metrics"] = metrics_json(ms[i]);
+      rows.push_back(std::move(row));
+    }
+    table.print(std::cout);
+    report.add_sweep("target_network", std::move(rows));
+    report.add_slots(ms.size() * (train_slots() + eval_slots()));
+  }
+
+  {
     print_header("single vs two hidden layers",
                  "checks the paper's claim that 2 FC layers are sufficient");
     const std::pair<std::string, std::vector<std::size_t>> variants[] = {

@@ -1,0 +1,150 @@
+// Self-play arena bench: alternating best-response training between the DQN
+// defender and the learned jammer, with exploitability tracked across
+// generations.
+//
+// Runs one arena (4 generations, frozen-opponent pools) on the paper's
+// default 16-channel geometry and reports throughput (generations/sec,
+// slots/sec over every training and evaluation slot the arena simulated)
+// plus the learning trajectory: per-generation jammer hit rate, defender
+// reward vs the pool and vs the fresh best response, and their gap — the
+// exploitability that should shrink as the defender hardens. The final
+// head-to-head cross table (every pooled defender vs every pooled jammer)
+// lands in the record too.
+//
+// With CTJ_CKPT_DIR set the arena checkpoints each generation boundary into
+// <dir>/arena_selfplay.ctjs with resume enabled, so a killed bench re-run
+// picks up after the last completed generation (CI inspects this file with
+// ctj_ckpt info). Slot budgets scale with CTJ_BENCH_SCALE.
+// Output: BENCH_arena.json.
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arena/learned_jammer.hpp"
+#include "arena/self_play.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/environment.hpp"
+
+using namespace ctj;
+using namespace ctj::bench;
+
+namespace {
+
+std::size_t scaled(std::size_t slots) {
+  const auto s = static_cast<std::size_t>(static_cast<double>(slots) *
+                                          bench_scale());
+  return s > 0 ? s : 1;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Self-play arena: alternating best-response training, "
+               "exploitability per generation\n";
+  BenchReport report("arena");
+
+  arena::SelfPlayConfig config = arena::SelfPlayConfig::defaults();
+  config.generations = 6;
+  config.warmup_slots = scaled(16000);
+  config.jammer_slots = scaled(6000);
+  config.defender_slots = scaled(16000);
+  config.eval_slots = scaled(3000);
+  config.pool_capacity = 8;
+  config.seed = 13;
+  config.env.seed = 13;
+  config.defender.num_channels = config.env.num_channels;
+  config.defender.num_power_levels = config.env.num_power_levels();
+  config.defender.history = 4;
+  config.defender.hidden = {32, 32};
+  config.defender.seed = 20;
+  config.jammer = jammer::JammerSpec::defaults("learned");
+  config.checkpoint = checkpoint_options("arena_selfplay");
+
+  std::cout << config.generations << " generations, " << config.jammer_slots
+            << " jammer / " << config.defender_slots
+            << " defender train slots per generation, " << config.eval_slots
+            << " eval slots per probe\n\n";
+
+  arena::SelfPlay arena_run(config);
+  const arena::SelfPlayResult result = arena_run.run();
+  if (result.resumed) {
+    std::cout << "(resumed from checkpoint — timing covers the remaining "
+                 "generations only)\n\n";
+  }
+
+  TextTable table({"gen", "jam hit%", "def train R", "R vs pool", "R vs BR",
+                   "exploitability"});
+  JsonValue rows = JsonValue::array();
+  for (const arena::GenerationResult& g : result.generations) {
+    table.add_row({std::to_string(g.generation),
+                   TextTable::fmt(100.0 * g.jammer_hit_rate, 1),
+                   TextTable::fmt(g.defender_train_reward, 1),
+                   TextTable::fmt(g.reward_vs_pool, 1),
+                   TextTable::fmt(g.reward_vs_best_response, 1),
+                   TextTable::fmt(g.exploitability, 2)});
+    JsonValue row = JsonValue::object();
+    row["generation"] = g.generation;
+    row["jammer_hit_rate"] = g.jammer_hit_rate;
+    row["defender_train_reward"] = g.defender_train_reward;
+    row["reward_vs_pool"] = g.reward_vs_pool;
+    row["reward_vs_best_response"] = g.reward_vs_best_response;
+    row["exploitability"] = g.exploitability;
+    rows.push_back(std::move(row));
+  }
+  table.print(std::cout);
+  report.add_sweep("generations", std::move(rows));
+
+  std::cout << "\nhead-to-head cross table (defender generation x jammer "
+               "generation, mean defender reward):\n";
+  std::vector<std::string> header = {"def \\ jam"};
+  for (std::size_t g : result.jammer_generations) {
+    header.push_back("g" + std::to_string(g));
+  }
+  TextTable cross(header);
+  JsonValue cross_rows = JsonValue::array();
+  for (std::size_t i = 0; i < result.cross_table.size(); ++i) {
+    std::vector<std::string> cells = {
+        "g" + std::to_string(result.defender_generations[i])};
+    JsonValue row = JsonValue::object();
+    row["defender_generation"] = result.defender_generations[i];
+    JsonValue vs = JsonValue::array();
+    for (std::size_t j = 0; j < result.cross_table[i].size(); ++j) {
+      cells.push_back(TextTable::fmt(result.cross_table[i][j], 1));
+      vs.push_back(result.cross_table[i][j]);
+    }
+    row["reward_vs_jammers"] = std::move(vs);
+    cross_rows.push_back(std::move(row));
+    cross.add_row(cells);
+  }
+  cross.print(std::cout);
+  report.add_sweep("cross_table", std::move(cross_rows));
+
+  report.add_slots(result.slots_total);
+  const double wall = result.wall_seconds > 0.0 ? result.wall_seconds : 1e-9;
+  const double gens_per_sec =
+      static_cast<double>(result.generations.size()) / wall;
+  const double slots_per_sec =
+      static_cast<double>(result.slots_total) / wall;
+  report.set_metric("arena_generations_per_sec", JsonValue(gens_per_sec));
+  report.set_metric("arena_slots_per_sec", JsonValue(slots_per_sec));
+  report.set_metric("final_exploitability",
+                    JsonValue(result.generations.empty()
+                                  ? 0.0
+                                  : result.generations.back().exploitability));
+  report.set_metric(
+      "first_exploitability",
+      JsonValue(result.generations.empty()
+                    ? 0.0
+                    : result.generations.front().exploitability));
+  report.set_metric("resumed",
+                    JsonValue(static_cast<std::size_t>(result.resumed)));
+
+  std::cout << "\n" << TextTable::fmt(gens_per_sec, 3)
+            << " generations/sec, " << TextTable::fmt(slots_per_sec, 0)
+            << " arena slots/sec (" << result.slots_total << " slots in "
+            << TextTable::fmt(wall, 1) << " s)\n";
+  report.write();
+  return 0;
+}

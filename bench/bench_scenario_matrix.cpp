@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "arena/learned_jammer.hpp"
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
@@ -37,8 +38,9 @@ namespace {
 
 const std::vector<std::string> kSchemes = {"PSV FH", "Rand FH", "QL FH",
                                            "RL FH (DQN)"};
-const std::vector<std::string> kArchetypes = {"sweep", "adaptive", "reactive",
-                                              "duty_cycle", "colluding"};
+const std::vector<std::string> kArchetypes = {"sweep",      "adaptive",
+                                              "reactive",   "duty_cycle",
+                                              "colluding",  "learned"};
 const std::vector<int> kNetworkSizes = {8, 16, 32};
 
 struct Cell {
@@ -134,6 +136,8 @@ Cell run_cell(std::size_t index) {
 }  // namespace
 
 int main() {
+  // The "learned" archetype lives in ctj_arena, not the built-in zoo.
+  arena::ensure_registered();
   std::cout << "Adversary-zoo scenario matrix: scheme x archetype x network "
                "size (behavioural environment mode, m = 4)\n";
   BenchReport report("scenarios");

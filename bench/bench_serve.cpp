@@ -166,23 +166,32 @@ int main() {
       "tenants/sec and aggregate slots/sec at 100/1k/4k concurrent tenants");
 
   // Baseline: the same DQN tenant run sequentially, no engine in the way.
-  // Eight runs amortize construction; per-core multiplexing efficiency is
-  // measured against this.
+  // Per-core multiplexing efficiency is measured against this, so its noise
+  // propagates into every mux figure: one 8-run window on a busy host can
+  // land on a frequency dip or a neighbour's burst and skew the whole
+  // record. Three independent 8-run windows are measured and the median
+  // window rate is the baseline — a single outlier window cannot move it.
   double single_run_slots_per_sec = 0.0;
   {
-    // Warm-up run outside the timed window: first-touch page faults and
-    // frequency ramp-up otherwise land entirely on the baseline.
+    // Warm-up run outside the timed windows: first-touch page faults and
+    // frequency ramp-up otherwise land entirely on the first window.
     serve::TenantRunner::create(dqn_spec(8999, scale))->run(1u << 30);
-    const double t0 = now_seconds();
-    std::uint64_t slots = 0;
-    for (std::uint64_t i = 0; i < 8; ++i) {
-      auto runner = serve::TenantRunner::create(dqn_spec(9000 + i, scale));
-      runner->run(1u << 30);
-      slots += runner->slots_done();
+    std::vector<double> window_rates;
+    for (std::uint64_t w = 0; w < 3; ++w) {
+      const double t0 = now_seconds();
+      std::uint64_t slots = 0;
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        auto runner =
+            serve::TenantRunner::create(dqn_spec(9000 + 8 * w + i, scale));
+        runner->run(1u << 30);
+        slots += runner->slots_done();
+      }
+      window_rates.push_back(static_cast<double>(slots) /
+                             (now_seconds() - t0));
+      report.add_slots(static_cast<std::size_t>(slots));
     }
-    single_run_slots_per_sec =
-        static_cast<double>(slots) / (now_seconds() - t0);
-    report.add_slots(static_cast<std::size_t>(slots));
+    std::sort(window_rates.begin(), window_rates.end());
+    single_run_slots_per_sec = window_rates[window_rates.size() / 2];
   }
   report.set_metric("serve_single_run_slots_per_sec",
                     JsonValue(single_run_slots_per_sec));

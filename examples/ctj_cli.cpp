@@ -15,6 +15,11 @@
 //                                                    # killed run, bit-identical
 //   ./build/examples/ctj_cli eval --model=model.ctjs --slots=20000
 //
+// Subcommand for the self-play arena (src/arena, ctj_arena):
+//
+//   ./build/examples/ctj_cli arena --generations=4 --out=arena.ctjs
+//   ./build/examples/ctj_cli arena --generations=6 --out=arena.ctjs --resume
+//
 // Subcommands for the fleet-scale serve daemon (src/serve, ctj_serve):
 //
 //   ./build/examples/ctj_cli serve --socket=/tmp/ctj.sock --workers=4
@@ -31,6 +36,9 @@
 //        --signal=emubee|wifi|zigbee --no-jammer
 //        train: --out=FILE --checkpoint-every=N --resume
 //        eval:  --model=FILE
+//        arena: --generations=G --warmup-slots=N --jammer-slots=N
+//               --defender-slots=N
+//               --eval-slots=N --pool=N --out=FILE --resume
 //        serve: --socket=PATH --workers=N --max-resident=N --quantum=N
 //               --spool=DIR
 //        submit: --socket=PATH --scheme=... --archetype=NAME|kernel
@@ -43,7 +51,9 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "arena/self_play.hpp"
 #include "common/table.hpp"
 #include "core/checkpoint.hpp"
 #include "core/environment.hpp"
@@ -260,6 +270,88 @@ int cmd_eval(const Flags& flags) {
   return 0;
 }
 
+/// `ctj_cli arena`: run the self-play arena — alternating best-response
+/// training between the DQN defender and the learned jammer, with
+/// per-generation exploitability and a final head-to-head cross table.
+/// --out=FILE checkpoints every generation; --resume picks a killed arena
+/// up after the last completed generation (and a larger --generations
+/// extends a finished one).
+int cmd_arena(const Flags& flags) {
+  const auto mode = flags.get("mode", "max") == "random"
+                        ? JammerPowerMode::kRandomPower
+                        : JammerPowerMode::kMaxPower;
+  const auto seed = static_cast<std::uint64_t>(flags.get_num("seed", 1));
+
+  arena::SelfPlayConfig config = arena::SelfPlayConfig::defaults();
+  config.env = env_from_flags(flags, mode, seed);
+  config.jammer = jammer::JammerSpec::defaults("learned");
+  config.defender.num_channels = config.env.num_channels;
+  config.defender.num_power_levels = config.env.num_power_levels();
+  config.defender.history = 4;
+  config.defender.hidden = {32, 32};
+  config.defender.seed = seed + 7;
+  config.generations =
+      static_cast<std::size_t>(flags.get_num("generations", 4));
+  config.warmup_slots =
+      static_cast<std::size_t>(flags.get_num("warmup-slots", 4000));
+  config.jammer_slots =
+      static_cast<std::size_t>(flags.get_num("jammer-slots", 4000));
+  config.defender_slots =
+      static_cast<std::size_t>(flags.get_num("defender-slots", 4000));
+  config.eval_slots =
+      static_cast<std::size_t>(flags.get_num("eval-slots", 2000));
+  config.pool_capacity =
+      static_cast<std::size_t>(flags.get_num("pool", 8));
+  config.seed = seed;
+  const std::string out = flags.get("out", "");
+  if (!out.empty()) {
+    CheckpointOptions ckpt;
+    ckpt.path = out;
+    ckpt.resume = flags.has("resume");
+    config.checkpoint = ckpt;
+  } else if (flags.has("resume")) {
+    std::cerr << "arena --resume needs --out=FILE (the checkpoint)\n";
+    return 2;
+  }
+
+  arena::SelfPlay arena_run(std::move(config));
+  const arena::SelfPlayResult result = arena_run.run();
+  if (result.resumed) std::cout << "(resumed from " << out << ")\n";
+
+  TextTable table({"gen", "jam hit%", "def train R", "R vs pool", "R vs BR",
+                   "exploitability"});
+  for (const arena::GenerationResult& g : result.generations) {
+    table.add_row({std::to_string(g.generation),
+                   TextTable::fmt(100.0 * g.jammer_hit_rate, 1),
+                   TextTable::fmt(g.defender_train_reward, 1),
+                   TextTable::fmt(g.reward_vs_pool, 1),
+                   TextTable::fmt(g.reward_vs_best_response, 1),
+                   TextTable::fmt(g.exploitability, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nhead-to-head (mean defender reward, defender generation "
+               "down, jammer generation across):\n";
+  std::vector<std::string> header = {"def \\ jam"};
+  for (std::size_t g : result.jammer_generations) {
+    header.push_back("g" + std::to_string(g));
+  }
+  TextTable cross(header);
+  for (std::size_t i = 0; i < result.cross_table.size(); ++i) {
+    std::vector<std::string> cells = {
+        "g" + std::to_string(result.defender_generations[i])};
+    for (double r : result.cross_table[i]) {
+      cells.push_back(TextTable::fmt(r, 1));
+    }
+    cross.add_row(cells);
+  }
+  cross.print(std::cout);
+  std::cout << "\n" << result.slots_total << " arena slots in "
+            << TextTable::fmt(result.wall_seconds, 1) << " s\n";
+  if (!out.empty()) std::cout << "checkpoint: " << out << "\n";
+  return 0;
+}
+
 /// `ctj_cli serve`: host a ServeEngine on a unix socket in-process (same
 /// loop as the ctj_serve daemon) until a client sends shutdown.
 int cmd_serve(const Flags& flags) {
@@ -404,6 +496,7 @@ int main(int argc, char** argv) {
     try {
       if (command == "train") return cmd_train(sub_flags);
       if (command == "eval") return cmd_eval(sub_flags);
+      if (command == "arena") return cmd_arena(sub_flags);
       if (command == "serve") return cmd_serve(sub_flags);
       if (command == "submit") return cmd_submit(sub_flags);
       if (command == "status") return cmd_status(sub_flags);
@@ -418,7 +511,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "unknown subcommand '" << command
-              << "' (use train|eval|serve|submit|status|results|stats|"
+              << "' (use train|eval|arena|serve|submit|status|results|stats|"
                  "shutdown)\n";
     return 2;
   }

@@ -1,0 +1,217 @@
+#include "arena/learned_jammer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "io/container.hpp"
+
+namespace ctj::arena {
+
+LearnedJammerConfig LearnedJammerConfig::defaults() {
+  LearnedJammerConfig config;
+  for (int v = 11; v <= 20; ++v) config.power_levels.push_back(v);
+  return config;
+}
+
+LearnedJammerConfig LearnedJammerConfig::from_spec(
+    const jammer::JammerSpec& spec) {
+  LearnedJammerConfig config;
+  config.num_channels = spec.num_channels;
+  config.channels_per_sweep = spec.channels_per_sweep;
+  config.power_levels = spec.power_levels;
+  config.mode = spec.mode;
+  config.history = spec.learn_history;
+  config.hidden = spec.learn_hidden;
+  config.learning_rate = spec.learn_rate;
+  config.epsilon_decay_slots = spec.learn_epsilon_decay;
+  config.emit_cost = spec.learn_emit_cost;
+  return config;
+}
+
+int LearnedJammerConfig::sweep_cycle() const {
+  CTJ_CHECK(num_channels > 0 && channels_per_sweep > 0);
+  return (num_channels + channels_per_sweep - 1) / channels_per_sweep;
+}
+
+rl::DqnConfig LearnedJammer::agent_config(std::uint64_t seed) const {
+  rl::DqnConfig dqn;
+  dqn.state_dim = static_cast<std::size_t>(3 * config_.history);
+  // DqnAgent needs ≥ 2 actions; a single-group max-power geometry (K == m)
+  // pads the action set and step() folds the pad back with a modulo.
+  dqn.num_actions = std::max<std::size_t>(2, real_actions_);
+  dqn.hidden = {static_cast<std::size_t>(config_.hidden),
+                static_cast<std::size_t>(config_.hidden)};
+  dqn.learning_rate = config_.learning_rate;
+  dqn.gamma = 0.9;
+  // Rewards are already O(1) (hit indicator minus emit cost) — no rescale.
+  dqn.reward_scale = 1.0;
+  dqn.epsilon_start = 1.0;
+  dqn.epsilon_end = 0.05;
+  dqn.epsilon_decay_steps =
+      static_cast<std::size_t>(config_.epsilon_decay_slots);
+  dqn.batch_size = 32;
+  dqn.replay_capacity = 4000;
+  dqn.min_replay_before_training = 128;
+  dqn.seed = seed;
+  return dqn;
+}
+
+namespace {
+
+std::size_t power_actions_of(const LearnedJammerConfig& config) {
+  return config.mode == JammerPowerMode::kRandomPower
+             ? config.power_levels.size()
+             : 1;
+}
+
+std::size_t real_actions_of(const LearnedJammerConfig& config) {
+  return static_cast<std::size_t>(config.sweep_cycle()) *
+         power_actions_of(config);
+}
+
+}  // namespace
+
+LearnedJammer::LearnedJammer(LearnedJammerConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      power_actions_(power_actions_of(config_)),
+      real_actions_(real_actions_of(config_)),
+      max_power_(*std::max_element(config_.power_levels.begin(),
+                                   config_.power_levels.end())),
+      agent_(agent_config(seed)),
+      window_(static_cast<std::size_t>(3 * config_.history), 0.0) {
+  CTJ_CHECK(config_.num_channels > 0);
+  CTJ_CHECK(config_.channels_per_sweep > 0 &&
+            config_.channels_per_sweep <= config_.num_channels);
+  CTJ_CHECK(!config_.power_levels.empty());
+  CTJ_CHECK(config_.history > 0);
+  CTJ_CHECK(config_.hidden > 0);
+  CTJ_CHECK(config_.emit_cost >= 0.0);
+  CTJ_CHECK(max_power_ > 0.0);
+}
+
+jammer::JammerSlotReport LearnedJammer::step(int victim_channel) {
+  CTJ_CHECK(victim_channel >= 0 && victim_channel < config_.num_channels);
+  const int m = config_.channels_per_sweep;
+  const int groups = config_.sweep_cycle();
+
+  std::vector<double> state = observation();
+  const std::size_t raw =
+      frozen_ ? agent_.act_greedy(state) : agent_.act(state);
+  const std::size_t action = raw % real_actions_;
+  const int group = static_cast<int>(action / power_actions_);
+  const double power = config_.mode == JammerPowerMode::kRandomPower
+                           ? config_.power_levels[action % power_actions_]
+                           : max_power_;
+
+  jammer::JammerSlotReport report;
+  report.jammed_group_start = group * m;
+  report.emitting = true;
+  report.hit = victim_channel >= report.jammed_group_start &&
+               victim_channel < report.jammed_group_start + m;
+  report.power = power;
+
+  last_hit_ = report.hit;
+  ++slots_;
+  if (report.hit) ++hits_;
+
+  // Slide the observation window: (hit, normalized group, normalized power)
+  // for this slot, oldest triple dropped.
+  window_.erase(window_.begin(), window_.begin() + 3);
+  window_.push_back(report.hit ? 1.0 : 0.0);
+  window_.push_back(static_cast<double>(group) / static_cast<double>(groups));
+  window_.push_back(power / max_power_);
+
+  if (!frozen_) {
+    rl::Transition transition;
+    transition.state = std::move(state);
+    transition.action = raw;
+    transition.reward = (report.hit ? 1.0 : 0.0) -
+                        config_.emit_cost * (power / max_power_);
+    transition.next_state = observation();
+    agent_.observe(std::move(transition));
+  }
+  return report;
+}
+
+void LearnedJammer::reset() {
+  std::fill(window_.begin(), window_.end(), 0.0);
+  last_hit_ = false;
+  slots_ = 0;
+  hits_ = 0;
+}
+
+std::unique_ptr<jammer::Jammer> LearnedJammer::clone() const {
+  return std::make_unique<LearnedJammer>(*this);
+}
+
+void LearnedJammer::save_state(io::ByteWriter& out) const {
+  // The agent's own CTJS container (networks, Adam, replay, RNG, counters)
+  // nests as one length-prefixed blob inside the jammer's flat payload.
+  io::ContainerWriter agent_out;
+  agent_.save_state(agent_out);
+  out.str(agent_out.to_bytes());
+  out.u8(frozen_ ? 1 : 0);
+  out.u8(last_hit_ ? 1 : 0);
+  out.u64(slots_);
+  out.u64(hits_);
+  out.f64_vec(window_);
+}
+
+void LearnedJammer::load_state(io::ByteReader& in) {
+  // Decode and validate everything before touching any member (the strong
+  // no-mutation-on-failure rule every archetype follows).
+  std::string agent_bytes{in.str()};
+  const std::uint8_t frozen = in.u8();
+  const std::uint8_t last_hit = in.u8();
+  if (frozen > 1 || last_hit > 1) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "learned jammer flags out of range");
+  }
+  const std::uint64_t slots = in.u64();
+  const std::uint64_t hits = in.u64();
+  std::vector<double> window = in.f64_vec();
+  if (window.size() != window_.size()) {
+    throw io::IoError(io::ErrorKind::kBadPayload,
+                      "learned jammer window size mismatch");
+  }
+  for (double v : window) {
+    if (!(v >= 0.0 && v <= 1.0)) {
+      throw io::IoError(io::ErrorKind::kBadPayload,
+                        "learned jammer window value out of range");
+    }
+  }
+  io::ContainerReader agent_in =
+      io::ContainerReader::from_bytes(std::move(agent_bytes));
+  // The restore shell may have been constructed with a different seed (a
+  // revived opponent keeps its own RNG stream); everything else about the
+  // stored agent must match this config, and a mismatch leaves the agent
+  // untouched (kStateMismatch propagates as-is so callers can tell a wrong
+  // spec from corrupt bytes).
+  agent_.load_state_adopt_seed(agent_in);
+  frozen_ = frozen != 0;
+  last_hit_ = last_hit != 0;
+  slots_ = slots;
+  hits_ = hits;
+  window_ = std::move(window);
+}
+
+void ensure_registered() {
+  static const bool once = [] {
+    jammer::register_jammer(
+        "learned", [](const jammer::JammerSpec& spec, std::uint64_t seed) {
+          return std::unique_ptr<jammer::Jammer>(
+              new LearnedJammer(LearnedJammerConfig::from_spec(spec), seed));
+        });
+    return true;
+  }();
+  (void)once;
+}
+
+namespace {
+// Best-effort static registration for consumers that happen to pull this
+// translation unit in; ensure_registered() is the guaranteed path.
+const bool kRegistered = (ensure_registered(), true);
+}  // namespace
+
+}  // namespace ctj::arena

@@ -1,0 +1,113 @@
+// Learning adversary (registry key "learned").
+//
+// Where every other archetype in the zoo follows a fixed rule, this jammer
+// carries its own DQN and trains it online against whatever defender it is
+// facing — the smart-jammer framing of arXiv:2512.14013 layered on the
+// game-theoretic duel of arXiv:1607.06255. Its observation is strictly what
+// a real attacker can sense: its own recent actions and whether each one
+// landed on the victim's group (hit/ACK feedback); it never reads the
+// victim's channel directly. Each slot it picks an m-aligned channel group
+// (and, in random-power mode, a power level), blankets it, and rewards
+// itself +1 for a hit minus a small emission cost, so camping on the
+// victim's hopping pattern is learned, not scripted.
+//
+// The arena (arena/self_play.hpp) freezes and thaws this jammer between
+// best-response phases: frozen it plays its greedy policy without drawing
+// exploration randomness or taking gradient steps, so a frozen opponent is
+// a fixed strategy. save_state()/load_state() round-trip the full agent
+// (networks, Adam moments, replay ring, RNG streams) plus the observation
+// window, so a trained adversary revives bit-identically anywhere — the
+// conformance contract every archetype honours.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/modes.hpp"
+#include "jammer/jammer.hpp"
+#include "jammer/registry.hpp"
+#include "rl/dqn.hpp"
+
+namespace ctj::arena {
+
+struct LearnedJammerConfig {
+  int num_channels = 16;
+  int channels_per_sweep = 4;
+  std::vector<double> power_levels;
+  JammerPowerMode mode = JammerPowerMode::kMaxPower;
+  /// Slots of (hit, group, power) feedback the policy observes.
+  int history = 8;
+  /// Width of both hidden layers of the internal DQN.
+  int hidden = 24;
+  double learning_rate = 1e-3;
+  /// ε anneal horizon in slots (0 = fixed at epsilon_end).
+  int epsilon_decay_slots = 2000;
+  /// Reward penalty for one slot of emission at max power (scaled down
+  /// proportionally at lower levels) — keeps "always jam everything" from
+  /// being free, mirroring the duty-cycle archetype's energy pressure.
+  double emit_cost = 0.05;
+
+  static LearnedJammerConfig defaults();
+  /// Map the registry's flat spec (shared geometry/power fields + the
+  /// learn_* tunables) onto this config.
+  static LearnedJammerConfig from_spec(const jammer::JammerSpec& spec);
+
+  int sweep_cycle() const;  // ⌈K/m⌉
+};
+
+class LearnedJammer : public jammer::Jammer {
+ public:
+  explicit LearnedJammer(LearnedJammerConfig config, std::uint64_t seed = 41);
+
+  jammer::JammerSlotReport step(int victim_channel) override;
+  void reset() override;
+
+  std::string archetype() const override { return "learned"; }
+  int num_channels() const override { return config_.num_channels; }
+  int channels_per_sweep() const override { return config_.channels_per_sweep; }
+  /// Locked while the last emission landed on the victim.
+  bool locked() const override { return last_hit_; }
+  const LearnedJammerConfig& config() const { return config_; }
+
+  /// Frozen: play the greedy policy only — no exploration draws, no
+  /// replay writes, no gradient steps. A frozen jammer is a fixed
+  /// strategy, which is what the arena's opponent pool stores.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+  bool frozen() const { return frozen_; }
+
+  const rl::DqnAgent& agent() const { return agent_; }
+  std::uint64_t slots() const { return slots_; }
+  std::uint64_t hits() const { return hits_; }
+
+  std::unique_ptr<Jammer> clone() const override;
+  void save_state(io::ByteWriter& out) const override;
+  void load_state(io::ByteReader& in) override;
+
+ private:
+  std::vector<double> observation() const { return window_; }
+  rl::DqnConfig agent_config(std::uint64_t seed) const;
+
+  LearnedJammerConfig config_;
+  std::size_t power_actions_ = 1;  // PL in random-power mode, 1 in max
+  std::size_t real_actions_ = 2;   // groups × power_actions_
+  double max_power_ = 0.0;
+  rl::DqnAgent agent_;
+  /// Flat (hit, group/groups, power/max) triples, oldest first, always
+  /// exactly 3·history doubles — the policy's input vector.
+  std::vector<double> window_;
+  bool frozen_ = false;
+  bool last_hit_ = false;
+  std::uint64_t slots_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+/// Register the "learned" archetype with the jammer registry (idempotent).
+/// Linking ctj_arena does this from a static initializer, but a consumer
+/// that only reaches the factory through make_jammer() should call it
+/// explicitly — a registrar object in a static library is otherwise fair
+/// game for the linker to drop.
+void ensure_registered();
+
+}  // namespace ctj::arena

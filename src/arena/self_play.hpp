@@ -1,0 +1,148 @@
+// Self-play arena: alternating best-response training between the DQN
+// defender (core::DqnScheme) and the learning jammer (LearnedJammer), with
+// frozen-opponent pools and per-generation exploitability tracking.
+//
+// Before generation 0 the defender warms up against the naive (untrained)
+// jammer for `warmup_slots`, so the first probe measures a competent but
+// unhardened policy rather than an untrained one. One generation:
+//   1. Freeze the defender; the jammer trains online for `jammer_slots`
+//      against it (its best response to the current defense).
+//   2. Exploitability probe: the frozen defender's mean reward against the
+//      opponent pool minus its mean reward against the fresh best response.
+//      The pool is the "average adversary" the defender was hardened
+//      against; the best response is the worst case — the gap shrinks as
+//      the defender approaches a policy no single jammer can exploit (the
+//      ε-Nash reading of arXiv:1607.06255).
+//   3. The best-response jammer joins the opponent pool (oldest entry
+//      evicted beyond `pool_capacity`).
+//   4. Freeze the jammer pool; the defender trains for `defender_slots`
+//      split round-robin across the pool (so it cannot overfit the newest
+//      adversary), then a frozen policy snapshot joins the defender pool.
+//
+// After the last generation the arena plays every pooled defender against
+// every pooled jammer for `eval_slots` each — the head-to-head cross table
+// whose rows tighten as generations converge.
+//
+// Persistence: a checkpoint at every generation boundary (META + the
+// defender's full scheme state + JAMRCFG + JAMPOLCY + OPPPOOL + ARENAPRG)
+// through the CTJS layer; a killed arena resumed from it finishes with a
+// bit-identical final checkpoint (test-proven). Resume validates the stored
+// arena/env digest and the jammer spec (io::IoError kStateMismatch on any
+// drift); `generations` may grow between runs — extending a finished
+// arena's budget is the point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rl_fh.hpp"
+#include "core/trainer.hpp"
+#include "jammer/registry.hpp"
+
+namespace ctj::arena {
+
+struct GenerationResult {
+  std::size_t generation = 0;
+  /// Fraction of jammer-phase slots the (training) jammer hit the victim.
+  double jammer_hit_rate = 0.0;
+  /// Windowed mean defender reward at the end of the defender phase.
+  double defender_train_reward = 0.0;
+  /// Frozen defender's mean reward vs the opponent pool (pre-update).
+  double reward_vs_pool = 0.0;
+  /// Frozen defender's mean reward vs the fresh best-response jammer.
+  double reward_vs_best_response = 0.0;
+  /// reward_vs_pool − reward_vs_best_response (≥ 0 in expectation; → 0 as
+  /// the defender becomes unexploitable).
+  double exploitability = 0.0;
+};
+
+struct SelfPlayConfig {
+  /// Environment template (geometry, power model, losses, base seed). The
+  /// jammer field is overwritten with `jammer` below.
+  core::EnvironmentConfig env;
+  /// Defender construction config; channel/power dimensions must match the
+  /// environment's.
+  core::DqnScheme::Config defender;
+  /// Adversary spec; must be the "learned" archetype.
+  jammer::JammerSpec jammer;
+  std::size_t generations = 4;
+  /// Defender pre-training budget against the naive (untrained, frozen)
+  /// jammer before generation 0. Without it the first exploitability probe
+  /// measures an untrained defender — which is bad against *everything*, so
+  /// the pool/best-response gap starts artificially small and the series
+  /// rises before it falls. Warming up makes generation 0 the honest
+  /// starting point: a competent but unhardened defender, maximally
+  /// exploitable, with the generations driving the gap down. 0 disables.
+  std::size_t warmup_slots = 4000;
+  /// Jammer best-response training budget per generation.
+  std::size_t jammer_slots = 4000;
+  /// Defender training budget per generation (split across the pool).
+  std::size_t defender_slots = 4000;
+  /// Evaluation budget per exploitability probe / cross-table cell.
+  std::size_t eval_slots = 2000;
+  /// Frozen opponents kept per side (oldest evicted).
+  std::size_t pool_capacity = 8;
+  std::uint64_t seed = 1;
+  /// Checkpoint at every completed generation; resume picks up after the
+  /// last one. every_slots is ignored — generation boundaries are the only
+  /// points where both populations are between phases.
+  std::optional<core::CheckpointOptions> checkpoint;
+  std::function<void(const GenerationResult&)> on_generation;
+
+  static SelfPlayConfig defaults();
+};
+
+struct SelfPlayResult {
+  std::vector<GenerationResult> generations;
+  /// Pool-resident generation tags, oldest first (the cross-table axes).
+  std::vector<std::size_t> defender_generations;
+  std::vector<std::size_t> jammer_generations;
+  /// cross_table[i][j]: mean defender reward of pooled defender i against
+  /// pooled jammer j over eval_slots.
+  std::vector<std::vector<double>> cross_table;
+  std::size_t slots_total = 0;
+  double wall_seconds = 0.0;
+  bool resumed = false;
+};
+
+class SelfPlay {
+ public:
+  explicit SelfPlay(SelfPlayConfig config);
+  SelfPlayResult run();
+
+ private:
+  struct PoolEntry {
+    std::size_t generation = 0;
+    std::string state;  // jammer: full save_state bytes; defender: policy
+  };
+
+  core::EnvironmentConfig env_config(std::uint64_t seed) const;
+  /// Fresh environment with `state` (may be empty = untrained) injected
+  /// into its learned jammer, frozen or live.
+  core::CompetitionEnvironment make_env(std::uint64_t seed,
+                                        const std::string& state,
+                                        bool frozen) const;
+  static std::string extract_jammer(core::CompetitionEnvironment& env);
+  double eval_defender(const core::DqnScheme& defender,
+                       const std::string& jammer_state, std::uint64_t seed);
+  void run_generation(std::size_t g);
+  std::string defender_policy_snapshot() const;
+
+  void save_checkpoint() const;
+  bool try_resume();
+
+  SelfPlayConfig config_;
+  core::DqnScheme defender_;
+  std::string jammer_state_;  // carried across generations; empty = fresh
+  std::vector<PoolEntry> jammer_pool_;
+  std::vector<PoolEntry> defender_pool_;
+  std::vector<GenerationResult> history_;
+  std::size_t generations_done_ = 0;
+  std::size_t slots_total_ = 0;
+  bool resumed_ = false;
+};
+
+}  // namespace ctj::arena

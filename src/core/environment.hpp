@@ -100,6 +100,10 @@ class CompetitionEnvironment {
   bool kernel_mode() const { return jam_ == nullptr; }
   /// The live behavioural jammer, or nullptr in kernel mode.
   const jammer::Jammer* behavioural_jammer() const { return jam_.get(); }
+  /// Mutable access for drivers that inject carried jammer state into a
+  /// fresh environment (the self-play arena restores a trained opponent
+  /// via Jammer::load_state before stepping).
+  jammer::Jammer* behavioural_jammer() { return jam_.get(); }
 
   /// Hidden state inspection for tests/oracles: n in [1, N−1], or N−1+1 →
   /// T_J, J encodings mirroring mdp::AntijamMdp indices.

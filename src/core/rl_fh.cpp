@@ -16,6 +16,8 @@ rl::DqnConfig DqnScheme::make_dqn_config(const Config& config) {
   dqn.epsilon_end = config.epsilon_end;
   dqn.epsilon_decay_steps = config.epsilon_decay_steps;
   dqn.double_dqn = config.double_dqn;
+  dqn.target_sync_interval = config.target_sync_interval;
+  dqn.target_tau = config.target_tau;
   dqn.seed = config.seed;
   return dqn;
 }
@@ -90,6 +92,8 @@ void DqnScheme::save_state(io::ContainerWriter& out) const {
   cfg.u64(config_.hidden.size());
   for (std::size_t h : config_.hidden) cfg.u64(h);
   cfg.u8(config_.double_dqn ? 1 : 0);
+  cfg.u64(config_.target_sync_interval);
+  cfg.f64(config_.target_tau);
   cfg.u64(config_.seed);
   out.add_chunk(io::tags::kSchemeCfg, cfg.take());
 
@@ -134,6 +138,8 @@ DqnScheme::Config DqnScheme::read_config(const io::ContainerReader& in) {
     config.hidden.push_back(static_cast<std::size_t>(cfg.u64()));
   }
   config.double_dqn = cfg.u8() != 0;
+  config.target_sync_interval = static_cast<std::size_t>(cfg.u64());
+  config.target_tau = cfg.f64();
   config.seed = cfg.u64();
   cfg.expect_end();
   return config;
@@ -154,6 +160,8 @@ void DqnScheme::load_state(const io::ContainerReader& in) {
       stored.epsilon_decay_steps != config_.epsilon_decay_steps ||
       stored.hidden != config_.hidden ||
       stored.double_dqn != config_.double_dqn ||
+      stored.target_sync_interval != config_.target_sync_interval ||
+      stored.target_tau != config_.target_tau ||
       stored.seed != config_.seed) {
     throw io::IoError(io::ErrorKind::kStateMismatch,
                       "checkpoint DqnScheme::Config differs from this scheme");

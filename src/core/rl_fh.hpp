@@ -40,6 +40,11 @@ class DqnScheme : public AntiJammingScheme {
     std::vector<std::size_t> hidden = {45, 45};
     /// Double-DQN bootstrap (ablation; the paper uses vanilla DQN).
     bool double_dqn = false;
+    /// Gradient steps between hard target-network syncs (ignored when
+    /// target_tau > 0).
+    std::size_t target_sync_interval = 250;
+    /// Polyak soft target update coefficient; 0 keeps the hard sync.
+    double target_tau = 0.0;
     std::uint64_t seed = 23;
   };
 

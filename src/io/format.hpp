@@ -89,6 +89,9 @@ inline constexpr char kServeJob[] = "SRVJOB  ";       // serve tenant JobSpec
 inline constexpr char kServeProgress[] = "SRVPRG  ";  // serve tenant progress
 inline constexpr char kQlState[] = "QLSTATE ";        // tabular QL scheme state
 inline constexpr char kFhState[] = "FHSTATE ";        // FH baseline scheme state
+inline constexpr char kArenaProgress[] = "ARENAPRG";  // self-play generation progress
+inline constexpr char kJammerPolicy[] = "JAMPOLCY";   // learned jammer full state
+inline constexpr char kOpponentPool[] = "OPPPOOL ";   // frozen opponent pools
 }  // namespace tags
 
 }  // namespace ctj::io

@@ -105,6 +105,16 @@ void JammerSpec::encode(io::ByteWriter& out) const {
   out.f64(emit_cost);
   out.f64(recharge_per_slot);
   out.i32(num_colluders);
+  // Learned-jammer tunables ride behind the fixed v1 layout, gated on the
+  // archetype key (decoded first), so specs for the original archetypes
+  // keep their exact byte image.
+  if (archetype == "learned") {
+    out.i32(learn_history);
+    out.i32(learn_hidden);
+    out.f64(learn_rate);
+    out.i32(learn_epsilon_decay);
+    out.f64(learn_emit_cost);
+  }
 }
 
 JammerSpec JammerSpec::decode(io::ByteReader& in) {
@@ -134,6 +144,19 @@ JammerSpec JammerSpec::decode(io::ByteReader& in) {
   spec.emit_cost = in.f64();
   spec.recharge_per_slot = in.f64();
   spec.num_colluders = in.i32();
+  if (spec.archetype == "learned") {
+    spec.learn_history = in.i32();
+    spec.learn_hidden = in.i32();
+    spec.learn_rate = in.f64();
+    spec.learn_epsilon_decay = in.i32();
+    spec.learn_emit_cost = in.f64();
+    if (spec.learn_history <= 0 || spec.learn_hidden <= 0 ||
+        spec.learn_rate <= 0.0 || spec.learn_epsilon_decay < 0 ||
+        spec.learn_emit_cost < 0.0) {
+      throw io::IoError(io::ErrorKind::kBadPayload,
+                        "learned jammer tunables invalid");
+    }
+  }
   if (spec.num_channels <= 0 || spec.channels_per_sweep <= 0 ||
       spec.channels_per_sweep > spec.num_channels) {
     throw io::IoError(io::ErrorKind::kBadPayload,

@@ -62,6 +62,15 @@ struct JammerSpec {
   // "colluding"
   int num_colluders = 2;
 
+  // "learned" (the self-play DQN jammer, src/arena — registered by
+  // arena::ensure_registered(), not a built-in). Serialized only for that
+  // archetype, so every pre-arena spec byte layout is unchanged.
+  int learn_history = 8;            // observation window slots
+  int learn_hidden = 24;            // width of both hidden layers
+  double learn_rate = 1e-3;         // Adam learning rate
+  int learn_epsilon_decay = 2000;   // ε anneal horizon (slots)
+  double learn_emit_cost = 0.05;    // reward penalty per slot at max power
+
   /// Paper-default tunables (power levels 11..20) for the given archetype.
   static JammerSpec defaults(const std::string& archetype = "sweep");
   /// The closed-form-kernel sentinel (no behavioural jammer).

@@ -31,6 +31,7 @@ DqnAgent::DqnAgent(DqnConfig config)
       replay_(config.replay_capacity) {
   CTJ_CHECK(config.num_actions >= 2);
   CTJ_CHECK(config.gamma >= 0.0 && config.gamma < 1.0);
+  CTJ_CHECK(config.target_tau >= 0.0 && config.target_tau <= 1.0);
   CTJ_CHECK(config.epsilon_start >= config.epsilon_end);
   CTJ_CHECK(config.batch_size > 0);
   target_.copy_parameters_from(online_);
@@ -177,8 +178,10 @@ double DqnAgent::train_on_batch(const Matrix& states, const Matrix& next_states,
   online_.backward(grad_);
   optimizer_.step(online_);
   ++grad_steps_;
-  if (config_.target_sync_interval > 0 &&
-      grad_steps_ % config_.target_sync_interval == 0) {
+  if (config_.target_tau > 0.0) {
+    target_.lerp_parameters_from(online_, config_.target_tau);
+  } else if (config_.target_sync_interval > 0 &&
+             grad_steps_ % config_.target_sync_interval == 0) {
     target_.copy_parameters_from(online_);
   }
   return loss / static_cast<double>(B);
@@ -213,6 +216,7 @@ void write_counters(io::ByteWriter& out, const DqnConfig& config,
   out.u64(config.replay_capacity);
   out.u64(config.min_replay_before_training);
   out.u64(config.target_sync_interval);
+  out.f64(config.target_tau);
   out.u64(config.train_every);
   out.u8(config.double_dqn ? 1 : 0);
   out.u64(config.seed);
@@ -221,9 +225,11 @@ void write_counters(io::ByteWriter& out, const DqnConfig& config,
 struct Counters {
   std::uint64_t env_steps = 0;
   std::uint64_t grad_steps = 0;
+  std::uint64_t seed = 0;
 };
 
-Counters read_counters(io::ByteReader& in, const DqnConfig& config) {
+Counters read_counters(io::ByteReader& in, const DqnConfig& config,
+                       bool adopt_seed) {
   Counters counters;
   counters.env_steps = in.u64();
   counters.grad_steps = in.u64();
@@ -254,9 +260,11 @@ Counters read_counters(io::ByteReader& in, const DqnConfig& config) {
   if (in.u64() != config.target_sync_interval) {
     throw mismatch("target_sync_interval");
   }
+  if (in.f64() != config.target_tau) throw mismatch("target_tau");
   if (in.u64() != config.train_every) throw mismatch("train_every");
   if (in.u8() != (config.double_dqn ? 1 : 0)) throw mismatch("double_dqn");
-  if (in.u64() != config.seed) throw mismatch("seed");
+  counters.seed = in.u64();
+  if (!adopt_seed && counters.seed != config.seed) throw mismatch("seed");
   in.expect_end();
   return counters;
 }
@@ -290,6 +298,15 @@ void DqnAgent::save_state(io::ContainerWriter& out) const {
 }
 
 void DqnAgent::load_state(const io::ContainerReader& in) {
+  load_state_impl(in, /*adopt_seed=*/false);
+}
+
+void DqnAgent::load_state_adopt_seed(const io::ContainerReader& in) {
+  load_state_impl(in, /*adopt_seed=*/true);
+}
+
+void DqnAgent::load_state_impl(const io::ContainerReader& in,
+                               bool adopt_seed) {
   // Decode + validate every chunk before mutating anything, so a corrupt or
   // mismatched checkpoint leaves the agent exactly as it was.
   io::ByteReader online_in(in.chunk(io::tags::kNetOnline));
@@ -332,7 +349,7 @@ void DqnAgent::load_state(const io::ContainerReader& in) {
   }
 
   io::ByteReader counters_in(in.chunk(io::tags::kAgentCounters));
-  const Counters counters = read_counters(counters_in, config_);
+  const Counters counters = read_counters(counters_in, config_, adopt_seed);
 
   // Commit — nothing below throws.
   online_.apply_tensors(online);
@@ -342,6 +359,7 @@ void DqnAgent::load_state(const io::ContainerReader& in) {
   rng_ = rng;
   env_steps_ = static_cast<std::size_t>(counters.env_steps);
   grad_steps_ = static_cast<std::size_t>(counters.grad_steps);
+  if (adopt_seed) config_.seed = counters.seed;
 }
 
 void DqnAgent::load_policy(const io::ContainerReader& in) {

@@ -35,6 +35,11 @@ struct DqnConfig {
   std::size_t replay_capacity = 20000;
   std::size_t min_replay_before_training = 256;
   std::size_t target_sync_interval = 250;
+  /// Polyak soft target update: when > 0 the target network tracks the
+  /// online network every gradient step (target ← (1−τ)·target + τ·online)
+  /// and target_sync_interval's periodic hard copy is disabled. 0 keeps the
+  /// paper's hard sync.
+  double target_tau = 0.0;
   /// Gradient steps per observed transition.
   std::size_t train_every = 1;
   /// Double-DQN target (van Hasselt et al.): select the bootstrap action
@@ -127,11 +132,20 @@ class DqnAgent {
   /// member is touched — on any io::IoError the agent is unchanged.
   void load_state(const io::ContainerReader& in);
 
+  /// Like load_state(), but adopt the checkpoint's seed instead of
+  /// requiring it to match this agent's configuration — the plug-in jammer
+  /// restore path, where a saved adversary is revived inside a shell
+  /// constructed with an arbitrary seed and the restored RNG stream
+  /// replaces the construction stream wholesale.
+  void load_state_adopt_seed(const io::ContainerReader& in);
+
   /// Load only the online network weights (deployment artifact path); the
   /// target network is synced to them. Same no-mutation-on-failure rule.
   void load_policy(const io::ContainerReader& in);
 
  private:
+  void load_state_impl(const io::ContainerReader& in, bool adopt_seed);
+
   DqnConfig config_;
   Rng rng_;
   Mlp online_;

@@ -185,6 +185,26 @@ void Mlp::copy_parameters_from(const Mlp& other) {
   }
 }
 
+void Mlp::lerp_parameters_from(const Mlp& other, double tau) {
+  CTJ_CHECK_MSG(sizes_ == other.sizes_, "cannot sync differently-shaped MLPs");
+  CTJ_CHECK_MSG(tau >= 0.0 && tau <= 1.0, "tau must lie in [0, 1]");
+  if (tau == 1.0) {
+    // d + 1·(s − d) is not bitwise s under rounding; keep the documented
+    // equivalence with copy_parameters_from() exact.
+    copy_parameters_from(other);
+    return;
+  }
+  const auto lerp = [tau](Matrix& dst, const Matrix& src) {
+    double* d = dst.data();
+    const double* s = src.data();
+    for (std::size_t i = 0; i < dst.size(); ++i) d[i] += tau * (s[i] - d[i]);
+  };
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    lerp(layers_[i].weights(), other.layers_[i].weights());
+    lerp(layers_[i].bias(), other.layers_[i].bias());
+  }
+}
+
 void Mlp::copy_flat_to(std::span<double> out) const {
   CTJ_CHECK_MSG(out.size() == param_count(),
                 "flat buffer holds " << out.size() << " doubles, network has "

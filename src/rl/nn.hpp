@@ -109,6 +109,11 @@ class Mlp {
   /// (target-network sync).
   void copy_parameters_from(const Mlp& other);
 
+  /// Polyak soft update: move every parameter a fraction tau of the way
+  /// toward `other` (target ← (1−τ)·target + τ·online). tau = 1 is
+  /// copy_parameters_from(); tau = 0 is a no-op.
+  void lerp_parameters_from(const Mlp& other, double tau);
+
   /// Flatten all parameters into a caller-sized buffer of param_count()
   /// doubles (layer order, weights then bias per layer) — the wire format
   /// of the parallel trainer's policy snapshot bus.

@@ -1,0 +1,480 @@
+// Self-play arena: the learned jammer's archetype contract (invariants,
+// determinism, save/restore, freeze semantics), the extended JammerSpec
+// codec, and the SelfPlay driver's kill/resume bit-identity across a
+// generation boundary.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arena/learned_jammer.hpp"
+#include "arena/self_play.hpp"
+#include "common/rng.hpp"
+#include "conformance/conformance.hpp"
+#include "core/checkpoint.hpp"
+#include "core/environment.hpp"
+#include "core/rl_fh.hpp"
+#include "io/container.hpp"
+#include "rl/nn.hpp"
+
+using namespace ctj;
+using arena::LearnedJammer;
+using arena::LearnedJammerConfig;
+using jammer::JammerSpec;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+JammerSpec learned_spec() {
+  JammerSpec spec = JammerSpec::defaults("learned");
+  // Small network so the per-slot online training stays test-fast.
+  spec.learn_hidden = 16;
+  spec.learn_history = 4;
+  return spec;
+}
+
+conformance::KernelCheckOptions smoke_options(std::uint64_t seed,
+                                              std::size_t slots) {
+  conformance::KernelCheckOptions options;
+  options.slots = slots;
+  options.seed = seed;
+  return options;
+}
+
+bool reports_equal(const jammer::JammerSlotReport& a,
+                   const jammer::JammerSlotReport& b) {
+  return a.hit == b.hit && a.power == b.power &&
+         a.jammed_group_start == b.jammed_group_start &&
+         a.emitting == b.emitting;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+// ------------------------------------------------------ archetype contract ----
+
+TEST(LearnedJammer, RegistryIntegration) {
+  arena::ensure_registered();
+  EXPECT_TRUE(jammer::is_registered("learned"));
+  const auto jam = jammer::make_jammer(learned_spec(), 7);
+  EXPECT_EQ(jam->archetype(), "learned");
+  EXPECT_EQ(jam->num_channels(), 16);
+  EXPECT_EQ(jam->channels_per_sweep(), 4);
+}
+
+TEST(LearnedJammer, InvariantsMaxPowerMode) {
+  arena::ensure_registered();
+  const auto result = conformance::check_jammer_invariants(
+      learned_spec(), smoke_options(31, 4000), "learned");
+  for (const auto& d : result.divergences) ADD_FAILURE() << d.describe();
+}
+
+TEST(LearnedJammer, InvariantsRandomPowerMode) {
+  arena::ensure_registered();
+  JammerSpec spec = learned_spec();
+  spec.mode = JammerPowerMode::kRandomPower;
+  const auto result = conformance::check_jammer_invariants(
+      spec, smoke_options(32, 4000), "learned_random");
+  for (const auto& d : result.divergences) ADD_FAILURE() << d.describe();
+}
+
+TEST(LearnedJammer, SingleGroupGeometryPadsTheActionSet) {
+  // K == m in max-power mode leaves one real action; the DQN pads to two
+  // and the fold-back keeps every report on the only group.
+  arena::ensure_registered();
+  JammerSpec spec = learned_spec();
+  spec.num_channels = 4;
+  spec.channels_per_sweep = 4;
+  const auto jam = jammer::make_jammer(spec, 3);
+  for (int slot = 0; slot < 200; ++slot) {
+    const auto report = jam->step(slot % 4);
+    EXPECT_EQ(report.jammed_group_start, 0);
+    EXPECT_TRUE(report.hit);
+  }
+}
+
+TEST(LearnedJammer, SameSeedTwinsAndMidRunRestore) {
+  arena::ensure_registered();
+  const JammerSpec spec = learned_spec();
+  const auto a = jammer::make_jammer(spec, 99);
+  const auto b = jammer::make_jammer(spec, 99);
+  Rng victim(5);
+  int channel = 0;
+  std::string saved;
+  for (int slot = 0; slot < 600; ++slot) {
+    if (slot == 300) {
+      io::ByteWriter out;
+      a->save_state(out);
+      saved = out.take();
+    }
+    if (victim.bernoulli(0.3)) channel = static_cast<int>(victim.index(16));
+    const auto ra = a->step(channel);
+    const auto rb = b->step(channel);
+    ASSERT_TRUE(reports_equal(ra, rb)) << "twin diverged at slot " << slot;
+  }
+  // Restore the halfway state into a shell built with a different seed and
+  // replay the same victim tail: the stream must match the original's.
+  const auto resumed = jammer::make_jammer(spec, 1234);
+  {
+    io::ByteReader in(saved);
+    resumed->load_state(in);
+    in.expect_end();
+  }
+  const auto reference = jammer::make_jammer(spec, 99);
+  Rng victim2(5);
+  channel = 0;
+  for (int slot = 0; slot < 600; ++slot) {
+    if (victim2.bernoulli(0.3)) channel = static_cast<int>(victim2.index(16));
+    const auto rr = reference->step(channel);
+    if (slot < 300) continue;
+    const auto rs = resumed->step(channel);
+    ASSERT_TRUE(reports_equal(rr, rs)) << "resume diverged at slot " << slot;
+  }
+}
+
+TEST(LearnedJammer, FrozenPlaysAFixedPolicy) {
+  arena::ensure_registered();
+  LearnedJammerConfig config = LearnedJammerConfig::defaults();
+  config.hidden = 16;
+  config.history = 4;
+  LearnedJammer jam(config, 11);
+  // Warm up live so the policy is mid-training, then freeze.
+  for (int slot = 0; slot < 300; ++slot) jam.step(slot % 16);
+  jam.set_frozen(true);
+  const std::size_t env_steps = jam.agent().steps();
+  const std::size_t grad_steps = jam.agent().gradient_steps();
+  auto twin = jam.clone();
+  for (int slot = 0; slot < 200; ++slot) {
+    const auto a = jam.step((slot * 5) % 16);
+    const auto b = twin->step((slot * 5) % 16);
+    ASSERT_TRUE(reports_equal(a, b));
+  }
+  // No exploration draws, no replay writes, no gradient steps while frozen.
+  EXPECT_EQ(jam.agent().steps(), env_steps);
+  EXPECT_EQ(jam.agent().gradient_steps(), grad_steps);
+  jam.set_frozen(false);
+  for (int slot = 0; slot < 100; ++slot) jam.step(slot % 16);
+  EXPECT_GT(jam.agent().steps(), env_steps);
+}
+
+TEST(LearnedJammer, LoadRejectsCorruptPayloadUntouched) {
+  arena::ensure_registered();
+  const JammerSpec spec = learned_spec();
+  const auto jam = jammer::make_jammer(spec, 21);
+  for (int slot = 0; slot < 150; ++slot) jam->step(slot % 16);
+  io::ByteWriter out;
+  jam->save_state(out);
+  std::string bytes = out.take();
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one bit mid-container
+  {
+    io::ByteReader in(bytes);
+    EXPECT_THROW(jam->load_state(in), io::IoError);
+  }
+  // The failed load left the jammer unchanged: it still matches its clone.
+  const auto twin = jam->clone();
+  for (int slot = 0; slot < 100; ++slot) {
+    ASSERT_TRUE(reports_equal(jam->step(slot % 16), twin->step(slot % 16)));
+  }
+}
+
+// ------------------------------------------------------------- spec codec ----
+
+TEST(JammerSpecCodec, LearnedFieldsRoundTrip) {
+  JammerSpec spec = JammerSpec::defaults("learned");
+  spec.learn_history = 6;
+  spec.learn_hidden = 40;
+  spec.learn_rate = 5e-4;
+  spec.learn_epsilon_decay = 777;
+  spec.learn_emit_cost = 0.125;
+  io::ByteWriter out;
+  spec.encode(out);
+  const std::string bytes = out.take();
+  io::ByteReader in(bytes);
+  const JammerSpec decoded = JammerSpec::decode(in);
+  in.expect_end();
+  EXPECT_EQ(decoded, spec);
+}
+
+TEST(JammerSpecCodec, NonLearnedLayoutCarriesNoLearnedFields) {
+  // The learned tunables are serialized only for the "learned" archetype,
+  // so a pre-arena spec keeps its exact byte image and decodes with the
+  // learn_* defaults regardless of what the writer had in those fields.
+  JammerSpec spec = JammerSpec::defaults("sweep");
+  spec.learn_history = 99;
+  io::ByteWriter out;
+  spec.encode(out);
+  const std::string bytes = out.take();
+  io::ByteReader in(bytes);
+  const JammerSpec decoded = JammerSpec::decode(in);
+  in.expect_end();
+  EXPECT_EQ(decoded.learn_history, JammerSpec{}.learn_history);
+}
+
+TEST(JammerSpecCodec, LearnedDecodeValidatesTunables) {
+  JammerSpec spec = JammerSpec::defaults("learned");
+  spec.learn_hidden = 0;
+  io::ByteWriter out;
+  spec.encode(out);
+  const std::string bytes = out.take();
+  io::ByteReader in(bytes);
+  try {
+    JammerSpec::decode(in);
+    FAIL() << "expected kBadPayload";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.kind(), io::ErrorKind::kBadPayload);
+  }
+}
+
+TEST(JammerSpecCodec, JamrcfgMismatchRejectsLearnedDrift) {
+  JammerSpec spec = learned_spec();
+  io::ContainerWriter out;
+  core::write_jammer_config(out, spec);
+  const io::ContainerReader in =
+      io::ContainerReader::from_bytes(out.to_bytes());
+  EXPECT_NO_THROW(core::check_jammer_config(in, spec));
+  JammerSpec drifted = spec;
+  drifted.learn_hidden += 8;
+  try {
+    core::check_jammer_config(in, drifted);
+    FAIL() << "expected kStateMismatch";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.kind(), io::ErrorKind::kStateMismatch);
+  }
+}
+
+// --------------------------------------------------------- environment mode ----
+
+TEST(LearnedEnvironment, BehaviouralModeSaveRestoreContinues) {
+  arena::ensure_registered();
+  core::EnvironmentConfig config = core::EnvironmentConfig::defaults();
+  config.jammer = learned_spec();
+  config.seed = 17;
+  core::CompetitionEnvironment env(config);
+  for (int slot = 0; slot < 200; ++slot) env.step(slot % 16, slot % 10);
+
+  io::ByteWriter out;
+  env.save_state(out);
+  const std::string bytes = out.take();
+  core::CompetitionEnvironment restored(config);
+  io::ByteReader in(bytes);
+  restored.load_state(in);
+  in.expect_end();
+
+  for (int slot = 0; slot < 200; ++slot) {
+    const auto a = env.step(slot % 16, (slot * 3) % 10);
+    const auto b = restored.step(slot % 16, (slot * 3) % 10);
+    ASSERT_EQ(a.reward, b.reward) << "diverged at slot " << slot;
+    ASSERT_EQ(a.outcome, b.outcome);
+  }
+}
+
+// ------------------------------------------------------------- self-play ----
+
+namespace {
+
+arena::SelfPlayConfig small_arena(std::uint64_t seed) {
+  arena::SelfPlayConfig config = arena::SelfPlayConfig::defaults();
+  config.jammer = learned_spec();
+  config.defender.history = 2;
+  config.defender.hidden = {12, 12};
+  config.defender.epsilon_decay_steps = 600;
+  config.defender.seed = seed + 7;
+  config.generations = 3;
+  config.warmup_slots = 400;
+  config.jammer_slots = 400;
+  config.defender_slots = 400;
+  config.eval_slots = 150;
+  config.pool_capacity = 4;
+  config.seed = seed;
+  config.env.seed = seed + 1;
+  return config;
+}
+
+}  // namespace
+
+TEST(SelfPlay, RunsAndReportsGenerations) {
+  arena::SelfPlayConfig config = small_arena(41);
+  arena::SelfPlay arena_run(config);
+  const arena::SelfPlayResult result = arena_run.run();
+  ASSERT_EQ(result.generations.size(), 3u);
+  EXPECT_FALSE(result.resumed);
+  // Pools: untrained generation 0 plus one entry per generation.
+  ASSERT_EQ(result.defender_generations.size(), 4u);
+  ASSERT_EQ(result.jammer_generations.size(), 4u);
+  EXPECT_EQ(result.defender_generations.front(), 0u);
+  EXPECT_EQ(result.jammer_generations.back(), 3u);
+  ASSERT_EQ(result.cross_table.size(), 4u);
+  for (const auto& row : result.cross_table) ASSERT_EQ(row.size(), 4u);
+  EXPECT_GT(result.slots_total, 3 * (400 + 400));
+  for (std::size_t g = 0; g < result.generations.size(); ++g) {
+    EXPECT_EQ(result.generations[g].generation, g);
+    EXPECT_GE(result.generations[g].jammer_hit_rate, 0.0);
+    EXPECT_LE(result.generations[g].jammer_hit_rate, 1.0);
+  }
+}
+
+TEST(SelfPlay, KillResumeIsBitIdentical) {
+  const std::string path_a = temp_path("ctj_arena_uninterrupted.ctjs");
+  const std::string path_b = temp_path("ctj_arena_resumed.ctjs");
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
+
+  // Run A: three generations straight through.
+  arena::SelfPlayConfig config_a = small_arena(43);
+  config_a.checkpoint = core::CheckpointOptions{path_a, 0, true};
+  std::vector<arena::GenerationResult> stream_a;
+  config_a.on_generation = [&](const arena::GenerationResult& r) {
+    stream_a.push_back(r);
+  };
+  const arena::SelfPlayResult result_a = arena::SelfPlay(config_a).run();
+
+  // Run B: killed after generation 2 (budget exhausted), then resumed with
+  // the full budget — the checkpoint must carry everything.
+  arena::SelfPlayConfig config_b = small_arena(43);
+  config_b.checkpoint = core::CheckpointOptions{path_b, 0, true};
+  config_b.generations = 2;
+  arena::SelfPlay(config_b).run();
+  config_b.generations = 3;
+  std::vector<arena::GenerationResult> stream_b;
+  config_b.on_generation = [&](const arena::GenerationResult& r) {
+    stream_b.push_back(r);
+  };
+  const arena::SelfPlayResult result_b = arena::SelfPlay(config_b).run();
+  EXPECT_TRUE(result_b.resumed);
+
+  // The final checkpoints are byte-for-byte identical...
+  const std::string bytes_a = file_bytes(path_a);
+  const std::string bytes_b = file_bytes(path_b);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b) << "kill/resume drifted from the uninterrupted run";
+
+  // ...and so are the result streams (run B replays generations 1-2 from
+  // the stored history) and the head-to-head cross table.
+  ASSERT_EQ(result_b.generations.size(), result_a.generations.size());
+  for (std::size_t g = 0; g < result_a.generations.size(); ++g) {
+    EXPECT_EQ(result_a.generations[g].exploitability,
+              result_b.generations[g].exploitability);
+    EXPECT_EQ(result_a.generations[g].jammer_hit_rate,
+              result_b.generations[g].jammer_hit_rate);
+    EXPECT_EQ(result_a.generations[g].defender_train_reward,
+              result_b.generations[g].defender_train_reward);
+  }
+  EXPECT_EQ(result_a.cross_table, result_b.cross_table);
+  EXPECT_EQ(result_a.slots_total, result_b.slots_total);
+  // Run B's live third generation matches run A's slot for slot.
+  ASSERT_EQ(stream_b.size(), 1u);
+  EXPECT_EQ(stream_a.back().exploitability, stream_b.back().exploitability);
+
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
+}
+
+TEST(SelfPlay, ResumeRejectsConfigDrift) {
+  const std::string path = temp_path("ctj_arena_drift.ctjs");
+  std::filesystem::remove(path);
+  arena::SelfPlayConfig config = small_arena(47);
+  config.generations = 1;
+  config.checkpoint = core::CheckpointOptions{path, 0, true};
+  arena::SelfPlay(config).run();
+
+  {
+    arena::SelfPlayConfig drifted = config;
+    drifted.jammer_slots += 100;
+    try {
+      arena::SelfPlay(drifted).run();
+      FAIL() << "expected kStateMismatch for jammer_slots drift";
+    } catch (const io::IoError& e) {
+      EXPECT_EQ(e.kind(), io::ErrorKind::kStateMismatch);
+    }
+  }
+  {
+    // The learned spec travels through JAMRCFG: resuming against a jammer
+    // with a different brain is a state mismatch, not a silent swap.
+    arena::SelfPlayConfig drifted = config;
+    drifted.jammer.learn_hidden += 8;
+    try {
+      arena::SelfPlay(drifted).run();
+      FAIL() << "expected kStateMismatch for learned spec drift";
+    } catch (const io::IoError& e) {
+      EXPECT_EQ(e.kind(), io::ErrorKind::kStateMismatch);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------- target-network options (rl) ----
+
+TEST(TargetNetwork, LerpParametersMovesToward) {
+  Rng rng_a(1);
+  Rng rng_b(2);
+  rl::Mlp a({4, 8, 3}, rng_a);
+  rl::Mlp b({4, 8, 3}, rng_b);
+  rl::Mlp frozen = a;
+  a.lerp_parameters_from(b, 0.0);
+  for (std::size_t l = 0; l < a.num_layers(); ++l) {
+    EXPECT_EQ(a.layer(l).weights().data()[0], frozen.layer(l).weights().data()[0]);
+  }
+  rl::Mlp full = a;
+  full.lerp_parameters_from(b, 1.0);
+  std::vector<double> want(b.param_count()), got(full.param_count());
+  b.copy_flat_to(want);
+  full.copy_flat_to(got);
+  EXPECT_EQ(want, got);
+  rl::Mlp half = a;
+  half.lerp_parameters_from(b, 0.5);
+  std::vector<double> flat_a(a.param_count()), flat_b(b.param_count()),
+      flat_h(half.param_count());
+  a.copy_flat_to(flat_a);
+  b.copy_flat_to(flat_b);
+  half.copy_flat_to(flat_h);
+  for (std::size_t i = 0; i < flat_h.size(); ++i) {
+    EXPECT_DOUBLE_EQ(flat_h[i], flat_a[i] + 0.5 * (flat_b[i] - flat_a[i]));
+  }
+}
+
+TEST(TargetNetwork, SoftTauTrainsAndCheckpointPinsIt) {
+  core::DqnScheme::Config config;
+  config.history = 2;
+  config.hidden = {10, 10};
+  config.target_tau = 0.01;
+  config.target_sync_interval = 250;
+  config.seed = 91;
+  core::DqnScheme scheme(config);
+  core::EnvironmentConfig env_config = core::EnvironmentConfig::defaults();
+  env_config.seed = 92;
+  core::CompetitionEnvironment env(env_config);
+  core::TrainerConfig trainer;
+  trainer.max_slots = 400;
+  trainer.reward_window = 100;
+  core::train(scheme, env, trainer);
+  EXPECT_GT(scheme.agent().gradient_steps(), 0u);
+
+  io::ContainerWriter out;
+  scheme.save_state(out);
+  const io::ContainerReader in =
+      io::ContainerReader::from_bytes(out.to_bytes());
+  core::DqnScheme same(config);
+  EXPECT_NO_THROW(same.load_state(in));
+
+  core::DqnScheme::Config other = config;
+  other.target_tau = 0.0;
+  core::DqnScheme hard(other);
+  try {
+    hard.load_state(in);
+    FAIL() << "expected kStateMismatch for target_tau drift";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.kind(), io::ErrorKind::kStateMismatch);
+  }
+}

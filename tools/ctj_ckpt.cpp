@@ -86,7 +86,41 @@ int cmd_info(const std::string& path) {
                   spec.recharge_per_slot);
     } else if (spec.archetype == "colluding") {
       std::printf("  num_colluders = %d\n", spec.num_colluders);
+    } else if (spec.archetype == "learned") {
+      std::printf("  learn_history = %d, learn_hidden = %d, learn_rate = %g\n"
+                  "  learn_epsilon_decay = %d, learn_emit_cost = %g\n",
+                  spec.learn_history, spec.learn_hidden, spec.learn_rate,
+                  spec.learn_epsilon_decay, spec.learn_emit_cost);
     }
+  }
+  // Arena checkpoints: the progress record and the opponent pool store their
+  // summary counters up front so a container-level tool can print them
+  // without the arena library.
+  if (in.has_chunk("ARENAPRG")) {
+    ByteReader r(in.chunk("ARENAPRG"));
+    const unsigned version = r.u8();
+    const std::uint64_t generations_done = r.u64();
+    const std::uint64_t slots_total = r.u64();
+    std::printf("ARENAPRG:\n");
+    std::printf("  version = %u, generations_done = %llu, slots_total = "
+                "%llu\n",
+                version, static_cast<unsigned long long>(generations_done),
+                static_cast<unsigned long long>(slots_total));
+  }
+  if (in.has_chunk("OPPPOOL ")) {
+    ByteReader r(in.chunk("OPPPOOL "));
+    const std::uint64_t jammers = r.u64();
+    const std::uint64_t defenders = r.u64();
+    std::printf("OPPPOOL:\n");
+    std::printf("  %llu pooled jammers, %llu pooled defender policies\n",
+                static_cast<unsigned long long>(jammers),
+                static_cast<unsigned long long>(defenders));
+  }
+  if (in.has_chunk("JAMPOLCY")) {
+    std::printf("JAMPOLCY:\n");
+    std::printf("  learned-jammer state, %zu bytes (nested agent container "
+                "+ observation window)\n",
+                in.chunk("JAMPOLCY").size());
   }
   for (const ChunkInfo& chunk : in.chunks()) {
     if (!is_tensor_chunk(chunk.tag)) continue;
